@@ -1,0 +1,64 @@
+//! E7 — CTL model-checking cost vs Kripke-structure size.
+//!
+//! Regenerates: fixpoint-labelling scaling for the three property shapes
+//! PROPAS emits most (safety `AG p`, reachability `EF q`, response
+//! `AG (q -> AF p)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vdo_bench::workloads;
+use vdo_specpat::{CtlFormula, ModelChecker};
+
+fn properties() -> Vec<(&'static str, CtlFormula)> {
+    vec![
+        ("AG_p", CtlFormula::ag(CtlFormula::atom("p"))),
+        ("EF_q", CtlFormula::ef(CtlFormula::atom("q"))),
+        (
+            "AG_q_implies_AF_p",
+            CtlFormula::ag(CtlFormula::implies(
+                CtlFormula::atom("q"),
+                CtlFormula::af(CtlFormula::atom("p")),
+            )),
+        ),
+    ]
+}
+
+fn print_verdict_table() {
+    println!("\n[E7] CTL verdicts on the ring workload (sanity of shapes)");
+    let model = workloads::ring_kripke(1_000);
+    let mc = ModelChecker::new(&model);
+    for (name, f) in properties() {
+        println!(
+            "  {:<20} {}",
+            name,
+            if mc.holds(&f) { "HOLDS" } else { "violated" }
+        );
+    }
+}
+
+fn bench_ctl(c: &mut Criterion) {
+    print_verdict_table();
+
+    for (name, formula) in properties() {
+        let mut group = c.benchmark_group(format!("E7_ctl_{name}"));
+        for n in [100usize, 1_000, 10_000] {
+            let model = workloads::ring_kripke(n);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, model| {
+                let mc = ModelChecker::new(model);
+                b.iter(|| mc.holds(&formula))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_ctl
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E8 — model-based test generation: coverage vs suite size, generator
+//! comparison (all-edges vs step-budget-matched random walk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vdo_bench::workloads;
+use vdo_gwt::generate::{AllEdges, Generator, RandomWalk};
+
+fn print_coverage_table() {
+    println!("\n[E8] edge coverage at equal step budgets (random walk vs all-edges)");
+    println!(
+        "{:>8} {:>7} {:>11} {:>12} {:>13}",
+        "MODEL n", "EDGES", "BUDGET", "ALL-EDGES", "RANDOM WALK"
+    );
+    for n in [10usize, 50, 200, 500] {
+        let model = workloads::branched_model(n);
+        let all = AllEdges.generate(&model, 0);
+        let budget: usize = all.iter().map(|t| t.len()).sum();
+        let rw = RandomWalk {
+            max_steps: budget,
+            tests: 1,
+            coverage_target: 1.0,
+        };
+        let random_cov = model.edge_coverage(&rw.generate(&model, 5));
+        println!(
+            "{:>8} {:>7} {:>11} {:>11.0}% {:>12.0}%",
+            n,
+            model.edge_count(),
+            budget,
+            100.0 * model.edge_coverage(&all),
+            100.0 * random_cov
+        );
+    }
+}
+
+fn bench_generators(c: &mut Criterion) {
+    print_coverage_table();
+
+    let mut group = c.benchmark_group("E8_all_edges");
+    for n in [10usize, 100, 500] {
+        let model = workloads::branched_model(n);
+        group.throughput(Throughput::Elements(model.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, model| {
+            b.iter(|| AllEdges.generate(model, 0))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E8_random_walk");
+    for n in [10usize, 100, 500] {
+        let model = workloads::branched_model(n);
+        let rw = RandomWalk {
+            max_steps: model.edge_count() * 4,
+            tests: 1,
+            coverage_target: 1.0,
+        };
+        group.throughput(Throughput::Elements(model.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, model| {
+            b.iter(|| rw.generate(model, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_generators
+}
+criterion_main!(benches);

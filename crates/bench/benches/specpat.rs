@@ -1,0 +1,67 @@
+//! E5 / E6 — specification patterns: formula-generation coverage/cost
+//! and observer-automaton trace checking vs trace length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vdo_bench::workloads;
+use vdo_specpat::pattern::full_matrix;
+use vdo_specpat::{ObserverAutomaton, PatternKind, Scope, SpecPattern};
+
+fn print_matrix_table() {
+    println!("\n[E5] scope x pattern matrix coverage");
+    let matrix = full_matrix();
+    let ctl = matrix.iter().filter(|p| p.to_ctl().is_ok()).count();
+    let uppaal = matrix.iter().filter(|p| p.to_uppaal().is_ok()).count();
+    let observers = matrix
+        .iter()
+        .filter(|p| ObserverAutomaton::for_pattern(p).is_some())
+        .count();
+    let mean_size: f64 =
+        matrix.iter().map(|p| p.to_ltl().size() as f64).sum::<f64>() / matrix.len() as f64;
+    println!("  combinations: {}", matrix.len());
+    println!(
+        "  LTL mappings: {} (mean formula size {:.1} nodes)",
+        matrix.len(),
+        mean_size
+    );
+    println!("  CTL mappings: {ctl}");
+    println!("  UPPAAL queries: {uppaal}");
+    println!("  observer automata: {observers}");
+}
+
+fn bench_specpat(c: &mut Criterion) {
+    print_matrix_table();
+
+    // E5: formula generation cost over the full matrix.
+    c.bench_function("E5_generate_full_matrix_ltl", |b| {
+        b.iter(|| {
+            full_matrix()
+                .iter()
+                .map(|p| p.to_ltl().size())
+                .sum::<usize>()
+        })
+    });
+
+    // E6: observer trace checking vs trace length.
+    let pattern = SpecPattern::new(Scope::Globally, PatternKind::bounded_response("p", "s", 10));
+    let observer = ObserverAutomaton::for_pattern(&pattern).expect("observer");
+    let mut group = c.benchmark_group("E6_observer_trace_check");
+    for len in [1_000usize, 10_000, 100_000] {
+        let trace = workloads::response_observations(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, trace| {
+            b.iter(|| observer.run(trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_specpat
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E3 — STIG check/enforce convergence over host fleets.
+//!
+//! Regenerates: compliance sweep cost vs fleet size and drift rate, plus
+//! the check-only baseline (assessment without remediation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vdo_core::{PlannerConfig, PlannerOutcome, RemediationPlanner};
+use vdo_host::{Fleet, FleetConfig};
+use vdo_stigs::ubuntu;
+
+fn print_convergence_table() {
+    println!("\n[E3] fleet compliance: remediations and convergence vs drift rate (20 hosts)");
+    println!(
+        "{:>10} {:>9} {:>13} {:>11}",
+        "DRIFT", "DRIFTED", "REMEDIATIONS", "ALL GREEN"
+    );
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::new(PlannerConfig::default());
+    for drift in [0.0, 0.25, 0.5, 1.0] {
+        let mut fleet = Fleet::unix_fleet(&FleetConfig {
+            size: 20,
+            drift_probability: drift,
+            drift_events_per_host: 4,
+            seed: 3,
+        });
+        let mut remediations = 0;
+        let mut compliant = 0;
+        for host in fleet.unix_hosts_mut() {
+            let run = planner.run(&catalog, host);
+            remediations += run.report.summary().remediated;
+            if run.outcome == PlannerOutcome::Compliant {
+                compliant += 1;
+            }
+        }
+        println!(
+            "{:>10.2} {:>9} {:>13} {:>10}/20",
+            drift,
+            fleet.drifted_count(),
+            remediations,
+            compliant
+        );
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    print_convergence_table();
+
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::new(PlannerConfig::default());
+
+    let mut group = c.benchmark_group("E3_check_only");
+    for size in [10usize, 100, 500] {
+        let fleet = Fleet::unix_fleet(&FleetConfig {
+            size,
+            drift_probability: 0.5,
+            drift_events_per_host: 3,
+            seed: 1,
+        });
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &fleet, |b, fleet| {
+            b.iter(|| {
+                fleet
+                    .unix_hosts()
+                    .iter()
+                    .map(|h| {
+                        catalog
+                            .check_all(h)
+                            .iter()
+                            .filter(|(_, v)| v.is_fail())
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E3_check_enforce");
+    for size in [10usize, 100, 500] {
+        let fleet = Fleet::unix_fleet(&FleetConfig {
+            size,
+            drift_probability: 0.5,
+            drift_events_per_host: 3,
+            seed: 1,
+        });
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &fleet, |b, fleet| {
+            b.iter_batched(
+                || fleet.clone(),
+                |mut fleet| {
+                    for host in fleet.unix_hosts_mut() {
+                        planner.run(&catalog, host);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_fleet
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E9 — TEARS guarded-assertion evaluation throughput vs log length and
+//! assertion count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vdo_bench::workloads;
+use vdo_tears::Session;
+
+fn session_of(n_assertions: usize) -> Session {
+    let mut text = String::new();
+    for i in 0..n_assertions {
+        let threshold = 0.5 + (i % 40) as f64 * 0.01;
+        text.push_str(&format!(
+            "ga \"ga{i}\": when load > {threshold} then throttled == 1 within 5\n"
+        ));
+    }
+    Session::parse(&text).expect("generated G/As parse")
+}
+
+fn print_throughput_table() {
+    println!("\n[E9] G/A evaluation: activations scale with assertions x log length");
+    println!(
+        "{:>10} {:>12} {:>13}",
+        "LOG TICKS", "ASSERTIONS", "ACTIVATIONS"
+    );
+    for (len, n) in [(1_000u64, 1usize), (10_000, 10), (10_000, 100)] {
+        let trace = workloads::tears_trace(len);
+        let session = session_of(n);
+        let overview = session.evaluate(&trace);
+        let activations: u64 = overview.reports().iter().map(|r| r.activations).sum();
+        println!("{:>10} {:>12} {:>13}", len, n, activations);
+    }
+}
+
+fn bench_tears(c: &mut Criterion) {
+    print_throughput_table();
+
+    let mut group = c.benchmark_group("E9_log_length");
+    let session = session_of(10);
+    for len in [1_000u64, 10_000, 100_000] {
+        let trace = workloads::tears_trace(len);
+        group.throughput(Throughput::Elements(len));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &trace, |b, trace| {
+            b.iter(|| session.evaluate(trace))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E9_assertion_count");
+    let trace = workloads::tears_trace(10_000);
+    for n in [1usize, 10, 100] {
+        let session = session_of(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &session, |b, session| {
+            b.iter(|| session.evaluate(&trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_tears
+}
+criterion_main!(benches);

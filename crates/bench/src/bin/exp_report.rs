@@ -1,0 +1,392 @@
+//! Prints every experiment table from EXPERIMENTS.md in one fast pass
+//! (shape results only — wall-clock measurements come from
+//! `cargo bench --workspace`).
+//!
+//! Run with: `cargo run -p vdo-bench --bin exp_report --release`
+
+use std::time::Instant;
+
+use vdo_bench::workloads;
+use vdo_core::{CheckStatus, PlannerConfig, PlannerOutcome, RemediationPlanner};
+use vdo_corpus::requirements::{generate, CorpusConfig};
+use vdo_corpus::traces::ViolationTrace;
+use vdo_gwt::generate::{AllEdges, Generator, RandomWalk};
+use vdo_host::{Fleet, FleetConfig};
+use vdo_nalabs::Analyzer;
+use vdo_pipeline::{run, PipelineConfig};
+use vdo_specpat::pattern::full_matrix;
+use vdo_specpat::{CtlFormula, ModelChecker, ObserverAutomaton};
+use vdo_stigs::ubuntu;
+use vdo_tears::Session;
+use vdo_temporal::{GlobalUniversality, MonitorOutcome, MonitoringLoop};
+
+fn main() {
+    e1_nalabs_quality();
+    e2_nalabs_throughput();
+    e3_fleet_convergence();
+    e4_monitor_latency();
+    e5_matrix_coverage();
+    e6_observer_throughput();
+    e7_ctl_scaling();
+    e8_gwt_coverage();
+    e9_tears_throughput();
+    e10_pipeline_comparison();
+    a1_dictionary_ablation();
+}
+
+fn e1_nalabs_quality() {
+    println!("\n== E1: NALABS detection quality vs planted smell rate (n = 1000) ==");
+    println!(
+        "{:>8} {:>10} {:>8} {:>6}",
+        "RATE", "PRECISION", "RECALL", "F1"
+    );
+    for rate in [0.05, 0.1, 0.2, 0.3] {
+        let corpus = generate(&CorpusConfig {
+            size: 1_000,
+            smell_rate: rate,
+            seed: 7,
+        });
+        let report = Analyzer::with_default_metrics().analyze_corpus(&corpus.documents);
+        let pr = report.score_against(&|id| corpus.is_smelly(id));
+        println!(
+            "{rate:>8.2} {:>10.3} {:>8.3} {:>6.3}",
+            pr.precision(),
+            pr.recall(),
+            pr.f1()
+        );
+    }
+}
+
+fn e2_nalabs_throughput() {
+    println!("\n== E2: NALABS throughput vs corpus size ==");
+    println!("{:>8} {:>12} {:>14}", "SIZE", "ELAPSED", "DOCS/SEC");
+    let analyzer = Analyzer::with_default_metrics();
+    for size in [100usize, 1_000, 10_000] {
+        let corpus = workloads::corpus(size);
+        let t0 = Instant::now();
+        let report = analyzer.analyze_corpus(&corpus.documents);
+        let dt = t0.elapsed();
+        assert_eq!(report.len(), size);
+        println!(
+            "{size:>8} {:>12.2?} {:>14.0}",
+            dt,
+            size as f64 / dt.as_secs_f64()
+        );
+    }
+}
+
+fn e3_fleet_convergence() {
+    println!("\n== E3: STIG check/enforce over fleets (drift sweep, 20 hosts) ==");
+    println!(
+        "{:>8} {:>9} {:>13} {:>10} {:>12}",
+        "DRIFT", "DRIFTED", "REMEDIATIONS", "COMPLIANT", "ELAPSED"
+    );
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::new(PlannerConfig::default());
+    for drift in [0.0, 0.25, 0.5, 1.0] {
+        let mut fleet = Fleet::unix_fleet(&FleetConfig {
+            size: 20,
+            drift_probability: drift,
+            drift_events_per_host: 4,
+            seed: 3,
+        });
+        let t0 = Instant::now();
+        let mut remediations = 0;
+        let mut compliant = 0;
+        for host in fleet.unix_hosts_mut() {
+            let run = planner.run(&catalog, host);
+            remediations += run.report.summary().remediated;
+            if run.outcome == PlannerOutcome::Compliant {
+                compliant += 1;
+            }
+        }
+        println!(
+            "{drift:>8.2} {:>9} {remediations:>13} {compliant:>9}/20 {:>12.2?}",
+            fleet.drifted_count(),
+            t0.elapsed()
+        );
+    }
+}
+
+fn e4_monitor_latency() {
+    println!("\n== E4/A2: monitor detection latency vs polling period (10k-tick traces) ==");
+    println!(
+        "{:>8} {:>13} {:>12} {:>9}",
+        "PERIOD", "MEAN LATENCY", "MAX LATENCY", "POLLS"
+    );
+    let pattern = GlobalUniversality::new(|up: &bool| CheckStatus::from(*up));
+    for period in [1u64, 5, 10, 50, 100, 500] {
+        let mut latencies = Vec::new();
+        let mut polls = 0;
+        for k in 0..32u64 {
+            let w = ViolationTrace::at(10_000, 313 * (k + 1) % 9_000 + 500);
+            let report = MonitoringLoop::new(period).run(&pattern, &w.trace);
+            polls += report.polls;
+            if let MonitorOutcome::ViolationDetected(_) = report.outcome {
+                latencies.push(report.detection_latency(w.violation_tick).unwrap() as f64);
+            }
+        }
+        let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+        println!("{period:>8} {mean:>13.1} {max:>12.0} {:>9}", polls / 32);
+    }
+}
+
+fn e5_matrix_coverage() {
+    println!("\n== E5: scope x pattern matrix coverage ==");
+    let matrix = full_matrix();
+    let t0 = Instant::now();
+    let total_nodes: usize = matrix.iter().map(|p| p.to_ltl().size()).sum();
+    let dt = t0.elapsed();
+    let ctl = matrix.iter().filter(|p| p.to_ctl().is_ok()).count();
+    let uppaal = matrix.iter().filter(|p| p.to_uppaal().is_ok()).count();
+    let observers = matrix
+        .iter()
+        .filter(|p| ObserverAutomaton::for_pattern(p).is_some())
+        .count();
+    println!("  combinations:      {}", matrix.len());
+    println!(
+        "  LTL mappings:      {} ({} AST nodes in {dt:.2?})",
+        matrix.len(),
+        total_nodes
+    );
+    println!("  CTL mappings:      {ctl}");
+    println!("  UPPAAL queries:    {uppaal}");
+    println!("  observer automata: {observers}");
+}
+
+fn e6_observer_throughput() {
+    println!("\n== E6: observer trace checking vs trace length ==");
+    println!("{:>10} {:>12} {:>14}", "TICKS", "ELAPSED", "TICKS/SEC");
+    let pattern = vdo_specpat::SpecPattern::new(
+        vdo_specpat::Scope::Globally,
+        vdo_specpat::PatternKind::bounded_response("p", "s", 10),
+    );
+    let observer = ObserverAutomaton::for_pattern(&pattern).expect("observer");
+    for len in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let trace = workloads::response_observations(len);
+        let t0 = Instant::now();
+        let outcome = observer.run(&trace);
+        let dt = t0.elapsed();
+        assert_ne!(
+            outcome.prefix,
+            CheckStatus::Fail,
+            "workload satisfies the property"
+        );
+        println!(
+            "{len:>10} {:>12.2?} {:>14.0}",
+            dt,
+            len as f64 / dt.as_secs_f64()
+        );
+    }
+}
+
+fn e7_ctl_scaling() {
+    println!("\n== E7: CTL model checking vs Kripke size ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "STATES", "AG p", "EF q", "AG(q->AF p)"
+    );
+    for n in [100usize, 1_000, 10_000] {
+        let model = workloads::ring_kripke(n);
+        let mc = ModelChecker::new(&model);
+        let mut cells = Vec::new();
+        for f in [
+            CtlFormula::ag(CtlFormula::atom("p")),
+            CtlFormula::ef(CtlFormula::atom("q")),
+            CtlFormula::ag(CtlFormula::implies(
+                CtlFormula::atom("q"),
+                CtlFormula::af(CtlFormula::atom("p")),
+            )),
+        ] {
+            let t0 = Instant::now();
+            let _ = mc.holds(&f);
+            cells.push(format!("{:.2?}", t0.elapsed()));
+        }
+        println!("{n:>8} {:>12} {:>12} {:>12}", cells[0], cells[1], cells[2]);
+    }
+}
+
+fn e8_gwt_coverage() {
+    println!("\n== E8: test generation — coverage at equal step budgets ==");
+    println!(
+        "{:>8} {:>7} {:>8} {:>11} {:>13}",
+        "MODEL n", "EDGES", "BUDGET", "ALL-EDGES", "RANDOM WALK"
+    );
+    for n in [10usize, 50, 200, 500] {
+        let model = workloads::branched_model(n);
+        let all = AllEdges.generate(&model, 0);
+        let budget: usize = all.iter().map(|t| t.len()).sum();
+        let rw = RandomWalk {
+            max_steps: budget,
+            tests: 1,
+            coverage_target: 1.0,
+        };
+        let random_cov = model.edge_coverage(&rw.generate(&model, 5));
+        println!(
+            "{n:>8} {:>7} {budget:>8} {:>10.0}% {:>12.0}%",
+            model.edge_count(),
+            100.0 * model.edge_coverage(&all),
+            100.0 * random_cov
+        );
+    }
+}
+
+fn e9_tears_throughput() {
+    println!("\n== E9: TEARS G/A evaluation throughput ==");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "TICKS", "ASSERTIONS", "ELAPSED", "TICKS/SEC"
+    );
+    for (len, n) in [
+        (10_000u64, 1usize),
+        (10_000, 10),
+        (100_000, 10),
+        (100_000, 100),
+    ] {
+        let trace = workloads::tears_trace(len);
+        let mut text = String::new();
+        for i in 0..n {
+            let threshold = 0.5 + (i % 40) as f64 * 0.01;
+            text.push_str(&format!(
+                "ga \"ga{i}\": when load > {threshold} then throttled == 1 within 5\n"
+            ));
+        }
+        let session = Session::parse(&text).expect("valid G/As");
+        let t0 = Instant::now();
+        let _ = session.evaluate(&trace);
+        let dt = t0.elapsed();
+        println!(
+            "{len:>10} {n:>12} {:>12.2?} {:>14.0}",
+            dt,
+            len as f64 / dt.as_secs_f64()
+        );
+    }
+}
+
+fn e10_pipeline_comparison() {
+    println!("\n== E10: automated vs manual pipeline (mean of seeds 1-5) ==");
+    println!(
+        "{:<28} {:>9} {:>9} {:>10} {:>13} {:>10}",
+        "CONFIGURATION", "REJECTED", "SHIPPED", "INCIDENTS", "MEAN LATENCY", "EXPOSURE"
+    );
+    let base = PipelineConfig {
+        commits: 60,
+        ops_duration: 2_000,
+        ..PipelineConfig::default()
+    };
+    type MakeConfig = Box<dyn Fn(u64) -> PipelineConfig>;
+    let configs: Vec<(&str, MakeConfig)> = vec![
+        (
+            "automated (gates+monitor)",
+            Box::new(move |seed| PipelineConfig { seed, ..base }),
+        ),
+        (
+            "gates only",
+            Box::new(move |seed| PipelineConfig {
+                seed,
+                monitor_period: None,
+                ..base
+            }),
+        ),
+        (
+            "monitor only",
+            Box::new(move |seed| PipelineConfig {
+                seed,
+                requirements_gate: false,
+                compliance_gate: false,
+                test_gate: false,
+                ..base
+            }),
+        ),
+        (
+            "manual baseline",
+            Box::new(move |seed| PipelineConfig {
+                seed,
+                requirements_gate: false,
+                compliance_gate: false,
+                test_gate: false,
+                monitor_period: None,
+                ..base
+            }),
+        ),
+    ];
+    for (name, make) in &configs {
+        let (mut rejected, mut shipped, mut incidents, mut latency, mut exposure) =
+            (0.0, 0.0, 0.0, 0.0, 0.0);
+        let seeds = [1u64, 2, 3, 4, 5];
+        for &seed in &seeds {
+            let r = run(&make(seed));
+            rejected += (r.rejected_requirements + r.rejected_compliance + r.rejected_tests) as f64;
+            shipped += r.vulnerabilities_deployed as f64;
+            incidents += r.ops.incidents.len() as f64;
+            latency += r.ops.mean_detection_latency();
+            exposure += r.ops.exposure();
+        }
+        let n = seeds.len() as f64;
+        println!(
+            "{name:<28} {:>9.1} {:>9.1} {:>10.1} {:>13.1} {:>9.2}%",
+            rejected / n,
+            shipped / n,
+            incidents / n,
+            latency / n,
+            100.0 * exposure / n
+        );
+    }
+}
+
+fn a1_dictionary_ablation() {
+    println!("\n== A1: ablation — NALABS recall vs dictionary fraction (n = 1000) ==");
+    println!("   (imperatives metric excluded: the ablation isolates dictionary smells)");
+    println!("{:>10} {:>8} {:>10}", "FRACTION", "RECALL", "PRECISION");
+    use vdo_nalabs::dictionaries;
+    use vdo_nalabs::metrics::{DictionaryMetric, Readability, Size};
+    use vdo_nalabs::{Metric, SmellThresholds};
+    let corpus = workloads::corpus(1_000);
+    for fraction in [1.0, 0.75, 0.5, 0.25, 0.1] {
+        let metrics: Vec<Box<dyn Metric>> = vec![
+            Box::new(DictionaryMetric::new(
+                "conjunctions",
+                dictionaries::conjunctions().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "continuances",
+                dictionaries::continuances().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "incompleteness",
+                dictionaries::incompleteness().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "optionality",
+                dictionaries::optionality().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "references",
+                dictionaries::references().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "subjectivity",
+                dictionaries::subjectivity().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "vagueness",
+                dictionaries::vagueness().shrunk(fraction),
+            )),
+            Box::new(DictionaryMetric::new(
+                "weakness",
+                dictionaries::weakness().shrunk(fraction),
+            )),
+            Box::new(Readability),
+            Box::new(Size),
+        ];
+        let analyzer = Analyzer::new(metrics, SmellThresholds::default());
+        let report = analyzer.analyze_corpus(&corpus.documents);
+        let pr = report.score_against(&|id| corpus.is_smelly(id));
+        println!(
+            "{fraction:>10.2} {:>8.3} {:>10.3}",
+            pr.recall(),
+            pr.precision()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! # vdo-bench — shared helpers for the experiment/bench harness
+//!
+//! The Criterion benches under `benches/` regenerate every experiment in
+//! `EXPERIMENTS.md`; this library hosts the workload construction shared
+//! between them and the `exp_report` binary that prints the experiment
+//! tables without Criterion's statistical machinery.
+
+#![forbid(unsafe_code)]
+
+pub mod workloads;

@@ -1,0 +1,404 @@
+//! Requirement catalogues.
+//!
+//! The Java prototype organises requirements in a package tree
+//! (`rqcode.patterns.temporal`, `rqcode.stigs.ubuntu`, …) and ships a
+//! `Windows10SecurityTechnicalImplementationGuide` class that aggregates
+//! "all STIGs". [`Catalog`] is the Rust counterpart: a registry of
+//! requirement entries, each carrying its [`RequirementSpec`]
+//! metadata, a package path for grouping, and the executable
+//! check/enforce capability.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{
+    CheckEnforce, CheckStatus, Checkable, Enforceable, EnforcementStatus, RequirementSpec, Severity,
+};
+
+/// Dot-separated package path used to group catalogue entries, mirroring
+/// the Java package tree (`"rqcode.stigs.ubuntu"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PackagePath(String);
+
+impl PackagePath {
+    /// Creates a package path. Empty segments are not validated here;
+    /// paths are opaque grouping keys.
+    #[must_use]
+    pub fn new(path: impl Into<String>) -> Self {
+        PackagePath(path.into())
+    }
+
+    /// The full dot-separated path.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the dot-separated segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// `true` iff `self` equals `prefix` or lies beneath it.
+    #[must_use]
+    pub fn starts_with(&self, prefix: &PackagePath) -> bool {
+        self.0 == prefix.0
+            || (self.0.starts_with(&prefix.0)
+                && self.0.as_bytes().get(prefix.0.len()) == Some(&b'.'))
+    }
+}
+
+impl fmt::Display for PackagePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for PackagePath {
+    fn from(s: &str) -> Self {
+        PackagePath::new(s)
+    }
+}
+
+/// Executable capability of a catalogue entry.
+enum Capability<E: ?Sized> {
+    /// Check-only requirement.
+    Check(Box<dyn Checkable<E> + Send + Sync>),
+    /// Requirement that can also self-remediate.
+    CheckEnforce(Box<dyn CheckEnforce<E> + Send + Sync>),
+}
+
+/// One registered requirement: metadata + package + capability.
+pub struct CatalogEntry<E: ?Sized> {
+    spec: RequirementSpec,
+    package: PackagePath,
+    capability: Capability<E>,
+}
+
+impl<E: ?Sized> CatalogEntry<E> {
+    /// The structured specification.
+    #[must_use]
+    pub fn spec(&self) -> &RequirementSpec {
+        &self.spec
+    }
+
+    /// The grouping package.
+    #[must_use]
+    pub fn package(&self) -> &PackagePath {
+        &self.package
+    }
+
+    /// `true` iff the entry can enforce as well as check.
+    #[must_use]
+    pub fn is_enforceable(&self) -> bool {
+        matches!(self.capability, Capability::CheckEnforce(_))
+    }
+
+    /// Checks this entry against `env`.
+    pub fn check(&self, env: &E) -> CheckStatus {
+        match &self.capability {
+            Capability::Check(c) => c.check(env),
+            Capability::CheckEnforce(c) => c.check(env),
+        }
+    }
+
+    /// Enforces this entry on `env`.
+    ///
+    /// Check-only entries return [`EnforcementStatus::Incomplete`] —
+    /// they must be remediated manually.
+    pub fn enforce(&self, env: &mut E) -> EnforcementStatus {
+        match &self.capability {
+            Capability::Check(_) => EnforcementStatus::Incomplete,
+            Capability::CheckEnforce(c) => c.enforce(env),
+        }
+    }
+}
+
+impl<E: ?Sized> Checkable<E> for CatalogEntry<E> {
+    fn check(&self, env: &E) -> CheckStatus {
+        CatalogEntry::check(self, env)
+    }
+}
+
+impl<E: ?Sized> Enforceable<E> for CatalogEntry<E> {
+    fn enforce(&self, env: &mut E) -> EnforcementStatus {
+        CatalogEntry::enforce(self, env)
+    }
+}
+
+/// A registry of requirements for environments of type `E`.
+///
+/// ```
+/// use vdo_core::{Catalog, CheckStatus, RequirementSpec, Severity};
+///
+/// let mut cat: Catalog<bool> = Catalog::new();
+/// cat.register(
+///     "demo.flags",
+///     RequirementSpec::builder("V-1").title("flag must be set").severity(Severity::High).build(),
+///     |e: &bool| CheckStatus::from(*e),
+/// );
+/// assert_eq!(cat.len(), 1);
+/// assert_eq!(cat.check_all(&true).iter().filter(|r| r.1.is_pass()).count(), 1);
+/// ```
+pub struct Catalog<E: ?Sized> {
+    entries: Vec<CatalogEntry<E>>,
+}
+
+impl<E: ?Sized> Catalog<E> {
+    /// Creates an empty catalogue.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a check-only requirement. Returns the entry index.
+    pub fn register<C>(
+        &mut self,
+        package: impl Into<PackagePath>,
+        spec: RequirementSpec,
+        checkable: C,
+    ) -> usize
+    where
+        C: Checkable<E> + Send + Sync + 'static,
+    {
+        self.entries.push(CatalogEntry {
+            spec,
+            package: package.into(),
+            capability: Capability::Check(Box::new(checkable)),
+        });
+        self.entries.len() - 1
+    }
+
+    /// Registers a requirement that can also enforce. Returns the entry
+    /// index.
+    pub fn register_enforceable<C>(
+        &mut self,
+        package: impl Into<PackagePath>,
+        spec: RequirementSpec,
+        requirement: C,
+    ) -> usize
+    where
+        C: CheckEnforce<E> + Send + Sync + 'static,
+    {
+        self.entries.push(CatalogEntry {
+            spec,
+            package: package.into(),
+            capability: Capability::CheckEnforce(Box::new(requirement)),
+        });
+        self.entries.len() - 1
+    }
+
+    /// Number of registered requirements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry<E>> {
+        self.entries.iter()
+    }
+
+    /// Entry by index.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&CatalogEntry<E>> {
+        self.entries.get(index)
+    }
+
+    /// Looks an entry up by its finding id.
+    #[must_use]
+    pub fn find(&self, finding_id: &str) -> Option<&CatalogEntry<E>> {
+        self.entries
+            .iter()
+            .find(|e| e.spec.finding_id() == finding_id)
+    }
+
+    /// Entries whose package equals or lies beneath `prefix`.
+    pub fn in_package<'a>(
+        &'a self,
+        prefix: &'a PackagePath,
+    ) -> impl Iterator<Item = &'a CatalogEntry<E>> + 'a {
+        self.entries
+            .iter()
+            .filter(move |e| e.package.starts_with(prefix))
+    }
+
+    /// Checks every entry against `env`, returning `(entry, verdict)`
+    /// pairs in registration order.
+    pub fn check_all<'a>(&'a self, env: &E) -> Vec<(&'a CatalogEntry<E>, CheckStatus)> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let v = e.check(env);
+                (e, v)
+            })
+            .collect()
+    }
+
+    /// Inventory: entry counts per package, as used to regenerate the
+    /// D2.7 catalogue tables (experiment T1).
+    #[must_use]
+    pub fn inventory(&self) -> BTreeMap<PackagePath, PackageStats> {
+        let mut map: BTreeMap<PackagePath, PackageStats> = BTreeMap::new();
+        for e in &self.entries {
+            let s = map.entry(e.package.clone()).or_default();
+            s.total += 1;
+            if e.is_enforceable() {
+                s.enforceable += 1;
+            }
+            match e.spec.severity() {
+                Severity::High => s.high += 1,
+                Severity::Medium => s.medium += 1,
+                Severity::Low => s.low += 1,
+            }
+        }
+        map
+    }
+}
+
+impl<E: ?Sized> Default for Catalog<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: ?Sized> fmt::Debug for Catalog<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+/// Per-package counts produced by [`Catalog::inventory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackageStats {
+    /// Total requirements registered under the package.
+    pub total: usize,
+    /// Of which enforceable (check + fix).
+    pub enforceable: usize,
+    /// CAT I count.
+    pub high: usize,
+    /// CAT II count.
+    pub medium: usize,
+    /// CAT III count.
+    pub low: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: &str, sev: Severity) -> RequirementSpec {
+        RequirementSpec::builder(id).title(id).severity(sev).build()
+    }
+
+    struct SetTo(u32);
+    impl Checkable<u32> for SetTo {
+        fn check(&self, env: &u32) -> CheckStatus {
+            CheckStatus::from(*env == self.0)
+        }
+    }
+    impl Enforceable<u32> for SetTo {
+        fn enforce(&self, env: &mut u32) -> EnforcementStatus {
+            *env = self.0;
+            EnforcementStatus::Success
+        }
+    }
+
+    fn sample_catalog() -> Catalog<u32> {
+        let mut cat = Catalog::new();
+        cat.register(
+            "rqcode.stigs.ubuntu",
+            spec("V-1", Severity::High),
+            |e: &u32| CheckStatus::from(*e > 0),
+        );
+        cat.register_enforceable(
+            "rqcode.stigs.win10",
+            spec("V-2", Severity::Medium),
+            SetTo(7),
+        );
+        cat.register_enforceable("rqcode.stigs.win10", spec("V-3", Severity::Low), SetTo(7));
+        cat
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = sample_catalog();
+        assert_eq!(cat.len(), 3);
+        assert!(cat.find("V-2").is_some());
+        assert!(cat.find("V-99").is_none());
+        assert!(!cat.get(0).unwrap().is_enforceable());
+        assert!(cat.get(1).unwrap().is_enforceable());
+    }
+
+    #[test]
+    fn package_filtering() {
+        let cat = sample_catalog();
+        let win = PackagePath::new("rqcode.stigs.win10");
+        assert_eq!(cat.in_package(&win).count(), 2);
+        let root = PackagePath::new("rqcode");
+        assert_eq!(cat.in_package(&root).count(), 3);
+        let other = PackagePath::new("rqcode.stigs.win");
+        assert_eq!(
+            cat.in_package(&other).count(),
+            0,
+            "prefix must respect segment boundaries"
+        );
+    }
+
+    #[test]
+    fn check_all_reports_each_entry() {
+        let cat = sample_catalog();
+        let results = cat.check_all(&7);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|(_, v)| v.is_pass()));
+        let results = cat.check_all(&0);
+        assert_eq!(results.iter().filter(|(_, v)| v.is_fail()).count(), 3);
+    }
+
+    #[test]
+    fn check_only_entry_cannot_enforce() {
+        let cat = sample_catalog();
+        let mut env = 0;
+        assert_eq!(
+            cat.get(0).unwrap().enforce(&mut env),
+            EnforcementStatus::Incomplete
+        );
+        assert_eq!(
+            cat.get(1).unwrap().enforce(&mut env),
+            EnforcementStatus::Success
+        );
+        assert_eq!(env, 7);
+    }
+
+    #[test]
+    fn inventory_counts_per_package() {
+        let cat = sample_catalog();
+        let inv = cat.inventory();
+        let win = &inv[&PackagePath::new("rqcode.stigs.win10")];
+        assert_eq!(win.total, 2);
+        assert_eq!(win.enforceable, 2);
+        assert_eq!(win.medium, 1);
+        assert_eq!(win.low, 1);
+        let ubu = &inv[&PackagePath::new("rqcode.stigs.ubuntu")];
+        assert_eq!(ubu.total, 1);
+        assert_eq!(ubu.high, 1);
+        assert_eq!(ubu.enforceable, 0);
+    }
+
+    #[test]
+    fn package_path_segments() {
+        let p = PackagePath::new("a.b.c");
+        assert_eq!(p.segments().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(p.to_string(), "a.b.c");
+    }
+}

@@ -1,0 +1,339 @@
+//! Composite requirements: conjunction, disjunction, negation, naming.
+//!
+//! RQCODE's "requirements are classes" pitch gets its mileage from reuse
+//! and composition — a Windows 10 STIG instance is a conjunction of dozens
+//! of audit-policy requirements. These combinators make that composition a
+//! first-class value while preserving three-valued semantics (see
+//! [`CheckStatus`](crate::CheckStatus)'s Kleene algebra).
+
+use crate::{CheckStatus, Checkable, Enforceable, EnforcementStatus};
+
+/// Conjunction of requirements: passes iff every child passes.
+///
+/// Enforcing an `AllOf` enforces every child (even after a child fails, so
+/// that one broken remediation does not mask the rest) and combines the
+/// outcomes pessimistically.
+///
+/// ```
+/// use vdo_core::{AllOf, Checkable, CheckStatus};
+/// let all = AllOf::new(vec![])
+///     .with(|e: &i32| CheckStatus::from(*e > 0))
+///     .with(|e: &i32| CheckStatus::from(*e % 2 == 0));
+/// assert_eq!(all.check(&4), CheckStatus::Pass);
+/// assert_eq!(all.check(&3), CheckStatus::Fail);
+/// ```
+pub struct AllOf<E: ?Sized> {
+    children: Vec<Box<dyn Checkable<E> + Send + Sync>>,
+}
+
+impl<E: ?Sized> AllOf<E> {
+    /// Creates a conjunction over the given children. The empty
+    /// conjunction passes.
+    #[must_use]
+    pub fn new(children: Vec<Box<dyn Checkable<E> + Send + Sync>>) -> Self {
+        AllOf { children }
+    }
+
+    /// Adds a child requirement (builder style).
+    #[must_use]
+    pub fn with<C>(mut self, child: C) -> Self
+    where
+        C: Checkable<E> + Send + Sync + 'static,
+    {
+        self.children.push(Box::new(child));
+        self
+    }
+
+    /// Number of direct children.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// `true` iff there are no children.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl<E: ?Sized> Default for AllOf<E> {
+    fn default() -> Self {
+        AllOf::new(Vec::new())
+    }
+}
+
+impl<E: ?Sized> Checkable<E> for AllOf<E> {
+    fn check(&self, env: &E) -> CheckStatus {
+        CheckStatus::all(self.children.iter().map(|c| c.check(env)))
+    }
+}
+
+/// Disjunction of requirements: passes iff at least one child passes.
+///
+/// `AnyOf` models alternative acceptable configurations (e.g. "smart-card
+/// login **or** hardware token"). The empty disjunction fails.
+pub struct AnyOf<E: ?Sized> {
+    children: Vec<Box<dyn Checkable<E> + Send + Sync>>,
+}
+
+impl<E: ?Sized> AnyOf<E> {
+    /// Creates a disjunction over the given children.
+    #[must_use]
+    pub fn new(children: Vec<Box<dyn Checkable<E> + Send + Sync>>) -> Self {
+        AnyOf { children }
+    }
+
+    /// Adds a child requirement (builder style).
+    #[must_use]
+    pub fn with<C>(mut self, child: C) -> Self
+    where
+        C: Checkable<E> + Send + Sync + 'static,
+    {
+        self.children.push(Box::new(child));
+        self
+    }
+
+    /// Number of direct children.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// `true` iff there are no children.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl<E: ?Sized> Default for AnyOf<E> {
+    fn default() -> Self {
+        AnyOf::new(Vec::new())
+    }
+}
+
+impl<E: ?Sized> Checkable<E> for AnyOf<E> {
+    fn check(&self, env: &E) -> CheckStatus {
+        CheckStatus::any(self.children.iter().map(|c| c.check(env)))
+    }
+}
+
+/// Negation of a requirement (Kleene: `Incomplete` stays `Incomplete`).
+///
+/// Used for prohibitions: "the `rsh-server` package must **not** be
+/// installed" is `Not(installed("rsh-server"))`.
+pub struct Not<C> {
+    inner: C,
+}
+
+impl<C> Not<C> {
+    /// Wraps the requirement whose verdict is to be negated.
+    #[must_use]
+    pub fn new(inner: C) -> Self {
+        Not { inner }
+    }
+
+    /// Returns the wrapped requirement.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<E: ?Sized, C: Checkable<E>> Checkable<E> for Not<C> {
+    fn check(&self, env: &E) -> CheckStatus {
+        self.inner.check(env).negate()
+    }
+}
+
+/// Attaches a human-readable label to a requirement without changing its
+/// semantics. Reports and gate logs use the label.
+pub struct Named<C> {
+    name: String,
+    inner: C,
+}
+
+impl<C> Named<C> {
+    /// Wraps `inner` under the given display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>, inner: C) -> Self {
+        Named {
+            name: name.into(),
+            inner,
+        }
+    }
+
+    /// The display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the wrapped requirement.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<E: ?Sized, C: Checkable<E>> Checkable<E> for Named<C> {
+    fn check(&self, env: &E) -> CheckStatus {
+        self.inner.check(env)
+    }
+}
+
+impl<E: ?Sized, C: Enforceable<E>> Enforceable<E> for Named<C> {
+    fn enforce(&self, env: &mut E) -> EnforcementStatus {
+        self.inner.enforce(env)
+    }
+}
+
+/// Conjunction that can also *enforce*: drives every child to compliance.
+///
+/// Unlike [`AllOf`] (check-only trait objects), `EnforceAll` holds
+/// [`CheckEnforce`](crate::CheckEnforce) objects so the planner can use it
+/// as a single composite remediation unit.
+pub struct EnforceAll<E: ?Sized> {
+    children: Vec<Box<dyn crate::CheckEnforce<E> + Send + Sync>>,
+}
+
+impl<E: ?Sized> EnforceAll<E> {
+    /// Creates an empty composite.
+    #[must_use]
+    pub fn new() -> Self {
+        EnforceAll {
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a child (builder style).
+    #[must_use]
+    pub fn with<C>(mut self, child: C) -> Self
+    where
+        C: crate::CheckEnforce<E> + Send + Sync + 'static,
+    {
+        self.children.push(Box::new(child));
+        self
+    }
+
+    /// Number of direct children.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// `true` iff there are no children.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl<E: ?Sized> Default for EnforceAll<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: ?Sized> Checkable<E> for EnforceAll<E> {
+    fn check(&self, env: &E) -> CheckStatus {
+        CheckStatus::all(self.children.iter().map(|c| c.check(env)))
+    }
+}
+
+impl<E: ?Sized> Enforceable<E> for EnforceAll<E> {
+    fn enforce(&self, env: &mut E) -> EnforcementStatus {
+        // Enforce only the children that currently fail; this keeps the
+        // composite idempotent whenever its children are.
+        let mut outcome = EnforcementStatus::Success;
+        for child in &self.children {
+            if child.check(env) != CheckStatus::Pass {
+                outcome = outcome.and(child.enforce(env));
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Env {
+        a: bool,
+        b: bool,
+    }
+
+    fn a_on() -> impl Checkable<Env> + Send + Sync {
+        |e: &Env| CheckStatus::from(e.a)
+    }
+    fn b_on() -> impl Checkable<Env> + Send + Sync {
+        |e: &Env| CheckStatus::from(e.b)
+    }
+
+    #[test]
+    fn all_of_requires_every_child() {
+        let all = AllOf::new(vec![]).with(a_on()).with(b_on());
+        assert_eq!(all.check(&Env { a: true, b: true }), CheckStatus::Pass);
+        assert_eq!(all.check(&Env { a: true, b: false }), CheckStatus::Fail);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn any_of_requires_one_child() {
+        let any = AnyOf::new(vec![]).with(a_on()).with(b_on());
+        assert_eq!(any.check(&Env { a: false, b: true }), CheckStatus::Pass);
+        assert_eq!(any.check(&Env { a: false, b: false }), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn empty_identities() {
+        let all: AllOf<Env> = AllOf::default();
+        let any: AnyOf<Env> = AnyOf::default();
+        assert!(all.is_empty() && any.is_empty());
+        let env = Env { a: false, b: false };
+        assert_eq!(all.check(&env), CheckStatus::Pass);
+        assert_eq!(any.check(&env), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn not_flips_and_preserves_incomplete() {
+        let unknown = |_: &Env| CheckStatus::Incomplete;
+        assert_eq!(
+            Not::new(unknown).check(&Env { a: false, b: false }),
+            CheckStatus::Incomplete
+        );
+        let n = Not::new(a_on());
+        assert_eq!(n.check(&Env { a: true, b: false }), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn named_is_transparent() {
+        let named = Named::new("A is on", a_on());
+        assert_eq!(named.name(), "A is on");
+        assert_eq!(named.check(&Env { a: true, b: false }), CheckStatus::Pass);
+    }
+
+    struct Flag;
+    impl Checkable<bool> for Flag {
+        fn check(&self, env: &bool) -> CheckStatus {
+            CheckStatus::from(*env)
+        }
+    }
+    impl Enforceable<bool> for Flag {
+        fn enforce(&self, env: &mut bool) -> EnforcementStatus {
+            *env = true;
+            EnforcementStatus::Success
+        }
+    }
+
+    #[test]
+    fn enforce_all_fixes_failing_children() {
+        let composite = EnforceAll::new().with(Flag).with(Flag);
+        let mut env = false;
+        assert_eq!(composite.check(&env), CheckStatus::Fail);
+        assert_eq!(composite.enforce(&mut env), EnforcementStatus::Success);
+        assert_eq!(composite.check(&env), CheckStatus::Pass);
+        // Idempotent: enforcing again is still a success.
+        assert_eq!(composite.enforce(&mut env), EnforcementStatus::Success);
+    }
+}

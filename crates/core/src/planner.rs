@@ -1,0 +1,436 @@
+//! The remediation planner: check → enforce → re-check to a fixpoint.
+//!
+//! This is the engine behind "automated protection": given a catalogue and
+//! a mutable environment, the planner sweeps all requirements, enforces the
+//! failing enforceable ones, and repeats until compliant, stuck, or out of
+//! iterations. Enforcing one requirement may *break* another (e.g. removing
+//! a package that a second requirement expects), which is why a single
+//! sweep is not enough and why the planner tracks convergence explicitly.
+
+use crate::{
+    Catalog, CheckStatus, ComplianceReport, EnforcementStatus, RequirementResult, WaiverSet,
+};
+
+/// Planner tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Maximum number of full check/enforce sweeps (default 4).
+    pub max_iterations: u32,
+    /// If `true`, requirements whose check is `Incomplete` are also
+    /// enforced (default: only `Fail` triggers enforcement).
+    pub enforce_incomplete: bool,
+    /// If `true`, stop the whole run at the first `Failure` enforcement
+    /// outcome (default `false`: keep remediating the rest).
+    pub fail_fast: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_iterations: 4,
+            enforce_incomplete: false,
+            fail_fast: false,
+        }
+    }
+}
+
+/// How a planner run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerOutcome {
+    /// Every requirement passes.
+    Compliant,
+    /// Some requirements still fail but no enforcement changed anything in
+    /// the last sweep — further iterations would loop.
+    Stuck,
+    /// The iteration budget ran out while progress was still being made.
+    IterationBudgetExhausted,
+    /// `fail_fast` was set and an enforcement reported `Failure`.
+    Aborted,
+}
+
+/// Drives a [`Catalog`] of requirements against a mutable environment.
+///
+/// ```
+/// use vdo_core::{Catalog, CheckStatus, Checkable, EnforcementStatus, Enforceable,
+///                PlannerConfig, PlannerOutcome, RemediationPlanner, RequirementSpec};
+///
+/// struct AtLeast(u32);
+/// impl Checkable<u32> for AtLeast {
+///     fn check(&self, env: &u32) -> CheckStatus { CheckStatus::from(*env >= self.0) }
+/// }
+/// impl Enforceable<u32> for AtLeast {
+///     fn enforce(&self, env: &mut u32) -> EnforcementStatus {
+///         *env = self.0; EnforcementStatus::Success
+///     }
+/// }
+///
+/// let mut cat = Catalog::new();
+/// cat.register_enforceable("demo", RequirementSpec::builder("V-1").build(), AtLeast(10));
+/// let planner = RemediationPlanner::new(PlannerConfig::default());
+/// let mut env = 0u32;
+/// let run = planner.run(&cat, &mut env);
+/// assert_eq!(run.outcome, PlannerOutcome::Compliant);
+/// assert_eq!(env, 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RemediationPlanner {
+    config: PlannerConfig,
+}
+
+/// Everything a planner run produced.
+#[derive(Debug, Clone)]
+pub struct PlannerRun {
+    /// Why the run stopped.
+    pub outcome: PlannerOutcome,
+    /// Number of full sweeps performed.
+    pub iterations: u32,
+    /// Total individual enforcement attempts.
+    pub enforcements: u32,
+    /// Per-requirement verdicts (initial vs final).
+    pub report: ComplianceReport,
+}
+
+impl RemediationPlanner {
+    /// Creates a planner with the given configuration.
+    #[must_use]
+    pub fn new(config: PlannerConfig) -> Self {
+        RemediationPlanner { config }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Assesses the catalogue and remediates until compliant, stuck, or
+    /// out of budget. See [`PlannerRun`] for what is reported.
+    pub fn run<E: ?Sized>(&self, catalog: &Catalog<E>, env: &mut E) -> PlannerRun {
+        self.run_with_waivers(catalog, env, &WaiverSet::new(), 0)
+    }
+
+    /// Like [`run`](Self::run), but findings covered by an active waiver
+    /// (at time `now`) are neither enforced nor counted against
+    /// compliance; the report marks them as waived.
+    pub fn run_with_waivers<E: ?Sized>(
+        &self,
+        catalog: &Catalog<E>,
+        env: &mut E,
+        waivers: &WaiverSet,
+        now: u64,
+    ) -> PlannerRun {
+        let n = catalog.len();
+        let waived: Vec<bool> = catalog
+            .iter()
+            .map(|e| waivers.is_waived(e.spec().finding_id(), now))
+            .collect();
+        let initial: Vec<CheckStatus> = catalog.iter().map(|e| e.check(env)).collect();
+        let mut current = initial.clone();
+        let mut attempts = vec![0u32; n];
+        let mut last_enforcement: Vec<Option<EnforcementStatus>> = vec![None; n];
+        let mut enforcements = 0u32;
+        let mut iterations = 0u32;
+        let all_pass = |cur: &[CheckStatus], waived: &[bool]| {
+            cur.iter().zip(waived).all(|(s, &w)| w || s.is_pass())
+        };
+        let mut outcome = if all_pass(&current, &waived) {
+            PlannerOutcome::Compliant
+        } else {
+            PlannerOutcome::IterationBudgetExhausted
+        };
+
+        'sweeps: while iterations < self.config.max_iterations && !all_pass(&current, &waived) {
+            iterations += 1;
+            let mut any_progress = false;
+            for (i, entry) in catalog.iter().enumerate() {
+                let needs_fix = match current[i] {
+                    CheckStatus::Fail => true,
+                    CheckStatus::Incomplete => self.config.enforce_incomplete,
+                    CheckStatus::Pass => false,
+                };
+                if !needs_fix || !entry.is_enforceable() || waived[i] {
+                    continue;
+                }
+                let status = entry.enforce(env);
+                attempts[i] += 1;
+                enforcements += 1;
+                last_enforcement[i] = Some(status);
+                if status == EnforcementStatus::Failure && self.config.fail_fast {
+                    outcome = PlannerOutcome::Aborted;
+                    // Refresh verdicts before reporting.
+                    for (j, e) in catalog.iter().enumerate() {
+                        current[j] = e.check(env);
+                    }
+                    break 'sweeps;
+                }
+            }
+            // Re-check everything: enforcements may interact.
+            for (j, e) in catalog.iter().enumerate() {
+                let new = e.check(env);
+                if new != current[j] {
+                    any_progress = true;
+                }
+                current[j] = new;
+            }
+            if all_pass(&current, &waived) {
+                outcome = PlannerOutcome::Compliant;
+                break;
+            }
+            if !any_progress {
+                outcome = PlannerOutcome::Stuck;
+                break;
+            }
+        }
+        if iterations == 0 && all_pass(&current, &waived) {
+            outcome = PlannerOutcome::Compliant;
+        }
+
+        let report: ComplianceReport = catalog
+            .iter()
+            .enumerate()
+            .map(|(i, e)| RequirementResult {
+                finding_id: e.spec().finding_id().to_string(),
+                title: e.spec().title().to_string(),
+                severity: e.spec().severity(),
+                initial: initial[i],
+                final_status: current[i],
+                enforce_attempts: attempts[i],
+                last_enforcement: last_enforcement[i],
+                waived: waived[i],
+            })
+            .collect();
+
+        PlannerRun {
+            outcome,
+            iterations,
+            enforcements,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Checkable, Enforceable, RequirementSpec, Severity};
+
+    fn spec(id: &str) -> RequirementSpec {
+        RequirementSpec::builder(id)
+            .title(id)
+            .severity(Severity::Medium)
+            .build()
+    }
+
+    /// Requires `env[idx] == want`; enforcing sets it.
+    struct Slot {
+        idx: usize,
+        want: bool,
+    }
+    impl Checkable<Vec<bool>> for Slot {
+        fn check(&self, env: &Vec<bool>) -> CheckStatus {
+            CheckStatus::from(env[self.idx] == self.want)
+        }
+    }
+    impl Enforceable<Vec<bool>> for Slot {
+        fn enforce(&self, env: &mut Vec<bool>) -> EnforcementStatus {
+            env[self.idx] = self.want;
+            EnforcementStatus::Success
+        }
+    }
+
+    #[test]
+    fn compliant_environment_needs_no_sweeps() {
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        let mut env = vec![true];
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Compliant);
+        assert_eq!(run.iterations, 0);
+        assert_eq!(run.enforcements, 0);
+    }
+
+    #[test]
+    fn single_sweep_remediation() {
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        cat.register_enforceable("p", spec("V-2"), Slot { idx: 1, want: true });
+        let mut env = vec![false, false];
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Compliant);
+        assert_eq!(run.iterations, 1);
+        assert_eq!(run.enforcements, 2);
+        assert_eq!(run.report.summary().remediated, 2);
+        assert!(env.iter().all(|&b| b));
+    }
+
+    /// A pair of requirements whose enforcements interact: fixing A breaks
+    /// B's precondition once, so two sweeps are needed.
+    struct CopyFrom {
+        src: usize,
+        dst: usize,
+    }
+    impl Checkable<Vec<bool>> for CopyFrom {
+        fn check(&self, env: &Vec<bool>) -> CheckStatus {
+            CheckStatus::from(env[self.dst])
+        }
+    }
+    impl Enforceable<Vec<bool>> for CopyFrom {
+        fn enforce(&self, env: &mut Vec<bool>) -> EnforcementStatus {
+            // Can only set dst if src is already set (dependency).
+            if env[self.src] {
+                env[self.dst] = true;
+                EnforcementStatus::Success
+            } else {
+                EnforcementStatus::Incomplete
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_requirements_converge_over_multiple_sweeps() {
+        let mut cat = Catalog::new();
+        // V-2 depends on V-1's effect. Register dependent first so one
+        // sweep is insufficient.
+        cat.register_enforceable("p", spec("V-2"), CopyFrom { src: 0, dst: 1 });
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        let mut env = vec![false, false];
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Compliant);
+        assert_eq!(run.iterations, 2);
+        assert!(env[1]);
+    }
+
+    /// Never satisfiable, never changes the environment.
+    struct Broken;
+    impl Checkable<Vec<bool>> for Broken {
+        fn check(&self, _: &Vec<bool>) -> CheckStatus {
+            CheckStatus::Fail
+        }
+    }
+    impl Enforceable<Vec<bool>> for Broken {
+        fn enforce(&self, _: &mut Vec<bool>) -> EnforcementStatus {
+            EnforcementStatus::Failure
+        }
+    }
+
+    #[test]
+    fn stuck_detection() {
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Broken);
+        let mut env = vec![];
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Stuck);
+        assert!(run.iterations < PlannerConfig::default().max_iterations);
+        assert!(!run.report.is_fully_compliant());
+    }
+
+    #[test]
+    fn fail_fast_aborts() {
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Broken);
+        cat.register_enforceable("p", spec("V-2"), Slot { idx: 0, want: true });
+        let planner = RemediationPlanner::new(PlannerConfig {
+            fail_fast: true,
+            ..PlannerConfig::default()
+        });
+        let mut env = vec![false];
+        let run = planner.run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Aborted);
+        assert!(!env[0], "fail_fast must stop before later enforcements");
+    }
+
+    #[test]
+    fn waived_findings_do_not_block_or_get_enforced() {
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        cat.register_enforceable("p", spec("V-2"), Slot { idx: 1, want: true });
+        let mut waivers = WaiverSet::new();
+        waivers.waive("V-2", "hardware constraint until refresh");
+        let mut env = vec![false, false];
+        let run = RemediationPlanner::default().run_with_waivers(&cat, &mut env, &waivers, 0);
+        assert_eq!(
+            run.outcome,
+            PlannerOutcome::Compliant,
+            "waived V-2 must not block"
+        );
+        assert!(env[0], "V-1 enforced");
+        assert!(!env[1], "V-2 skipped — the waiver means hands off");
+        let summary = run.report.summary();
+        assert_eq!(summary.waived, 1);
+        assert_eq!(summary.failing, 0, "waived failure is not an open finding");
+        assert!(run.report.open_findings().is_empty());
+        assert!(run.report.is_fully_compliant());
+
+        // An expired waiver stops protecting.
+        let mut waivers = WaiverSet::new();
+        waivers.add(crate::Waiver {
+            finding_id: "V-2".into(),
+            reason: "temporary".into(),
+            expires_at: Some(10),
+        });
+        let mut env = vec![false, false];
+        let run = RemediationPlanner::default().run_with_waivers(&cat, &mut env, &waivers, 11);
+        assert!(env[1], "expired waiver: V-2 enforced again");
+        assert_eq!(run.report.summary().waived, 0);
+    }
+
+    #[test]
+    fn check_only_requirements_are_never_enforced() {
+        let mut cat: Catalog<Vec<bool>> = Catalog::new();
+        cat.register("p", spec("V-1"), |_: &Vec<bool>| CheckStatus::Fail);
+        let mut env = vec![];
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.enforcements, 0);
+        assert_eq!(run.outcome, PlannerOutcome::Stuck);
+    }
+
+    #[test]
+    fn silent_ratchet_counts_as_stuck() {
+        // Enforcement mutates the environment but the verdict never
+        // changes within a sweep — the planner must not spin on it.
+        struct Ratchet;
+        impl Checkable<u32> for Ratchet {
+            fn check(&self, env: &u32) -> CheckStatus {
+                CheckStatus::from(*env >= 10)
+            }
+        }
+        impl Enforceable<u32> for Ratchet {
+            fn enforce(&self, env: &mut u32) -> EnforcementStatus {
+                *env += 1;
+                EnforcementStatus::Incomplete
+            }
+        }
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Ratchet);
+        let mut env = 0u32;
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Stuck);
+        assert_eq!(run.iterations, 1);
+        assert_eq!(env, 1);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        // A 3-link dependency chain makes real verdict progress each
+        // sweep; with budget 1 the run must stop as exhausted.
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-3"), CopyFrom { src: 1, dst: 2 });
+        cat.register_enforceable("p", spec("V-2"), CopyFrom { src: 0, dst: 1 });
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        let planner = RemediationPlanner::new(PlannerConfig {
+            max_iterations: 1,
+            ..PlannerConfig::default()
+        });
+        let mut env = vec![false, false, false];
+        let run = planner.run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::IterationBudgetExhausted);
+        assert_eq!(run.iterations, 1);
+        assert!(env[0] && !env[2]);
+
+        // With a generous budget the same chain converges.
+        let mut env = vec![false, false, false];
+        let run = RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Compliant);
+        assert!(env.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,348 @@
+//! Compliance reports.
+//!
+//! A [`ComplianceReport`] records per-requirement verdicts from a catalogue
+//! sweep (and, after a planner run, the enforcement history), plus rollups
+//! by severity — the artefact a DevOps gate or an auditor consumes.
+
+use std::fmt;
+
+use crate::{CheckStatus, EnforcementStatus, Severity};
+
+/// Verdict for a single requirement within a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequirementResult {
+    /// Finding id of the requirement (e.g. `"V-219157"`).
+    pub finding_id: String,
+    /// Requirement title.
+    pub title: String,
+    /// Severity of the requirement.
+    pub severity: Severity,
+    /// Verdict before any enforcement.
+    pub initial: CheckStatus,
+    /// Verdict after the planner finished (equals `initial` if the
+    /// planner did not run or did not touch this requirement).
+    pub final_status: CheckStatus,
+    /// Number of enforcement attempts made on this requirement.
+    pub enforce_attempts: u32,
+    /// Outcome of the last enforcement attempt, if any.
+    pub last_enforcement: Option<EnforcementStatus>,
+    /// `true` iff an active waiver covers this finding (accepted risk):
+    /// the planner does not enforce it and it does not block compliance.
+    pub waived: bool,
+}
+
+impl RequirementResult {
+    /// `true` iff the requirement ended compliant (waived findings count
+    /// as accepted, not compliant — query [`waived`](Self::waived)).
+    #[must_use]
+    pub fn is_compliant(&self) -> bool {
+        self.final_status.is_pass()
+    }
+
+    /// `true` iff the planner repaired this requirement (failed initially,
+    /// passes now).
+    #[must_use]
+    pub fn was_remediated(&self) -> bool {
+        self.initial.is_fail() && self.final_status.is_pass()
+    }
+}
+
+/// Aggregated counts over a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Total requirements assessed.
+    pub total: usize,
+    /// Requirements passing at the end.
+    pub passing: usize,
+    /// Requirements failing at the end.
+    pub failing: usize,
+    /// Requirements undecided at the end.
+    pub incomplete: usize,
+    /// Requirements that the planner repaired.
+    pub remediated: usize,
+    /// Failing CAT I (high-severity) findings at the end.
+    pub open_high: usize,
+    /// Findings covered by an active waiver.
+    pub waived: usize,
+}
+
+impl ReportSummary {
+    /// Compliance ratio in `[0, 1]`; an empty report is vacuously 1.
+    #[must_use]
+    pub fn compliance_ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.passing as f64 / self.total as f64
+        }
+    }
+}
+
+/// Result of assessing (and optionally remediating) a set of requirements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComplianceReport {
+    results: Vec<RequirementResult>,
+}
+
+impl ComplianceReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        ComplianceReport::default()
+    }
+
+    /// Appends one requirement verdict.
+    pub fn push(&mut self, result: RequirementResult) {
+        self.results.push(result);
+    }
+
+    /// All per-requirement results, in assessment order.
+    #[must_use]
+    pub fn results(&self) -> &[RequirementResult] {
+        &self.results
+    }
+
+    /// Number of assessed requirements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` iff nothing was assessed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// `true` iff every non-waived requirement ended `Pass`.
+    #[must_use]
+    pub fn is_fully_compliant(&self) -> bool {
+        self.results.iter().all(|r| r.is_compliant() || r.waived)
+    }
+
+    /// Results that ended failing (waivers excluded), most severe first.
+    #[must_use]
+    pub fn open_findings(&self) -> Vec<&RequirementResult> {
+        let mut open: Vec<&RequirementResult> = self
+            .results
+            .iter()
+            .filter(|r| !r.final_status.is_pass() && !r.waived)
+            .collect();
+        open.sort_by_key(|r| std::cmp::Reverse(r.severity));
+        open
+    }
+
+    /// Rollup counts.
+    #[must_use]
+    pub fn summary(&self) -> ReportSummary {
+        let mut s = ReportSummary {
+            total: self.results.len(),
+            ..ReportSummary::default()
+        };
+        for r in &self.results {
+            if r.waived {
+                s.waived += 1;
+            }
+            match r.final_status {
+                CheckStatus::Pass => s.passing += 1,
+                CheckStatus::Fail => {
+                    if !r.waived {
+                        s.failing += 1;
+                        if r.severity == Severity::High {
+                            s.open_high += 1;
+                        }
+                    }
+                }
+                CheckStatus::Incomplete => {
+                    if !r.waived {
+                        s.incomplete += 1;
+                    }
+                }
+            }
+            if r.was_remediated() {
+                s.remediated += 1;
+            }
+        }
+        s
+    }
+
+    /// Renders the report as CSV (header + one row per requirement) for
+    /// ingestion by external dashboards.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("finding_id,severity,initial,final,enforce_attempts,title\n");
+        for r in &self.results {
+            // Titles may contain commas; quote them and double any quotes.
+            let title = r.title.replace('"', "\"\"");
+            out.push_str(&format!(
+                "{},{},{},{},{},\"{}\"\n",
+                r.finding_id, r.severity, r.initial, r.final_status, r.enforce_attempts, title
+            ));
+        }
+        out
+    }
+
+    /// Renders a fixed-width text table, one row per requirement.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<8} {:>10} {:>10} {:>8}  {}\n",
+            "FINDING", "SEV", "INITIAL", "FINAL", "ATTEMPTS", "TITLE"
+        ));
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<12} {:<8} {:>10} {:>10} {:>8}  {}\n",
+                r.finding_id,
+                r.severity.to_string(),
+                r.initial.to_string(),
+                r.final_status.to_string(),
+                r.enforce_attempts,
+                r.title
+            ));
+        }
+        let s = self.summary();
+        out.push_str(&format!(
+            "-- {} total, {} pass, {} fail ({} CAT I open), {} incomplete, {} remediated ({:.1}% compliant)\n",
+            s.total,
+            s.passing,
+            s.failing,
+            s.open_high,
+            s.incomplete,
+            s.remediated,
+            100.0 * s.compliance_ratio()
+        ));
+        out
+    }
+}
+
+impl FromIterator<RequirementResult> for ComplianceReport {
+    fn from_iter<I: IntoIterator<Item = RequirementResult>>(iter: I) -> Self {
+        ComplianceReport {
+            results: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<RequirementResult> for ComplianceReport {
+    fn extend<I: IntoIterator<Item = RequirementResult>>(&mut self, iter: I) {
+        self.results.extend(iter);
+    }
+}
+
+impl fmt::Display for ComplianceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(
+        id: &str,
+        sev: Severity,
+        initial: CheckStatus,
+        fin: CheckStatus,
+    ) -> RequirementResult {
+        RequirementResult {
+            finding_id: id.into(),
+            title: format!("req {id}"),
+            severity: sev,
+            initial,
+            final_status: fin,
+            enforce_attempts: u32::from(initial != fin),
+            last_enforcement: None,
+            waived: false,
+        }
+    }
+
+    fn sample() -> ComplianceReport {
+        [
+            result("V-1", Severity::High, CheckStatus::Fail, CheckStatus::Pass),
+            result(
+                "V-2",
+                Severity::Medium,
+                CheckStatus::Pass,
+                CheckStatus::Pass,
+            ),
+            result("V-3", Severity::High, CheckStatus::Fail, CheckStatus::Fail),
+            result(
+                "V-4",
+                Severity::Low,
+                CheckStatus::Incomplete,
+                CheckStatus::Incomplete,
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = sample().summary();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.passing, 2);
+        assert_eq!(s.failing, 1);
+        assert_eq!(s.incomplete, 1);
+        assert_eq!(s.remediated, 1);
+        assert_eq!(s.open_high, 1);
+        assert!((s.compliance_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_findings_sorted_by_severity() {
+        let r = sample();
+        let open = r.open_findings();
+        assert_eq!(open.len(), 2);
+        assert_eq!(open[0].finding_id, "V-3"); // High before Low
+        assert_eq!(open[1].finding_id, "V-4");
+    }
+
+    #[test]
+    fn full_compliance_detection() {
+        assert!(!sample().is_fully_compliant());
+        let all_pass: ComplianceReport = [result(
+            "V-9",
+            Severity::Low,
+            CheckStatus::Pass,
+            CheckStatus::Pass,
+        )]
+        .into_iter()
+        .collect();
+        assert!(all_pass.is_fully_compliant());
+        assert!(ComplianceReport::new().is_fully_compliant());
+    }
+
+    #[test]
+    fn empty_report_ratio_is_one() {
+        assert!((ComplianceReport::new().summary().compliance_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_contains_rows_and_summary() {
+        let t = sample().to_table();
+        assert!(t.contains("V-1"));
+        assert!(t.contains("50.0% compliant"));
+    }
+
+    #[test]
+    fn csv_escapes_titles() {
+        let mut r = sample();
+        r.push(RequirementResult {
+            finding_id: "V-5".into(),
+            title: "has, comma and \"quote\"".into(),
+            severity: Severity::Low,
+            initial: CheckStatus::Pass,
+            final_status: CheckStatus::Pass,
+            enforce_attempts: 0,
+            last_enforcement: None,
+            waived: false,
+        });
+        let csv = r.to_csv();
+        assert!(csv.starts_with("finding_id,severity"));
+        assert!(csv.contains("\"has, comma and \"\"quote\"\"\""));
+        assert_eq!(csv.lines().count(), 6); // header + 5 rows
+    }
+}

@@ -1,0 +1,365 @@
+//! Structured requirement specifications.
+//!
+//! [`RequirementSpec`] is a direct mapping of the structure of STIG
+//! findings as presented on stigviewer.com — the same fields the Java
+//! `rqcode.concepts.Requirement` class exposes as methods (`findingID`,
+//! `ruleID`, `severity`, `checkText`, `fixText`, …).
+
+use std::fmt;
+
+/// Severity category of a security requirement.
+///
+/// STIGs use CAT I (high) / CAT II (medium) / CAT III (low); IEC 62443
+/// security levels map onto the same coarse ordering for gate decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// CAT III — low impact.
+    Low,
+    /// CAT II — medium impact.
+    Medium,
+    /// CAT I — high impact; any open finding blocks promotion.
+    High,
+}
+
+impl Severity {
+    /// STIG category label (`"CAT I"`, `"CAT II"`, `"CAT III"`).
+    #[must_use]
+    pub fn stig_category(self) -> &'static str {
+        match self {
+            Severity::High => "CAT I",
+            Severity::Medium => "CAT II",
+            Severity::Low => "CAT III",
+        }
+    }
+
+    /// Parses the spellings used in STIG exports (`high`, `medium`, `low`,
+    /// `CAT I`…). Returns `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "high" | "cat i" | "cat1" | "cat_i" | "i" => Some(Severity::High),
+            "medium" | "cat ii" | "cat2" | "cat_ii" | "ii" => Some(Severity::Medium),
+            "low" | "cat iii" | "cat3" | "cat_iii" | "iii" => Some(Severity::Low),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::High => "high",
+            Severity::Medium => "medium",
+            Severity::Low => "low",
+        })
+    }
+}
+
+/// Structured metadata of one security requirement (STIG finding shape).
+///
+/// Construct with [`RequirementSpec::builder`]:
+///
+/// ```
+/// use vdo_core::{RequirementSpec, Severity};
+///
+/// let spec = RequirementSpec::builder("V-219157")
+///     .title("The Ubuntu operating system must not have the NIS package installed")
+///     .severity(Severity::Medium)
+///     .stig("Canonical Ubuntu 18.04 LTS STIG")
+///     .rule_id("SV-219157r508662_rule")
+///     .description("Removing the NIS package decreases the risk of \
+///                   accidental activation of NIS/NIS+ services.")
+///     .check_text("Run: dpkg -l | grep nis — no output expected.")
+///     .fix_text("Run: sudo apt-get remove nis")
+///     .build();
+/// assert_eq!(spec.finding_id(), "V-219157");
+/// assert_eq!(spec.severity(), Severity::Medium);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequirementSpec {
+    finding_id: String,
+    title: String,
+    version: String,
+    rule_id: String,
+    ia_controls: String,
+    severity: Severity,
+    description: String,
+    stig: String,
+    date: String,
+    check_text: String,
+    fix_text: String,
+}
+
+impl RequirementSpec {
+    /// Starts building a spec for the given finding id (e.g. `"V-219157"`).
+    #[must_use]
+    pub fn builder(finding_id: impl Into<String>) -> RequirementSpecBuilder {
+        RequirementSpecBuilder {
+            spec: RequirementSpec {
+                finding_id: finding_id.into(),
+                title: String::new(),
+                version: String::new(),
+                rule_id: String::new(),
+                ia_controls: String::new(),
+                severity: Severity::Medium,
+                description: String::new(),
+                stig: String::new(),
+                date: String::new(),
+                check_text: String::new(),
+                fix_text: String::new(),
+            },
+        }
+    }
+
+    /// STIG finding id, e.g. `"V-219157"`.
+    #[must_use]
+    pub fn finding_id(&self) -> &str {
+        &self.finding_id
+    }
+
+    /// One-line requirement title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// STIG version string.
+    #[must_use]
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Rule id, e.g. `"SV-219157r508662_rule"`.
+    #[must_use]
+    pub fn rule_id(&self) -> &str {
+        &self.rule_id
+    }
+
+    /// IA controls annotation (often empty in modern STIGs).
+    #[must_use]
+    pub fn ia_controls(&self) -> &str {
+        &self.ia_controls
+    }
+
+    /// Severity category.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// Long-form rationale text.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Name of the STIG this finding belongs to.
+    #[must_use]
+    pub fn stig(&self) -> &str {
+        &self.stig
+    }
+
+    /// Publication date of the STIG revision.
+    #[must_use]
+    pub fn date(&self) -> &str {
+        &self.date
+    }
+
+    /// Manual check procedure text.
+    #[must_use]
+    pub fn check_text(&self) -> &str {
+        &self.check_text
+    }
+
+    /// Manual fix procedure text.
+    #[must_use]
+    pub fn fix_text(&self) -> &str {
+        &self.fix_text
+    }
+
+    /// Renders the finding as a plain-text document — the counterpart of
+    /// the Java prototype's `toString()` ("a crude parsing of the finding
+    /// specification into a document").
+    #[must_use]
+    pub fn to_document(&self) -> String {
+        let mut doc = String::new();
+        let mut field = |k: &str, v: &str| {
+            if !v.is_empty() {
+                doc.push_str(k);
+                doc.push_str(": ");
+                doc.push_str(v);
+                doc.push('\n');
+            }
+        };
+        field("Finding ID", &self.finding_id);
+        field("Title", &self.title);
+        field("Version", &self.version);
+        field("Rule ID", &self.rule_id);
+        field("IA Controls", &self.ia_controls);
+        field("Severity", self.severity.stig_category());
+        field("STIG", &self.stig);
+        field("Date", &self.date);
+        field("Description", &self.description);
+        field("Check Text", &self.check_text);
+        field("Fix Text", &self.fix_text);
+        doc
+    }
+}
+
+impl fmt::Display for RequirementSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.finding_id, self.title)
+    }
+}
+
+/// Builder for [`RequirementSpec`]; every field except the finding id is
+/// optional and defaults to empty / [`Severity::Medium`].
+#[derive(Debug, Clone)]
+pub struct RequirementSpecBuilder {
+    spec: RequirementSpec,
+}
+
+impl RequirementSpecBuilder {
+    /// Sets the one-line title.
+    #[must_use]
+    pub fn title(mut self, v: impl Into<String>) -> Self {
+        self.spec.title = v.into();
+        self
+    }
+
+    /// Sets the STIG version string.
+    #[must_use]
+    pub fn version(mut self, v: impl Into<String>) -> Self {
+        self.spec.version = v.into();
+        self
+    }
+
+    /// Sets the rule id.
+    #[must_use]
+    pub fn rule_id(mut self, v: impl Into<String>) -> Self {
+        self.spec.rule_id = v.into();
+        self
+    }
+
+    /// Sets the IA controls annotation.
+    #[must_use]
+    pub fn ia_controls(mut self, v: impl Into<String>) -> Self {
+        self.spec.ia_controls = v.into();
+        self
+    }
+
+    /// Sets the severity (default [`Severity::Medium`]).
+    #[must_use]
+    pub fn severity(mut self, v: Severity) -> Self {
+        self.spec.severity = v;
+        self
+    }
+
+    /// Sets the rationale text.
+    #[must_use]
+    pub fn description(mut self, v: impl Into<String>) -> Self {
+        self.spec.description = v.into();
+        self
+    }
+
+    /// Sets the owning STIG name.
+    #[must_use]
+    pub fn stig(mut self, v: impl Into<String>) -> Self {
+        self.spec.stig = v.into();
+        self
+    }
+
+    /// Sets the STIG revision date.
+    #[must_use]
+    pub fn date(mut self, v: impl Into<String>) -> Self {
+        self.spec.date = v.into();
+        self
+    }
+
+    /// Sets the manual check procedure.
+    #[must_use]
+    pub fn check_text(mut self, v: impl Into<String>) -> Self {
+        self.spec.check_text = v.into();
+        self
+    }
+
+    /// Sets the manual fix procedure.
+    #[must_use]
+    pub fn fix_text(mut self, v: impl Into<String>) -> Self {
+        self.spec.fix_text = v.into();
+        self
+    }
+
+    /// Finishes building.
+    #[must_use]
+    pub fn build(self) -> RequirementSpec {
+        self.spec
+    }
+}
+
+/// A named requirement: something with a [`RequirementSpec`].
+///
+/// Concrete STIG requirement types in `vdo-stigs` implement this so that
+/// catalogues can inventory their metadata without knowing the
+/// environment type they check against.
+pub trait Requirement {
+    /// The structured specification of this requirement.
+    fn spec(&self) -> &RequirementSpec;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RequirementSpec {
+        RequirementSpec::builder("V-0001")
+            .title("Sample")
+            .severity(Severity::High)
+            .stig("Test STIG")
+            .date("2021-06-16")
+            .check_text("look")
+            .fix_text("fix")
+            .build()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let s = sample();
+        assert_eq!(s.finding_id(), "V-0001");
+        assert_eq!(s.title(), "Sample");
+        assert_eq!(s.severity(), Severity::High);
+        assert_eq!(s.stig(), "Test STIG");
+        assert_eq!(s.check_text(), "look");
+        assert_eq!(s.fix_text(), "fix");
+        assert_eq!(s.version(), "");
+    }
+
+    #[test]
+    fn document_contains_populated_fields_only() {
+        let doc = sample().to_document();
+        assert!(doc.contains("Finding ID: V-0001"));
+        assert!(doc.contains("Severity: CAT I"));
+        assert!(!doc.contains("Rule ID"), "empty field must be omitted");
+    }
+
+    #[test]
+    fn severity_ordering_and_labels() {
+        assert!(Severity::High > Severity::Medium);
+        assert!(Severity::Medium > Severity::Low);
+        assert_eq!(Severity::High.stig_category(), "CAT I");
+        assert_eq!(Severity::Low.to_string(), "low");
+    }
+
+    #[test]
+    fn severity_parsing() {
+        assert_eq!(Severity::parse("HIGH"), Some(Severity::High));
+        assert_eq!(Severity::parse("cat ii"), Some(Severity::Medium));
+        assert_eq!(Severity::parse(" CAT III "), Some(Severity::Low));
+        assert_eq!(Severity::parse("critical"), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(sample().to_string(), "[V-0001] Sample");
+    }
+}

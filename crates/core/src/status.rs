@@ -1,0 +1,332 @@
+//! Three-valued verdicts for checking and enforcing requirements.
+//!
+//! RQCODE deliberately uses *three*-valued statuses: a requirement whose
+//! precondition is not met, or whose evidence is not yet available, is
+//! neither satisfied nor violated. The same trichotomy reappears in
+//! finite-trace temporal monitoring (`vdo-temporal`), where a property may
+//! be undecided until more of the trace is observed.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not as OpNot};
+
+/// Outcome of checking a requirement against an environment.
+///
+/// Mirrors `rqcode.concepts.Checkable.CheckStatus { PASS, FAIL, INCOMPLETE }`.
+///
+/// `CheckStatus` forms a Kleene strong three-valued logic under
+/// [`and`](CheckStatus::and) / [`or`](CheckStatus::or) /
+/// [`negate`](CheckStatus::negate), which is what makes composite
+/// requirements ([`crate::AllOf`], [`crate::AnyOf`], [`crate::Not`])
+/// well-defined in the presence of undecided sub-requirements.
+///
+/// ```
+/// use vdo_core::CheckStatus::{Pass, Fail, Incomplete};
+/// assert_eq!(Pass.and(Incomplete), Incomplete);
+/// assert_eq!(Fail.and(Incomplete), Fail);      // Fail dominates conjunction
+/// assert_eq!(Pass.or(Incomplete), Pass);       // Pass dominates disjunction
+/// assert_eq!(Incomplete.negate(), Incomplete);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckStatus {
+    /// The environment satisfies the requirement.
+    Pass,
+    /// The environment violates the requirement.
+    Fail,
+    /// The verdict cannot (yet) be decided.
+    Incomplete,
+}
+
+impl CheckStatus {
+    /// `true` iff the verdict is [`Pass`](CheckStatus::Pass).
+    #[must_use]
+    pub fn is_pass(self) -> bool {
+        self == CheckStatus::Pass
+    }
+
+    /// `true` iff the verdict is [`Fail`](CheckStatus::Fail).
+    #[must_use]
+    pub fn is_fail(self) -> bool {
+        self == CheckStatus::Fail
+    }
+
+    /// `true` iff the verdict is [`Incomplete`](CheckStatus::Incomplete).
+    #[must_use]
+    pub fn is_incomplete(self) -> bool {
+        self == CheckStatus::Incomplete
+    }
+
+    /// `true` iff the verdict is decided (not [`Incomplete`](CheckStatus::Incomplete)).
+    #[must_use]
+    pub fn is_decided(self) -> bool {
+        !self.is_incomplete()
+    }
+
+    /// Kleene conjunction: `Fail` dominates, then `Incomplete`, then `Pass`.
+    #[must_use]
+    pub fn and(self, other: CheckStatus) -> CheckStatus {
+        use CheckStatus::*;
+        match (self, other) {
+            (Fail, _) | (_, Fail) => Fail,
+            (Incomplete, _) | (_, Incomplete) => Incomplete,
+            (Pass, Pass) => Pass,
+        }
+    }
+
+    /// Kleene disjunction: `Pass` dominates, then `Incomplete`, then `Fail`.
+    #[must_use]
+    pub fn or(self, other: CheckStatus) -> CheckStatus {
+        use CheckStatus::*;
+        match (self, other) {
+            (Pass, _) | (_, Pass) => Pass,
+            (Incomplete, _) | (_, Incomplete) => Incomplete,
+            (Fail, Fail) => Fail,
+        }
+    }
+
+    /// Kleene negation: swaps `Pass`/`Fail`, preserves `Incomplete`.
+    #[must_use]
+    pub fn negate(self) -> CheckStatus {
+        use CheckStatus::*;
+        match self {
+            Pass => Fail,
+            Fail => Pass,
+            Incomplete => Incomplete,
+        }
+    }
+
+    /// Collapses the verdict to a boolean, treating `Incomplete` as the
+    /// given default. Gate logic in `vdo-pipeline` uses
+    /// `to_bool(false)` — undecided requirements block the gate.
+    #[must_use]
+    pub fn to_bool(self, incomplete_as: bool) -> bool {
+        match self {
+            CheckStatus::Pass => true,
+            CheckStatus::Fail => false,
+            CheckStatus::Incomplete => incomplete_as,
+        }
+    }
+
+    /// Folds an iterator of verdicts with [`and`](Self::and); the empty
+    /// conjunction is `Pass`.
+    pub fn all<I: IntoIterator<Item = CheckStatus>>(iter: I) -> CheckStatus {
+        iter.into_iter().fold(CheckStatus::Pass, CheckStatus::and)
+    }
+
+    /// Folds an iterator of verdicts with [`or`](Self::or); the empty
+    /// disjunction is `Fail`.
+    pub fn any<I: IntoIterator<Item = CheckStatus>>(iter: I) -> CheckStatus {
+        iter.into_iter().fold(CheckStatus::Fail, CheckStatus::or)
+    }
+}
+
+impl From<bool> for CheckStatus {
+    fn from(b: bool) -> Self {
+        if b {
+            CheckStatus::Pass
+        } else {
+            CheckStatus::Fail
+        }
+    }
+}
+
+impl From<Option<bool>> for CheckStatus {
+    fn from(b: Option<bool>) -> Self {
+        match b {
+            Some(true) => CheckStatus::Pass,
+            Some(false) => CheckStatus::Fail,
+            None => CheckStatus::Incomplete,
+        }
+    }
+}
+
+impl BitAnd for CheckStatus {
+    type Output = CheckStatus;
+    fn bitand(self, rhs: Self) -> Self {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for CheckStatus {
+    type Output = CheckStatus;
+    fn bitor(self, rhs: Self) -> Self {
+        self.or(rhs)
+    }
+}
+
+impl OpNot for CheckStatus {
+    type Output = CheckStatus;
+    fn not(self) -> Self {
+        self.negate()
+    }
+}
+
+impl fmt::Display for CheckStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckStatus::Pass => "PASS",
+            CheckStatus::Fail => "FAIL",
+            CheckStatus::Incomplete => "INCOMPLETE",
+        })
+    }
+}
+
+/// Outcome of enforcing a requirement on an environment.
+///
+/// Mirrors `rqcode.concepts.Enforceable.EnforcementStatus
+/// { SUCCESS, FAILURE, INCOMPLETE }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EnforcementStatus {
+    /// The environment was (or already is) brought into compliance.
+    Success,
+    /// Remediation was attempted and failed.
+    Failure,
+    /// Remediation could not be completed (missing privileges or data).
+    Incomplete,
+}
+
+impl EnforcementStatus {
+    /// `true` iff enforcement succeeded.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        self == EnforcementStatus::Success
+    }
+
+    /// Combines two enforcement outcomes pessimistically: `Failure`
+    /// dominates, then `Incomplete`.
+    #[must_use]
+    pub fn and(self, other: EnforcementStatus) -> EnforcementStatus {
+        use EnforcementStatus::*;
+        match (self, other) {
+            (Failure, _) | (_, Failure) => Failure,
+            (Incomplete, _) | (_, Incomplete) => Incomplete,
+            (Success, Success) => Success,
+        }
+    }
+
+    /// Folds outcomes with [`and`](Self::and); the empty fold is `Success`.
+    pub fn all<I: IntoIterator<Item = EnforcementStatus>>(iter: I) -> EnforcementStatus {
+        iter.into_iter()
+            .fold(EnforcementStatus::Success, EnforcementStatus::and)
+    }
+}
+
+impl From<bool> for EnforcementStatus {
+    fn from(b: bool) -> Self {
+        if b {
+            EnforcementStatus::Success
+        } else {
+            EnforcementStatus::Failure
+        }
+    }
+}
+
+impl fmt::Display for EnforcementStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EnforcementStatus::Success => "SUCCESS",
+            EnforcementStatus::Failure => "FAILURE",
+            EnforcementStatus::Incomplete => "INCOMPLETE",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CheckStatus::*;
+
+    const ALL: [CheckStatus; 3] = [Pass, Fail, Incomplete];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Pass.and(Pass), Pass);
+        assert_eq!(Pass.and(Fail), Fail);
+        assert_eq!(Pass.and(Incomplete), Incomplete);
+        assert_eq!(Fail.and(Incomplete), Fail);
+        assert_eq!(Incomplete.and(Incomplete), Incomplete);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Fail.or(Fail), Fail);
+        assert_eq!(Fail.or(Incomplete), Incomplete);
+        assert_eq!(Pass.or(Incomplete), Pass);
+        assert_eq!(Incomplete.or(Incomplete), Incomplete);
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).negate(), a.negate().or(b.negate()));
+                assert_eq!(a.or(b).negate(), a.negate().and(b.negate()));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_commutative_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation() {
+        for a in ALL {
+            assert_eq!(a.negate().negate(), a);
+        }
+    }
+
+    #[test]
+    fn fold_identities() {
+        assert_eq!(CheckStatus::all([]), Pass);
+        assert_eq!(CheckStatus::any([]), Fail);
+        assert_eq!(CheckStatus::all([Pass, Incomplete, Pass]), Incomplete);
+        assert_eq!(CheckStatus::any([Fail, Incomplete, Pass]), Pass);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(CheckStatus::from(true), Pass);
+        assert_eq!(CheckStatus::from(Some(false)), Fail);
+        assert_eq!(CheckStatus::from(None::<bool>), Incomplete);
+        assert!(Pass.to_bool(false));
+        assert!(!Incomplete.to_bool(false));
+        assert!(Incomplete.to_bool(true));
+    }
+
+    #[test]
+    fn operator_sugar_matches_methods() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a & b, a.and(b));
+                assert_eq!(a | b, a.or(b));
+            }
+            assert_eq!(!a, a.negate());
+        }
+    }
+
+    #[test]
+    fn enforcement_combination() {
+        use EnforcementStatus::*;
+        assert_eq!(Success.and(Success), Success);
+        assert_eq!(Success.and(Incomplete), Incomplete);
+        assert_eq!(Incomplete.and(Failure), Failure);
+        assert_eq!(EnforcementStatus::all([]), Success);
+        assert_eq!(EnforcementStatus::all([Success, Failure]), Failure);
+    }
+
+    #[test]
+    fn display_is_screaming() {
+        assert_eq!(Pass.to_string(), "PASS");
+        assert_eq!(EnforcementStatus::Incomplete.to_string(), "INCOMPLETE");
+    }
+}

@@ -1,0 +1,191 @@
+//! Waivers — accepted risks.
+//!
+//! Real compliance programmes never run at 100 %: some findings are
+//! formally accepted for a period (a vendor dependency needs `rsh`
+//! until Q3, a lab machine is exempt from lockout policy). A
+//! [`WaiverSet`] records those decisions; the planner skips waived
+//! findings and the report marks them, so "open finding" and "accepted
+//! risk" stay distinguishable in the numbers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One accepted risk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Finding this waiver covers (e.g. `"V-219158"`).
+    pub finding_id: String,
+    /// Why the risk was accepted.
+    pub reason: String,
+    /// Tick after which the waiver no longer applies (`None` = open
+    /// ended). Interpreted on whatever clock the caller uses.
+    pub expires_at: Option<u64>,
+}
+
+/// A set of waivers, keyed by finding id.
+///
+/// ```
+/// use vdo_core::WaiverSet;
+/// let mut waivers = WaiverSet::new();
+/// waivers.waive("V-219158", "vendor appliance requires rsh until Q3 migration");
+/// assert!(waivers.is_waived("V-219158", 0));
+/// assert!(!waivers.is_waived("V-219157", 0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaiverSet {
+    waivers: BTreeMap<String, Waiver>,
+}
+
+impl WaiverSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        WaiverSet::default()
+    }
+
+    /// Adds (or replaces) a waiver. Returns the previous waiver for the
+    /// finding, if any.
+    pub fn add(&mut self, waiver: Waiver) -> Option<Waiver> {
+        self.waivers.insert(waiver.finding_id.clone(), waiver)
+    }
+
+    /// Convenience: waive a finding with a reason, open ended.
+    pub fn waive(&mut self, finding_id: impl Into<String>, reason: impl Into<String>) {
+        let finding_id = finding_id.into();
+        self.add(Waiver {
+            finding_id,
+            reason: reason.into(),
+            expires_at: None,
+        });
+    }
+
+    /// Removes a waiver; returns it if present.
+    pub fn revoke(&mut self, finding_id: &str) -> Option<Waiver> {
+        self.waivers.remove(finding_id)
+    }
+
+    /// `true` iff the finding is waived at time `now`.
+    #[must_use]
+    pub fn is_waived(&self, finding_id: &str, now: u64) -> bool {
+        self.waivers
+            .get(finding_id)
+            .is_some_and(|w| w.expires_at.is_none_or(|t| now <= t))
+    }
+
+    /// The waiver covering a finding, if any (expired or not).
+    #[must_use]
+    pub fn get(&self, finding_id: &str) -> Option<&Waiver> {
+        self.waivers.get(finding_id)
+    }
+
+    /// Number of recorded waivers (including expired ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.waivers.len()
+    }
+
+    /// `true` iff no waivers are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.waivers.is_empty()
+    }
+
+    /// Iterates over all waivers.
+    pub fn iter(&self) -> impl Iterator<Item = &Waiver> {
+        self.waivers.values()
+    }
+
+    /// Drops waivers that are expired at time `now`; returns how many
+    /// were removed.
+    pub fn expire(&mut self, now: u64) -> usize {
+        let before = self.waivers.len();
+        self.waivers
+            .retain(|_, w| w.expires_at.is_none_or(|t| now <= t));
+        before - self.waivers.len()
+    }
+}
+
+impl FromIterator<Waiver> for WaiverSet {
+    fn from_iter<I: IntoIterator<Item = Waiver>>(iter: I) -> Self {
+        let mut set = WaiverSet::new();
+        for w in iter {
+            set.add(w);
+        }
+        set
+    }
+}
+
+impl fmt::Display for WaiverSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in self.waivers.values() {
+            writeln!(
+                f,
+                "{}: {} (expires: {})",
+                w.finding_id,
+                w.reason,
+                w.expires_at.map_or("never".to_string(), |t| t.to_string())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_query_revoke() {
+        let mut set = WaiverSet::new();
+        assert!(!set.is_waived("V-1", 0));
+        set.waive("V-1", "vendor dependency until migration");
+        assert!(set.is_waived("V-1", 0));
+        assert!(set.is_waived("V-1", u64::MAX));
+        assert_eq!(set.len(), 1);
+        let w = set.revoke("V-1").unwrap();
+        assert_eq!(w.finding_id, "V-1");
+        assert!(!set.is_waived("V-1", 0));
+    }
+
+    #[test]
+    fn expiry_semantics() {
+        let mut set = WaiverSet::new();
+        set.add(Waiver {
+            finding_id: "V-2".into(),
+            reason: "lab exemption".into(),
+            expires_at: Some(100),
+        });
+        assert!(set.is_waived("V-2", 100), "expiry is inclusive");
+        assert!(!set.is_waived("V-2", 101));
+        assert_eq!(set.expire(50), 0);
+        assert_eq!(set.expire(101), 1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn replacement_returns_previous() {
+        let mut set = WaiverSet::new();
+        set.waive("V-3", "first");
+        let prev = set.add(Waiver {
+            finding_id: "V-3".into(),
+            reason: "second".into(),
+            expires_at: None,
+        });
+        assert_eq!(prev.unwrap().reason, "first");
+        assert_eq!(set.get("V-3").unwrap().reason, "second");
+    }
+
+    #[test]
+    fn collect_and_display() {
+        let set: WaiverSet = [Waiver {
+            finding_id: "V-4".into(),
+            reason: "accepted".into(),
+            expires_at: Some(9),
+        }]
+        .into_iter()
+        .collect();
+        let s = set.to_string();
+        assert!(s.contains("V-4: accepted (expires: 9)"));
+        assert_eq!(set.iter().count(), 1);
+    }
+}

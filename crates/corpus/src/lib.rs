@@ -1,0 +1,32 @@
+//! # vdo-corpus — synthetic requirement corpora and monitoring workloads
+//!
+//! The VeriDevOps case studies evaluate on confidential industrial
+//! requirement documents and production telemetry, neither of which is
+//! publicly available. This crate provides the substitutes DESIGN.md
+//! documents:
+//!
+//! * [`requirements`] — a deterministic generator of natural-language
+//!   security requirements with **planted smells at a controlled rate**,
+//!   so NALABS precision/recall (experiment E1) is measured against
+//!   known ground truth instead of hand labels;
+//! * [`traces`] — monitoring workloads with **planted violations at
+//!   known ticks**, so detection latency (experiment E4) is exact, plus
+//!   signal logs for the TEARS throughput experiment (E9).
+//!
+//! ```
+//! use vdo_corpus::requirements::{CorpusConfig, generate};
+//!
+//! let corpus = generate(&CorpusConfig { size: 100, smell_rate: 0.2, seed: 7 });
+//! assert_eq!(corpus.documents.len(), 100);
+//! let planted = corpus.documents.iter().filter(|d| corpus.is_smelly(d.id())).count();
+//! assert!(planted > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod requirements;
+pub mod traces;
+
+pub use requirements::{Corpus, CorpusConfig};
+pub use traces::{ResponseWorkload, ViolationTrace};

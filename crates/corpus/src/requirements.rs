@@ -1,0 +1,201 @@
+//! Synthetic natural-language security requirements with planted smells.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vdo_nalabs::RequirementDoc;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of requirement documents.
+    pub size: usize,
+    /// Probability that a document gets smells planted.
+    pub smell_rate: f64,
+    /// RNG seed (same seed ⇒ identical corpus).
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            size: 100,
+            smell_rate: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated corpus with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    /// The requirement documents (ids `REQ-0001`, `REQ-0002`, …).
+    pub documents: Vec<RequirementDoc>,
+    smelly_ids: BTreeSet<String>,
+}
+
+impl Corpus {
+    /// Ground truth: was this document generated with planted smells?
+    #[must_use]
+    pub fn is_smelly(&self, id: &str) -> bool {
+        self.smelly_ids.contains(id)
+    }
+
+    /// Number of documents with planted smells.
+    #[must_use]
+    pub fn planted_count(&self) -> usize {
+        self.smelly_ids.len()
+    }
+}
+
+const SUBJECTS: [&str; 8] = [
+    "The system",
+    "The operating system",
+    "The application server",
+    "The gateway",
+    "The control unit",
+    "The audit service",
+    "The authentication module",
+    "The network device",
+];
+
+const CLEAN_BODIES: [&str; 12] = [
+    "shall lock the user session after 15 minutes of inactivity",
+    "shall record every failed logon attempt in the security log",
+    "shall encrypt stored credentials with AES-256",
+    "shall terminate remote sessions after 10 minutes of idle time",
+    "shall enforce an account lockout after 3 consecutive failed logons",
+    "shall validate all input received on external interfaces",
+    "shall disable the telnet service on all production interfaces",
+    "shall require multifactor authentication for privileged accounts",
+    "shall verify the integrity of configuration files at boot",
+    "shall retain audit records for 90 days",
+    "shall restrict access to the password database to administrators",
+    "shall generate an alert within 5 seconds of an intrusion event",
+];
+
+/// Smell injections: (smell phrase inserted, trailing clause), chosen so
+/// a planted document trips at least one NALABS dictionary.
+const SMELL_INJECTIONS: [&str; 10] = [
+    "may, if needed, and as appropriate,",
+    "can possibly, where applicable,",
+    "should, as far as possible,",
+    "may eventually, at the discretion of the operator,",
+    "can, when necessary and if practical,",
+    "may provide adequate and user friendly handling and",
+    "should be able to be fast and easy to use and",
+    "may, TBD, as described in section 4.2,",
+    "can, see table 3 and refer to appendix B,",
+    "may support several, many, or some of the following and",
+];
+
+const SMELL_TAILS: [&str; 5] = [
+    " as appropriate",
+    ", which should be good and efficient",
+    ", see section 9 for details, TBD",
+    " in a timely and adequate manner",
+    ", and so on, etc",
+];
+
+/// Generates a corpus per `config`. The generator is deterministic in
+/// the seed; documents with planted smells replace the modal verb with
+/// optional/weak phrasing and append vague tails, tripping the NALABS
+/// dictionaries while staying grammatical.
+#[must_use]
+pub fn generate(config: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut documents = Vec::with_capacity(config.size);
+    let mut smelly_ids = BTreeSet::new();
+    for i in 0..config.size {
+        let id = format!("REQ-{:04}", i + 1);
+        let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+        let body = CLEAN_BODIES[rng.gen_range(0..CLEAN_BODIES.len())];
+        let text = if rng.gen_bool(config.smell_rate) {
+            smelly_ids.insert(id.clone());
+            let injection = SMELL_INJECTIONS[rng.gen_range(0..SMELL_INJECTIONS.len())];
+            let tail = SMELL_TAILS[rng.gen_range(0..SMELL_TAILS.len())];
+            // Replace the imperative with the smelly phrasing.
+            let weakened = body.replacen("shall", injection, 1);
+            format!("{subject} {weakened}{tail}.")
+        } else {
+            format!("{subject} {body}.")
+        };
+        documents.push(RequirementDoc::new(id, text));
+    }
+    Corpus {
+        documents,
+        smelly_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdo_nalabs::Analyzer;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CorpusConfig {
+            size: 50,
+            smell_rate: 0.3,
+            seed: 5,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = CorpusConfig { seed: 6, ..cfg };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn smell_rate_extremes() {
+        let none = generate(&CorpusConfig {
+            size: 30,
+            smell_rate: 0.0,
+            seed: 1,
+        });
+        assert_eq!(none.planted_count(), 0);
+        let all = generate(&CorpusConfig {
+            size: 30,
+            smell_rate: 1.0,
+            seed: 1,
+        });
+        assert_eq!(all.planted_count(), 30);
+    }
+
+    #[test]
+    fn nalabs_detects_planted_smells_well() {
+        let corpus = generate(&CorpusConfig {
+            size: 200,
+            smell_rate: 0.25,
+            seed: 42,
+        });
+        let analyzer = Analyzer::with_default_metrics();
+        let report = analyzer.analyze_corpus(&corpus.documents);
+        let pr = report.score_against(&|id: &str| corpus.is_smelly(id));
+        assert!(
+            pr.recall() > 0.9,
+            "planted smells must be found: recall = {}",
+            pr.recall()
+        );
+        assert!(
+            pr.precision() > 0.7,
+            "clean documents must mostly pass: precision = {}",
+            pr.precision()
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let corpus = generate(&CorpusConfig {
+            size: 12,
+            smell_rate: 0.5,
+            seed: 0,
+        });
+        let ids: Vec<_> = corpus.documents.iter().map(|d| d.id()).collect();
+        assert_eq!(ids[0], "REQ-0001");
+        assert_eq!(ids[11], "REQ-0012");
+        let unique: BTreeSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), 12);
+    }
+}

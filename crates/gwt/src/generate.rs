@@ -1,0 +1,343 @@
+//! Abstract-test generators.
+//!
+//! A generator derives paths ("abstract tests") through a [`GraphModel`].
+//! Two strategies mirror GraphWalker's common configurations, and a
+//! bounded random baseline exists for the E8 comparison:
+//!
+//! * [`RandomWalk`] — seeded random traversal until a step budget or a
+//!   coverage target is hit (GraphWalker `random(edge_coverage(N))`);
+//! * [`AllEdges`] — deterministic: repeatedly routes (BFS) to the nearest
+//!   uncovered edge until every reachable edge is covered
+//!   (GraphWalker `a_star`-flavoured coverage).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{EdgeId, GraphModel};
+
+/// One abstract test: a named walk through the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractTest {
+    /// Test name (generator-assigned).
+    pub name: String,
+    /// The edge path, starting at the model's start vertex.
+    pub path: Vec<EdgeId>,
+}
+
+impl AbstractTest {
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// `true` iff the test has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// A test-suite generator over graph models.
+pub trait Generator {
+    /// Generates a suite from `model`; `seed` makes stochastic
+    /// generators reproducible (deterministic generators ignore it).
+    fn generate(&self, model: &GraphModel, seed: u64) -> Vec<AbstractTest>;
+
+    /// Generator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Seeded random walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    /// Maximum steps per test.
+    pub max_steps: usize,
+    /// Number of tests to produce.
+    pub tests: usize,
+    /// Stop a test early once suite edge coverage reaches this fraction.
+    pub coverage_target: f64,
+}
+
+impl Default for RandomWalk {
+    fn default() -> Self {
+        RandomWalk {
+            max_steps: 100,
+            tests: 1,
+            coverage_target: 1.0,
+        }
+    }
+}
+
+impl Generator for RandomWalk {
+    fn generate(&self, model: &GraphModel, seed: u64) -> Vec<AbstractTest> {
+        let Some(start) = model.start() else {
+            return Vec::new();
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut suite: Vec<AbstractTest> = Vec::new();
+        for i in 0..self.tests {
+            let mut at = start;
+            let mut path = Vec::new();
+            for _ in 0..self.max_steps {
+                let out = model.out_edges(at);
+                if out.is_empty() {
+                    break;
+                }
+                let e = out[rng.gen_range(0..out.len())];
+                path.push(e);
+                at = model.edge_endpoints(e).1;
+                if model.edge_coverage(&suite) >= self.coverage_target && !suite.is_empty() {
+                    break;
+                }
+            }
+            suite.push(AbstractTest {
+                name: format!("random_walk_{i}"),
+                path,
+            });
+            if model.edge_coverage(&suite) >= self.coverage_target {
+                break;
+            }
+        }
+        suite
+    }
+
+    fn name(&self) -> &'static str {
+        "random_walk"
+    }
+}
+
+/// Deterministic all-edges coverage generator.
+///
+/// Starting from the model's start vertex it repeatedly appends the
+/// shortest route to the nearest uncovered edge; when no uncovered edge
+/// is reachable from the current position, a new test restarts at the
+/// start vertex; edges unreachable from the start are reported uncovered
+/// by [`GraphModel::edge_coverage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllEdges;
+
+impl Generator for AllEdges {
+    fn generate(&self, model: &GraphModel, _seed: u64) -> Vec<AbstractTest> {
+        let Some(start) = model.start() else {
+            return Vec::new();
+        };
+        let mut covered = vec![false; model.edge_count()];
+        let mut suite = Vec::new();
+        let mut test_idx = 0;
+        loop {
+            let mut at = start;
+            let mut path: Vec<EdgeId> = Vec::new();
+            loop {
+                // Nearest uncovered edge from `at` (shortest approach).
+                let best = (0..model.edge_count())
+                    .filter(|&e| !covered[e])
+                    .filter_map(|e| model.shortest_path_via(at, e).map(|p| (e, p)))
+                    .min_by_key(|(_, p)| p.len());
+                match best {
+                    Some((_, segment)) => {
+                        for &e in &segment {
+                            covered[e] = true;
+                        }
+                        at = model.edge_endpoints(*segment.last().expect("nonempty")).1;
+                        path.extend(segment);
+                    }
+                    None => break,
+                }
+            }
+            if path.is_empty() {
+                break;
+            }
+            suite.push(AbstractTest {
+                name: format!("all_edges_{test_idx}"),
+                path,
+            });
+            test_idx += 1;
+            if covered.iter().all(|&c| c) {
+                break;
+            }
+            // If the remaining uncovered edges are unreachable even from
+            // the start, stop rather than loop forever.
+            let reachable_left = (0..model.edge_count())
+                .any(|e| !covered[e] && model.shortest_path_via(start, e).is_some());
+            if !reachable_left {
+                break;
+            }
+        }
+        suite
+    }
+
+    fn name(&self) -> &'static str {
+        "all_edges"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> GraphModel {
+        let mut m = GraphModel::new("ring");
+        for i in 0..n {
+            m.add_vertex(format!("v{i}"));
+        }
+        for i in 0..n {
+            m.add_edge(i, (i + 1) % n, format!("e{i}"));
+        }
+        m.set_start(0);
+        m
+    }
+
+    fn diamond() -> GraphModel {
+        let mut m = GraphModel::new("diamond");
+        for n in ["a", "b", "c", "d"] {
+            m.add_vertex(n);
+        }
+        m.add_edge(0, 1, "ab");
+        m.add_edge(0, 2, "ac");
+        m.add_edge(1, 3, "bd");
+        m.add_edge(2, 3, "cd");
+        m.add_edge(3, 0, "da");
+        m.set_start(0);
+        m
+    }
+
+    #[test]
+    fn all_edges_covers_everything_on_connected_models() {
+        for model in [ring(3), ring(10), diamond()] {
+            let suite = AllEdges.generate(&model, 0);
+            assert_eq!(model.edge_coverage(&suite), 1.0, "on {}", model.name());
+            for t in &suite {
+                assert!(
+                    model.is_valid_walk(&t.path),
+                    "invalid walk in {}",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_edges_handles_unreachable_edges() {
+        let mut m = diamond();
+        // Island edge unreachable from start.
+        let x = m.add_vertex("island1");
+        let y = m.add_vertex("island2");
+        m.add_edge(x, y, "island_hop");
+        let suite = AllEdges.generate(&m, 0);
+        let cov = m.edge_coverage(&suite);
+        assert!((cov - 5.0 / 6.0).abs() < 1e-9, "cov = {cov}");
+    }
+
+    #[test]
+    fn all_edges_restarts_for_one_way_branches() {
+        // start -> a, start -> b; a and b are sinks: needs 2 tests.
+        let mut m = GraphModel::new("fork");
+        let s = m.add_vertex("s");
+        let a = m.add_vertex("a");
+        let b = m.add_vertex("b");
+        m.add_edge(s, a, "sa");
+        m.add_edge(s, b, "sb");
+        m.set_start(s);
+        let suite = AllEdges.generate(&m, 0);
+        assert_eq!(m.edge_coverage(&suite), 1.0);
+        assert_eq!(suite.len(), 2, "two sink branches need two tests");
+    }
+
+    #[test]
+    fn random_walk_is_seed_deterministic() {
+        let m = diamond();
+        let g = RandomWalk {
+            max_steps: 50,
+            tests: 2,
+            coverage_target: 1.0,
+        };
+        assert_eq!(g.generate(&m, 7), g.generate(&m, 7));
+        // Different seeds usually differ on 50 steps.
+        assert_ne!(g.generate(&m, 1), g.generate(&m, 2));
+    }
+
+    #[test]
+    fn random_walk_produces_valid_walks() {
+        let m = diamond();
+        let g = RandomWalk {
+            max_steps: 30,
+            tests: 3,
+            coverage_target: 2.0,
+        };
+        for t in g.generate(&m, 42) {
+            assert!(m.is_valid_walk(&t.path));
+        }
+    }
+
+    #[test]
+    fn random_walk_stops_at_coverage_target() {
+        let m = ring(4);
+        let g = RandomWalk {
+            max_steps: 1000,
+            tests: 10,
+            coverage_target: 1.0,
+        };
+        let suite = g.generate(&m, 0);
+        assert_eq!(m.edge_coverage(&suite), 1.0);
+        assert_eq!(suite.len(), 1, "a ring is covered within one walk");
+    }
+
+    #[test]
+    fn generators_on_model_without_start() {
+        let m = GraphModel::new("no start");
+        assert!(AllEdges.generate(&m, 0).is_empty());
+        assert!(RandomWalk::default().generate(&m, 0).is_empty());
+    }
+
+    #[test]
+    fn random_walk_on_sink_start() {
+        let mut m = GraphModel::new("sink");
+        m.add_vertex("only");
+        m.set_start(0);
+        let suite = RandomWalk::default().generate(&m, 0);
+        assert_eq!(suite.len(), 1);
+        assert!(suite[0].is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random strongly-connected model: a ring plus random chords.
+        fn arb_model() -> impl Strategy<Value = GraphModel> {
+            (
+                2usize..12,
+                prop::collection::vec((0usize..100, 0usize..100), 0..15),
+            )
+                .prop_map(|(n, chords)| {
+                    let mut m = ring(n);
+                    for (a, b) in chords {
+                        let (a, b) = (a % n, b % n);
+                        m.add_edge(a, b, format!("chord_{a}_{b}"));
+                    }
+                    m
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn all_edges_always_reaches_full_coverage(model in arb_model()) {
+                let suite = AllEdges.generate(&model, 0);
+                prop_assert_eq!(model.edge_coverage(&suite), 1.0);
+                for t in &suite {
+                    prop_assert!(model.is_valid_walk(&t.path));
+                }
+            }
+
+            #[test]
+            fn all_edges_beats_or_ties_random_walk(model in arb_model(), seed in 0u64..100) {
+                let budget_steps = model.edge_count() * 4;
+                let rw = RandomWalk { max_steps: budget_steps, tests: 1, coverage_target: 1.0 };
+                let random_cov = model.edge_coverage(&rw.generate(&model, seed));
+                let all = AllEdges.generate(&model, 0);
+                prop_assert!(model.edge_coverage(&all) >= random_cov);
+            }
+        }
+    }
+}

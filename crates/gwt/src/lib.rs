@@ -1,0 +1,41 @@
+//! # vdo-gwt — Given-When-Then scenarios and model-based test generation
+//!
+//! Rust reproduction of the **GWT/TIGER** tooling in VeriDevOps: security
+//! requirements phrased as Given-When-Then scenarios are attached to a
+//! behavioural graph model; a generator (the GraphWalker substitute)
+//! derives *abstract tests* (paths through the model); mapping rules then
+//! concretise them into executable *test scripts*.
+//!
+//! Pipeline: [`Scenario`] (parse Gherkin-lite text) → [`GraphModel`]
+//! (vertices = states, edges = actions, optionally annotated with GWT
+//! steps) → [`generate`] (random walk / all-edges coverage) →
+//! [`ScriptGenerator`] (mapping rules → scripts).
+//!
+//! ```
+//! use vdo_gwt::{GraphModel, generate::{AllEdges, Generator}};
+//!
+//! let mut m = GraphModel::new("login");
+//! let idle = m.add_vertex("idle");
+//! let authed = m.add_vertex("authenticated");
+//! m.add_edge(idle, authed, "submit_valid_credentials");
+//! m.add_edge(authed, idle, "logout");
+//! m.set_start(idle);
+//!
+//! let suite = AllEdges.generate(&m, 0);
+//! assert_eq!(m.edge_coverage(&suite), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod model;
+pub mod parse;
+pub mod scenario;
+pub mod script;
+
+pub use generate::{AbstractTest, Generator};
+pub use model::{EdgeId, GraphModel, VertexId};
+pub use parse::parse_model;
+pub use scenario::{Scenario, Step, StepKind};
+pub use script::{MappingRule, ScriptGenerator, TestScript};

@@ -1,0 +1,441 @@
+//! Behavioural graph models (the GraphWalker substitute).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::generate::AbstractTest;
+use crate::scenario::Scenario;
+
+/// Vertex identifier within a [`GraphModel`].
+pub type VertexId = usize;
+/// Edge identifier within a [`GraphModel`].
+pub type EdgeId = usize;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Vertex {
+    name: String,
+    out: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EdgeData {
+    from: VertexId,
+    to: VertexId,
+    action: String,
+    scenario: Option<Scenario>,
+}
+
+/// A directed graph model: vertices are system states, edges are actions
+/// (optionally annotated with the GWT scenario they realise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphModel {
+    name: String,
+    vertices: Vec<Vertex>,
+    edges: Vec<EdgeData>,
+    start: Option<VertexId>,
+}
+
+impl GraphModel {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphModel {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            start: None,
+        }
+    }
+
+    /// The model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a state vertex; returns its id.
+    pub fn add_vertex(&mut self, name: impl Into<String>) -> VertexId {
+        self.vertices.push(Vertex {
+            name: name.into(),
+            out: Vec::new(),
+        });
+        self.vertices.len() - 1
+    }
+
+    /// Adds an action edge; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex id is out of range.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, action: impl Into<String>) -> EdgeId {
+        assert!(
+            from < self.vertices.len() && to < self.vertices.len(),
+            "vertex id out of range"
+        );
+        let id = self.edges.len();
+        self.edges.push(EdgeData {
+            from,
+            to,
+            action: action.into(),
+            scenario: None,
+        });
+        self.vertices[from].out.push(id);
+        id
+    }
+
+    /// Attaches a GWT scenario annotation to an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    pub fn annotate_edge(&mut self, edge: EdgeId, scenario: Scenario) {
+        self.edges[edge].scenario = Some(scenario);
+    }
+
+    /// Sets the start vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex id is out of range.
+    pub fn set_start(&mut self, v: VertexId) {
+        assert!(v < self.vertices.len(), "vertex id out of range");
+        self.start = Some(v);
+    }
+
+    /// The start vertex, if set.
+    #[must_use]
+    pub fn start(&self) -> Option<VertexId> {
+        self.start
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertices[v].name
+    }
+
+    /// `(from, to)` endpoints of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        (self.edges[e].from, self.edges[e].to)
+    }
+
+    /// Action label of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn edge_action(&self, e: EdgeId) -> &str {
+        &self.edges[e].action
+    }
+
+    /// The GWT scenario attached to an edge, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn edge_scenario(&self, e: EdgeId) -> Option<&Scenario> {
+        self.edges[e].scenario.as_ref()
+    }
+
+    /// Outgoing edge ids of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.vertices[v].out
+    }
+
+    /// `true` iff `path` is a connected walk starting at the start
+    /// vertex.
+    #[must_use]
+    pub fn is_valid_walk(&self, path: &[EdgeId]) -> bool {
+        let Some(start) = self.start else {
+            return false;
+        };
+        let mut at = start;
+        for &e in path {
+            let Some(edge) = self.edges.get(e) else {
+                return false;
+            };
+            if edge.from != at {
+                return false;
+            }
+            at = edge.to;
+        }
+        true
+    }
+
+    /// Fraction of edges covered by a test suite, in `[0, 1]`
+    /// (1 for an edgeless model).
+    #[must_use]
+    pub fn edge_coverage(&self, suite: &[AbstractTest]) -> f64 {
+        if self.edges.is_empty() {
+            return 1.0;
+        }
+        let mut seen = vec![false; self.edges.len()];
+        for t in suite {
+            for &e in &t.path {
+                if let Some(s) = seen.get_mut(e) {
+                    *s = true;
+                }
+            }
+        }
+        seen.iter().filter(|&&b| b).count() as f64 / self.edges.len() as f64
+    }
+
+    /// Fraction of vertices visited by a test suite (start vertex counts
+    /// once any test exists), in `[0, 1]`.
+    #[must_use]
+    pub fn vertex_coverage(&self, suite: &[AbstractTest]) -> f64 {
+        if self.vertices.is_empty() {
+            return 1.0;
+        }
+        let mut seen = vec![false; self.vertices.len()];
+        if let (Some(s), false) = (self.start, suite.is_empty()) {
+            seen[s] = true;
+        }
+        for t in suite {
+            for &e in &t.path {
+                let (a, b) = self.edge_endpoints(e);
+                seen[a] = true;
+                seen[b] = true;
+            }
+        }
+        seen.iter().filter(|&&b| b).count() as f64 / self.vertices.len() as f64
+    }
+
+    /// Requirements-to-tests traceability: which of the GWT scenarios
+    /// annotated on edges are exercised by the suite, and which are not.
+    /// Returns `(covered, uncovered)` scenario names in first-annotation
+    /// order.
+    #[must_use]
+    pub fn scenario_coverage(&self, suite: &[AbstractTest]) -> (Vec<&str>, Vec<&str>) {
+        let mut hit = vec![false; self.edges.len()];
+        for t in suite {
+            for &e in &t.path {
+                if let Some(h) = hit.get_mut(e) {
+                    *h = true;
+                }
+            }
+        }
+        let mut covered = Vec::new();
+        let mut uncovered = Vec::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if let Some(sc) = &e.scenario {
+                let bucket = if hit[i] { &mut covered } else { &mut uncovered };
+                if !bucket.contains(&sc.name()) {
+                    bucket.push(sc.name());
+                }
+            }
+        }
+        // A scenario annotated on several edges counts as covered if any
+        // of its edges is exercised.
+        uncovered.retain(|n| !covered.contains(n));
+        (covered, uncovered)
+    }
+
+    /// Shortest edge path (BFS) from `from` to the source of `target`
+    /// edge, plus the target edge itself. Used by the all-edges
+    /// generator. `None` if unreachable.
+    #[must_use]
+    pub fn shortest_path_via(&self, from: VertexId, target: EdgeId) -> Option<Vec<EdgeId>> {
+        let goal = self.edges[target].from;
+        if from == goal {
+            return Some(vec![target]);
+        }
+        let mut prev: Vec<Option<EdgeId>> = vec![None; self.vertices.len()];
+        let mut visited = vec![false; self.vertices.len()];
+        visited[from] = true;
+        let mut q = VecDeque::from([from]);
+        while let Some(v) = q.pop_front() {
+            for &e in &self.vertices[v].out {
+                let t = self.edges[e].to;
+                if !visited[t] {
+                    visited[t] = true;
+                    prev[t] = Some(e);
+                    if t == goal {
+                        // Reconstruct.
+                        let mut path = vec![target];
+                        let mut at = goal;
+                        while at != from {
+                            let e = prev[at].expect("bfs chain");
+                            path.push(e);
+                            at = self.edges[e].from;
+                        }
+                        // `target` was pushed first, so after the reverse
+                        // it sits last: approach edges, then the target.
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for GraphModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model '{}': {} vertices, {} edges",
+            self.name,
+            self.vertices.len(),
+            self.edges.len()
+        )?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} --[{}]--> {}",
+                self.vertices[e.from].name, e.action, self.vertices[e.to].name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> GraphModel {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 0
+        let mut m = GraphModel::new("diamond");
+        for n in ["a", "b", "c", "d"] {
+            m.add_vertex(n);
+        }
+        m.add_edge(0, 1, "ab");
+        m.add_edge(0, 2, "ac");
+        m.add_edge(1, 3, "bd");
+        m.add_edge(2, 3, "cd");
+        m.add_edge(3, 0, "da");
+        m.set_start(0);
+        m
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = diamond();
+        assert_eq!(m.vertex_count(), 4);
+        assert_eq!(m.edge_count(), 5);
+        assert_eq!(m.vertex_name(3), "d");
+        assert_eq!(m.edge_endpoints(4), (3, 0));
+        assert_eq!(m.edge_action(0), "ab");
+        assert_eq!(m.out_edges(0), &[0, 1]);
+        assert_eq!(m.start(), Some(0));
+    }
+
+    #[test]
+    fn walk_validation() {
+        let m = diamond();
+        assert!(m.is_valid_walk(&[0, 2, 4]));
+        assert!(m.is_valid_walk(&[]));
+        assert!(
+            !m.is_valid_walk(&[2]),
+            "edge 2 starts at vertex 1, not start"
+        );
+        assert!(!m.is_valid_walk(&[0, 3]), "disconnected hop");
+        assert!(!m.is_valid_walk(&[99]));
+    }
+
+    #[test]
+    fn coverage_measures() {
+        let m = diamond();
+        let t = AbstractTest {
+            name: "t1".into(),
+            path: vec![0, 2, 4],
+        };
+        assert!((m.edge_coverage(std::slice::from_ref(&t)) - 3.0 / 5.0).abs() < 1e-9);
+        assert!((m.vertex_coverage(&[t]) - 3.0 / 4.0).abs() < 1e-9);
+        assert_eq!(m.edge_coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn coverage_of_empty_model_is_one() {
+        let mut m = GraphModel::new("empty");
+        m.add_vertex("only");
+        m.set_start(0);
+        assert_eq!(m.edge_coverage(&[]), 1.0);
+    }
+
+    #[test]
+    fn shortest_path_via_reaches_far_edge() {
+        let m = diamond();
+        // From start (0) to edge 4 (3 -> 0): approach 0->1->3 or 0->2->3
+        // then edge 4.
+        let p = m.shortest_path_via(0, 4).unwrap();
+        assert!(m.is_valid_walk(&p));
+        assert_eq!(*p.last().unwrap(), 4);
+        assert_eq!(p.len(), 3);
+        // Already at the edge source.
+        assert_eq!(m.shortest_path_via(3, 4), Some(vec![4]));
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let mut m = GraphModel::new("two islands");
+        m.add_vertex("a");
+        m.add_vertex("b");
+        m.add_vertex("c");
+        m.add_edge(1, 2, "bc");
+        m.set_start(0);
+        assert_eq!(m.shortest_path_via(0, 0), None);
+    }
+
+    #[test]
+    fn scenario_annotation() {
+        let mut m = diamond();
+        let s = Scenario::parse("Scenario: s\nGiven g\nThen t\n").unwrap();
+        m.annotate_edge(0, s.clone());
+        assert_eq!(m.edge_scenario(0), Some(&s));
+        assert_eq!(m.edge_scenario(1), None);
+    }
+
+    #[test]
+    fn scenario_coverage_traceability() {
+        let mut m = diamond();
+        let s1 = Scenario::parse("Scenario: first\nGiven g\nThen t\n").unwrap();
+        let s2 = Scenario::parse("Scenario: second\nGiven g\nThen t\n").unwrap();
+        m.annotate_edge(0, s1.clone());
+        m.annotate_edge(3, s2);
+        // Same scenario on a second edge: any hit covers it.
+        m.annotate_edge(2, s1);
+        let suite = vec![AbstractTest {
+            name: "t".into(),
+            path: vec![0, 2, 4],
+        }];
+        let (covered, uncovered) = m.scenario_coverage(&suite);
+        assert_eq!(covered, vec!["first"]);
+        assert_eq!(uncovered, vec!["second"]);
+        // Empty suite: everything uncovered.
+        let (covered, uncovered) = m.scenario_coverage(&[]);
+        assert!(covered.is_empty());
+        assert_eq!(uncovered, vec!["first", "second"]);
+    }
+}

@@ -1,0 +1,247 @@
+//! A plain-text model format (the GraphML/JSON substitute).
+//!
+//! GraphWalker consumes models as GraphML or JSON; TIGER reads the JSON
+//! flavour. For an offline, dependency-free reproduction this module
+//! defines an equivalent line-oriented format:
+//!
+//! ```text
+//! model: authentication
+//! start: idle
+//! idle -> awaiting_mfa : submit_valid_credentials
+//! awaiting_mfa -> authenticated : submit_valid_token
+//! # comments and blank lines are ignored
+//! ```
+//!
+//! Vertices are declared implicitly by first use.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::GraphModel;
+
+/// Error from [`parse_model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseModelError {
+    /// First non-comment line must be `model: <name>`.
+    MissingModelHeader,
+    /// No `start:` line present.
+    MissingStart(String),
+    /// The `start:` vertex never appears in any edge.
+    UnknownStartVertex(String),
+    /// An edge line did not match `from -> to : action`.
+    MalformedEdge(usize),
+    /// A line was not a header, edge, or comment.
+    UnknownLine(usize),
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseModelError::MissingModelHeader => write!(f, "missing 'model:' header"),
+            ParseModelError::MissingStart(m) => write!(f, "model '{m}' has no 'start:' line"),
+            ParseModelError::UnknownStartVertex(v) => {
+                write!(f, "start vertex '{v}' not used by any edge")
+            }
+            ParseModelError::MalformedEdge(l) => {
+                write!(f, "line {l}: expected 'from -> to : action'")
+            }
+            ParseModelError::UnknownLine(l) => write!(f, "line {l}: unrecognised line"),
+        }
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+/// Parses the text model format into a [`GraphModel`].
+///
+/// # Errors
+///
+/// Returns [`ParseModelError`] on structural problems; see the variants.
+///
+/// ```
+/// let text = "model: m\nstart: a\na -> b : go\nb -> a : back\n";
+/// let model = vdo_gwt::parse::parse_model(text).unwrap();
+/// assert_eq!(model.vertex_count(), 2);
+/// assert_eq!(model.edge_count(), 2);
+/// assert_eq!(model.vertex_name(model.start().unwrap()), "a");
+/// ```
+pub fn parse_model(text: &str) -> Result<GraphModel, ParseModelError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines.next().ok_or(ParseModelError::MissingModelHeader)?;
+    let name = header
+        .strip_prefix("model:")
+        .ok_or(ParseModelError::MissingModelHeader)?
+        .trim();
+    let mut model = GraphModel::new(name);
+    let mut vertex_ids: HashMap<String, usize> = HashMap::new();
+    let mut start_name: Option<String> = None;
+    let mut edges: Vec<(usize, String, String, String)> = Vec::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if let Some(s) = line.strip_prefix("start:") {
+            start_name = Some(s.trim().to_string());
+        } else if line.contains("->") {
+            let (from, rest) = line
+                .split_once("->")
+                .ok_or(ParseModelError::MalformedEdge(lineno))?;
+            let (to, action) = rest
+                .split_once(':')
+                .ok_or(ParseModelError::MalformedEdge(lineno))?;
+            let (from, to, action) = (from.trim(), to.trim(), action.trim());
+            if from.is_empty() || to.is_empty() || action.is_empty() {
+                return Err(ParseModelError::MalformedEdge(lineno));
+            }
+            edges.push((lineno, from.to_string(), to.to_string(), action.to_string()));
+        } else {
+            return Err(ParseModelError::UnknownLine(lineno));
+        }
+    }
+
+    for (_, from, to, action) in &edges {
+        let f = *vertex_ids
+            .entry(from.clone())
+            .or_insert_with(|| model.add_vertex(from.clone()));
+        let t = *vertex_ids
+            .entry(to.clone())
+            .or_insert_with(|| model.add_vertex(to.clone()));
+        model.add_edge(f, t, action.clone());
+    }
+
+    let start = start_name.ok_or_else(|| ParseModelError::MissingStart(name.to_string()))?;
+    let sid = *vertex_ids
+        .get(&start)
+        .ok_or(ParseModelError::UnknownStartVertex(start))?;
+    model.set_start(sid);
+    Ok(model)
+}
+
+/// Renders a [`GraphModel`] back into the text format (inverse of
+/// [`parse_model`] up to vertex-declaration order).
+#[must_use]
+pub fn render_model(model: &GraphModel) -> String {
+    let mut out = format!("model: {}\n", model.name());
+    if let Some(s) = model.start() {
+        out.push_str(&format!("start: {}\n", model.vertex_name(s)));
+    }
+    for e in 0..model.edge_count() {
+        let (f, t) = model.edge_endpoints(e);
+        out.push_str(&format!(
+            "{} -> {} : {}\n",
+            model.vertex_name(f),
+            model.vertex_name(t),
+            model.edge_action(e)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{AllEdges, Generator};
+
+    const SAMPLE: &str = "\
+model: login
+start: idle
+# happy path
+idle -> authed : login_ok
+authed -> idle : logout
+idle -> locked : lockout
+locked -> idle : unlock
+";
+
+    #[test]
+    fn parse_and_use() {
+        let m = parse_model(SAMPLE).unwrap();
+        assert_eq!(m.name(), "login");
+        assert_eq!(m.vertex_count(), 3);
+        assert_eq!(m.edge_count(), 4);
+        let suite = AllEdges.generate(&m, 0);
+        assert_eq!(m.edge_coverage(&suite), 1.0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = parse_model(SAMPLE).unwrap();
+        let re = parse_model(&render_model(&m)).unwrap();
+        assert_eq!(m, re);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_model(""), Err(ParseModelError::MissingModelHeader));
+        assert_eq!(
+            parse_model("start: a\n"),
+            Err(ParseModelError::MissingModelHeader)
+        );
+        assert!(matches!(
+            parse_model("model: m\na -> b : go\n"),
+            Err(ParseModelError::MissingStart(_))
+        ));
+        assert!(matches!(
+            parse_model("model: m\nstart: zzz\na -> b : go\n"),
+            Err(ParseModelError::UnknownStartVertex(_))
+        ));
+        assert!(matches!(
+            parse_model("model: m\nstart: a\na -> b\n"),
+            Err(ParseModelError::MalformedEdge(_))
+        ));
+        assert!(matches!(
+            parse_model("model: m\nstart: a\nwhatever\n"),
+            Err(ParseModelError::UnknownLine(_))
+        ));
+        assert!(matches!(
+            parse_model("model: m\nstart: a\na ->  : go\n"),
+            Err(ParseModelError::MalformedEdge(_))
+        ));
+    }
+
+    #[test]
+    fn self_loops_and_implicit_vertices() {
+        let m = parse_model("model: m\nstart: a\na -> a : spin\n").unwrap();
+        assert_eq!(m.vertex_count(), 1);
+        assert_eq!(m.edge_endpoints(0), (0, 0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The model parser is total on arbitrary input.
+            #[test]
+            fn parser_never_panics(s in "\\PC{0,120}") {
+                let _ = parse_model(&s);
+            }
+
+            /// Generated ring models round-trip through render/parse.
+            #[test]
+            fn generated_models_round_trip(n in 1usize..12, chords in prop::collection::vec((0usize..12, 0usize..12), 0..6)) {
+                let mut m = GraphModel::new("gen");
+                for i in 0..n {
+                    m.add_vertex(format!("v{i}"));
+                }
+                for i in 0..n {
+                    m.add_edge(i, (i + 1) % n, format!("e{i}"));
+                }
+                for (a, b) in chords {
+                    m.add_edge(a % n, b % n, format!("c{}_{}", a % n, b % n));
+                }
+                m.set_start(0);
+                let re = parse_model(&render_model(&m)).unwrap();
+                prop_assert_eq!(re.edge_count(), m.edge_count());
+                prop_assert_eq!(re.vertex_count(), m.vertex_count());
+                // Edge multiset preserved (same order by construction).
+                for e in 0..m.edge_count() {
+                    prop_assert_eq!(m.edge_action(e), re.edge_action(e));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Given-When-Then scenarios and a Gherkin-lite parser.
+
+use std::fmt;
+
+/// The three step kinds of behaviour-driven scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Precondition.
+    Given,
+    /// Action under test.
+    When,
+    /// Expected outcome.
+    Then,
+}
+
+impl fmt::Display for StepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StepKind::Given => "Given",
+            StepKind::When => "When",
+            StepKind::Then => "Then",
+        })
+    }
+}
+
+/// One scenario step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Which clause the step belongs to.
+    pub kind: StepKind,
+    /// The step text (without the keyword).
+    pub text: String,
+}
+
+/// A Given-When-Then scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    name: String,
+    steps: Vec<Step>,
+}
+
+/// Error from [`Scenario::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseScenarioError {
+    /// Input did not start with `Scenario:`.
+    MissingHeader,
+    /// An `And`/`But` continuation appeared before any primary keyword.
+    DanglingContinuation(usize),
+    /// A line did not start with a recognised keyword.
+    UnknownKeyword(usize),
+    /// The scenario has no steps.
+    Empty,
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseScenarioError::MissingHeader => write!(f, "missing 'Scenario:' header"),
+            ParseScenarioError::DanglingContinuation(l) => {
+                write!(f, "line {l}: 'And'/'But' before any Given/When/Then")
+            }
+            ParseScenarioError::UnknownKeyword(l) => write!(f, "line {l}: unknown keyword"),
+            ParseScenarioError::Empty => write!(f, "scenario has no steps"),
+        }
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+impl Scenario {
+    /// Creates a scenario from parts.
+    #[must_use]
+    pub fn new(name: impl Into<String>, steps: Vec<Step>) -> Self {
+        Scenario {
+            name: name.into(),
+            steps,
+        }
+    }
+
+    /// Parses Gherkin-lite text:
+    ///
+    /// ```text
+    /// Scenario: lockout after failed logons
+    ///   Given an enabled local account
+    ///   When 3 consecutive logons fail
+    ///   And a fourth logon is attempted
+    ///   Then the account is locked
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseScenarioError`] on a missing header, a dangling
+    /// `And`/`But`, an unknown keyword, or an empty scenario.
+    pub fn parse(input: &str) -> Result<Scenario, ParseScenarioError> {
+        let mut lines = input
+            .lines()
+            .map(str::trim)
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        let (_, header) = lines.next().ok_or(ParseScenarioError::MissingHeader)?;
+        let name = header
+            .strip_prefix("Scenario:")
+            .ok_or(ParseScenarioError::MissingHeader)?
+            .trim()
+            .to_string();
+        let mut steps = Vec::new();
+        let mut current: Option<StepKind> = None;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let (kind, text) = if let Some(rest) = line.strip_prefix("Given ") {
+                (StepKind::Given, rest)
+            } else if let Some(rest) = line.strip_prefix("When ") {
+                (StepKind::When, rest)
+            } else if let Some(rest) = line.strip_prefix("Then ") {
+                (StepKind::Then, rest)
+            } else if let Some(rest) = line
+                .strip_prefix("And ")
+                .or_else(|| line.strip_prefix("But "))
+            {
+                let kind = current.ok_or(ParseScenarioError::DanglingContinuation(lineno))?;
+                (kind, rest)
+            } else {
+                return Err(ParseScenarioError::UnknownKeyword(lineno));
+            };
+            current = Some(kind);
+            steps.push(Step {
+                kind,
+                text: text.trim().to_string(),
+            });
+        }
+        if steps.is_empty() {
+            return Err(ParseScenarioError::Empty);
+        }
+        Ok(Scenario { name, steps })
+    }
+
+    /// The scenario name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All steps in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Steps of one kind, in order.
+    pub fn steps_of(&self, kind: StepKind) -> impl Iterator<Item = &Step> {
+        self.steps.iter().filter(move |s| s.kind == kind)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Scenario: {}", self.name)?;
+        let mut last: Option<StepKind> = None;
+        for s in &self.steps {
+            if last == Some(s.kind) {
+                writeln!(f, "  And {}", s.text)?;
+            } else {
+                writeln!(f, "  {} {}", s.kind, s.text)?;
+            }
+            last = Some(s.kind);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Scenario: lockout after failed logons\n\
+                          Given an enabled local account\n\
+                          When 3 consecutive logons fail\n\
+                          And a fourth logon is attempted\n\
+                          Then the account is locked\n";
+
+    #[test]
+    fn parse_round_trip() {
+        let s = Scenario::parse(SAMPLE).unwrap();
+        assert_eq!(s.name(), "lockout after failed logons");
+        assert_eq!(s.steps().len(), 4);
+        assert_eq!(
+            s.steps_of(StepKind::When).count(),
+            2,
+            "'And' continues 'When'"
+        );
+        assert_eq!(s.steps_of(StepKind::Then).count(), 1);
+        // Display emits parseable text.
+        let reparsed = Scenario::parse(&s.to_string()).unwrap();
+        assert_eq!(reparsed, s);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "Scenario: x\n\n# a comment\nGiven a\nThen b\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.steps().len(), 2);
+    }
+
+    #[test]
+    fn missing_header() {
+        assert_eq!(
+            Scenario::parse("Given a\n"),
+            Err(ParseScenarioError::MissingHeader)
+        );
+        assert_eq!(Scenario::parse(""), Err(ParseScenarioError::MissingHeader));
+    }
+
+    #[test]
+    fn dangling_and() {
+        let e = Scenario::parse("Scenario: x\nAnd something\n").unwrap_err();
+        assert!(matches!(e, ParseScenarioError::DanglingContinuation(_)));
+    }
+
+    #[test]
+    fn unknown_keyword() {
+        let e = Scenario::parse("Scenario: x\nGiven a\nWhatever b\n").unwrap_err();
+        assert!(matches!(e, ParseScenarioError::UnknownKeyword(_)));
+    }
+
+    #[test]
+    fn empty_scenario_rejected() {
+        assert_eq!(
+            Scenario::parse("Scenario: x\n"),
+            Err(ParseScenarioError::Empty)
+        );
+    }
+
+    #[test]
+    fn but_continues_then() {
+        let s = Scenario::parse("Scenario: x\nThen a\nBut b\n").unwrap();
+        assert_eq!(s.steps_of(StepKind::Then).count(), 2);
+    }
+}

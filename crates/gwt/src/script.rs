@@ -1,0 +1,219 @@
+//! Script concretisation — the TIGER `TestGenerator`/`ScriptCreator`
+//! counterpart.
+//!
+//! Mapping rules turn abstract edge actions into concrete script lines.
+//! A rule matches an action name (optionally with a `*` suffix wildcard)
+//! and emits a template where `{action}`, `{from}` and `{to}` are
+//! substituted.
+
+use std::fmt;
+
+use crate::generate::AbstractTest;
+use crate::model::GraphModel;
+
+/// One mapping rule: action pattern → script-line template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingRule {
+    pattern: String,
+    template: String,
+}
+
+impl MappingRule {
+    /// Creates a rule. `pattern` matches an edge action exactly, or as a
+    /// prefix when it ends with `*`. `template` may reference `{action}`,
+    /// `{from}`, `{to}`.
+    #[must_use]
+    pub fn new(pattern: impl Into<String>, template: impl Into<String>) -> Self {
+        MappingRule {
+            pattern: pattern.into(),
+            template: template.into(),
+        }
+    }
+
+    /// `true` iff the rule matches the action name.
+    #[must_use]
+    pub fn matches(&self, action: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => action.starts_with(prefix),
+            None => action == self.pattern,
+        }
+    }
+
+    fn render(&self, action: &str, from: &str, to: &str) -> String {
+        self.template
+            .replace("{action}", action)
+            .replace("{from}", from)
+            .replace("{to}", to)
+    }
+}
+
+/// A concretised test script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestScript {
+    /// Script name (from the abstract test).
+    pub name: String,
+    /// Concrete script lines, one per abstract step.
+    pub lines: Vec<String>,
+    /// Steps for which no mapping rule matched (kept abstract).
+    pub unmapped: usize,
+}
+
+impl fmt::Display for TestScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# test: {}", self.name)?;
+        for l in &self.lines {
+            writeln!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies mapping rules (first match wins) to abstract tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScriptGenerator {
+    rules: Vec<MappingRule>,
+}
+
+impl ScriptGenerator {
+    /// Creates a generator with no rules (everything stays abstract).
+    #[must_use]
+    pub fn new() -> Self {
+        ScriptGenerator::default()
+    }
+
+    /// Adds a rule (builder style); rules are tried in insertion order.
+    #[must_use]
+    pub fn with_rule(mut self, rule: MappingRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Concretises one abstract test against its model.
+    #[must_use]
+    pub fn concretize(&self, model: &GraphModel, test: &AbstractTest) -> TestScript {
+        let mut lines = Vec::with_capacity(test.path.len());
+        let mut unmapped = 0;
+        for &e in &test.path {
+            let action = model.edge_action(e);
+            let (fv, tv) = model.edge_endpoints(e);
+            let from = model.vertex_name(fv);
+            let to = model.vertex_name(tv);
+            match self.rules.iter().find(|r| r.matches(action)) {
+                Some(rule) => lines.push(rule.render(action, from, to)),
+                None => {
+                    unmapped += 1;
+                    lines.push(format!("# UNMAPPED: {action} ({from} -> {to})"));
+                }
+            }
+        }
+        TestScript {
+            name: test.name.clone(),
+            lines,
+            unmapped,
+        }
+    }
+
+    /// Concretises a whole suite.
+    #[must_use]
+    pub fn concretize_suite(&self, model: &GraphModel, suite: &[AbstractTest]) -> Vec<TestScript> {
+        suite.iter().map(|t| self.concretize(model, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{AllEdges, Generator};
+
+    fn login_model() -> GraphModel {
+        let mut m = GraphModel::new("login");
+        let idle = m.add_vertex("idle");
+        let authed = m.add_vertex("authenticated");
+        let locked = m.add_vertex("locked");
+        m.add_edge(idle, authed, "login_ok");
+        m.add_edge(idle, locked, "login_fail_x3");
+        m.add_edge(authed, idle, "logout");
+        m.add_edge(locked, idle, "admin_unlock");
+        m.set_start(idle);
+        m
+    }
+
+    fn rules() -> ScriptGenerator {
+        ScriptGenerator::new()
+            .with_rule(MappingRule::new(
+                "login_*",
+                "driver.submit_credentials()  # {action}: {from} -> {to}",
+            ))
+            .with_rule(MappingRule::new("logout", "driver.click('logout')"))
+    }
+
+    #[test]
+    fn rule_matching() {
+        let r = MappingRule::new("login_*", "x");
+        assert!(r.matches("login_ok"));
+        assert!(r.matches("login_"));
+        assert!(!r.matches("logout"));
+        let exact = MappingRule::new("logout", "x");
+        assert!(exact.matches("logout"));
+        assert!(!exact.matches("logout_now"));
+    }
+
+    #[test]
+    fn concretize_substitutes_placeholders() {
+        let m = login_model();
+        let test = AbstractTest {
+            name: "t".into(),
+            path: vec![0, 2],
+        };
+        let script = rules().concretize(&m, &test);
+        assert_eq!(script.lines.len(), 2);
+        assert!(script.lines[0].contains("login_ok: idle -> authenticated"));
+        assert_eq!(script.lines[1], "driver.click('logout')");
+        assert_eq!(script.unmapped, 0);
+    }
+
+    #[test]
+    fn unmapped_steps_are_counted_and_kept_visible() {
+        let m = login_model();
+        let test = AbstractTest {
+            name: "t".into(),
+            path: vec![1, 3],
+        };
+        let script = rules().concretize(&m, &test);
+        assert_eq!(script.unmapped, 1, "admin_unlock has no rule");
+        assert!(script.lines[1].starts_with("# UNMAPPED: admin_unlock"));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let g = ScriptGenerator::new()
+            .with_rule(MappingRule::new("login_*", "first"))
+            .with_rule(MappingRule::new("login_ok", "second"));
+        let m = login_model();
+        let s = g.concretize(
+            &m,
+            &AbstractTest {
+                name: "t".into(),
+                path: vec![0],
+            },
+        );
+        assert_eq!(s.lines[0], "first");
+    }
+
+    #[test]
+    fn end_to_end_suite_generation() {
+        let m = login_model();
+        let suite = AllEdges.generate(&m, 0);
+        assert_eq!(m.edge_coverage(&suite), 1.0);
+        let scripts = rules().concretize_suite(&m, &suite);
+        assert_eq!(scripts.len(), suite.len());
+        let rendered = scripts[0].to_string();
+        assert!(rendered.starts_with("# test: all_edges_0"));
+    }
+}

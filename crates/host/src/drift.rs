@@ -1,0 +1,223 @@
+//! Configuration drift injection.
+//!
+//! VeriDevOps' "reactive protection at operations" exists because deployed
+//! systems *drift*: updates, manual fixes, and attacks silently undo
+//! hardening. [`DriftInjector`] reproduces that pressure deterministically:
+//! seeded with an RNG, it applies random de-hardening events to simulated
+//! hosts and reports exactly what it broke, so experiments can measure how
+//! much of the damage the check/enforce loop detects and repairs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::unix::{FileMode, UnixHost};
+use crate::windows::{AuditSetting, WindowsHost};
+
+/// The kinds of drift the injector can introduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriftKind {
+    /// Install a prohibited package (`nis`, `rsh-server`, `telnetd`, …).
+    InstallForbiddenPackage,
+    /// Remove a package the STIG requires (e.g. `vlock`).
+    RemoveRequiredPackage,
+    /// Weaken an sshd directive (e.g. `PermitEmptyPasswords yes`).
+    WeakenSshConfig,
+    /// Loosen a sensitive file's permission bits.
+    LoosenFileMode,
+    /// Store an account password in clear text.
+    CorruptPasswordStorage,
+    /// Switch password hashing back to a weak algorithm.
+    WeakenPasswordHashing,
+    /// Turn off an audit subcategory on Windows.
+    DisableAuditSubcategory,
+    /// Reset the account lockout threshold to 0.
+    ResetLockoutPolicy,
+}
+
+/// All Unix-applicable drift kinds.
+pub const UNIX_DRIFT_KINDS: [DriftKind; 6] = [
+    DriftKind::InstallForbiddenPackage,
+    DriftKind::RemoveRequiredPackage,
+    DriftKind::WeakenSshConfig,
+    DriftKind::LoosenFileMode,
+    DriftKind::CorruptPasswordStorage,
+    DriftKind::WeakenPasswordHashing,
+];
+
+/// All Windows-applicable drift kinds.
+pub const WINDOWS_DRIFT_KINDS: [DriftKind; 2] = [
+    DriftKind::DisableAuditSubcategory,
+    DriftKind::ResetLockoutPolicy,
+];
+
+/// A record of one injected drift event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftEvent {
+    /// What category of drift happened.
+    pub kind: DriftKind,
+    /// Human-readable detail (package name, directive, subcategory, …).
+    pub detail: String,
+}
+
+/// Seeded random drift source.
+///
+/// ```
+/// use vdo_host::{DriftInjector, UnixHost};
+///
+/// let mut host = UnixHost::baseline_ubuntu_1804();
+/// let mut drift = DriftInjector::new(42);
+/// let events = drift.drift_unix(&mut host, 3);
+/// assert_eq!(events.len(), 3);
+/// // Same seed ⇒ same drift on an identical host.
+/// let mut host2 = UnixHost::baseline_ubuntu_1804();
+/// let events2 = DriftInjector::new(42).drift_unix(&mut host2, 3);
+/// assert_eq!(events, events2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftInjector {
+    rng: StdRng,
+}
+
+const FORBIDDEN_PACKAGES: [&str; 4] = ["nis", "rsh-server", "telnetd", "rsh-client"];
+const REQUIRED_PACKAGES: [&str; 2] = ["vlock", "openssh-server"];
+const SSH_WEAKENINGS: [(&str, &str); 3] = [
+    ("PermitEmptyPasswords", "yes"),
+    ("PermitRootLogin", "yes"),
+    ("Protocol", "1"),
+];
+const SENSITIVE_FILES: [&str; 2] = ["/etc/shadow", "/etc/gshadow"];
+const AUDIT_TARGETS: [(&str, &str); 4] = [
+    ("Account Management", "User Account Management"),
+    ("Logon/Logoff", "Logon"),
+    ("Privilege Use", "Sensitive Privilege Use"),
+    ("Account Logon", "Credential Validation"),
+];
+
+impl DriftInjector {
+    /// Creates an injector from a seed; the same seed replays the same
+    /// event sequence.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DriftInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies `n` random drift events to a Unix host. Returns the events
+    /// in application order.
+    pub fn drift_unix(&mut self, host: &mut UnixHost, n: usize) -> Vec<DriftEvent> {
+        (0..n).map(|_| self.one_unix_event(host)).collect()
+    }
+
+    /// Applies `n` random drift events to a Windows host.
+    pub fn drift_windows(&mut self, host: &mut WindowsHost, n: usize) -> Vec<DriftEvent> {
+        (0..n).map(|_| self.one_windows_event(host)).collect()
+    }
+
+    fn one_unix_event(&mut self, host: &mut UnixHost) -> DriftEvent {
+        let kind = UNIX_DRIFT_KINDS[self.rng.gen_range(0..UNIX_DRIFT_KINDS.len())];
+        let detail = match kind {
+            DriftKind::InstallForbiddenPackage => {
+                let pkg = FORBIDDEN_PACKAGES[self.rng.gen_range(0..FORBIDDEN_PACKAGES.len())];
+                host.install_package(pkg, "0.0-drift");
+                pkg.to_string()
+            }
+            DriftKind::RemoveRequiredPackage => {
+                let pkg = REQUIRED_PACKAGES[self.rng.gen_range(0..REQUIRED_PACKAGES.len())];
+                host.remove_package(pkg);
+                pkg.to_string()
+            }
+            DriftKind::WeakenSshConfig => {
+                let (k, v) = SSH_WEAKENINGS[self.rng.gen_range(0..SSH_WEAKENINGS.len())];
+                host.write_directive("/etc/ssh/sshd_config", k, v);
+                format!("{k}={v}")
+            }
+            DriftKind::LoosenFileMode => {
+                let path = SENSITIVE_FILES[self.rng.gen_range(0..SENSITIVE_FILES.len())];
+                host.set_file_mode(path, FileMode::new(0o666));
+                path.to_string()
+            }
+            DriftKind::CorruptPasswordStorage => {
+                host.corrupt_password_storage("admin");
+                "admin".to_string()
+            }
+            DriftKind::WeakenPasswordHashing => {
+                host.write_directive("/etc/login.defs", "ENCRYPT_METHOD", "MD5");
+                "ENCRYPT_METHOD=MD5".to_string()
+            }
+            _ => unreachable!("non-unix drift kind drawn for unix host"),
+        };
+        DriftEvent { kind, detail }
+    }
+
+    fn one_windows_event(&mut self, host: &mut WindowsHost) -> DriftEvent {
+        let kind = WINDOWS_DRIFT_KINDS[self.rng.gen_range(0..WINDOWS_DRIFT_KINDS.len())];
+        let detail = match kind {
+            DriftKind::DisableAuditSubcategory => {
+                let (c, s) = AUDIT_TARGETS[self.rng.gen_range(0..AUDIT_TARGETS.len())];
+                host.audit_policy_mut().set(c, s, AuditSetting::NONE);
+                format!("{c}/{s}")
+            }
+            DriftKind::ResetLockoutPolicy => {
+                host.set_lockout_threshold(0);
+                "lockout_threshold=0".to_string()
+            }
+            _ => unreachable!("non-windows drift kind drawn for windows host"),
+        };
+        DriftEvent { kind, detail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_drift_is_deterministic_per_seed() {
+        let mut a = UnixHost::baseline_ubuntu_1804();
+        let mut b = UnixHost::baseline_ubuntu_1804();
+        let ea = DriftInjector::new(7).drift_unix(&mut a, 10);
+        let eb = DriftInjector::new(7).drift_unix(&mut b, 10);
+        assert_eq!(ea, eb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = UnixHost::baseline_ubuntu_1804();
+        let mut b = UnixHost::baseline_ubuntu_1804();
+        let ea = DriftInjector::new(1).drift_unix(&mut a, 20);
+        let eb = DriftInjector::new(2).drift_unix(&mut b, 20);
+        assert_ne!(ea, eb, "20 events from different seeds should not coincide");
+    }
+
+    #[test]
+    fn unix_events_actually_mutate() {
+        let mut h = UnixHost::new("clean");
+        h.add_account("admin", 1000, false, true);
+        let before = h.clone();
+        let events = DriftInjector::new(3).drift_unix(&mut h, 8);
+        assert_eq!(events.len(), 8);
+        assert_ne!(h, before, "eight drift events must leave a trace");
+    }
+
+    #[test]
+    fn windows_drift_disables_things() {
+        let mut h = WindowsHost::baseline_win10();
+        h.set_lockout_threshold(5);
+        let events = DriftInjector::new(11).drift_windows(&mut h, 12);
+        assert_eq!(events.len(), 12);
+        // With 12 events over 2 kinds, both kinds occur w.h.p. for this seed.
+        assert!(events
+            .iter()
+            .any(|e| e.kind == DriftKind::ResetLockoutPolicy));
+        assert_eq!(h.lockout_threshold(), 0);
+    }
+
+    #[test]
+    fn drift_kinds_are_disjoint_per_platform() {
+        for k in UNIX_DRIFT_KINDS {
+            assert!(!WINDOWS_DRIFT_KINDS.contains(&k));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Host fleets for compliance-at-scale experiments.
+//!
+//! Experiment E3 sweeps the check/enforce loop over populations of hosts
+//! with varying drift intensity. [`Fleet`] stamps out `n` baseline hosts,
+//! drifts each with an independent (but seed-derived) event budget, and
+//! hands them to the planner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::drift::DriftInjector;
+use crate::unix::UnixHost;
+use crate::windows::WindowsHost;
+
+/// Parameters for generating a fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of hosts.
+    pub size: usize,
+    /// Probability that a host has drifted at all.
+    pub drift_probability: f64,
+    /// Drift events applied to each drifted host.
+    pub drift_events_per_host: usize,
+    /// Master seed; per-host seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            size: 10,
+            drift_probability: 0.5,
+            drift_events_per_host: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated population of simulated hosts.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    unix: Vec<UnixHost>,
+    windows: Vec<WindowsHost>,
+    drifted: usize,
+}
+
+impl Fleet {
+    /// Generates a fleet of Ubuntu 18.04 baseline hosts per `config`.
+    #[must_use]
+    pub fn unix_fleet(config: &FleetConfig) -> Fleet {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut unix = Vec::with_capacity(config.size);
+        let mut drifted = 0;
+        for i in 0..config.size {
+            let mut host = UnixHost::baseline_ubuntu_1804();
+            if rng.gen_bool(config.drift_probability) {
+                let mut inj = DriftInjector::new(config.seed.wrapping_add(i as u64 + 1));
+                inj.drift_unix(&mut host, config.drift_events_per_host);
+                drifted += 1;
+            }
+            unix.push(host);
+        }
+        Fleet {
+            unix,
+            windows: Vec::new(),
+            drifted,
+        }
+    }
+
+    /// Generates a fleet of Windows 10 baseline hosts per `config`.
+    #[must_use]
+    pub fn windows_fleet(config: &FleetConfig) -> Fleet {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut windows = Vec::with_capacity(config.size);
+        let mut drifted = 0;
+        for i in 0..config.size {
+            let mut host = WindowsHost::baseline_win10();
+            if rng.gen_bool(config.drift_probability) {
+                let mut inj = DriftInjector::new(config.seed.wrapping_add(i as u64 + 1));
+                inj.drift_windows(&mut host, config.drift_events_per_host);
+                drifted += 1;
+            }
+            windows.push(host);
+        }
+        Fleet {
+            unix: Vec::new(),
+            windows,
+            drifted,
+        }
+    }
+
+    /// The Unix hosts (empty for a Windows fleet).
+    #[must_use]
+    pub fn unix_hosts(&self) -> &[UnixHost] {
+        &self.unix
+    }
+
+    /// Mutable access to the Unix hosts.
+    pub fn unix_hosts_mut(&mut self) -> &mut [UnixHost] {
+        &mut self.unix
+    }
+
+    /// The Windows hosts (empty for a Unix fleet).
+    #[must_use]
+    pub fn windows_hosts(&self) -> &[WindowsHost] {
+        &self.windows
+    }
+
+    /// Mutable access to the Windows hosts.
+    pub fn windows_hosts_mut(&mut self) -> &mut [WindowsHost] {
+        &mut self.windows
+    }
+
+    /// How many hosts received drift during generation.
+    #[must_use]
+    pub fn drifted_count(&self) -> usize {
+        self.drifted
+    }
+
+    /// Total host count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.unix.len() + self.windows.len()
+    }
+
+    /// `true` iff the fleet has no hosts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unix_fleet_respects_size_and_determinism() {
+        let cfg = FleetConfig {
+            size: 20,
+            seed: 9,
+            ..FleetConfig::default()
+        };
+        let a = Fleet::unix_fleet(&cfg);
+        let b = Fleet::unix_fleet(&cfg);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.unix_hosts(), b.unix_hosts());
+        assert_eq!(a.drifted_count(), b.drifted_count());
+    }
+
+    #[test]
+    fn zero_probability_means_pristine() {
+        let cfg = FleetConfig {
+            size: 5,
+            drift_probability: 0.0,
+            ..FleetConfig::default()
+        };
+        let f = Fleet::unix_fleet(&cfg);
+        assert_eq!(f.drifted_count(), 0);
+        let baseline = UnixHost::baseline_ubuntu_1804();
+        assert!(f.unix_hosts().iter().all(|h| *h == baseline));
+    }
+
+    #[test]
+    fn full_probability_drifts_everyone() {
+        let cfg = FleetConfig {
+            size: 8,
+            drift_probability: 1.0,
+            ..FleetConfig::default()
+        };
+        let f = Fleet::unix_fleet(&cfg);
+        assert_eq!(f.drifted_count(), 8);
+    }
+
+    #[test]
+    fn windows_fleet_generates() {
+        let cfg = FleetConfig {
+            size: 6,
+            drift_probability: 1.0,
+            ..FleetConfig::default()
+        };
+        let f = Fleet::windows_fleet(&cfg);
+        assert_eq!(f.windows_hosts().len(), 6);
+        assert!(f.unix_hosts().is_empty());
+        assert!(!f.is_empty());
+    }
+}

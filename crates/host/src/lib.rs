@@ -1,0 +1,47 @@
+//! # vdo-host — simulated hosting environments for requirement checking
+//!
+//! The VeriDevOps prototype checks and enforces STIG requirements against
+//! *real* operating systems: `dpkg`/`apt` on Ubuntu 18.04 and
+//! `auditpol.exe`/the registry on Windows 10. A laptop-scale reproduction
+//! cannot (and should not) reconfigure real machines, so this crate
+//! provides **deterministic in-memory simulations** of both host classes:
+//!
+//! * [`UnixHost`] — package database, system services, key/value
+//!   configuration files (sshd-style directives), file modes, and user
+//!   accounts;
+//! * [`WindowsHost`] — the audit-policy table that `auditpol.exe` fronts,
+//!   a registry hive, and account-lockout policy.
+//!
+//! Both expose exactly the query/mutate surface the STIG requirement
+//! classes in `vdo-stigs` need, which preserves the paper's code path:
+//! `check()` queries the host, `enforce()` mutates it, and the remediation
+//! planner loops the two. [`drift`] adds seeded random configuration
+//! drift (the "attacks/misconfigurations appear at operations time" part
+//! of the VeriDevOps loop), and [`fleet`] stamps out host populations for
+//! the compliance-at-scale experiments (E3).
+//!
+//! ```
+//! use vdo_host::UnixHost;
+//!
+//! let mut host = UnixHost::baseline_ubuntu_1804();
+//! assert!(host.is_package_installed("openssh-server"));
+//! host.install_package("nis", "3.17");          // drift: someone adds NIS
+//! assert!(host.is_package_installed("nis"));
+//! host.remove_package("nis");                   // enforcement removes it
+//! assert!(!host.is_package_installed("nis"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod drift;
+pub mod fleet;
+pub mod unix;
+pub mod windows;
+
+pub use diff::{diff_unix, HostDelta};
+pub use drift::{DriftEvent, DriftInjector, DriftKind};
+pub use fleet::{Fleet, FleetConfig};
+pub use unix::{FileMode, PackageState, ServiceState, UnixHost};
+pub use windows::{AuditPolicy, AuditSetting, RegistryValue, WindowsHost};

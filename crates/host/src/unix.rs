@@ -1,0 +1,526 @@
+//! Simulated Unix (Ubuntu-like) host.
+//!
+//! Models the slices of a Debian-family system that the Ubuntu 18.04 STIG
+//! requirements in `vdo-stigs` touch: the dpkg package database, systemd
+//! services, directive-style configuration files (`sshd_config`,
+//! `login.defs`, PAM), file permission bits, and local user accounts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Installation state of one package in the simulated dpkg database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageState {
+    /// Version string as dpkg would report it.
+    pub version: String,
+    /// `true` if the package is installed (`ii`), `false` if removed but
+    /// config files remain (`rc`).
+    pub installed: bool,
+}
+
+/// State of one systemd-style service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceState {
+    /// Enabled at boot.
+    pub enabled: bool,
+    /// Currently running.
+    pub active: bool,
+}
+
+/// Unix permission bits (the low 12 bits of `st_mode`).
+///
+/// ```
+/// use vdo_host::FileMode;
+/// let m = FileMode::new(0o640);
+/// assert!(m.group_readable());
+/// assert!(!m.world_readable());
+/// assert_eq!(m.to_string(), "0640");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileMode(u16);
+
+impl FileMode {
+    /// Wraps an octal mode. Bits above 0o7777 are masked off.
+    #[must_use]
+    pub fn new(mode: u16) -> Self {
+        FileMode(mode & 0o7777)
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Owner-read bit set.
+    #[must_use]
+    pub fn owner_readable(self) -> bool {
+        self.0 & 0o400 != 0
+    }
+
+    /// Group-read bit set.
+    #[must_use]
+    pub fn group_readable(self) -> bool {
+        self.0 & 0o040 != 0
+    }
+
+    /// World-read bit set.
+    #[must_use]
+    pub fn world_readable(self) -> bool {
+        self.0 & 0o004 != 0
+    }
+
+    /// World-write bit set.
+    #[must_use]
+    pub fn world_writable(self) -> bool {
+        self.0 & 0o002 != 0
+    }
+
+    /// `true` iff no permission bit outside `max` is set — the STIG
+    /// "mode must be NNN or more restrictive" test.
+    #[must_use]
+    pub fn at_most(self, max: FileMode) -> bool {
+        self.0 & !max.0 == 0
+    }
+}
+
+impl fmt::Display for FileMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.0)
+    }
+}
+
+/// A directive-style configuration file: ordered `key value` pairs with
+/// last-one-wins lookup, the way sshd and login.defs behave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ConfigFile {
+    directives: Vec<(String, String)>,
+    mode: Option<FileMode>,
+    owner: Option<String>,
+}
+
+/// A local user account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Account {
+    pub name: String,
+    pub uid: u32,
+    pub locked: bool,
+    pub password_encrypted: bool,
+}
+
+/// In-memory simulation of an Ubuntu-like host.
+///
+/// All lookups are deterministic; no global state, no I/O. See the crate
+/// docs for why this substitutes for a real machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnixHost {
+    hostname: String,
+    packages: BTreeMap<String, PackageState>,
+    services: BTreeMap<String, ServiceState>,
+    files: BTreeMap<String, ConfigFile>,
+    accounts: BTreeMap<String, Account>,
+    kernel_params: BTreeMap<String, String>,
+}
+
+impl UnixHost {
+    /// Creates an empty host with the given hostname.
+    #[must_use]
+    pub fn new(hostname: impl Into<String>) -> Self {
+        UnixHost {
+            hostname: hostname.into(),
+            ..UnixHost::default()
+        }
+    }
+
+    /// A host resembling a stock Ubuntu 18.04 server install: OpenSSH
+    /// present, no hardening applied. This is the canonical *non-yet-
+    /// compliant* starting point for the STIG experiments.
+    #[must_use]
+    pub fn baseline_ubuntu_1804() -> Self {
+        let mut h = UnixHost::new("ubuntu-1804");
+        for (pkg, ver) in [
+            ("openssh-server", "7.6p1"),
+            ("openssh-client", "7.6p1"),
+            ("sudo", "1.8.21"),
+            ("systemd", "237"),
+            ("libpam-modules", "1.1.8"),
+            ("vlock", "2.2.2"),
+            ("telnetd", "0.17"), // STIG violation: must be removed
+        ] {
+            h.install_package(pkg, ver);
+        }
+        h.set_service(
+            "sshd",
+            ServiceState {
+                enabled: true,
+                active: true,
+            },
+        );
+        h.set_service(
+            "rsyslog",
+            ServiceState {
+                enabled: true,
+                active: true,
+            },
+        );
+        h.write_directive("/etc/ssh/sshd_config", "PermitEmptyPasswords", "yes");
+        h.write_directive("/etc/ssh/sshd_config", "Protocol", "2");
+        h.write_directive("/etc/ssh/sshd_config", "ClientAliveInterval", "900");
+        h.write_directive("/etc/login.defs", "ENCRYPT_METHOD", "MD5");
+        h.write_directive("/etc/login.defs", "PASS_MAX_DAYS", "99999");
+        h.set_file_mode("/etc/shadow", FileMode::new(0o644)); // violation
+        h.set_file_mode("/var/log", FileMode::new(0o755));
+        h.add_account("root", 0, false, true);
+        h.add_account("admin", 1000, false, true);
+        h.set_kernel_param("kernel.dmesg_restrict", "0");
+        h
+    }
+
+    /// Hostname of the simulated machine.
+    #[must_use]
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    // ---- package database ------------------------------------------------
+
+    /// Installs (or upgrades) a package.
+    pub fn install_package(&mut self, name: impl Into<String>, version: impl Into<String>) {
+        self.packages.insert(
+            name.into(),
+            PackageState {
+                version: version.into(),
+                installed: true,
+            },
+        );
+    }
+
+    /// Removes a package (config files remain, as with `apt-get remove`).
+    /// Returns `true` if the package was installed.
+    pub fn remove_package(&mut self, name: &str) -> bool {
+        match self.packages.get_mut(name) {
+            Some(p) if p.installed => {
+                p.installed = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` iff the package is currently installed.
+    #[must_use]
+    pub fn is_package_installed(&self, name: &str) -> bool {
+        self.packages.get(name).is_some_and(|p| p.installed)
+    }
+
+    /// Installed version, if the package is installed.
+    #[must_use]
+    pub fn package_version(&self, name: &str) -> Option<&str> {
+        self.packages
+            .get(name)
+            .filter(|p| p.installed)
+            .map(|p| p.version.as_str())
+    }
+
+    /// Iterates over installed package names.
+    pub fn installed_packages(&self) -> impl Iterator<Item = &str> {
+        self.packages
+            .iter()
+            .filter(|(_, p)| p.installed)
+            .map(|(n, _)| n.as_str())
+    }
+
+    // ---- services ----------------------------------------------------------
+
+    /// Sets the full state of a service (creating it if unknown).
+    pub fn set_service(&mut self, name: impl Into<String>, state: ServiceState) {
+        self.services.insert(name.into(), state);
+    }
+
+    /// Current state of a service; `None` if the unit does not exist.
+    #[must_use]
+    pub fn service(&self, name: &str) -> Option<ServiceState> {
+        self.services.get(name).copied()
+    }
+
+    /// Enables and starts a service. Creates the unit if missing.
+    pub fn enable_service(&mut self, name: &str) {
+        self.services.insert(
+            name.to_string(),
+            ServiceState {
+                enabled: true,
+                active: true,
+            },
+        );
+    }
+
+    /// Disables and stops a service. Returns `true` if the unit existed.
+    pub fn disable_service(&mut self, name: &str) -> bool {
+        match self.services.get_mut(name) {
+            Some(s) => {
+                s.enabled = false;
+                s.active = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---- configuration files -----------------------------------------------
+
+    /// Appends or replaces a `key value` directive in a config file,
+    /// creating the file if needed. Keys are case-insensitive, matching
+    /// sshd behaviour.
+    pub fn write_directive(
+        &mut self,
+        path: impl Into<String>,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) {
+        let key = key.into();
+        let value = value.into();
+        let file = self.files.entry(path.into()).or_default();
+        let lk = key.to_ascii_lowercase();
+        if let Some(slot) = file
+            .directives
+            .iter_mut()
+            .find(|(k, _)| k.to_ascii_lowercase() == lk)
+        {
+            slot.1 = value;
+        } else {
+            file.directives.push((key, value));
+        }
+    }
+
+    /// Effective value of a directive (`None` if the file or key is
+    /// absent). Case-insensitive on the key.
+    #[must_use]
+    pub fn directive(&self, path: &str, key: &str) -> Option<&str> {
+        let lk = key.to_ascii_lowercase();
+        self.files
+            .get(path)?
+            .directives
+            .iter()
+            .rev()
+            .find_map(|(k, v)| (k.to_ascii_lowercase() == lk).then_some(v.as_str()))
+    }
+
+    /// Removes a directive; returns `true` if it existed.
+    pub fn remove_directive(&mut self, path: &str, key: &str) -> bool {
+        let lk = key.to_ascii_lowercase();
+        match self.files.get_mut(path) {
+            Some(f) => {
+                let before = f.directives.len();
+                f.directives.retain(|(k, _)| k.to_ascii_lowercase() != lk);
+                f.directives.len() != before
+            }
+            None => false,
+        }
+    }
+
+    /// `true` iff the file exists in the simulation.
+    #[must_use]
+    pub fn file_exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    // ---- file modes ----------------------------------------------------------
+
+    /// Sets the permission bits of a path (creating the file record).
+    pub fn set_file_mode(&mut self, path: impl Into<String>, mode: FileMode) {
+        self.files.entry(path.into()).or_default().mode = Some(mode);
+    }
+
+    /// Permission bits of a path, if recorded.
+    #[must_use]
+    pub fn file_mode(&self, path: &str) -> Option<FileMode> {
+        self.files.get(path)?.mode
+    }
+
+    // ---- accounts -------------------------------------------------------------
+
+    /// Adds (or replaces) a local account.
+    pub fn add_account(&mut self, name: &str, uid: u32, locked: bool, password_encrypted: bool) {
+        self.accounts.insert(
+            name.to_string(),
+            Account {
+                name: name.to_string(),
+                uid,
+                locked,
+                password_encrypted,
+            },
+        );
+    }
+
+    /// `true` iff the account exists.
+    #[must_use]
+    pub fn has_account(&self, name: &str) -> bool {
+        self.accounts.contains_key(name)
+    }
+
+    /// `true` iff every account stores its password encrypted (shadow
+    /// suite behaviour) — queried by STIG V-219177.
+    #[must_use]
+    pub fn all_passwords_encrypted(&self) -> bool {
+        self.accounts.values().all(|a| a.password_encrypted)
+    }
+
+    /// Marks one account's password as stored in clear text (drift /
+    /// attack simulation). Returns `true` if the account exists.
+    pub fn corrupt_password_storage(&mut self, name: &str) -> bool {
+        match self.accounts.get_mut(name) {
+            Some(a) => {
+                a.password_encrypted = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-encrypts every stored password (the fix action for V-219177).
+    pub fn encrypt_all_passwords(&mut self) {
+        for a in self.accounts.values_mut() {
+            a.password_encrypted = true;
+        }
+    }
+
+    // ---- kernel parameters ------------------------------------------------------
+
+    /// Sets a sysctl-style kernel parameter.
+    pub fn set_kernel_param(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.kernel_params.insert(key.into(), value.into());
+    }
+
+    /// Reads a kernel parameter.
+    #[must_use]
+    pub fn kernel_param(&self, key: &str) -> Option<&str> {
+        self.kernel_params.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_lifecycle() {
+        let mut h = UnixHost::new("t");
+        assert!(!h.is_package_installed("nis"));
+        h.install_package("nis", "3.17");
+        assert!(h.is_package_installed("nis"));
+        assert_eq!(h.package_version("nis"), Some("3.17"));
+        assert!(h.remove_package("nis"));
+        assert!(!h.is_package_installed("nis"));
+        assert_eq!(h.package_version("nis"), None);
+        assert!(!h.remove_package("nis"), "second removal is a no-op");
+    }
+
+    #[test]
+    fn installed_packages_iterates_only_installed() {
+        let mut h = UnixHost::new("t");
+        h.install_package("a", "1");
+        h.install_package("b", "1");
+        h.remove_package("a");
+        assert_eq!(h.installed_packages().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn service_lifecycle() {
+        let mut h = UnixHost::new("t");
+        assert_eq!(h.service("sshd"), None);
+        h.enable_service("sshd");
+        assert_eq!(
+            h.service("sshd"),
+            Some(ServiceState {
+                enabled: true,
+                active: true
+            })
+        );
+        assert!(h.disable_service("sshd"));
+        let s = h.service("sshd").unwrap();
+        assert!(!s.enabled && !s.active);
+        assert!(!h.disable_service("ghost"));
+    }
+
+    #[test]
+    fn directives_are_case_insensitive_and_last_wins() {
+        let mut h = UnixHost::new("t");
+        h.write_directive("/etc/ssh/sshd_config", "PermitRootLogin", "yes");
+        assert_eq!(
+            h.directive("/etc/ssh/sshd_config", "permitrootlogin"),
+            Some("yes")
+        );
+        h.write_directive("/etc/ssh/sshd_config", "permitrootlogin", "no");
+        assert_eq!(
+            h.directive("/etc/ssh/sshd_config", "PermitRootLogin"),
+            Some("no")
+        );
+        assert!(h.remove_directive("/etc/ssh/sshd_config", "PERMITROOTLOGIN"));
+        assert_eq!(h.directive("/etc/ssh/sshd_config", "PermitRootLogin"), None);
+    }
+
+    #[test]
+    fn missing_file_yields_none() {
+        let mut h = UnixHost::new("t");
+        assert_eq!(h.directive("/nope", "Key"), None);
+        assert!(!h.file_exists("/nope"));
+        assert_eq!(h.file_mode("/nope"), None);
+        assert!(!h.remove_directive("/nope", "Key"));
+    }
+
+    #[test]
+    fn file_modes() {
+        let mut h = UnixHost::new("t");
+        h.set_file_mode("/etc/shadow", FileMode::new(0o640));
+        let m = h.file_mode("/etc/shadow").unwrap();
+        assert!(m.at_most(FileMode::new(0o640)));
+        assert!(!m.at_most(FileMode::new(0o600)));
+        assert!(!m.world_readable());
+        assert!(!m.world_writable());
+    }
+
+    #[test]
+    fn mode_masks_high_bits() {
+        assert_eq!(FileMode::new(0o777).bits(), 0o777);
+        assert_eq!(FileMode::new(0o17777).bits(), 0o7777);
+        let m = FileMode::new(0o640);
+        assert!(m.owner_readable() && m.group_readable());
+    }
+
+    #[test]
+    fn accounts_and_password_storage() {
+        let mut h = UnixHost::new("t");
+        h.add_account("alice", 1001, false, true);
+        h.add_account("bob", 1002, false, true);
+        assert!(h.all_passwords_encrypted());
+        assert!(h.corrupt_password_storage("bob"));
+        assert!(!h.all_passwords_encrypted());
+        h.encrypt_all_passwords();
+        assert!(h.all_passwords_encrypted());
+        assert!(!h.corrupt_password_storage("carol"));
+    }
+
+    #[test]
+    fn baseline_is_plausible_and_noncompliant() {
+        let h = UnixHost::baseline_ubuntu_1804();
+        assert!(h.is_package_installed("openssh-server"));
+        assert!(
+            h.is_package_installed("telnetd"),
+            "baseline plants a violation"
+        );
+        assert_eq!(
+            h.directive("/etc/ssh/sshd_config", "PermitEmptyPasswords"),
+            Some("yes")
+        );
+        assert_eq!(h.file_mode("/etc/shadow"), Some(FileMode::new(0o644)));
+        assert_eq!(h.kernel_param("kernel.dmesg_restrict"), Some("0"));
+    }
+
+    #[test]
+    fn kernel_params() {
+        let mut h = UnixHost::new("t");
+        assert_eq!(h.kernel_param("fs.suid_dumpable"), None);
+        h.set_kernel_param("fs.suid_dumpable", "0");
+        assert_eq!(h.kernel_param("fs.suid_dumpable"), Some("0"));
+    }
+}

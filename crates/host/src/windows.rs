@@ -1,0 +1,400 @@
+//! Simulated Windows 10 host.
+//!
+//! Models the three Windows subsystems the Win10 STIG requirements in
+//! `vdo-stigs` exercise:
+//!
+//! * the **advanced audit policy** table — the state that the Java
+//!   prototype reads and writes by forking `auditpol.exe`
+//!   (`AuditPolicyRequirement` in D2.7 §"rqcode.patterns.win10");
+//! * a **registry hive** with string/dword values;
+//! * the **account lockout policy**.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One audit subcategory setting: whether Success and/or Failure events
+/// are recorded. `auditpol /get` prints this as `Success and Failure`,
+/// `Success`, `Failure`, or `No Auditing`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct AuditSetting {
+    /// Success events are audited.
+    pub success: bool,
+    /// Failure events are audited.
+    pub failure: bool,
+}
+
+impl AuditSetting {
+    /// Both success and failure audited.
+    pub const BOTH: AuditSetting = AuditSetting {
+        success: true,
+        failure: true,
+    };
+    /// Only success audited.
+    pub const SUCCESS: AuditSetting = AuditSetting {
+        success: true,
+        failure: false,
+    };
+    /// Only failure audited.
+    pub const FAILURE: AuditSetting = AuditSetting {
+        success: false,
+        failure: true,
+    };
+    /// No auditing.
+    pub const NONE: AuditSetting = AuditSetting {
+        success: false,
+        failure: false,
+    };
+
+    /// `true` iff this setting audits at least everything `required`
+    /// audits — STIG checks pass when the host audits *more* than asked.
+    #[must_use]
+    pub fn covers(self, required: AuditSetting) -> bool {
+        (self.success || !required.success) && (self.failure || !required.failure)
+    }
+
+    /// Least upper bound of two settings (union of audited events).
+    #[must_use]
+    pub fn union(self, other: AuditSetting) -> AuditSetting {
+        AuditSetting {
+            success: self.success || other.success,
+            failure: self.failure || other.failure,
+        }
+    }
+
+    /// Parses `auditpol` output spellings.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<AuditSetting> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "success and failure" | "success,failure" => Some(AuditSetting::BOTH),
+            "success" => Some(AuditSetting::SUCCESS),
+            "failure" => Some(AuditSetting::FAILURE),
+            "no auditing" | "none" => Some(AuditSetting::NONE),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AuditSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match (self.success, self.failure) {
+            (true, true) => "Success and Failure",
+            (true, false) => "Success",
+            (false, true) => "Failure",
+            (false, false) => "No Auditing",
+        })
+    }
+}
+
+/// The advanced audit policy: `(category, subcategory) → AuditSetting`.
+///
+/// Categories and subcategories mirror `auditpol /get /category:*`
+/// (e.g. category `"Account Management"`, subcategory
+/// `"User Account Management"`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditPolicy {
+    table: BTreeMap<(String, String), AuditSetting>,
+}
+
+impl AuditPolicy {
+    /// Creates an empty policy (everything "No Auditing").
+    #[must_use]
+    pub fn new() -> Self {
+        AuditPolicy::default()
+    }
+
+    /// Sets a subcategory's setting — the simulation of
+    /// `auditpol /set /subcategory:"…" /success:enable /failure:enable`.
+    pub fn set(
+        &mut self,
+        category: impl Into<String>,
+        subcategory: impl Into<String>,
+        setting: AuditSetting,
+    ) {
+        self.table
+            .insert((category.into(), subcategory.into()), setting);
+    }
+
+    /// Reads a subcategory's effective setting (missing = no auditing).
+    #[must_use]
+    pub fn get(&self, category: &str, subcategory: &str) -> AuditSetting {
+        self.table
+            .get(&(category.to_string(), subcategory.to_string()))
+            .copied()
+            .unwrap_or(AuditSetting::NONE)
+    }
+
+    /// Number of explicitly configured subcategories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` iff nothing is explicitly configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over configured `(category, subcategory, setting)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, AuditSetting)> {
+        self.table
+            .iter()
+            .map(|((c, s), v)| (c.as_str(), s.as_str(), *v))
+    }
+}
+
+/// A registry value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryValue {
+    /// REG_DWORD.
+    Dword(u32),
+    /// REG_SZ.
+    Sz(String),
+}
+
+impl RegistryValue {
+    /// The dword payload, if this is a `Dword`.
+    #[must_use]
+    pub fn as_dword(&self) -> Option<u32> {
+        match self {
+            RegistryValue::Dword(v) => Some(*v),
+            RegistryValue::Sz(_) => None,
+        }
+    }
+
+    /// The string payload, if this is an `Sz`.
+    #[must_use]
+    pub fn as_sz(&self) -> Option<&str> {
+        match self {
+            RegistryValue::Sz(s) => Some(s),
+            RegistryValue::Dword(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for RegistryValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryValue::Dword(v) => write!(f, "dword:{v:#010x}"),
+            RegistryValue::Sz(s) => write!(f, "sz:{s}"),
+        }
+    }
+}
+
+/// In-memory simulation of a Windows 10 workstation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowsHost {
+    hostname: String,
+    audit: AuditPolicy,
+    registry: BTreeMap<String, BTreeMap<String, RegistryValue>>,
+    lockout_threshold: u32,
+    lockout_duration_minutes: u32,
+}
+
+impl WindowsHost {
+    /// Creates an empty host with the given hostname.
+    #[must_use]
+    pub fn new(hostname: impl Into<String>) -> Self {
+        WindowsHost {
+            hostname: hostname.into(),
+            ..WindowsHost::default()
+        }
+    }
+
+    /// A host resembling a stock Windows 10 build: default audit policy
+    /// (mostly success-only or none), lax lockout policy — the canonical
+    /// non-compliant starting point for the Win10 STIG experiments.
+    #[must_use]
+    pub fn baseline_win10() -> Self {
+        let mut h = WindowsHost::new("win10-ws");
+        // Windows defaults audit a few categories success-only.
+        h.audit.set(
+            "Account Logon",
+            "Credential Validation",
+            AuditSetting::SUCCESS,
+        );
+        h.audit.set("Logon/Logoff", "Logon", AuditSetting::SUCCESS);
+        h.audit.set(
+            "Account Management",
+            "User Account Management",
+            AuditSetting::SUCCESS,
+        );
+        // Sensitive Privilege Use is not audited by default — the famous
+        // V-63483/V-63487 findings.
+        h.set_registry_value(
+            r"HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Policies\System",
+            "EnableLUA",
+            RegistryValue::Dword(1),
+        );
+        h.lockout_threshold = 0; // violation: no lockout
+        h.lockout_duration_minutes = 0;
+        h
+    }
+
+    /// Hostname of the simulated machine.
+    #[must_use]
+    pub fn hostname(&self) -> &str {
+        &self.hostname
+    }
+
+    /// Shared view of the audit policy.
+    #[must_use]
+    pub fn audit_policy(&self) -> &AuditPolicy {
+        &self.audit
+    }
+
+    /// Mutable view of the audit policy (what `auditpol /set` fronts).
+    pub fn audit_policy_mut(&mut self) -> &mut AuditPolicy {
+        &mut self.audit
+    }
+
+    /// Writes a registry value under the given key path.
+    pub fn set_registry_value(
+        &mut self,
+        key: impl Into<String>,
+        name: impl Into<String>,
+        value: RegistryValue,
+    ) {
+        self.registry
+            .entry(key.into())
+            .or_default()
+            .insert(name.into(), value);
+    }
+
+    /// Reads a registry value.
+    #[must_use]
+    pub fn registry_value(&self, key: &str, name: &str) -> Option<&RegistryValue> {
+        self.registry.get(key)?.get(name)
+    }
+
+    /// Deletes a registry value; returns `true` if it existed.
+    pub fn delete_registry_value(&mut self, key: &str, name: &str) -> bool {
+        self.registry
+            .get_mut(key)
+            .is_some_and(|k| k.remove(name).is_some())
+    }
+
+    /// Account lockout threshold (0 = never lock — a STIG violation).
+    #[must_use]
+    pub fn lockout_threshold(&self) -> u32 {
+        self.lockout_threshold
+    }
+
+    /// Sets the lockout threshold.
+    pub fn set_lockout_threshold(&mut self, attempts: u32) {
+        self.lockout_threshold = attempts;
+    }
+
+    /// Lockout duration in minutes.
+    #[must_use]
+    pub fn lockout_duration_minutes(&self) -> u32 {
+        self.lockout_duration_minutes
+    }
+
+    /// Sets the lockout duration.
+    pub fn set_lockout_duration_minutes(&mut self, minutes: u32) {
+        self.lockout_duration_minutes = minutes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_setting_covers() {
+        assert!(AuditSetting::BOTH.covers(AuditSetting::SUCCESS));
+        assert!(AuditSetting::BOTH.covers(AuditSetting::BOTH));
+        assert!(!AuditSetting::SUCCESS.covers(AuditSetting::BOTH));
+        assert!(!AuditSetting::NONE.covers(AuditSetting::FAILURE));
+        assert!(AuditSetting::NONE.covers(AuditSetting::NONE));
+    }
+
+    #[test]
+    fn audit_setting_union_and_display() {
+        assert_eq!(
+            AuditSetting::SUCCESS.union(AuditSetting::FAILURE),
+            AuditSetting::BOTH
+        );
+        assert_eq!(AuditSetting::BOTH.to_string(), "Success and Failure");
+        assert_eq!(AuditSetting::NONE.to_string(), "No Auditing");
+    }
+
+    #[test]
+    fn audit_setting_parse_round_trip() {
+        for s in [
+            AuditSetting::BOTH,
+            AuditSetting::SUCCESS,
+            AuditSetting::FAILURE,
+            AuditSetting::NONE,
+        ] {
+            assert_eq!(AuditSetting::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(AuditSetting::parse("weird"), None);
+    }
+
+    #[test]
+    fn audit_policy_defaults_to_no_auditing() {
+        let p = AuditPolicy::new();
+        assert_eq!(p.get("Logon/Logoff", "Logon"), AuditSetting::NONE);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn audit_policy_set_get() {
+        let mut p = AuditPolicy::new();
+        p.set("Logon/Logoff", "Logon", AuditSetting::BOTH);
+        assert_eq!(p.get("Logon/Logoff", "Logon"), AuditSetting::BOTH);
+        assert_eq!(p.get("Logon/Logoff", "Logoff"), AuditSetting::NONE);
+        assert_eq!(p.len(), 1);
+        let rows: Vec<_> = p.iter().collect();
+        assert_eq!(rows, vec![("Logon/Logoff", "Logon", AuditSetting::BOTH)]);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut h = WindowsHost::new("t");
+        h.set_registry_value(r"HKLM\X", "Val", RegistryValue::Dword(7));
+        assert_eq!(
+            h.registry_value(r"HKLM\X", "Val")
+                .and_then(RegistryValue::as_dword),
+            Some(7)
+        );
+        h.set_registry_value(r"HKLM\X", "Name", RegistryValue::Sz("abc".into()));
+        assert_eq!(
+            h.registry_value(r"HKLM\X", "Name")
+                .and_then(RegistryValue::as_sz),
+            Some("abc")
+        );
+        assert!(h.delete_registry_value(r"HKLM\X", "Val"));
+        assert!(!h.delete_registry_value(r"HKLM\X", "Val"));
+        assert_eq!(h.registry_value(r"HKLM\X", "Val"), None);
+    }
+
+    #[test]
+    fn lockout_policy() {
+        let mut h = WindowsHost::new("t");
+        assert_eq!(h.lockout_threshold(), 0);
+        h.set_lockout_threshold(3);
+        h.set_lockout_duration_minutes(15);
+        assert_eq!(h.lockout_threshold(), 3);
+        assert_eq!(h.lockout_duration_minutes(), 15);
+    }
+
+    #[test]
+    fn baseline_is_noncompliant() {
+        let h = WindowsHost::baseline_win10();
+        assert_eq!(
+            h.audit_policy()
+                .get("Account Management", "User Account Management"),
+            AuditSetting::SUCCESS,
+            "success-only is insufficient for V-63447/V-63449"
+        );
+        assert_eq!(
+            h.audit_policy()
+                .get("Privilege Use", "Sensitive Privilege Use"),
+            AuditSetting::NONE
+        );
+        assert_eq!(h.lockout_threshold(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # vdo-nalabs — bad-smell metrics for natural-language requirements
+//!
+//! Rust reproduction of **NALABS** (NAtural LAnguage Bad Smells), the
+//! VeriDevOps tool that screens requirement documents *before* any
+//! formalisation is attempted: a requirement that is vague, subjective,
+//! or drowning in references cannot be turned into a checkable pattern,
+//! so the pipeline's first quality gate measures these smells and rejects
+//! or flags offending text.
+//!
+//! The metric suite mirrors the C# classes in the NALABS repository
+//! (`ConjunctionMetric.cs`, `ContinuancesMetric.cs`, `ImperativesMetric.cs`,
+//! `ICountMetric.cs`, `OptionalityMetric.cs`, `ReferencesMetric.cs`,
+//! `SubjectivityMetric.cs`, `VaguenessMetric.cs`, `WeaknessMetric.cs`,
+//! plus readability and size):
+//!
+//! | Metric | Smell |
+//! |---|---|
+//! | [`metrics::conjunctions`] | compound requirements (and/or chains) |
+//! | [`metrics::continuances`] | nesting ("as follows:", "below:") |
+//! | [`metrics::Imperatives`] | weak or missing modal verbs |
+//! | [`metrics::incompleteness`] | TBD/TBS placeholders |
+//! | [`metrics::optionality`] | latitude words ("may", "if needed") |
+//! | [`metrics::references`] | out-of-document pointers |
+//! | [`metrics::subjectivity`] | opinion words ("user friendly") |
+//! | [`metrics::vagueness`] | imprecise adjectives ("fast", "adequate") |
+//! | [`metrics::weakness`] | uncertainty words ("as appropriate") |
+//! | [`metrics::Readability`] | ARI `WS + 9·SW` as defined in D2.7 |
+//! | [`metrics::Size`] | over-complexity (chars/words/sentences) |
+//!
+//! ```
+//! use vdo_nalabs::{Analyzer, RequirementDoc};
+//!
+//! let analyzer = Analyzer::with_default_metrics();
+//! let doc = RequirementDoc::new(
+//!     "REQ-1",
+//!     "The system may, if needed, provide adequate security and good \
+//!      performance as described in section 4.2.",
+//! );
+//! let report = analyzer.analyze(&doc);
+//! assert!(report.smell_count() >= 3); // optionality, weakness/vagueness, references
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dictionaries;
+pub mod metrics;
+pub mod text;
+
+pub use analysis::{Analyzer, CorpusReport, DocumentReport, SmellThresholds};
+pub use dictionaries::Dictionary;
+pub use metrics::{Metric, MetricValue};
+pub use text::{RequirementDoc, TextStats};

@@ -1,0 +1,274 @@
+//! The metric suite.
+//!
+//! Every metric maps a tokenised requirement ([`TextStats`]) to a
+//! [`MetricValue`]: a raw count (or score) plus a density normalised by
+//! word count, so thresholds transfer between short and long
+//! requirements.
+
+use std::fmt;
+
+use crate::dictionaries::{self, Dictionary};
+use crate::text::TextStats;
+
+/// A metric result: the raw value and its per-word density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricValue {
+    /// Raw count or score.
+    pub raw: f64,
+    /// `raw / word_count` (0 for empty text).
+    pub density: f64,
+}
+
+impl MetricValue {
+    /// Builds a value, computing density against `words`.
+    #[must_use]
+    pub fn counted(raw: f64, words: usize) -> Self {
+        MetricValue {
+            raw,
+            density: if words == 0 { 0.0 } else { raw / words as f64 },
+        }
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ({:.3}/word)", self.raw, self.density)
+    }
+}
+
+/// A requirement-quality metric.
+pub trait Metric: Send + Sync {
+    /// Stable metric name (used as report column header).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the metric on a tokenised requirement.
+    fn evaluate(&self, stats: &TextStats) -> MetricValue;
+}
+
+/// Dictionary-count metric: raw = total occurrences of dictionary
+/// entries. Covers conjunctions, continuances, incompleteness,
+/// optionality, references, subjectivity, vagueness and weakness.
+pub struct DictionaryMetric {
+    name: &'static str,
+    dictionary: Dictionary,
+}
+
+impl DictionaryMetric {
+    /// Creates a metric counting hits of `dictionary`.
+    #[must_use]
+    pub fn new(name: &'static str, dictionary: Dictionary) -> Self {
+        DictionaryMetric { name, dictionary }
+    }
+
+    /// The underlying dictionary.
+    #[must_use]
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+}
+
+impl Metric for DictionaryMetric {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn evaluate(&self, stats: &TextStats) -> MetricValue {
+        MetricValue::counted(self.dictionary.count_in(stats) as f64, stats.word_count())
+    }
+}
+
+/// Compound-requirement smell (`ConjunctionMetric.cs`).
+#[must_use]
+pub fn conjunctions() -> DictionaryMetric {
+    DictionaryMetric::new("conjunctions", dictionaries::conjunctions())
+}
+
+/// Nesting smell (`ContinuancesMetric.cs`).
+#[must_use]
+pub fn continuances() -> DictionaryMetric {
+    DictionaryMetric::new("continuances", dictionaries::continuances())
+}
+
+/// Placeholder smell (`ICountMetric.cs`).
+#[must_use]
+pub fn incompleteness() -> DictionaryMetric {
+    DictionaryMetric::new("incompleteness", dictionaries::incompleteness())
+}
+
+/// Latitude smell (`OptionalityMetric.cs`).
+#[must_use]
+pub fn optionality() -> DictionaryMetric {
+    DictionaryMetric::new("optionality", dictionaries::optionality())
+}
+
+/// Reference smell (`ReferencesMetric.cs`).
+#[must_use]
+pub fn references() -> DictionaryMetric {
+    DictionaryMetric::new("references", dictionaries::references())
+}
+
+/// Opinion smell (`SubjectivityMetric.cs`).
+#[must_use]
+pub fn subjectivity() -> DictionaryMetric {
+    DictionaryMetric::new("subjectivity", dictionaries::subjectivity())
+}
+
+/// Imprecision smell.
+#[must_use]
+pub fn vagueness() -> DictionaryMetric {
+    DictionaryMetric::new("vagueness", dictionaries::vagueness())
+}
+
+/// Uncertainty smell (`WeaknessMetric.cs`).
+#[must_use]
+pub fn weakness() -> DictionaryMetric {
+    DictionaryMetric::new("weakness", dictionaries::weakness())
+}
+
+/// Imperative-mood check (`ImperativesMetric.cs`): a requirement without
+/// any modal verb ("shall", "must", …) is not testable. Raw value is the
+/// imperative count; the *smell* is a raw value of zero, which
+/// [`crate::SmellThresholds`] flags.
+pub struct Imperatives {
+    dictionary: Dictionary,
+}
+
+impl Imperatives {
+    /// Creates the imperative-presence metric.
+    #[must_use]
+    pub fn new() -> Self {
+        Imperatives {
+            dictionary: dictionaries::imperatives(),
+        }
+    }
+}
+
+impl Default for Imperatives {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metric for Imperatives {
+    fn name(&self) -> &'static str {
+        "imperatives"
+    }
+    fn evaluate(&self, stats: &TextStats) -> MetricValue {
+        MetricValue::counted(self.dictionary.count_in(stats) as f64, stats.word_count())
+    }
+}
+
+/// Automated Readability Index as defined in D2.7:
+/// `ARI = WS + 9 × SW`, where `WS` is average words per sentence and
+/// `SW` is average letters per word. Density is unused (0).
+pub struct Readability;
+
+impl Metric for Readability {
+    fn name(&self) -> &'static str {
+        "readability_ari"
+    }
+    fn evaluate(&self, stats: &TextStats) -> MetricValue {
+        MetricValue {
+            raw: stats.words_per_sentence() + 9.0 * stats.letters_per_word(),
+            density: 0.0,
+        }
+    }
+}
+
+/// Over-complexity metric: requirement size in words (characters and
+/// sentences are exposed on [`TextStats`]).
+pub struct Size;
+
+impl Metric for Size {
+    fn name(&self) -> &'static str {
+        "size_words"
+    }
+    fn evaluate(&self, stats: &TextStats) -> MetricValue {
+        MetricValue {
+            raw: stats.word_count() as f64,
+            density: 0.0,
+        }
+    }
+}
+
+/// The full default metric suite, in report-column order.
+#[must_use]
+pub fn default_suite() -> Vec<Box<dyn Metric>> {
+    vec![
+        Box::new(conjunctions()),
+        Box::new(continuances()),
+        Box::new(Imperatives::new()),
+        Box::new(incompleteness()),
+        Box::new(optionality()),
+        Box::new(references()),
+        Box::new(subjectivity()),
+        Box::new(vagueness()),
+        Box::new(weakness()),
+        Box::new(Readability),
+        Box::new(Size),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(text: &str) -> TextStats {
+        TextStats::of(text)
+    }
+
+    #[test]
+    fn dictionary_metric_counts_and_normalises() {
+        let m = vagueness();
+        let v = m.evaluate(&stats("a fast and easy system"));
+        assert_eq!(v.raw, 2.0);
+        assert!((v.density - 2.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_text_is_zero_everywhere() {
+        let s = stats("");
+        for m in default_suite() {
+            let v = m.evaluate(&s);
+            assert_eq!(v.raw, 0.0, "{} must be 0 on empty text", m.name());
+            assert_eq!(v.density, 0.0);
+        }
+    }
+
+    #[test]
+    fn imperatives_present_vs_absent() {
+        let with = Imperatives::new().evaluate(&stats("The system shall lock."));
+        assert_eq!(with.raw, 1.0);
+        let without = Imperatives::new().evaluate(&stats("The system locks quickly."));
+        assert_eq!(without.raw, 0.0);
+    }
+
+    #[test]
+    fn readability_formula() {
+        // 2 sentences, 6 words, letters: one3 two3 three5 four4 five4 six3 = 22
+        let v = Readability.evaluate(&stats("one two three. four five six."));
+        let expected = 3.0 + 9.0 * (22.0 / 6.0);
+        assert!((v.raw - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_counts_words() {
+        assert_eq!(Size.evaluate(&stats("a b c d")).raw, 4.0);
+    }
+
+    #[test]
+    fn suite_has_unique_names() {
+        let suite = default_suite();
+        let mut names: Vec<_> = suite.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 11);
+    }
+
+    #[test]
+    fn value_display() {
+        let v = MetricValue::counted(3.0, 10);
+        assert_eq!(v.to_string(), "3.00 (0.300/word)");
+    }
+}

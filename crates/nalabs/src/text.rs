@@ -1,0 +1,304 @@
+//! Requirement documents and basic text statistics.
+
+use std::fmt;
+
+/// One natural-language requirement: an identifier plus its text, the
+/// shape NALABS reads from the "REQ ID" and "Text" columns of a
+/// requirements spreadsheet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequirementDoc {
+    id: String,
+    text: String,
+}
+
+impl RequirementDoc {
+    /// Creates a requirement document.
+    #[must_use]
+    pub fn new(id: impl Into<String>, text: impl Into<String>) -> Self {
+        RequirementDoc {
+            id: id.into(),
+            text: text.into(),
+        }
+    }
+
+    /// The requirement identifier.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The requirement text.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for RequirementDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.text)
+    }
+}
+
+/// Tokenised view of a requirement's text with the counts every metric
+/// needs. Computing it once per document and sharing it across metrics is
+/// what makes corpus analysis linear in corpus size (experiment E2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextStats {
+    lower: String,
+    words: Vec<String>,
+    sentences: usize,
+    letters: usize,
+    chars: usize,
+}
+
+impl TextStats {
+    /// Tokenises `text`: words are maximal alphanumeric (plus `-`/`'`)
+    /// runs, lower-cased; sentences are split on `.`, `!`, `?`, `;`.
+    #[must_use]
+    pub fn of(text: &str) -> Self {
+        let lower = text.to_lowercase();
+        let mut words = Vec::new();
+        let mut current = String::new();
+        for c in lower.chars() {
+            if c.is_alphanumeric() || (c == '-' || c == '\'') && !current.is_empty() {
+                current.push(c);
+            } else if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            words.push(current);
+        }
+        // Trailing hyphens/apostrophes are punctuation, not word chars.
+        for w in &mut words {
+            while w.ends_with(['-', '\'']) {
+                w.pop();
+            }
+        }
+        words.retain(|w| !w.is_empty());
+
+        let sentences = text
+            .split(['.', '!', '?', ';'])
+            .filter(|s| s.chars().any(char::is_alphanumeric))
+            .count();
+        let letters = text.chars().filter(|c| c.is_alphanumeric()).count();
+        let chars = text.chars().count();
+        TextStats {
+            lower,
+            words,
+            sentences,
+            letters,
+            chars,
+        }
+    }
+
+    /// Lower-cased full text (for phrase matching).
+    #[must_use]
+    pub fn lower(&self) -> &str {
+        &self.lower
+    }
+
+    /// The word tokens, lower-cased, in order.
+    #[must_use]
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Word count.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Sentence count (at least 1 for non-empty text is *not*
+    /// guaranteed — text without alphanumerics has zero sentences).
+    #[must_use]
+    pub fn sentence_count(&self) -> usize {
+        self.sentences
+    }
+
+    /// Count of alphanumeric characters.
+    #[must_use]
+    pub fn letter_count(&self) -> usize {
+        self.letters
+    }
+
+    /// Total character count.
+    #[must_use]
+    pub fn char_count(&self) -> usize {
+        self.chars
+    }
+
+    /// Average words per sentence (`WS` in the D2.7 ARI formula);
+    /// 0 for empty text.
+    #[must_use]
+    pub fn words_per_sentence(&self) -> f64 {
+        if self.sentences == 0 {
+            0.0
+        } else {
+            self.words.len() as f64 / self.sentences as f64
+        }
+    }
+
+    /// Average letters per word (`SW` in the D2.7 ARI formula);
+    /// 0 for empty text.
+    #[must_use]
+    pub fn letters_per_word(&self) -> f64 {
+        if self.words.is_empty() {
+            0.0
+        } else {
+            self.words.iter().map(|w| w.chars().count()).sum::<usize>() as f64
+                / self.words.len() as f64
+        }
+    }
+
+    /// Number of occurrences of `word` among the tokens.
+    #[must_use]
+    pub fn count_word(&self, word: &str) -> usize {
+        let w = word.to_lowercase();
+        self.words.iter().filter(|t| **t == w).count()
+    }
+
+    /// Number of (possibly overlapping) occurrences of a lower-case
+    /// phrase in the text, matched on word boundaries.
+    #[must_use]
+    pub fn count_phrase(&self, phrase: &str) -> usize {
+        let p = phrase.to_lowercase();
+        if p.is_empty() {
+            return 0;
+        }
+        // Word-boundary check: preceding/following char must not be
+        // alphanumeric.
+        let bytes = self.lower.as_bytes();
+        let mut count = 0;
+        let mut start = 0;
+        while let Some(pos) = self.lower[start..].find(&p) {
+            let at = start + pos;
+            let before_ok = at == 0
+                || !self.lower[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(char::is_alphanumeric);
+            let end = at + p.len();
+            let after_ok = end >= bytes.len()
+                || !self.lower[end..]
+                    .chars()
+                    .next()
+                    .is_some_and(char::is_alphanumeric);
+            if before_ok && after_ok {
+                count += 1;
+            }
+            start = at + 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenisation_basics() {
+        let s = TextStats::of("The system SHALL lock the session. See section 4-2!");
+        assert_eq!(s.word_count(), 9);
+        assert_eq!(s.sentence_count(), 2);
+        assert!(s.words().contains(&"shall".to_string()));
+        assert!(s.words().contains(&"4-2".to_string()));
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        let s = TextStats::of("");
+        assert_eq!(s.word_count(), 0);
+        assert_eq!(s.sentence_count(), 0);
+        assert_eq!(s.words_per_sentence(), 0.0);
+        assert_eq!(s.letters_per_word(), 0.0);
+        let p = TextStats::of("... !!! ???");
+        assert_eq!(p.word_count(), 0);
+        assert_eq!(p.sentence_count(), 0);
+    }
+
+    #[test]
+    fn word_counting() {
+        let s = TextStats::of("may or may not, MAY be");
+        assert_eq!(s.count_word("may"), 3);
+        assert_eq!(s.count_word("or"), 1);
+        assert_eq!(s.count_word("absent"), 0);
+    }
+
+    #[test]
+    fn phrase_counting_respects_boundaries() {
+        let s = TextStats::of("As appropriate, do X. Inappropriate things happen as appropriate.");
+        assert_eq!(s.count_phrase("as appropriate"), 2);
+        assert_eq!(
+            s.count_phrase("appropriate"),
+            2,
+            "'Inappropriate' must not match"
+        );
+    }
+
+    #[test]
+    fn averages() {
+        let s = TextStats::of("one two three. four five six.");
+        assert!((s.words_per_sentence() - 3.0).abs() < 1e-9);
+        // letters per word: (3+3+5+4+4+3)/6 = 22/6
+        assert!((s.letters_per_word() - 22.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apostrophes_and_hyphens_inside_words() {
+        let s = TextStats::of("user's log-in shan't fail-");
+        assert!(s.words().contains(&"user's".to_string()));
+        assert!(s.words().contains(&"log-in".to_string()));
+        assert!(
+            s.words().contains(&"fail".to_string()),
+            "trailing hyphen stripped"
+        );
+    }
+
+    #[test]
+    fn document_display() {
+        let d = RequirementDoc::new("R-1", "text");
+        assert_eq!(d.to_string(), "R-1: text");
+        assert_eq!(d.id(), "R-1");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Tokenisation is total and its counts are mutually
+            /// consistent on arbitrary (including non-ASCII) input.
+            #[test]
+            fn stats_invariants(s in "\\PC{0,200}") {
+                let stats = TextStats::of(&s);
+                prop_assert!(stats.letter_count() <= stats.char_count());
+                if stats.word_count() == 0 {
+                    prop_assert_eq!(stats.letters_per_word(), 0.0);
+                } else {
+                    prop_assert!(stats.letters_per_word() > 0.0);
+                }
+                // Phrase counting with any single word never exceeds the
+                // raw substring count bound and never panics.
+                let _ = stats.count_phrase("the");
+                let _ = stats.count_word("the");
+            }
+
+            /// A word occurs among tokens at most as many times as its
+            /// pattern appears in the text.
+            #[test]
+            fn count_word_bounded_by_tokens(words in prop::collection::vec("[a-z]{1,6}", 0..20)) {
+                let text = words.join(" ");
+                let stats = TextStats::of(&text);
+                prop_assert_eq!(stats.word_count(), words.len());
+                for w in &words {
+                    let expected = words.iter().filter(|x| *x == w).count();
+                    prop_assert_eq!(stats.count_word(w), expected);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Prevention at development: CI quality gates.
+
+use std::fmt;
+
+use vdo_core::{Catalog, Severity};
+use vdo_host::UnixHost;
+use vdo_nalabs::Analyzer;
+
+use crate::repo::Commit;
+
+/// Outcome of one gate on one commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateDecision {
+    /// Gate name.
+    pub gate: &'static str,
+    /// `true` iff the commit may proceed.
+    pub passed: bool,
+    /// Human-readable findings (empty when passed without remarks).
+    pub reasons: Vec<String>,
+}
+
+impl GateDecision {
+    fn pass(gate: &'static str) -> Self {
+        GateDecision {
+            gate,
+            passed: true,
+            reasons: Vec::new(),
+        }
+    }
+
+    fn fail(gate: &'static str, reasons: Vec<String>) -> Self {
+        GateDecision {
+            gate,
+            passed: false,
+            reasons,
+        }
+    }
+}
+
+impl fmt::Display for GateDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}",
+            self.gate,
+            if self.passed { "PASS" } else { "FAIL" }
+        )?;
+        for r in &self.reasons {
+            write!(f, "\n  - {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The NALABS requirements-quality gate: rejects a commit whose new
+/// requirement documents smell.
+pub struct RequirementsGate {
+    analyzer: Analyzer,
+    /// Maximum number of smelly documents tolerated per commit.
+    max_smelly: usize,
+}
+
+impl RequirementsGate {
+    /// Creates the gate with the default NALABS analyzer and zero
+    /// tolerance.
+    #[must_use]
+    pub fn new() -> Self {
+        RequirementsGate {
+            analyzer: Analyzer::with_default_metrics(),
+            max_smelly: 0,
+        }
+    }
+
+    /// Sets a tolerance (number of smelly documents allowed through).
+    #[must_use]
+    pub fn with_tolerance(mut self, max_smelly: usize) -> Self {
+        self.max_smelly = max_smelly;
+        self
+    }
+
+    /// Evaluates the gate on a commit.
+    #[must_use]
+    pub fn evaluate(&self, commit: &Commit) -> GateDecision {
+        let report = self.analyzer.analyze_corpus(&commit.requirements);
+        let smelly: Vec<String> = report
+            .documents()
+            .iter()
+            .filter(|d| d.is_smelly())
+            .map(|d| format!("{}: {}", d.id(), d.smells().join(", ")))
+            .collect();
+        if smelly.len() > self.max_smelly {
+            GateDecision::fail("requirements", smelly)
+        } else {
+            GateDecision::pass("requirements")
+        }
+    }
+}
+
+impl Default for RequirementsGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The RQCODE compliance gate: applies a commit's configuration changes
+/// to a **staging clone** of the deployment and rejects the commit if
+/// the STIG catalogue reports any violation at or above the blocking
+/// severity.
+pub struct ComplianceGate<'a> {
+    catalog: &'a Catalog<UnixHost>,
+    block_at: Severity,
+}
+
+impl<'a> ComplianceGate<'a> {
+    /// Creates the gate over a catalogue; `block_at` is the minimum
+    /// severity that blocks (e.g. [`Severity::Medium`] blocks CAT I and
+    /// CAT II findings but lets CAT III through with a warning).
+    #[must_use]
+    pub fn new(catalog: &'a Catalog<UnixHost>, block_at: Severity) -> Self {
+        ComplianceGate { catalog, block_at }
+    }
+
+    /// Evaluates the gate: clones `production` into staging, applies the
+    /// commit, checks the catalogue.
+    #[must_use]
+    pub fn evaluate(&self, commit: &Commit, production: &UnixHost) -> GateDecision {
+        let mut staging = production.clone();
+        for change in &commit.changes {
+            change.apply(&mut staging);
+        }
+        let violations: Vec<String> = self
+            .catalog
+            .check_all(&staging)
+            .into_iter()
+            .filter(|(e, v)| !v.is_pass() && e.spec().severity() >= self.block_at)
+            .map(|(e, v)| format!("{} [{}]: {v}", e.spec().finding_id(), e.spec().severity()))
+            .collect();
+        if violations.is_empty() {
+            GateDecision::pass("compliance")
+        } else {
+            GateDecision::fail("compliance", violations)
+        }
+    }
+}
+
+/// The GWT test gate: a commit that changes the behavioural model must
+/// ship a model whose generated test suite reaches the required edge
+/// coverage — unreachable edges mean dead or untestable specified
+/// behaviour.
+pub struct TestGate {
+    min_coverage: f64,
+}
+
+impl TestGate {
+    /// Creates the gate; `min_coverage` is the required edge-coverage
+    /// fraction in `[0, 1]` (1.0 = every specified transition testable).
+    #[must_use]
+    pub fn new(min_coverage: f64) -> Self {
+        TestGate {
+            min_coverage: min_coverage.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Evaluates the gate on a behavioural model: generates the
+    /// coverage-guided suite and compares achieved coverage.
+    #[must_use]
+    pub fn evaluate(&self, model: &vdo_gwt::GraphModel) -> GateDecision {
+        use vdo_gwt::generate::{AllEdges, Generator};
+        let suite = AllEdges.generate(model, 0);
+        let coverage = model.edge_coverage(&suite);
+        if coverage + 1e-9 >= self.min_coverage {
+            GateDecision::pass("tests")
+        } else {
+            GateDecision::fail(
+                "tests",
+                vec![format!(
+                    "model '{}': generated suite covers {:.0}% of edges (< {:.0}% required); \
+                     unreachable transitions are untestable specification",
+                    model.name(),
+                    100.0 * coverage,
+                    100.0 * self.min_coverage
+                )],
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::ConfigChange;
+    use vdo_nalabs::RequirementDoc;
+
+    #[test]
+    fn test_gate_passes_connected_model() {
+        let mut m = vdo_gwt::GraphModel::new("ok");
+        let a = m.add_vertex("a");
+        let b = m.add_vertex("b");
+        m.add_edge(a, b, "go");
+        m.add_edge(b, a, "back");
+        m.set_start(a);
+        assert!(TestGate::new(1.0).evaluate(&m).passed);
+    }
+
+    #[test]
+    fn test_gate_rejects_unreachable_edges() {
+        let mut m = vdo_gwt::GraphModel::new("broken");
+        let a = m.add_vertex("a");
+        let b = m.add_vertex("b");
+        let x = m.add_vertex("island1");
+        let y = m.add_vertex("island2");
+        m.add_edge(a, b, "go");
+        m.add_edge(x, y, "island_hop"); // unreachable from start
+        m.set_start(a);
+        let d = TestGate::new(1.0).evaluate(&m);
+        assert!(!d.passed);
+        assert!(d.reasons[0].contains("broken"));
+        // A 50% floor accepts the same model.
+        assert!(TestGate::new(0.5).evaluate(&m).passed);
+    }
+
+    fn clean_commit() -> Commit {
+        Commit::new("c1")
+            .with_requirement(RequirementDoc::new(
+                "R-1",
+                "The system shall lock the session after 15 minutes of inactivity.",
+            ))
+            .with_change(ConfigChange::SetDirective(
+                "/etc/ssh/sshd_config".into(),
+                "PermitRootLogin".into(),
+                "no".into(),
+            ))
+    }
+
+    fn smelly_commit() -> Commit {
+        Commit::new("c2").with_requirement(RequirementDoc::new(
+            "R-2",
+            "The system may possibly be fast and easy as appropriate, TBD, see section 3.",
+        ))
+    }
+
+    #[test]
+    fn requirements_gate_passes_clean() {
+        let gate = RequirementsGate::new();
+        let d = gate.evaluate(&clean_commit());
+        assert!(d.passed, "{d}");
+    }
+
+    #[test]
+    fn requirements_gate_rejects_smells() {
+        let gate = RequirementsGate::new();
+        let d = gate.evaluate(&smelly_commit());
+        assert!(!d.passed);
+        assert!(d.reasons[0].contains("R-2"));
+    }
+
+    #[test]
+    fn requirements_gate_tolerance() {
+        let gate = RequirementsGate::new().with_tolerance(1);
+        assert!(gate.evaluate(&smelly_commit()).passed);
+    }
+
+    #[test]
+    fn empty_commit_passes_requirements_gate() {
+        let gate = RequirementsGate::new();
+        assert!(gate.evaluate(&Commit::new("c0")).passed);
+    }
+
+    #[test]
+    fn compliance_gate_blocks_regressions() {
+        let catalog = vdo_stigs::ubuntu::catalog();
+        // Start from a compliant host.
+        let mut prod = vdo_host::UnixHost::baseline_ubuntu_1804();
+        let planner = vdo_core::RemediationPlanner::default();
+        planner.run(&catalog, &mut prod);
+
+        let gate = ComplianceGate::new(&catalog, Severity::Medium);
+        // A harmless commit passes.
+        let ok = Commit::new("ok")
+            .with_change(ConfigChange::InstallPackage("htop".into(), "2.1".into()));
+        assert!(gate.evaluate(&ok, &prod).passed);
+        // A commit installing telnetd (CAT I finding V-219161) is blocked.
+        let bad = Commit::new("bad").with_change(ConfigChange::InstallPackage(
+            "telnetd".into(),
+            "0.17".into(),
+        ));
+        let d = gate.evaluate(&bad, &prod);
+        assert!(!d.passed);
+        assert!(d.reasons.iter().any(|r| r.contains("V-219161")), "{d}");
+        // Production itself must be untouched by staging evaluation.
+        assert!(!prod.is_package_installed("telnetd"));
+        assert!(!prod.is_package_installed("htop"));
+    }
+
+    #[test]
+    fn compliance_gate_severity_floor() {
+        let catalog = vdo_stigs::ubuntu::catalog();
+        let mut prod = vdo_host::UnixHost::baseline_ubuntu_1804();
+        vdo_core::RemediationPlanner::default().run(&catalog, &mut prod);
+        // V-219155 (dmesg_restrict) is CAT III; with a High floor the
+        // violating commit passes.
+        let commit = Commit::new("low").with_change(ConfigChange::SetDirective(
+            "/etc/x".into(),
+            "noop".into(),
+            "1".into(),
+        ));
+        let mut staging_breaker = commit.clone();
+        staging_breaker.changes.push(ConfigChange::SetDirective(
+            "/etc/x".into(),
+            "k".into(),
+            "v".into(),
+        ));
+        let strict = ComplianceGate::new(&catalog, Severity::Low);
+        let lax = ComplianceGate::new(&catalog, Severity::High);
+        // Break a CAT III control directly on a clone to compare floors.
+        let mut prod2 = prod.clone();
+        prod2.set_kernel_param("kernel.dmesg_restrict", "0");
+        let noop = Commit::new("noop");
+        assert!(!strict.evaluate(&noop, &prod2).passed);
+        assert!(lax.evaluate(&noop, &prod2).passed);
+    }
+}

@@ -1,0 +1,46 @@
+//! # vdo-pipeline — the VeriDevOps closed loop
+//!
+//! The DATE 2021 paper's central figure is a loop: security requirements
+//! enter as natural language; WP2 tooling (NALABS, RQCODE, PROPAS)
+//! formalises them; **prevention at development** (WP4) gates every
+//! commit in CI; **protection at operations** (WP3) monitors the deployed
+//! system and reacts; findings feed back into requirements. This crate
+//! is that loop as an executable simulation:
+//!
+//! * [`repo`] — commits carrying new requirement text and configuration
+//!   changes;
+//! * [`gates`] — CI quality gates: the NALABS requirements gate and the
+//!   RQCODE compliance gate (each can be disabled to obtain the paper's
+//!   "manual / unassisted" baseline);
+//! * [`ops`] — the operations phase: deployed host, seeded drift,
+//!   periodic compliance monitoring, automated remediation, and an
+//!   incident log with exact detection latencies;
+//! * [`run`] — the end-to-end scenario and its metrics (experiment E10).
+//!
+//! ```
+//! use vdo_pipeline::{PipelineConfig, run};
+//!
+//! let automated = run(&PipelineConfig { seed: 1, ..PipelineConfig::default() });
+//! let manual = run(&PipelineConfig {
+//!     seed: 1,
+//!     requirements_gate: false,
+//!     compliance_gate: false,
+//!     monitor_period: None,
+//!     ..PipelineConfig::default()
+//! });
+//! assert!(automated.ops.mean_detection_latency() <= manual.ops.mean_detection_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gates;
+pub mod ops;
+pub mod repo;
+
+mod scenario;
+
+pub use gates::{ComplianceGate, GateDecision, RequirementsGate, TestGate};
+pub use ops::{DriftTarget, Incident, OperationsPhase, OpsConfig, OpsReport};
+pub use repo::{Commit, ConfigChange};
+pub use scenario::{run, PipelineConfig, PipelineReport};

@@ -1,0 +1,361 @@
+//! The end-to-end VeriDevOps scenario (experiment E10 and the
+//! quickstart example).
+//!
+//! Development phase: a stream of seeded commits — some with smelly
+//! requirements, some with compliance-breaking configuration changes —
+//! flows through the gates (when enabled) and deploys. Operations phase:
+//! the deployed host runs under drift with (or without) continuous
+//! monitoring. The report compares vulnerability exposure between the
+//! automated VeriDevOps configuration and the manual baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vdo_core::{RemediationPlanner, Severity};
+use vdo_host::UnixHost;
+use vdo_nalabs::RequirementDoc;
+
+use crate::gates::{ComplianceGate, RequirementsGate, TestGate};
+use crate::ops::{OperationsPhase, OpsConfig, OpsReport};
+use crate::repo::{Commit, ConfigChange};
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Number of commits in the development phase.
+    pub commits: usize,
+    /// Probability a commit carries a smelly requirement.
+    pub smelly_commit_rate: f64,
+    /// Probability a commit carries a compliance-breaking change.
+    pub vulnerable_commit_rate: f64,
+    /// Probability a commit ships a behavioural-model update with
+    /// unreachable (untestable) transitions.
+    pub broken_model_rate: f64,
+    /// Whether the NALABS requirements gate runs.
+    pub requirements_gate: bool,
+    /// Whether the RQCODE compliance gate runs.
+    pub compliance_gate: bool,
+    /// Whether the GWT test-coverage gate runs.
+    pub test_gate: bool,
+    /// Continuous-monitoring period at operations (`None` = audits only).
+    pub monitor_period: Option<u64>,
+    /// Operations duration in ticks.
+    pub ops_duration: u64,
+    /// Per-tick drift probability at operations.
+    pub drift_rate: f64,
+    /// Scheduled audit period.
+    pub audit_period: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            commits: 50,
+            smelly_commit_rate: 0.3,
+            vulnerable_commit_rate: 0.3,
+            broken_model_rate: 0.1,
+            requirements_gate: true,
+            compliance_gate: true,
+            test_gate: true,
+            monitor_period: Some(10),
+            ops_duration: 2_000,
+            drift_rate: 0.02,
+            audit_period: 500,
+            seed: 0,
+        }
+    }
+}
+
+/// End-to-end results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Commits processed.
+    pub commits: usize,
+    /// Commits rejected by the requirements gate.
+    pub rejected_requirements: usize,
+    /// Commits rejected by the compliance gate.
+    pub rejected_compliance: usize,
+    /// Commits rejected by the test gate.
+    pub rejected_tests: usize,
+    /// Smelly requirement documents that reached the accepted baseline
+    /// (escaped or no gate).
+    pub smelly_requirements_merged: usize,
+    /// Compliance-breaking changes that reached production.
+    pub vulnerabilities_deployed: usize,
+    /// Operations-phase report.
+    pub ops: OpsReport,
+}
+
+impl PipelineReport {
+    /// Total commits rejected across all gates.
+    #[must_use]
+    pub fn rejected_total(&self) -> usize {
+        self.rejected_requirements + self.rejected_compliance + self.rejected_tests
+    }
+
+    /// Renders the run as a compact text summary — the "pipeline run"
+    /// box a CI dashboard would show.
+    #[must_use]
+    pub fn to_summary(&self) -> String {
+        format!(
+            "pipeline run: {} commits ({} merged, {} rejected: {} requirements / {} compliance / {} tests)\n\
+             development:  {} smelly requirements merged, {} vulnerabilities deployed\n\
+             operations:   {} ticks, {} drift events, {} incidents \
+             (mean detection latency {:.1} ticks), exposure {:.2}%\n",
+            self.commits,
+            self.commits - self.rejected_total(),
+            self.rejected_total(),
+            self.rejected_requirements,
+            self.rejected_compliance,
+            self.rejected_tests,
+            self.smelly_requirements_merged,
+            self.vulnerabilities_deployed,
+            self.ops.duration,
+            self.ops.drift_events,
+            self.ops.incidents.len(),
+            self.ops.mean_detection_latency(),
+            100.0 * self.ops.exposure(),
+        )
+    }
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_summary())
+    }
+}
+
+/// Runs the full scenario.
+#[must_use]
+pub fn run(config: &PipelineConfig) -> PipelineReport {
+    let catalog = vdo_stigs::ubuntu::catalog();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Deploy target starts compliant (initial hardening).
+    let mut production = UnixHost::baseline_ubuntu_1804();
+    RemediationPlanner::default().run(&catalog, &mut production);
+
+    let req_gate = RequirementsGate::new();
+    let compliance_gate = ComplianceGate::new(&catalog, Severity::Medium);
+    let test_gate = TestGate::new(1.0);
+
+    let mut rejected_requirements = 0;
+    let mut rejected_compliance = 0;
+    let mut rejected_tests = 0;
+    let mut smelly_requirements_merged = 0;
+    let mut vulnerabilities_deployed = 0;
+
+    for i in 0..config.commits {
+        let commit = synth_commit(i, config, &mut rng);
+        let smelly = commit
+            .requirements
+            .iter()
+            .any(|d| d.id().ends_with("-smelly"));
+        let vulnerable = !commit.changes.is_empty();
+
+        if config.requirements_gate && !req_gate.evaluate(&commit).passed {
+            rejected_requirements += 1;
+            continue;
+        }
+        if config.compliance_gate && !compliance_gate.evaluate(&commit, &production).passed {
+            rejected_compliance += 1;
+            continue;
+        }
+        if config.test_gate {
+            if let Some(model) = &commit.model {
+                if !test_gate.evaluate(model).passed {
+                    rejected_tests += 1;
+                    continue;
+                }
+            }
+        }
+        // Merge + deploy.
+        if smelly {
+            smelly_requirements_merged += 1;
+        }
+        if vulnerable {
+            vulnerabilities_deployed += 1;
+        }
+        for change in &commit.changes {
+            change.apply(&mut production);
+        }
+    }
+
+    let ops = OperationsPhase::new(&catalog).run(
+        &mut production,
+        &OpsConfig {
+            duration: config.ops_duration,
+            drift_rate: config.drift_rate,
+            monitor_period: config.monitor_period,
+            audit_period: config.audit_period,
+            seed: config.seed.wrapping_add(1),
+        },
+    );
+
+    PipelineReport {
+        commits: config.commits,
+        rejected_requirements,
+        rejected_compliance,
+        rejected_tests,
+        smelly_requirements_merged,
+        vulnerabilities_deployed,
+        ops,
+    }
+}
+
+/// A behavioural-model update; `broken` plants an unreachable edge that
+/// the test gate must catch.
+fn synth_model(index: usize, broken: bool) -> vdo_gwt::GraphModel {
+    let mut m = vdo_gwt::GraphModel::new(format!("feature_{index}"));
+    let idle = m.add_vertex("idle");
+    let active = m.add_vertex("active");
+    m.add_edge(idle, active, "activate");
+    m.add_edge(active, idle, "deactivate");
+    if broken {
+        let orphan_a = m.add_vertex("orphan_a");
+        let orphan_b = m.add_vertex("orphan_b");
+        m.add_edge(orphan_a, orphan_b, "unreachable_transition");
+    }
+    m.set_start(idle);
+    m
+}
+
+/// Synthesises one commit: clean by default; with the configured rates it
+/// carries a smelly requirement and/or a compliance-breaking change.
+fn synth_commit(index: usize, config: &PipelineConfig, rng: &mut StdRng) -> Commit {
+    let mut commit = Commit::new(format!("commit-{index:04}"));
+    if rng.gen_bool(config.smelly_commit_rate) {
+        commit = commit.with_requirement(RequirementDoc::new(
+            format!("REQ-{index:04}-smelly"),
+            "The system may possibly provide adequate and user friendly handling as \
+             appropriate, TBD, see section 4.",
+        ));
+    } else {
+        commit = commit.with_requirement(RequirementDoc::new(
+            format!("REQ-{index:04}"),
+            "The system shall record every failed logon attempt in the security log.",
+        ));
+    }
+    if rng.gen_bool(config.broken_model_rate) {
+        commit = commit.with_model(synth_model(index, true));
+    } else if index.is_multiple_of(4) {
+        commit = commit.with_model(synth_model(index, false));
+    }
+    if rng.gen_bool(config.vulnerable_commit_rate) {
+        let breakages = [
+            ConfigChange::InstallPackage("telnetd".into(), "0.17".into()),
+            ConfigChange::InstallPackage("nis".into(), "3.17".into()),
+            ConfigChange::SetDirective(
+                "/etc/ssh/sshd_config".into(),
+                "PermitEmptyPasswords".into(),
+                "yes".into(),
+            ),
+            ConfigChange::SetFileMode("/etc/shadow".into(), 0o666),
+            ConfigChange::RemovePackage("aide".into()),
+        ];
+        commit = commit.with_change(breakages[rng.gen_range(0..breakages.len())].clone());
+    }
+    commit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_pipeline_blocks_everything_risky() {
+        let report = run(&PipelineConfig {
+            commits: 60,
+            seed: 5,
+            ..PipelineConfig::default()
+        });
+        assert_eq!(report.smelly_requirements_merged, 0);
+        assert_eq!(report.vulnerabilities_deployed, 0);
+        assert!(report.rejected_requirements > 0);
+        assert!(report.rejected_compliance > 0);
+        assert!(report.rejected_tests > 0, "broken models must be caught");
+    }
+
+    #[test]
+    fn ungated_pipeline_ships_problems() {
+        let report = run(&PipelineConfig {
+            commits: 60,
+            requirements_gate: false,
+            compliance_gate: false,
+            test_gate: false,
+            seed: 5,
+            ..PipelineConfig::default()
+        });
+        assert!(report.smelly_requirements_merged > 0);
+        assert!(report.vulnerabilities_deployed > 0);
+        assert_eq!(report.rejected_requirements, 0);
+        assert_eq!(report.rejected_compliance, 0);
+    }
+
+    #[test]
+    fn requirements_gate_alone_still_lets_vulnerabilities_pass() {
+        let report = run(&PipelineConfig {
+            commits: 60,
+            requirements_gate: true,
+            compliance_gate: false,
+            seed: 7,
+            ..PipelineConfig::default()
+        });
+        assert_eq!(report.smelly_requirements_merged, 0);
+        assert!(report.vulnerabilities_deployed > 0);
+    }
+
+    #[test]
+    fn automated_beats_manual_on_exposure() {
+        let seed = 21;
+        let automated = run(&PipelineConfig {
+            seed,
+            ..PipelineConfig::default()
+        });
+        let manual = run(&PipelineConfig {
+            seed,
+            requirements_gate: false,
+            compliance_gate: false,
+            test_gate: false,
+            monitor_period: None,
+            ..PipelineConfig::default()
+        });
+        assert!(
+            automated.ops.exposure() <= manual.ops.exposure(),
+            "automated {} vs manual {}",
+            automated.ops.exposure(),
+            manual.ops.exposure()
+        );
+        assert!(automated.ops.mean_detection_latency() <= manual.ops.mean_detection_latency());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PipelineConfig {
+            seed: 13,
+            commits: 30,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn summary_renders_consistent_numbers() {
+        let report = run(&PipelineConfig {
+            commits: 30,
+            seed: 2,
+            ..PipelineConfig::default()
+        });
+        let s = report.to_summary();
+        assert!(s.contains("30 commits"));
+        assert!(s.contains(&format!("{} rejected", report.rejected_total())));
+        assert!(s.contains(&format!("{} incidents", report.ops.incidents.len())));
+        assert_eq!(report.to_string(), s);
+        assert_eq!(
+            report.rejected_total(),
+            report.rejected_requirements + report.rejected_compliance + report.rejected_tests
+        );
+    }
+}

@@ -1,0 +1,462 @@
+//! CTL formulas and a fixpoint-labelling model checker.
+//!
+//! The standard algorithm: every CTL formula is rewritten into the
+//! adequate base `{true, atom, ¬, ∧, EX, EU, EG}` and checked bottom-up
+//! by computing, for each subformula, the exact set of states satisfying
+//! it. Complexity `O(|φ| · (|S| + |R|))`, measured by experiment E7.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::kripke::Kripke;
+
+/// A CTL state formula.
+///
+/// Construct with the associated helpers; derived operators (`AX`, `AF`,
+/// `AG`, `AU`, `EF`, `or`, `implies`) are expanded into the adequate base
+/// on construction, so the checker only sees base connectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlFormula {
+    /// Constant true.
+    True,
+    /// Atomic proposition (matched against Kripke state labels).
+    Atom(String),
+    /// Negation.
+    Not(Box<CtlFormula>),
+    /// Conjunction.
+    And(Box<CtlFormula>, Box<CtlFormula>),
+    /// Exists-next.
+    Ex(Box<CtlFormula>),
+    /// Exists-until.
+    Eu(Box<CtlFormula>, Box<CtlFormula>),
+    /// Exists-globally.
+    Eg(Box<CtlFormula>),
+}
+
+impl CtlFormula {
+    /// Atomic proposition.
+    #[must_use]
+    pub fn atom(name: impl Into<String>) -> CtlFormula {
+        CtlFormula::Atom(name.into())
+    }
+    /// Negation.
+    #[must_use]
+    // An `ops::Not` impl would move the operand; the builder-style
+    // associated function is the intended API.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: CtlFormula) -> CtlFormula {
+        CtlFormula::Not(Box::new(f))
+    }
+    /// Conjunction.
+    #[must_use]
+    pub fn and(a: CtlFormula, b: CtlFormula) -> CtlFormula {
+        CtlFormula::And(Box::new(a), Box::new(b))
+    }
+    /// Disjunction (expanded: `¬(¬a ∧ ¬b)`).
+    #[must_use]
+    pub fn or(a: CtlFormula, b: CtlFormula) -> CtlFormula {
+        CtlFormula::not(CtlFormula::and(CtlFormula::not(a), CtlFormula::not(b)))
+    }
+    /// Implication (expanded: `¬a ∨ b`).
+    #[must_use]
+    pub fn implies(a: CtlFormula, b: CtlFormula) -> CtlFormula {
+        CtlFormula::or(CtlFormula::not(a), b)
+    }
+    /// Exists-next.
+    #[must_use]
+    pub fn ex(f: CtlFormula) -> CtlFormula {
+        CtlFormula::Ex(Box::new(f))
+    }
+    /// Exists-until.
+    #[must_use]
+    pub fn eu(a: CtlFormula, b: CtlFormula) -> CtlFormula {
+        CtlFormula::Eu(Box::new(a), Box::new(b))
+    }
+    /// Exists-globally.
+    #[must_use]
+    pub fn eg(f: CtlFormula) -> CtlFormula {
+        CtlFormula::Eg(Box::new(f))
+    }
+    /// Exists-finally (expanded: `E[true U f]`).
+    #[must_use]
+    pub fn ef(f: CtlFormula) -> CtlFormula {
+        CtlFormula::eu(CtlFormula::True, f)
+    }
+    /// All-next (expanded: `¬EX¬f`).
+    #[must_use]
+    pub fn ax(f: CtlFormula) -> CtlFormula {
+        CtlFormula::not(CtlFormula::ex(CtlFormula::not(f)))
+    }
+    /// All-finally (expanded: `¬EG¬f`).
+    #[must_use]
+    pub fn af(f: CtlFormula) -> CtlFormula {
+        CtlFormula::not(CtlFormula::eg(CtlFormula::not(f)))
+    }
+    /// All-globally (expanded: `¬EF¬f`).
+    #[must_use]
+    pub fn ag(f: CtlFormula) -> CtlFormula {
+        CtlFormula::not(CtlFormula::ef(CtlFormula::not(f)))
+    }
+    /// All-until (expanded:
+    /// `¬(E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b)`).
+    #[must_use]
+    pub fn au(a: CtlFormula, b: CtlFormula) -> CtlFormula {
+        CtlFormula::not(CtlFormula::or(
+            CtlFormula::eu(
+                CtlFormula::not(b.clone()),
+                CtlFormula::and(CtlFormula::not(a), CtlFormula::not(b.clone())),
+            ),
+            CtlFormula::eg(CtlFormula::not(b)),
+        ))
+    }
+
+    /// Syntactic size (AST nodes) after expansion.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            CtlFormula::True | CtlFormula::Atom(_) => 1,
+            CtlFormula::Not(f) | CtlFormula::Ex(f) | CtlFormula::Eg(f) => 1 + f.size(),
+            CtlFormula::And(a, b) | CtlFormula::Eu(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for CtlFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlFormula::True => write!(f, "true"),
+            CtlFormula::Atom(a) => write!(f, "{a}"),
+            CtlFormula::Not(x) => write!(f, "!({x})"),
+            CtlFormula::And(a, b) => write!(f, "({a} && {b})"),
+            CtlFormula::Ex(x) => write!(f, "EX ({x})"),
+            CtlFormula::Eu(a, b) => write!(f, "E[({a}) U ({b})]"),
+            CtlFormula::Eg(x) => write!(f, "EG ({x})"),
+        }
+    }
+}
+
+/// Fixpoint-labelling CTL model checker over a [`Kripke`] structure.
+pub struct ModelChecker<'a> {
+    model: &'a Kripke,
+    predecessors: Vec<Vec<usize>>,
+}
+
+impl<'a> ModelChecker<'a> {
+    /// Prepares a checker for the model (precomputes predecessor lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's transition relation is not total — CTL
+    /// semantics require it; call [`Kripke::totalize`] first.
+    #[must_use]
+    pub fn new(model: &'a Kripke) -> Self {
+        assert!(
+            model.is_total(),
+            "CTL semantics need a total transition relation; call totalize()"
+        );
+        let mut predecessors = vec![Vec::new(); model.len()];
+        for s in 0..model.len() {
+            for &t in model.successors(s) {
+                predecessors[t].push(s);
+            }
+        }
+        ModelChecker {
+            model,
+            predecessors,
+        }
+    }
+
+    /// The set of states satisfying `formula`.
+    #[must_use]
+    pub fn satisfying_states(&self, formula: &CtlFormula) -> BTreeSet<usize> {
+        let n = self.model.len();
+        match formula {
+            CtlFormula::True => (0..n).collect(),
+            CtlFormula::Atom(a) => (0..n)
+                .filter(|&s| self.model.labels(s).contains(a))
+                .collect(),
+            CtlFormula::Not(f) => {
+                let inner = self.satisfying_states(f);
+                (0..n).filter(|s| !inner.contains(s)).collect()
+            }
+            CtlFormula::And(a, b) => {
+                let sa = self.satisfying_states(a);
+                let sb = self.satisfying_states(b);
+                sa.intersection(&sb).copied().collect()
+            }
+            CtlFormula::Ex(f) => {
+                let inner = self.satisfying_states(f);
+                (0..n)
+                    .filter(|&s| self.model.successors(s).iter().any(|t| inner.contains(t)))
+                    .collect()
+            }
+            CtlFormula::Eu(a, b) => {
+                // Least fixpoint: start from [[b]], add a-states with a
+                // successor already in the set (backwards reachability).
+                let sa = self.satisfying_states(a);
+                let sb = self.satisfying_states(b);
+                let mut sat = sb.clone();
+                let mut work: Vec<usize> = sb.into_iter().collect();
+                while let Some(t) = work.pop() {
+                    for &s in &self.predecessors[t] {
+                        if sa.contains(&s) && sat.insert(s) {
+                            work.push(s);
+                        }
+                    }
+                }
+                sat
+            }
+            CtlFormula::Eg(f) => {
+                // Greatest fixpoint: start from [[f]], repeatedly remove
+                // states with no successor inside the set.
+                let inner = self.satisfying_states(f);
+                let mut sat = inner;
+                loop {
+                    let next: BTreeSet<usize> = sat
+                        .iter()
+                        .copied()
+                        .filter(|&s| self.model.successors(s).iter().any(|t| sat.contains(t)))
+                        .collect();
+                    if next.len() == sat.len() {
+                        return next;
+                    }
+                    sat = next;
+                }
+            }
+        }
+    }
+
+    /// `true` iff every initial state satisfies `formula`.
+    #[must_use]
+    pub fn holds(&self, formula: &CtlFormula) -> bool {
+        let sat = self.satisfying_states(formula);
+        self.model.initial_states().iter().all(|s| sat.contains(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny mutual-exclusion model:
+    /// 0: (n1,n2) → 1: (t1,n2) → 2: (c1,n2) → 0 ; 0 → 3: (n1,t2) → 4: (n1,c2) → 0
+    fn mutex() -> Kripke {
+        let mut k = Kripke::new();
+        let s0 = k.add_state(["n1", "n2"]);
+        let s1 = k.add_state(["t1", "n2"]);
+        let s2 = k.add_state(["c1", "n2"]);
+        let s3 = k.add_state(["n1", "t2"]);
+        let s4 = k.add_state(["n1", "c2"]);
+        k.add_transition(s0, s1);
+        k.add_transition(s1, s2);
+        k.add_transition(s2, s0);
+        k.add_transition(s0, s3);
+        k.add_transition(s3, s4);
+        k.add_transition(s4, s0);
+        k.set_initial(s0);
+        k
+    }
+
+    #[test]
+    fn safety_holds() {
+        let m = mutex();
+        let mc = ModelChecker::new(&m);
+        // Never both critical.
+        let safe = CtlFormula::ag(CtlFormula::not(CtlFormula::and(
+            CtlFormula::atom("c1"),
+            CtlFormula::atom("c2"),
+        )));
+        assert!(mc.holds(&safe));
+    }
+
+    #[test]
+    fn liveness_fails_without_fairness() {
+        let m = mutex();
+        let mc = ModelChecker::new(&m);
+        // AG(t1 → AF c1) — from s1 the only path goes to c1, so this
+        // actually holds in this tiny model.
+        let live = CtlFormula::ag(CtlFormula::implies(
+            CtlFormula::atom("t1"),
+            CtlFormula::af(CtlFormula::atom("c1")),
+        ));
+        assert!(mc.holds(&live));
+        // But AF c1 from the initial state fails: the right branch never
+        // reaches c1.
+        assert!(!mc.holds(&CtlFormula::af(CtlFormula::atom("c1"))));
+        // While EF c1 holds.
+        assert!(mc.holds(&CtlFormula::ef(CtlFormula::atom("c1"))));
+    }
+
+    #[test]
+    fn ex_and_ax() {
+        let m = mutex();
+        let mc = ModelChecker::new(&m);
+        // From s0, EX t1 (branch to s1) but not AX t1 (other branch t2).
+        let ex_t1 = CtlFormula::ex(CtlFormula::atom("t1"));
+        let ax_t1 = CtlFormula::ax(CtlFormula::atom("t1"));
+        assert!(mc.satisfying_states(&ex_t1).contains(&0));
+        assert!(!mc.satisfying_states(&ax_t1).contains(&0));
+    }
+
+    #[test]
+    fn eu_and_au() {
+        let m = mutex();
+        let mc = ModelChecker::new(&m);
+        // E[n2 U c1]: path s0→s1→s2 keeps n2 until c1. Note c1-state also
+        // has n2 but Eu requires b eventually — s2 is labelled c1.
+        let eu = CtlFormula::eu(CtlFormula::atom("n2"), CtlFormula::atom("c1"));
+        assert!(mc.satisfying_states(&eu).contains(&0));
+        // A[n2 U c1] fails at s0: the right branch leaves n2 without c1.
+        let au = CtlFormula::au(CtlFormula::atom("n2"), CtlFormula::atom("c1"));
+        assert!(!mc.satisfying_states(&au).contains(&0));
+    }
+
+    #[test]
+    fn eg_greatest_fixpoint() {
+        // Two-state cycle where "a" holds everywhere on the loop.
+        let k = Kripke::lasso([vec!["a"], vec!["a"], vec!["b"]], 2);
+        let mc = ModelChecker::new(&k);
+        // EG a fails at state 0 because the lasso forces leaving a.
+        assert!(!mc
+            .satisfying_states(&CtlFormula::eg(CtlFormula::atom("a")))
+            .contains(&0));
+        // EG true holds everywhere.
+        assert_eq!(
+            mc.satisfying_states(&CtlFormula::eg(CtlFormula::True))
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "total")]
+    fn non_total_model_rejected() {
+        let mut k = Kripke::new();
+        k.add_state(["a"]);
+        k.add_state(["b"]);
+        k.add_transition(0, 1);
+        let _ = ModelChecker::new(&k);
+    }
+
+    #[test]
+    fn display_and_size() {
+        let f = CtlFormula::ag(CtlFormula::atom("p"));
+        assert!(f.to_string().contains("E[(true) U"));
+        assert!(f.size() >= 4);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random total Kripke structure with p/q labels.
+        fn arb_kripke() -> impl Strategy<Value = Kripke> {
+            (
+                prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 1..16),
+                prop::collection::vec((0usize..16, 0usize..16), 0..40),
+            )
+                .prop_map(|(labels, edges)| {
+                    let n = labels.len();
+                    let mut k = Kripke::new();
+                    for (p, q) in &labels {
+                        let mut l = Vec::new();
+                        if *p {
+                            l.push("p");
+                        }
+                        if *q {
+                            l.push("q");
+                        }
+                        k.add_state(l);
+                    }
+                    for (a, b) in edges {
+                        k.add_transition(a % n, b % n);
+                    }
+                    k.set_initial(0);
+                    k.totalize();
+                    k
+                })
+        }
+
+        /// States reachable from the initial state (including it).
+        fn reachable(k: &Kripke) -> Vec<usize> {
+            let mut seen = vec![false; k.len()];
+            let mut work = vec![0usize];
+            seen[0] = true;
+            while let Some(s) = work.pop() {
+                for &t in k.successors(s) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        work.push(t);
+                    }
+                }
+            }
+            (0..k.len()).filter(|&s| seen[s]).collect()
+        }
+
+        proptest! {
+            /// AG p ⇔ p labels every reachable state.
+            #[test]
+            fn ag_matches_reachability(k in arb_kripke()) {
+                let mc = ModelChecker::new(&k);
+                let holds = mc.holds(&CtlFormula::ag(CtlFormula::atom("p")));
+                let expected = reachable(&k).into_iter().all(|s| k.labels(s).contains("p"));
+                prop_assert_eq!(holds, expected);
+            }
+
+            /// EF q ⇔ some reachable state is labelled q.
+            #[test]
+            fn ef_matches_reachability(k in arb_kripke()) {
+                let mc = ModelChecker::new(&k);
+                let holds = mc.holds(&CtlFormula::ef(CtlFormula::atom("q")));
+                let expected = reachable(&k).into_iter().any(|s| k.labels(s).contains("q"));
+                prop_assert_eq!(holds, expected);
+            }
+
+            /// Duality: AG p ≡ ¬EF ¬p on every state set.
+            #[test]
+            fn ag_ef_duality(k in arb_kripke()) {
+                let mc = ModelChecker::new(&k);
+                let ag = mc.satisfying_states(&CtlFormula::ag(CtlFormula::atom("p")));
+                let not_ef_not = mc.satisfying_states(&CtlFormula::not(CtlFormula::ef(
+                    CtlFormula::not(CtlFormula::atom("p")),
+                )));
+                prop_assert_eq!(ag, not_ef_not);
+            }
+
+            /// EX distributes over disjunction: EX(a ∨ b) = EX a ∪ EX b.
+            #[test]
+            fn ex_distributes_over_or(k in arb_kripke()) {
+                let mc = ModelChecker::new(&k);
+                let lhs = mc.satisfying_states(&CtlFormula::ex(CtlFormula::or(
+                    CtlFormula::atom("p"),
+                    CtlFormula::atom("q"),
+                )));
+                let a = mc.satisfying_states(&CtlFormula::ex(CtlFormula::atom("p")));
+                let b = mc.satisfying_states(&CtlFormula::ex(CtlFormula::atom("q")));
+                let rhs: std::collections::BTreeSet<usize> = a.union(&b).copied().collect();
+                prop_assert_eq!(lhs, rhs);
+            }
+        }
+    }
+
+    /// Cross-validation: on a single-path lasso, `AG p` coincides with
+    /// LTL `G p` over the infinite unrolling.
+    #[test]
+    fn lasso_ag_matches_linear_intuition() {
+        let all_p = Kripke::lasso([vec!["p"], vec!["p"], vec!["p"]], 0);
+        let mc = ModelChecker::new(&all_p);
+        assert!(mc.holds(&CtlFormula::ag(CtlFormula::atom("p"))));
+        let broken = Kripke::lasso([vec!["p"], vec![], vec!["p"]], 0);
+        let mc = ModelChecker::new(&broken);
+        assert!(!mc.holds(&CtlFormula::ag(CtlFormula::atom("p"))));
+        // AF q on a lasso that reaches q before the loop.
+        let reaches = Kripke::lasso([vec![], vec!["q"], vec![]], 1);
+        let mc = ModelChecker::new(&reaches);
+        assert!(mc.holds(&CtlFormula::af(CtlFormula::atom("q"))));
+        // AF q where q is outside the loop (never revisited but on every
+        // path from init): still holds from the initial state.
+        let before_loop = Kripke::lasso([vec!["q"], vec![], vec![]], 1);
+        let mc = ModelChecker::new(&before_loop);
+        assert!(mc.holds(&CtlFormula::af(CtlFormula::atom("q"))));
+    }
+}

@@ -1,0 +1,206 @@
+//! Finite Kripke structures — the models the CTL checker runs on.
+
+use std::collections::BTreeSet;
+
+/// A finite Kripke structure: states labelled with atomic propositions,
+/// a total transition relation, and a set of initial states.
+///
+/// ```
+/// use vdo_specpat::Kripke;
+/// let mut k = Kripke::new();
+/// let s0 = k.add_state(["idle"]);
+/// let s1 = k.add_state(["busy"]);
+/// k.add_transition(s0, s1);
+/// k.add_transition(s1, s0);
+/// k.set_initial(s0);
+/// assert!(k.labels(s0).contains("idle"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Kripke {
+    labels: Vec<BTreeSet<String>>,
+    successors: Vec<Vec<usize>>,
+    initial: Vec<usize>,
+}
+
+impl Kripke {
+    /// Creates an empty structure.
+    #[must_use]
+    pub fn new() -> Self {
+        Kripke::default()
+    }
+
+    /// Adds a state with the given atomic-proposition labels; returns its
+    /// id.
+    pub fn add_state<I, T>(&mut self, labels: I) -> usize
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        self.labels
+            .push(labels.into_iter().map(Into::into).collect());
+        self.successors.push(Vec::new());
+        self.labels.len() - 1
+    }
+
+    /// Adds a transition `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state id is out of range.
+    pub fn add_transition(&mut self, from: usize, to: usize) {
+        assert!(
+            from < self.len() && to < self.len(),
+            "state id out of range"
+        );
+        self.successors[from].push(to);
+    }
+
+    /// Marks a state as initial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn set_initial(&mut self, state: usize) {
+        assert!(state < self.len(), "state id out of range");
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff the structure has no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    #[must_use]
+    pub fn labels(&self, state: usize) -> &BTreeSet<String> {
+        &self.labels[state]
+    }
+
+    /// The successors of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    #[must_use]
+    pub fn successors(&self, state: usize) -> &[usize] {
+        &self.successors[state]
+    }
+
+    /// Initial states.
+    #[must_use]
+    pub fn initial_states(&self) -> &[usize] {
+        &self.initial
+    }
+
+    /// `true` iff every state has at least one successor (CTL semantics
+    /// assume a total transition relation).
+    #[must_use]
+    pub fn is_total(&self) -> bool {
+        self.successors.iter().all(|s| !s.is_empty())
+    }
+
+    /// Makes the relation total by adding a self-loop to every deadlocked
+    /// state; returns how many loops were added.
+    pub fn totalize(&mut self) -> usize {
+        let mut added = 0;
+        for (i, succ) in self.successors.iter_mut().enumerate() {
+            if succ.is_empty() {
+                succ.push(i);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Builds a **lasso** from a linear sequence of label sets: states
+    /// `0..n-1` chained, with the last state looping back to
+    /// `loop_back_to`. A single-path structure like this makes CTL and
+    /// LTL coincide, which the cross-validation tests exploit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or `loop_back_to >= states.len()`.
+    #[must_use]
+    pub fn lasso<I, T, U>(states: I, loop_back_to: usize) -> Kripke
+    where
+        I: IntoIterator<Item = T>,
+        T: IntoIterator<Item = U>,
+        U: Into<String>,
+    {
+        let mut k = Kripke::new();
+        for labels in states {
+            k.add_state(labels);
+        }
+        assert!(!k.is_empty(), "lasso needs at least one state");
+        assert!(loop_back_to < k.len(), "loop target out of range");
+        for i in 0..k.len() - 1 {
+            k.add_transition(i, i + 1);
+        }
+        let last = k.len() - 1;
+        k.add_transition(last, loop_back_to);
+        k.set_initial(0);
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut k = Kripke::new();
+        let a = k.add_state(["x", "y"]);
+        let b = k.add_state(Vec::<String>::new());
+        k.add_transition(a, b);
+        k.set_initial(a);
+        k.set_initial(a); // idempotent
+        assert_eq!(k.len(), 2);
+        assert!(k.labels(a).contains("x"));
+        assert!(k.labels(b).is_empty());
+        assert_eq!(k.successors(a), &[b]);
+        assert_eq!(k.initial_states(), &[a]);
+    }
+
+    #[test]
+    fn totality() {
+        let mut k = Kripke::new();
+        let a = k.add_state(["x"]);
+        let b = k.add_state(["y"]);
+        k.add_transition(a, b);
+        assert!(!k.is_total());
+        assert_eq!(k.totalize(), 1);
+        assert!(k.is_total());
+        assert_eq!(k.successors(b), &[b]);
+    }
+
+    #[test]
+    fn lasso_shape() {
+        let k = Kripke::lasso([vec!["a"], vec!["b"], vec!["c"]], 1);
+        assert_eq!(k.len(), 3);
+        assert!(k.is_total());
+        assert_eq!(k.successors(2), &[1]);
+        assert_eq!(k.initial_states(), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_transition_panics() {
+        let mut k = Kripke::new();
+        k.add_state(["a"]);
+        k.add_transition(0, 5);
+    }
+}

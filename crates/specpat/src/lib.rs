@@ -1,0 +1,44 @@
+//! # vdo-specpat — specification patterns, observer automata, and a CTL
+//! model checker
+//!
+//! Rust reproduction of the **PROPAS** workflow in VeriDevOps (backed by
+//! the PSP-UPPAAL catalogue): a requirements engineer picks a *pattern*
+//! (universality, absence, existence, response, precedence) and a *scope*
+//! (globally, before `r`, after `q`, between `q` and `r`, after `q` until
+//! `r`), and the tool generates the formal property — LTL for linear-time
+//! reasoning, CTL for branching-time model checking, UPPAAL query syntax
+//! where expressible — plus an **observer automaton** that detects
+//! violations on execution traces.
+//!
+//! The original toolchain hands the generated TCTL to UPPAAL. UPPAAL is
+//! proprietary-ish and external, so this crate ships the substitute the
+//! reproduction needs (see DESIGN.md): a discrete-time
+//! [`ObserverAutomaton`] simulator for trace checking, and a full
+//! fixpoint-labelling [`ctl`] model checker over finite [`Kripke`]
+//! structures.
+//!
+//! ```
+//! use vdo_specpat::{Scope, PatternKind, SpecPattern};
+//!
+//! let pat = SpecPattern::new(
+//!     Scope::Globally,
+//!     PatternKind::response("alarm_raised", "operator_notified"),
+//! );
+//! assert_eq!(pat.to_ltl().to_string(), "G (alarm_raised -> F operator_notified)");
+//! assert_eq!(pat.to_uppaal().unwrap(), "alarm_raised --> operator_notified");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctl;
+pub mod kripke;
+pub mod observer;
+pub mod pattern;
+pub mod resa;
+
+pub use ctl::{CtlFormula, ModelChecker};
+pub use kripke::Kripke;
+pub use observer::{BoolExpr, ObserverAutomaton, ObserverOutcome};
+pub use pattern::{PatternKind, Scope, SpecPattern};
+pub use resa::ResaRequirement;

@@ -1,0 +1,737 @@
+//! Observer automata: violation detectors compiled from specification
+//! patterns.
+//!
+//! PROPAS's catalogue ships each pattern with an *observer timed
+//! automaton* template; composed with the system model in UPPAAL, the
+//! observer reaches a BAD location exactly when the property is violated.
+//! This module reproduces the observers as discrete-time monitors that
+//! run directly over propositional traces (the UPPAAL substitution of
+//! DESIGN.md): locations, guarded edges over atoms, one integer clock.
+//!
+//! Within one observation, enabled edges fire as a chain (the analogue of
+//! UPPAAL's committed locations), so e.g. a trigger and a zero-bound
+//! deadline are processed in the same tick. The clock advances once per
+//! observation and resets on edges that request it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use vdo_core::CheckStatus;
+
+use crate::pattern::{PatternKind, Scope, SpecPattern};
+
+/// A Boolean guard over atomic propositions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Always true.
+    True,
+    /// The named atom holds in the current observation.
+    Atom(String),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Atom guard.
+    #[must_use]
+    pub fn atom(name: impl Into<String>) -> BoolExpr {
+        BoolExpr::Atom(name.into())
+    }
+    /// Negation.
+    #[must_use]
+    // An `ops::Not` impl would move the operand; the builder-style
+    // associated function is the intended API.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: BoolExpr) -> BoolExpr {
+        BoolExpr::Not(Box::new(e))
+    }
+    /// Conjunction.
+    #[must_use]
+    pub fn and(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(a), Box::new(b))
+    }
+    /// Disjunction.
+    #[must_use]
+    pub fn or(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the guard against an observation (set of true atoms).
+    #[must_use]
+    pub fn eval(&self, atoms: &BTreeSet<String>) -> bool {
+        match self {
+            BoolExpr::True => true,
+            BoolExpr::Atom(a) => atoms.contains(a),
+            BoolExpr::Not(e) => !e.eval(atoms),
+            BoolExpr::And(a, b) => a.eval(atoms) && b.eval(atoms),
+            BoolExpr::Or(a, b) => a.eval(atoms) || b.eval(atoms),
+        }
+    }
+}
+
+/// Clock constraint on an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockGuard {
+    /// Fires only while `x <= bound`.
+    AtMost(u64),
+    /// Fires only once `x >= bound`.
+    AtLeast(u64),
+}
+
+impl ClockGuard {
+    fn eval(self, x: u64) -> bool {
+        match self {
+            ClockGuard::AtMost(b) => x <= b,
+            ClockGuard::AtLeast(b) => x >= b,
+        }
+    }
+}
+
+/// Classification of an observer location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocationKind {
+    /// No outstanding obligation; cannot conclude Pass at runtime.
+    Safe,
+    /// An obligation is outstanding (complete-trace end here = Fail).
+    Pending,
+    /// The property is conclusively satisfied (prefix Pass).
+    Accepting,
+    /// The property is violated (prefix Fail).
+    Bad,
+}
+
+/// One guarded edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    from: usize,
+    to: usize,
+    guard: BoolExpr,
+    clock_guard: Option<ClockGuard>,
+    reset_clock: bool,
+}
+
+/// Outcome of running an observer over a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverOutcome {
+    /// Prefix-semantics verdict after the last observation.
+    pub prefix: CheckStatus,
+    /// Complete-semantics verdict (trace treated as whole behaviour).
+    pub complete: CheckStatus,
+    /// Index of the observation at which BAD was entered, if any.
+    pub violation_at: Option<usize>,
+}
+
+/// A deterministic discrete-time observer automaton.
+pub struct ObserverAutomaton {
+    name: String,
+    locations: Vec<(String, LocationKind)>,
+    edges: Vec<Edge>,
+    initial: usize,
+}
+
+impl ObserverAutomaton {
+    /// Starts building an observer with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ObserverBuilder {
+        ObserverBuilder {
+            name: name.into(),
+            locations: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The observer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of locations.
+    #[must_use]
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Compiles the observer template for a pattern, if one exists.
+    ///
+    /// Supported: every `Globally`-scoped kind, `After`-scoped
+    /// universality/absence, and `AfterUntil`-scoped universality/absence
+    /// — the templates the PSP-UPPAAL catalogue ships. Returns `None`
+    /// for the rest (checked via their LTL formula instead).
+    #[must_use]
+    pub fn for_pattern(pattern: &SpecPattern) -> Option<ObserverAutomaton> {
+        use PatternKind::*;
+        let atom = BoolExpr::atom;
+        let not = BoolExpr::not;
+        let and = BoolExpr::and;
+        match (pattern.scope(), pattern.kind()) {
+            (Scope::Globally, Universality(p)) => Some(
+                Self::builder("obs_universality")
+                    .location("OK", LocationKind::Safe)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("OK", "BAD", not(atom(p)))
+                    .initial("OK")
+                    .build(),
+            ),
+            (Scope::Globally, Absence(p)) => Some(
+                Self::builder("obs_absence")
+                    .location("OK", LocationKind::Safe)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("OK", "BAD", atom(p))
+                    .initial("OK")
+                    .build(),
+            ),
+            (Scope::Globally, Existence(p)) => Some(
+                Self::builder("obs_existence")
+                    .location("WAIT", LocationKind::Pending)
+                    .location("DONE", LocationKind::Accepting)
+                    .edge("WAIT", "DONE", atom(p))
+                    .initial("WAIT")
+                    .build(),
+            ),
+            (Scope::Globally, Response(p, s)) => Some(
+                Self::builder("obs_response")
+                    .location("OK", LocationKind::Safe)
+                    .location("WAIT", LocationKind::Pending)
+                    .edge("OK", "WAIT", and(atom(p), not(atom(s))))
+                    .edge("WAIT", "OK", atom(s))
+                    .initial("OK")
+                    .build(),
+            ),
+            (Scope::Globally, BoundedResponse(p, s, t)) => Some(
+                Self::builder("obs_bounded_response")
+                    .location("OK", LocationKind::Safe)
+                    .location("WAIT", LocationKind::Pending)
+                    .location("BAD", LocationKind::Bad)
+                    .edge_reset("OK", "WAIT", and(atom(p), not(atom(s))))
+                    .edge("WAIT", "OK", atom(s))
+                    .edge_clocked("WAIT", "BAD", not(atom(s)), ClockGuard::AtLeast(*t))
+                    .initial("OK")
+                    .build(),
+            ),
+            (Scope::Globally, Precedence(p, s)) => Some(
+                Self::builder("obs_precedence")
+                    .location("WAIT", LocationKind::Safe)
+                    .location("DONE", LocationKind::Accepting)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("WAIT", "DONE", atom(s))
+                    .edge("WAIT", "BAD", and(atom(p), not(atom(s))))
+                    .initial("WAIT")
+                    .build(),
+            ),
+            (Scope::After(q), Universality(p)) => Some(
+                Self::builder("obs_after_universality")
+                    .location("IDLE", LocationKind::Safe)
+                    .location("ACTIVE", LocationKind::Safe)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("IDLE", "BAD", and(atom(q), not(atom(p))))
+                    .edge("IDLE", "ACTIVE", atom(q))
+                    .edge("ACTIVE", "BAD", not(atom(p)))
+                    .initial("IDLE")
+                    .build(),
+            ),
+            (Scope::After(q), Absence(p)) => Some(
+                Self::builder("obs_after_absence")
+                    .location("IDLE", LocationKind::Safe)
+                    .location("ACTIVE", LocationKind::Safe)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("IDLE", "BAD", and(atom(q), atom(p)))
+                    .edge("IDLE", "ACTIVE", atom(q))
+                    .edge("ACTIVE", "BAD", atom(p))
+                    .initial("IDLE")
+                    .build(),
+            ),
+            (Scope::AfterUntil(q, r), Universality(p)) => Some(
+                Self::builder("obs_after_until_universality")
+                    .location("IDLE", LocationKind::Safe)
+                    .location("ACTIVE", LocationKind::Safe)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("IDLE", "BAD", and(and(atom(q), not(atom(r))), not(atom(p))))
+                    .edge("IDLE", "ACTIVE", and(atom(q), not(atom(r))))
+                    .edge("ACTIVE", "IDLE", atom(r))
+                    .edge("ACTIVE", "BAD", not(atom(p)))
+                    .initial("IDLE")
+                    .build(),
+            ),
+            (Scope::AfterUntil(q, r), Absence(p)) => Some(
+                Self::builder("obs_after_until_absence")
+                    .location("IDLE", LocationKind::Safe)
+                    .location("ACTIVE", LocationKind::Safe)
+                    .location("BAD", LocationKind::Bad)
+                    .edge("IDLE", "BAD", and(and(atom(q), not(atom(r))), atom(p)))
+                    .edge("IDLE", "ACTIVE", and(atom(q), not(atom(r))))
+                    .edge("ACTIVE", "IDLE", atom(r))
+                    .edge("ACTIVE", "BAD", atom(p))
+                    .initial("IDLE")
+                    .build(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Renders the automaton in Graphviz DOT format (BAD locations are
+    /// double circles, the initial location gets an entry arrow).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{}\" {{\n", self.name));
+        out.push_str("  rankdir=LR;\n  __start [shape=point];\n");
+        for (i, (name, kind)) in self.locations.iter().enumerate() {
+            let shape = match kind {
+                LocationKind::Bad => "doublecircle",
+                LocationKind::Accepting => "circle, peripheries=2, color=green",
+                LocationKind::Pending => "circle, style=dashed",
+                LocationKind::Safe => "circle",
+            };
+            out.push_str(&format!("  n{i} [label=\"{name}\", shape={shape}];\n"));
+        }
+        out.push_str(&format!("  __start -> n{};\n", self.initial));
+        for e in &self.edges {
+            let mut label = format!("{:?}", e.guard);
+            if let Some(c) = e.clock_guard {
+                label.push_str(&format!(" / {c:?}"));
+            }
+            if e.reset_clock {
+                label.push_str(" / x:=0");
+            }
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                e.from,
+                e.to,
+                label.replace('"', "'")
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Runs the observer over a trace of observations.
+    #[must_use]
+    pub fn run(&self, trace: &[BTreeSet<String>]) -> ObserverOutcome {
+        let mut loc = self.initial;
+        let mut clock: u64 = 0;
+        let mut violation_at = None;
+        'obs: for (i, atoms) in trace.iter().enumerate() {
+            // Chain edges within one observation (committed-location
+            // analogue); bounded by the location count to stay safe.
+            for _ in 0..=self.locations.len() {
+                let fired = self.edges.iter().find(|e| {
+                    e.from == loc
+                        && e.guard.eval(atoms)
+                        && e.clock_guard.is_none_or(|g| g.eval(clock))
+                });
+                match fired {
+                    Some(e) => {
+                        loc = e.to;
+                        if e.reset_clock {
+                            clock = 0;
+                        }
+                        if self.locations[loc].1 == LocationKind::Bad {
+                            violation_at = Some(i);
+                            break 'obs;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if self.locations[loc].1 == LocationKind::Accepting {
+                break;
+            }
+            clock += 1;
+        }
+        let kind = self.locations[loc].1;
+        let prefix = match kind {
+            LocationKind::Bad => CheckStatus::Fail,
+            LocationKind::Accepting => CheckStatus::Pass,
+            LocationKind::Safe | LocationKind::Pending => CheckStatus::Incomplete,
+        };
+        let complete = match kind {
+            LocationKind::Bad | LocationKind::Pending => CheckStatus::Fail,
+            LocationKind::Safe | LocationKind::Accepting => CheckStatus::Pass,
+        };
+        ObserverOutcome {
+            prefix,
+            complete,
+            violation_at,
+        }
+    }
+}
+
+impl fmt::Debug for ObserverAutomaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObserverAutomaton")
+            .field("name", &self.name)
+            .field("locations", &self.locations.len())
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+/// Builder for [`ObserverAutomaton`].
+pub struct ObserverBuilder {
+    name: String,
+    locations: Vec<(String, LocationKind)>,
+    edges: Vec<(String, String, BoolExpr, Option<ClockGuard>, bool)>,
+}
+
+impl ObserverBuilder {
+    /// Declares a location.
+    #[must_use]
+    pub fn location(mut self, name: &str, kind: LocationKind) -> Self {
+        self.locations.push((name.to_string(), kind));
+        self
+    }
+
+    /// Adds an edge with a propositional guard.
+    #[must_use]
+    pub fn edge(mut self, from: &str, to: &str, guard: BoolExpr) -> Self {
+        self.edges
+            .push((from.to_string(), to.to_string(), guard, None, false));
+        self
+    }
+
+    /// Adds an edge that also resets the clock.
+    #[must_use]
+    pub fn edge_reset(mut self, from: &str, to: &str, guard: BoolExpr) -> Self {
+        self.edges
+            .push((from.to_string(), to.to_string(), guard, None, true));
+        self
+    }
+
+    /// Adds an edge with both a propositional and a clock guard.
+    #[must_use]
+    pub fn edge_clocked(
+        mut self,
+        from: &str,
+        to: &str,
+        guard: BoolExpr,
+        clock: ClockGuard,
+    ) -> Self {
+        self.edges
+            .push((from.to_string(), to.to_string(), guard, Some(clock), false));
+        self
+    }
+
+    /// Finalises with the given initial location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references an undeclared location or the initial
+    /// location is unknown.
+    #[must_use]
+    pub fn initial(self, name: &str) -> FinishedObserverBuilder {
+        FinishedObserverBuilder {
+            inner: self,
+            initial: name.to_string(),
+        }
+    }
+}
+
+/// Builder terminal state produced by [`ObserverBuilder::initial`].
+pub struct FinishedObserverBuilder {
+    inner: ObserverBuilder,
+    initial: String,
+}
+
+impl FinishedObserverBuilder {
+    /// Builds the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dangling location references.
+    #[must_use]
+    pub fn build(self) -> ObserverAutomaton {
+        let find = |n: &str| {
+            self.inner
+                .locations
+                .iter()
+                .position(|(name, _)| name == n)
+                .unwrap_or_else(|| panic!("unknown location '{n}'"))
+        };
+        let initial = find(&self.initial);
+        let edges = self
+            .inner
+            .edges
+            .iter()
+            .map(|(f, t, g, c, r)| Edge {
+                from: find(f),
+                to: find(t),
+                guard: g.clone(),
+                clock_guard: *c,
+                reset_clock: *r,
+            })
+            .collect();
+        ObserverAutomaton {
+            name: self.inner.name,
+            locations: self.inner.locations,
+            edges,
+            initial,
+        }
+    }
+}
+
+/// Convenience: turns slices of `&str` atom lists into trace
+/// observations.
+#[must_use]
+pub fn obs(atoms: &[&str]) -> BTreeSet<String> {
+    atoms.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(rows: &[&[&str]]) -> Vec<BTreeSet<String>> {
+        rows.iter().map(|r| obs(r)).collect()
+    }
+
+    fn pat(scope: Scope, kind: PatternKind) -> ObserverAutomaton {
+        ObserverAutomaton::for_pattern(&SpecPattern::new(scope, kind)).expect("observer exists")
+    }
+
+    #[test]
+    fn universality_observer() {
+        let o = pat(Scope::Globally, PatternKind::universality("p"));
+        let good = o.run(&trace(&[&["p"], &["p"]]));
+        assert_eq!(good.prefix, CheckStatus::Incomplete);
+        assert_eq!(good.complete, CheckStatus::Pass);
+        let bad = o.run(&trace(&[&["p"], &[]]));
+        assert_eq!(bad.prefix, CheckStatus::Fail);
+        assert_eq!(bad.violation_at, Some(1));
+    }
+
+    #[test]
+    fn absence_observer() {
+        let o = pat(Scope::Globally, PatternKind::absence("alarm"));
+        let ok = o.run(&trace(&[&[], &["x"]]));
+        assert_eq!(ok.complete, CheckStatus::Pass);
+        let ko = o.run(&trace(&[&[], &["alarm"]]));
+        assert_eq!(ko.prefix, CheckStatus::Fail);
+    }
+
+    #[test]
+    fn existence_observer_accepts() {
+        let o = pat(Scope::Globally, PatternKind::existence("done"));
+        let hit = o.run(&trace(&[&[], &["done"], &[]]));
+        assert_eq!(hit.prefix, CheckStatus::Pass);
+        assert_eq!(hit.complete, CheckStatus::Pass);
+        let miss = o.run(&trace(&[&[], &[]]));
+        assert_eq!(miss.prefix, CheckStatus::Incomplete);
+        assert_eq!(miss.complete, CheckStatus::Fail);
+    }
+
+    #[test]
+    fn response_observer() {
+        let o = pat(Scope::Globally, PatternKind::response("req", "ack"));
+        let answered = o.run(&trace(&[&["req"], &[], &["ack"]]));
+        assert_eq!(answered.complete, CheckStatus::Pass);
+        let open = o.run(&trace(&[&["req"], &[]]));
+        assert_eq!(open.complete, CheckStatus::Fail);
+        assert_eq!(open.prefix, CheckStatus::Incomplete);
+        // Same-tick response never creates an obligation.
+        let instant = o.run(&trace(&[&["req", "ack"]]));
+        assert_eq!(instant.complete, CheckStatus::Pass);
+    }
+
+    #[test]
+    fn bounded_response_observer_deadline() {
+        let o = pat(
+            Scope::Globally,
+            PatternKind::bounded_response("req", "ack", 2),
+        );
+        // ack exactly at deadline: fine.
+        let just = o.run(&trace(&[&["req"], &[], &["ack"]]));
+        assert_eq!(just.prefix, CheckStatus::Incomplete);
+        assert_eq!(just.complete, CheckStatus::Pass);
+        // One tick late: BAD at the deadline tick.
+        let late = o.run(&trace(&[&["req"], &[], &[], &["ack"]]));
+        assert_eq!(late.prefix, CheckStatus::Fail);
+        assert_eq!(late.violation_at, Some(2));
+    }
+
+    #[test]
+    fn bounded_response_zero_bound() {
+        let o = pat(
+            Scope::Globally,
+            PatternKind::bounded_response("req", "ack", 0),
+        );
+        let ok = o.run(&trace(&[&["req", "ack"]]));
+        assert_eq!(ok.complete, CheckStatus::Pass);
+        let ko = o.run(&trace(&[&["req"]]));
+        assert_eq!(ko.prefix, CheckStatus::Fail);
+        assert_eq!(
+            ko.violation_at,
+            Some(0),
+            "zero-bound violation fires same tick"
+        );
+    }
+
+    #[test]
+    fn precedence_observer() {
+        let o = pat(Scope::Globally, PatternKind::precedence("p", "s"));
+        let ok = o.run(&trace(&[&["s"], &["p"]]));
+        assert_eq!(ok.prefix, CheckStatus::Pass);
+        let ko = o.run(&trace(&[&["p"]]));
+        assert_eq!(ko.prefix, CheckStatus::Fail);
+        // Neither ever: weak-until passes on completion.
+        let neither = o.run(&trace(&[&[], &[]]));
+        assert_eq!(neither.complete, CheckStatus::Pass);
+    }
+
+    #[test]
+    fn after_universality_observer() {
+        let o = pat(Scope::after("q"), PatternKind::universality("p"));
+        // Before q, p unconstrained.
+        let ok = o.run(&trace(&[&[], &["q", "p"], &["p"]]));
+        assert_eq!(ok.complete, CheckStatus::Pass);
+        // p must hold at the q tick itself (G(q -> G p)).
+        let at_q = o.run(&trace(&[&["q"]]));
+        assert_eq!(at_q.prefix, CheckStatus::Fail);
+        let later = o.run(&trace(&[&["q", "p"], &[]]));
+        assert_eq!(later.prefix, CheckStatus::Fail);
+    }
+
+    #[test]
+    fn after_until_universality_observer() {
+        let o = pat(Scope::after_until("q", "r"), PatternKind::universality("p"));
+        let closes = o.run(&trace(&[&["q", "p"], &["p"], &["r"], &[]]));
+        // At the r tick the scope closes; p not required there or after.
+        assert_eq!(closes.complete, CheckStatus::Pass);
+        let reopens = o.run(&trace(&[&["q", "p"], &["r"], &[], &["q", "p"], &[]]));
+        assert_eq!(reopens.prefix, CheckStatus::Fail);
+        // q with simultaneous r: scope never opens (q ∧ ¬r guard).
+        let qr = o.run(&trace(&[&["q", "r"], &[]]));
+        assert_eq!(qr.complete, CheckStatus::Pass);
+    }
+
+    #[test]
+    fn dot_export_contains_structure() {
+        let o = pat(
+            Scope::Globally,
+            PatternKind::bounded_response("req", "ack", 2),
+        );
+        let dot = o.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("doublecircle"), "BAD location rendered");
+        assert!(dot.contains("x:=0"), "clock reset rendered");
+        assert!(dot.contains("__start ->"));
+    }
+
+    #[test]
+    fn unsupported_patterns_have_no_observer() {
+        assert!(ObserverAutomaton::for_pattern(&SpecPattern::new(
+            Scope::between("q", "r"),
+            PatternKind::universality("p")
+        ))
+        .is_none());
+    }
+
+    #[test]
+    fn builder_panics_on_dangling_location() {
+        let b = ObserverAutomaton::builder("x")
+            .location("A", LocationKind::Safe)
+            .edge("A", "NOPE", BoolExpr::True)
+            .initial("A");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.build()));
+        assert!(r.is_err());
+    }
+
+    mod against_ltl {
+        //! Observers for globally-scoped patterns agree with the LTL
+        //! evaluator on random traces.
+        use super::*;
+        use proptest::prelude::*;
+        use vdo_core::CheckStatus;
+        use vdo_temporal::{Interpretation, Semantics, Trace};
+
+        type St = (bool, bool); // (p/req, s/ack)
+
+        fn to_obs(states: &[St]) -> Vec<BTreeSet<String>> {
+            states
+                .iter()
+                .map(|&(p, s)| {
+                    let mut set = BTreeSet::new();
+                    if p {
+                        set.insert("p".to_string());
+                    }
+                    if s {
+                        set.insert("s".to_string());
+                    }
+                    set
+                })
+                .collect()
+        }
+
+        fn ltl_eval(pattern: &SpecPattern, states: &[St], mode: Semantics) -> CheckStatus {
+            let i = Interpretation::new(|name: &str, st: &St| match name {
+                "p" => CheckStatus::from(st.0),
+                "s" => CheckStatus::from(st.1),
+                _ => CheckStatus::Incomplete,
+            });
+            i.evaluate(
+                &pattern.to_ltl(),
+                &Trace::from_states(states.iter().copied()),
+                0,
+                mode,
+            )
+        }
+
+        fn cross_check(kind: PatternKind, states: &[St]) -> Result<(), TestCaseError> {
+            let pattern = SpecPattern::new(Scope::Globally, kind);
+            let observer = ObserverAutomaton::for_pattern(&pattern).unwrap();
+            let outcome = observer.run(&to_obs(states));
+            prop_assert_eq!(
+                outcome.complete,
+                ltl_eval(&pattern, states, Semantics::Complete),
+                "complete mismatch for {} on {:?}",
+                pattern,
+                states
+            );
+            // Prefix comparison only when the observer decides; observers
+            // are conservative (they may say Incomplete where LTL decides
+            // Pass, e.g. F p once p is seen — but our accepting locations
+            // handle that; assert full agreement).
+            prop_assert_eq!(
+                outcome.prefix,
+                ltl_eval(&pattern, states, Semantics::Prefix),
+                "prefix mismatch for {} on {:?}",
+                pattern,
+                states
+            );
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn universality(states in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 0..20)) {
+                cross_check(PatternKind::universality("p"), &states)?;
+            }
+            #[test]
+            fn absence(states in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 0..20)) {
+                cross_check(PatternKind::absence("p"), &states)?;
+            }
+            #[test]
+            fn existence(states in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 0..20)) {
+                cross_check(PatternKind::existence("p"), &states)?;
+            }
+            #[test]
+            fn response(states in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 0..20)) {
+                cross_check(PatternKind::response("p", "s"), &states)?;
+            }
+            #[test]
+            fn bounded_response(states in prop::collection::vec((prop::bool::ANY, prop::bool::ANY), 0..20), bound in 0u64..5) {
+                cross_check(PatternKind::bounded_response("p", "s", bound), &states)?;
+            }
+        }
+    }
+}

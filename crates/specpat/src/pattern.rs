@@ -1,0 +1,681 @@
+//! The scope × pattern specification matrix with formula generation.
+//!
+//! Mappings follow the canonical property-specification-pattern
+//! catalogue (Dwyer et al.), which is also the basis of the PSP-UPPAAL
+//! catalogue PROPAS draws from. Weak until is expanded as
+//! `a W b ≡ (a U b) ∨ G a` since the LTL AST has no native `W`.
+
+use std::fmt;
+
+use vdo_temporal::Formula;
+
+/// The five canonical scopes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// The entire execution.
+    Globally,
+    /// Up to the first occurrence of `r` (vacuous if `r` never occurs).
+    Before(String),
+    /// From the first occurrence of `q` on.
+    After(String),
+    /// Every closed interval from a `q` to the next `r`.
+    Between(String, String),
+    /// Every interval from a `q` to the next `r`, or to the end if `r`
+    /// never occurs.
+    AfterUntil(String, String),
+}
+
+impl Scope {
+    /// `before(r)` constructor from anything string-like.
+    #[must_use]
+    pub fn before(r: impl Into<String>) -> Scope {
+        Scope::Before(r.into())
+    }
+    /// `after(q)` constructor.
+    #[must_use]
+    pub fn after(q: impl Into<String>) -> Scope {
+        Scope::After(q.into())
+    }
+    /// `between(q, r)` constructor.
+    #[must_use]
+    pub fn between(q: impl Into<String>, r: impl Into<String>) -> Scope {
+        Scope::Between(q.into(), r.into())
+    }
+    /// `after(q) until(r)` constructor.
+    #[must_use]
+    pub fn after_until(q: impl Into<String>, r: impl Into<String>) -> Scope {
+        Scope::AfterUntil(q.into(), r.into())
+    }
+
+    /// Catalogue name of the scope.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scope::Globally => "Globally",
+            Scope::Before(_) => "Before",
+            Scope::After(_) => "After",
+            Scope::Between(..) => "Between",
+            Scope::AfterUntil(..) => "After-Until",
+        }
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Globally => write!(f, "Globally"),
+            Scope::Before(r) => write!(f, "Before {r}"),
+            Scope::After(q) => write!(f, "After {q}"),
+            Scope::Between(q, r) => write!(f, "Between {q} and {r}"),
+            Scope::AfterUntil(q, r) => write!(f, "After {q} until {r}"),
+        }
+    }
+}
+
+/// The pattern families PROPAS formalises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternKind {
+    /// `p` holds throughout the scope.
+    Universality(String),
+    /// `p` never holds in the scope.
+    Absence(String),
+    /// `p` holds at least once in the scope.
+    Existence(String),
+    /// Every `p` is followed by an `s` (within the scope).
+    Response(String, String),
+    /// `p` cannot occur before an `s` has occurred.
+    Precedence(String, String),
+    /// Every `p` is followed by an `s` within `t` time units
+    /// (globally-scoped only; the real-time pattern of D2.7's
+    /// `GlobalResponseTimed`).
+    BoundedResponse(String, String, u64),
+}
+
+impl PatternKind {
+    /// `universality(p)` constructor.
+    #[must_use]
+    pub fn universality(p: impl Into<String>) -> PatternKind {
+        PatternKind::Universality(p.into())
+    }
+    /// `absence(p)` constructor.
+    #[must_use]
+    pub fn absence(p: impl Into<String>) -> PatternKind {
+        PatternKind::Absence(p.into())
+    }
+    /// `existence(p)` constructor.
+    #[must_use]
+    pub fn existence(p: impl Into<String>) -> PatternKind {
+        PatternKind::Existence(p.into())
+    }
+    /// `response(p, s)` constructor.
+    #[must_use]
+    pub fn response(p: impl Into<String>, s: impl Into<String>) -> PatternKind {
+        PatternKind::Response(p.into(), s.into())
+    }
+    /// `precedence(p, s)` constructor: `s` precedes `p`.
+    #[must_use]
+    pub fn precedence(p: impl Into<String>, s: impl Into<String>) -> PatternKind {
+        PatternKind::Precedence(p.into(), s.into())
+    }
+    /// `bounded_response(p, s, t)` constructor.
+    #[must_use]
+    pub fn bounded_response(p: impl Into<String>, s: impl Into<String>, t: u64) -> PatternKind {
+        PatternKind::BoundedResponse(p.into(), s.into(), t)
+    }
+
+    /// Catalogue name of the pattern family.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PatternKind::Universality(_) => "Universality",
+            PatternKind::Absence(_) => "Absence",
+            PatternKind::Existence(_) => "Existence",
+            PatternKind::Response(..) => "Response",
+            PatternKind::Precedence(..) => "Precedence",
+            PatternKind::BoundedResponse(..) => "Bounded Response",
+        }
+    }
+}
+
+/// A fully instantiated specification pattern: scope + pattern kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecPattern {
+    scope: Scope,
+    kind: PatternKind,
+}
+
+/// Error for scope/pattern combinations with no supported mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedCombination {
+    scope: &'static str,
+    pattern: &'static str,
+    target: &'static str,
+}
+
+impl fmt::Display for UnsupportedCombination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no {} mapping for pattern '{}' in scope '{}'",
+            self.target, self.pattern, self.scope
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedCombination {}
+
+// Helper constructors local to this module.
+fn atom(s: &str) -> Formula {
+    Formula::atom(s)
+}
+fn not(f: Formula) -> Formula {
+    Formula::not(f)
+}
+fn and(a: Formula, b: Formula) -> Formula {
+    Formula::and(a, b)
+}
+fn or(a: Formula, b: Formula) -> Formula {
+    Formula::or(a, b)
+}
+fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::implies(a, b)
+}
+fn g(f: Formula) -> Formula {
+    Formula::globally(f)
+}
+fn f_(f: Formula) -> Formula {
+    Formula::finally(f)
+}
+fn u(a: Formula, b: Formula) -> Formula {
+    Formula::until(a, b)
+}
+/// Weak until: `a W b ≡ (a U b) ∨ G a`.
+fn w(a: Formula, b: Formula) -> Formula {
+    or(u(a.clone(), b), g(a))
+}
+
+impl SpecPattern {
+    /// Instantiates a pattern in a scope.
+    #[must_use]
+    pub fn new(scope: Scope, kind: PatternKind) -> Self {
+        SpecPattern { scope, kind }
+    }
+
+    /// The scope.
+    #[must_use]
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// The pattern kind.
+    #[must_use]
+    pub fn kind(&self) -> &PatternKind {
+        &self.kind
+    }
+
+    /// Generates the LTL formula per the canonical catalogue.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; every scope × kind combination has an LTL mapping
+    /// (bounded response uses the bounded-eventually operator and is
+    /// mapped in the `Globally` scope only — other scopes fall back to
+    /// its untimed response shape, which is the catalogue's documented
+    /// approximation).
+    #[must_use]
+    pub fn to_ltl(&self) -> Formula {
+        use PatternKind::*;
+        use Scope::*;
+        let kind = match &self.kind {
+            // Absence(p) in scope == Universality(¬p) in scope.
+            Absence(p) => Universality(format!("__not__{p}")),
+            k => k.clone(),
+        };
+        // Handle absence by negating the atom inline instead of the
+        // marker hack above — regenerate the proposition:
+        let (p_formula, kind) = match (&self.kind, kind) {
+            (Absence(p), _) => (not(atom(p)), PatternKind::Universality(p.clone())),
+            (_, k) => (
+                match &k {
+                    Universality(p) | Existence(p) => atom(p),
+                    Response(p, _) | Precedence(p, _) | BoundedResponse(p, _, _) => atom(p),
+                    Absence(_) => unreachable!("absence normalised above"),
+                },
+                k,
+            ),
+        };
+
+        match (&self.scope, &kind) {
+            // ---- Universality (and Absence, with p negated) ----
+            (Globally, Universality(_)) => g(p_formula),
+            (Before(r), Universality(_)) => implies(f_(atom(r)), u(p_formula, atom(r))),
+            (After(q), Universality(_)) => g(implies(atom(q), g(p_formula))),
+            (Between(q, r), Universality(_)) => g(implies(
+                and(and(atom(q), not(atom(r))), f_(atom(r))),
+                u(p_formula, atom(r)),
+            )),
+            (AfterUntil(q, r), Universality(_)) => {
+                g(implies(and(atom(q), not(atom(r))), w(p_formula, atom(r))))
+            }
+
+            // ---- Existence ----
+            (Globally, Existence(_)) => f_(p_formula),
+            (Before(r), Existence(p)) => w(not(atom(r)), and(atom(p), not(atom(r)))),
+            (After(q), Existence(p)) => or(g(not(atom(q))), f_(and(atom(q), f_(atom(p))))),
+            (Between(q, r), Existence(p)) => g(implies(
+                and(atom(q), not(atom(r))),
+                w(not(atom(r)), and(atom(p), not(atom(r)))),
+            )),
+            (AfterUntil(q, r), Existence(p)) => g(implies(
+                and(atom(q), not(atom(r))),
+                u(not(atom(r)), and(atom(p), not(atom(r)))),
+            )),
+
+            // ---- Response ----
+            (Globally, Response(p, s)) => g(implies(atom(p), f_(atom(s)))),
+            (Before(r), Response(p, s)) => implies(
+                f_(atom(r)),
+                u(
+                    implies(atom(p), u(not(atom(r)), and(atom(s), not(atom(r))))),
+                    atom(r),
+                ),
+            ),
+            (After(q), Response(p, s)) => g(implies(atom(q), g(implies(atom(p), f_(atom(s)))))),
+            (Between(q, r), Response(p, s)) => g(implies(
+                and(and(atom(q), not(atom(r))), f_(atom(r))),
+                u(
+                    implies(atom(p), u(not(atom(r)), and(atom(s), not(atom(r))))),
+                    atom(r),
+                ),
+            )),
+            (AfterUntil(q, r), Response(p, s)) => g(implies(
+                and(atom(q), not(atom(r))),
+                w(
+                    implies(atom(p), u(not(atom(r)), and(atom(s), not(atom(r))))),
+                    atom(r),
+                ),
+            )),
+
+            // ---- Precedence (s precedes p) ----
+            (Globally, Precedence(p, s)) => w(not(atom(p)), atom(s)),
+            (Before(r), Precedence(p, s)) => {
+                implies(f_(atom(r)), u(not(atom(p)), or(atom(s), atom(r))))
+            }
+            (After(q), Precedence(p, s)) => {
+                or(g(not(atom(q))), f_(and(atom(q), w(not(atom(p)), atom(s)))))
+            }
+            (Between(q, r), Precedence(p, s)) => g(implies(
+                and(and(atom(q), not(atom(r))), f_(atom(r))),
+                u(not(atom(p)), or(atom(s), atom(r))),
+            )),
+            (AfterUntil(q, r), Precedence(p, s)) => g(implies(
+                and(atom(q), not(atom(r))),
+                w(not(atom(p)), or(atom(s), atom(r))),
+            )),
+
+            // ---- Bounded response: timed mapping in the global scope,
+            //      untimed response shape elsewhere (documented) ----
+            (Globally, BoundedResponse(p, s, t)) => {
+                g(implies(atom(p), Formula::finally_within(*t, atom(s))))
+            }
+            (_, BoundedResponse(p, s, _)) => {
+                SpecPattern::new(self.scope.clone(), PatternKind::response(p, s)).to_ltl()
+            }
+
+            (_, Absence(_)) => unreachable!("absence normalised to universality"),
+        }
+    }
+
+    /// Generates the CTL formula where a faithful branching-time mapping
+    /// exists (the `Globally` scope and `After` scope).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedCombination`] for scopes whose CTL encodings
+    /// require fairness or history variables (before/between/after-until),
+    /// exactly the combinations the PSP catalogue lists as "no direct CTL
+    /// mapping".
+    pub fn to_ctl(&self) -> Result<crate::ctl::CtlFormula, UnsupportedCombination> {
+        use crate::ctl::CtlFormula as C;
+        use PatternKind::*;
+        use Scope::*;
+        let err = |target| UnsupportedCombination {
+            scope: self.scope.name(),
+            pattern: self.kind.name(),
+            target,
+        };
+        match (&self.scope, &self.kind) {
+            (Globally, Universality(p)) => Ok(C::ag(C::atom(p))),
+            (Globally, Absence(p)) => Ok(C::ag(C::not(C::atom(p)))),
+            (Globally, Existence(p)) => Ok(C::af(C::atom(p))),
+            (Globally, Response(p, s)) => Ok(C::ag(C::implies(C::atom(p), C::af(C::atom(s))))),
+            (Globally, Precedence(p, s)) => {
+                // ¬p W s in CTL: ¬E[¬s U (p ∧ ¬s)]
+                Ok(C::not(C::eu(
+                    C::not(C::atom(s)),
+                    C::and(C::atom(p), C::not(C::atom(s))),
+                )))
+            }
+            (After(q), Universality(p)) => Ok(C::ag(C::implies(C::atom(q), C::ag(C::atom(p))))),
+            (After(q), Absence(p)) => Ok(C::ag(C::implies(C::atom(q), C::ag(C::not(C::atom(p)))))),
+            (After(q), Response(p, s)) => Ok(C::ag(C::implies(
+                C::atom(q),
+                C::ag(C::implies(C::atom(p), C::af(C::atom(s)))),
+            ))),
+            _ => Err(err("CTL")),
+        }
+    }
+
+    /// Generates the UPPAAL query where the property fits UPPAAL's
+    /// requirement-specification language (`A[]`, `A<>`, `E<>`, `E[]`,
+    /// `p --> q`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedCombination`] outside the `Globally` scope —
+    /// UPPAAL's query language has no scoping; scoped properties are
+    /// checked there via observer automata instead (see
+    /// [`crate::observer`]).
+    pub fn to_uppaal(&self) -> Result<String, UnsupportedCombination> {
+        use PatternKind::*;
+        let err = || UnsupportedCombination {
+            scope: self.scope.name(),
+            pattern: self.kind.name(),
+            target: "UPPAAL query",
+        };
+        if self.scope != Scope::Globally {
+            return Err(err());
+        }
+        Ok(match &self.kind {
+            Universality(p) => format!("A[] {p}"),
+            Absence(p) => format!("A[] !{p}"),
+            Existence(p) => format!("A<> {p}"),
+            Response(p, s) => format!("{p} --> {s}"),
+            BoundedResponse(p, s, t) => format!("{p} --> (x <= {t} && {s})"),
+            Precedence(..) => return Err(err()),
+        })
+    }
+
+    /// Human-readable catalogue sentence.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        use PatternKind::*;
+        let body = match &self.kind {
+            Universality(p) => format!("it is always the case that {p} holds"),
+            Absence(p) => format!("it is never the case that {p} holds"),
+            Existence(p) => format!("{p} eventually holds"),
+            Response(p, s) => format!("if {p} holds then {s} eventually holds"),
+            Precedence(p, s) => format!("{p} occurs only after {s}"),
+            BoundedResponse(p, s, t) => {
+                format!("if {p} holds then {s} holds within {t} time units")
+            }
+        };
+        format!("{}, {body}", self.scope)
+    }
+}
+
+impl fmt::Display for SpecPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {}", self.scope.name(), self.kind.name())
+    }
+}
+
+/// Enumerates the full supported scope × pattern matrix over canonical
+/// atoms `p`, `s`, `q`, `r` — the inventory behind experiment E5.
+#[must_use]
+pub fn full_matrix() -> Vec<SpecPattern> {
+    let scopes = [
+        Scope::Globally,
+        Scope::before("r"),
+        Scope::after("q"),
+        Scope::between("q", "r"),
+        Scope::after_until("q", "r"),
+    ];
+    let kinds = [
+        PatternKind::universality("p"),
+        PatternKind::absence("p"),
+        PatternKind::existence("p"),
+        PatternKind::response("p", "s"),
+        PatternKind::precedence("p", "s"),
+        PatternKind::bounded_response("p", "s", 10),
+    ];
+    let mut out = Vec::new();
+    for sc in &scopes {
+        for k in &kinds {
+            out.push(SpecPattern::new(sc.clone(), k.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdo_core::CheckStatus;
+    use vdo_temporal::{Interpretation, Semantics, Trace};
+
+    #[test]
+    fn globally_mappings_render() {
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::universality("p"))
+                .to_ltl()
+                .to_string(),
+            "G p"
+        );
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::absence("p"))
+                .to_ltl()
+                .to_string(),
+            "G !p"
+        );
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::existence("p"))
+                .to_ltl()
+                .to_string(),
+            "F p"
+        );
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::response("p", "s"))
+                .to_ltl()
+                .to_string(),
+            "G (p -> F s)"
+        );
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::bounded_response("p", "s", 4))
+                .to_ltl()
+                .to_string(),
+            "G (p -> F<=4 s)"
+        );
+    }
+
+    #[test]
+    fn scoped_mappings_render() {
+        let after_univ = SpecPattern::new(Scope::after("q"), PatternKind::universality("p"));
+        assert_eq!(after_univ.to_ltl().to_string(), "G (q -> G p)");
+        let before_univ = SpecPattern::new(Scope::before("r"), PatternKind::universality("p"));
+        assert_eq!(before_univ.to_ltl().to_string(), "F r -> (p U r)");
+    }
+
+    #[test]
+    fn uppaal_queries() {
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::universality("safe"))
+                .to_uppaal()
+                .unwrap(),
+            "A[] safe"
+        );
+        assert_eq!(
+            SpecPattern::new(Scope::Globally, PatternKind::existence("done"))
+                .to_uppaal()
+                .unwrap(),
+            "A<> done"
+        );
+        assert!(
+            SpecPattern::new(Scope::after("q"), PatternKind::universality("p"))
+                .to_uppaal()
+                .is_err()
+        );
+        assert!(
+            SpecPattern::new(Scope::Globally, PatternKind::precedence("p", "s"))
+                .to_uppaal()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn full_matrix_has_30_cells_all_with_ltl() {
+        let m = full_matrix();
+        assert_eq!(m.len(), 30);
+        for pat in &m {
+            let f = pat.to_ltl();
+            assert!(f.size() >= 1, "{pat} produced an empty formula");
+            assert!(!pat.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn ctl_mapping_coverage() {
+        let m = full_matrix();
+        let ok = m.iter().filter(|p| p.to_ctl().is_ok()).count();
+        // Globally: universality/absence/existence/response/precedence (5);
+        // After: universality/absence/response (3).
+        assert_eq!(ok, 8);
+        let err = SpecPattern::new(Scope::between("q", "r"), PatternKind::universality("p"))
+            .to_ctl()
+            .unwrap_err();
+        assert!(err.to_string().contains("Between"));
+    }
+
+    /// Semantic spot-checks of scoped formulas on concrete traces,
+    /// using the vdo-temporal LTL evaluator.
+    mod semantics {
+        use super::*;
+
+        type St = (bool, bool, bool, bool); // (p, s, q, r)
+
+        fn interp() -> Interpretation<'static, St> {
+            Interpretation::new(|name, st: &St| match name {
+                "p" => CheckStatus::from(st.0),
+                "s" => CheckStatus::from(st.1),
+                "q" => CheckStatus::from(st.2),
+                "r" => CheckStatus::from(st.3),
+                _ => CheckStatus::Incomplete,
+            })
+        }
+
+        fn eval(pat: &SpecPattern, states: &[St]) -> CheckStatus {
+            interp().evaluate(
+                &pat.to_ltl(),
+                &Trace::from_states(states.iter().copied()),
+                0,
+                Semantics::Complete,
+            )
+        }
+
+        const OFF: St = (false, false, false, false);
+
+        #[test]
+        fn before_universality() {
+            let pat = SpecPattern::new(Scope::before("r"), PatternKind::universality("p"));
+            // p holds up to r: pass.
+            let good = [
+                (true, false, false, false),
+                (true, false, false, false),
+                (false, false, false, true),
+            ];
+            assert_eq!(eval(&pat, &good), CheckStatus::Pass);
+            // p breaks before r: fail.
+            let bad = [
+                (true, false, false, false),
+                OFF,
+                (false, false, false, true),
+            ];
+            assert_eq!(eval(&pat, &bad), CheckStatus::Fail);
+            // r never occurs: vacuously true.
+            let vac = [OFF, OFF];
+            assert_eq!(eval(&pat, &vac), CheckStatus::Pass);
+        }
+
+        #[test]
+        fn after_existence() {
+            let pat = SpecPattern::new(Scope::after("q"), PatternKind::existence("p"));
+            // q then later p: pass.
+            let good = [
+                OFF,
+                (false, false, true, false),
+                OFF,
+                (true, false, false, false),
+            ];
+            assert_eq!(eval(&pat, &good), CheckStatus::Pass);
+            // q but never p: fail.
+            let bad = [OFF, (false, false, true, false), OFF];
+            assert_eq!(eval(&pat, &bad), CheckStatus::Fail);
+            // q never occurs: vacuous.
+            assert_eq!(eval(&pat, &[OFF, OFF]), CheckStatus::Pass);
+        }
+
+        #[test]
+        fn globally_precedence() {
+            let pat = SpecPattern::new(Scope::Globally, PatternKind::precedence("p", "s"));
+            // s before first p: pass.
+            let good = [(false, true, false, false), (true, false, false, false)];
+            assert_eq!(eval(&pat, &good), CheckStatus::Pass);
+            // p with no prior s: fail.
+            let bad = [(true, false, false, false)];
+            assert_eq!(eval(&pat, &bad), CheckStatus::Fail);
+            // neither ever: weak until passes.
+            assert_eq!(eval(&pat, &[OFF, OFF]), CheckStatus::Pass);
+        }
+
+        #[test]
+        fn between_universality() {
+            let pat = SpecPattern::new(Scope::between("q", "r"), PatternKind::universality("p"));
+            // q opens, p holds until r: pass.
+            let good = [
+                (false, false, true, false),
+                (true, false, false, false),
+                (false, false, false, true),
+            ];
+            // Note: catalogue semantics require p from the q-state on; q-state
+            // itself has p=false here — check the catalogue formula's verdict.
+            // G((q ∧ ¬r ∧ Fr) → (p U r)): at tick 0, q∧¬r∧Fr holds, p U r
+            // requires p at 0 — p is false, so Fail.
+            assert_eq!(eval(&pat, &good), CheckStatus::Fail);
+            let good2 = [
+                (true, false, true, false),
+                (true, false, false, false),
+                (false, false, false, true),
+            ];
+            assert_eq!(eval(&pat, &good2), CheckStatus::Pass);
+            // Interval never closed (no r): vacuous for "between".
+            let open = [(false, false, true, false), OFF];
+            assert_eq!(eval(&pat, &open), CheckStatus::Pass);
+        }
+
+        #[test]
+        fn after_until_universality_is_strong_when_open() {
+            let pat =
+                SpecPattern::new(Scope::after_until("q", "r"), PatternKind::universality("p"));
+            // Interval stays open: p must keep holding.
+            let bad = [(true, false, true, false), OFF];
+            assert_eq!(eval(&pat, &bad), CheckStatus::Fail);
+            let good = [(true, false, true, false), (true, false, false, false)];
+            assert_eq!(eval(&pat, &good), CheckStatus::Pass);
+        }
+
+        #[test]
+        fn globally_response_bounded_vs_unbounded() {
+            let bounded =
+                SpecPattern::new(Scope::Globally, PatternKind::bounded_response("p", "s", 1));
+            let unbounded = SpecPattern::new(Scope::Globally, PatternKind::response("p", "s"));
+            let late = [
+                (true, false, false, false),
+                OFF,
+                OFF,
+                (false, true, false, false),
+            ];
+            assert_eq!(eval(&bounded, &late), CheckStatus::Fail);
+            assert_eq!(eval(&unbounded, &late), CheckStatus::Pass);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! ReSA-style boilerplate requirements.
+//!
+//! ReSA (Requirements Specification for Automotive systems) lets domain
+//! experts write requirements in a *constrained* natural language whose
+//! boilerplates parse unambiguously. This module provides the bridge the
+//! VeriDevOps WP2 chain needs: text that passed the NALABS quality gate
+//! is written against the boilerplate grammar below and compiles directly
+//! into a [`SpecPattern`] (and from there into LTL/CTL/observers).
+//!
+//! Grammar (keywords case-insensitive, `<atom>` is an identifier):
+//!
+//! ```text
+//! requirement := [scope ","] "the" <subject..> "shall" clause
+//! scope  := "globally"
+//!         | "before" <atom>
+//!         | "after" <atom>
+//!         | "between" <atom> "and" <atom>
+//!         | "after" <atom> "until" <atom>
+//! clause := "always satisfy" <atom>
+//!         | "never satisfy" <atom>
+//!         | "eventually satisfy" <atom>
+//!         | "respond to" <atom> "with" <atom> ["within" <N> "time units"]
+//!         | "satisfy" <atom> "only after" <atom>
+//! ```
+//!
+//! ```
+//! use vdo_specpat::resa::ResaRequirement;
+//!
+//! let req = ResaRequirement::parse(
+//!     "After maintenance_start until maintenance_end, the audit service \
+//!      shall always satisfy audit_enabled",
+//! ).unwrap();
+//! assert_eq!(req.subject(), "audit service");
+//! assert!(req.pattern().to_ltl().to_string().contains("audit_enabled"));
+//! ```
+
+use std::fmt;
+
+use crate::pattern::{PatternKind, Scope, SpecPattern};
+
+/// A parsed boilerplate requirement: the subject phrase plus the
+/// specification pattern it denotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResaRequirement {
+    subject: String,
+    pattern: SpecPattern,
+    source: String,
+}
+
+/// Error from [`ResaRequirement::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseResaError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseResaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "boilerplate violation: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseResaError {}
+
+fn err(message: impl Into<String>) -> ParseResaError {
+    ParseResaError {
+        message: message.into(),
+    }
+}
+
+impl ResaRequirement {
+    /// Parses one boilerplate requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseResaError`] when the text deviates from the
+    /// boilerplate grammar — by design the parser accepts nothing else;
+    /// free-form text belongs in front of NALABS, not here.
+    pub fn parse(text: &str) -> Result<ResaRequirement, ParseResaError> {
+        let source = text.trim().trim_end_matches('.').to_string();
+        let tokens: Vec<String> = source
+            .split_whitespace()
+            .map(|w| w.trim_matches(',').to_string())
+            .filter(|w| !w.is_empty())
+            .collect();
+        let mut pos = 0usize;
+        let peek = |p: usize| tokens.get(p).map(|s| s.to_ascii_lowercase());
+
+        // ---- scope (optional, defaults to Globally) ----
+        let scope = match peek(pos).as_deref() {
+            Some("globally") => {
+                pos += 1;
+                Scope::Globally
+            }
+            Some("before") => {
+                let event = tokens
+                    .get(pos + 1)
+                    .ok_or_else(|| err("'before' needs an event"))?;
+                pos += 2;
+                Scope::before(event.clone())
+            }
+            Some("between") => {
+                let q = tokens
+                    .get(pos + 1)
+                    .ok_or_else(|| err("'between' needs two events"))?;
+                if peek(pos + 2).as_deref() != Some("and") {
+                    return Err(err("'between <event> and <event>' expected"));
+                }
+                let r = tokens
+                    .get(pos + 3)
+                    .ok_or_else(|| err("'between' needs two events"))?;
+                pos += 4;
+                Scope::between(q.clone(), r.clone())
+            }
+            Some("after") => {
+                let q = tokens
+                    .get(pos + 1)
+                    .ok_or_else(|| err("'after' needs an event"))?;
+                if peek(pos + 2).as_deref() == Some("until") {
+                    let r = tokens
+                        .get(pos + 3)
+                        .ok_or_else(|| err("'until' needs an event"))?;
+                    pos += 4;
+                    Scope::after_until(q.clone(), r.clone())
+                } else {
+                    pos += 2;
+                    Scope::after(q.clone())
+                }
+            }
+            _ => Scope::Globally,
+        };
+
+        // ---- "the <subject..> shall" ----
+        if peek(pos).as_deref() != Some("the") {
+            return Err(err("expected 'the <subject> shall …'"));
+        }
+        pos += 1;
+        let shall_at = (pos..tokens.len())
+            .find(|&i| tokens[i].eq_ignore_ascii_case("shall"))
+            .ok_or_else(|| err("missing 'shall'"))?;
+        if shall_at == pos {
+            return Err(err("empty subject"));
+        }
+        let subject = tokens[pos..shall_at].join(" ");
+        pos = shall_at + 1;
+
+        // ---- clause ----
+        let kind = match (peek(pos).as_deref(), peek(pos + 1).as_deref()) {
+            (Some("always"), Some("satisfy")) => {
+                let p = tokens
+                    .get(pos + 2)
+                    .ok_or_else(|| err("'always satisfy' needs a property"))?;
+                ensure_end(&tokens, pos + 3)?;
+                PatternKind::universality(p.clone())
+            }
+            (Some("never"), Some("satisfy")) => {
+                let p = tokens
+                    .get(pos + 2)
+                    .ok_or_else(|| err("'never satisfy' needs a property"))?;
+                ensure_end(&tokens, pos + 3)?;
+                PatternKind::absence(p.clone())
+            }
+            (Some("eventually"), Some("satisfy")) => {
+                let p = tokens
+                    .get(pos + 2)
+                    .ok_or_else(|| err("'eventually satisfy' needs a property"))?;
+                ensure_end(&tokens, pos + 3)?;
+                PatternKind::existence(p.clone())
+            }
+            (Some("respond"), Some("to")) => {
+                let p = tokens
+                    .get(pos + 2)
+                    .ok_or_else(|| err("'respond to' needs a trigger"))?;
+                if peek(pos + 3).as_deref() != Some("with") {
+                    return Err(err("'respond to <p> with <s>' expected"));
+                }
+                let s = tokens
+                    .get(pos + 4)
+                    .ok_or_else(|| err("'with' needs a response"))?;
+                match peek(pos + 5).as_deref() {
+                    None => PatternKind::response(p.clone(), s.clone()),
+                    Some("within") => {
+                        let n: u64 = tokens
+                            .get(pos + 6)
+                            .ok_or_else(|| err("'within' needs a bound"))?
+                            .parse()
+                            .map_err(|_| err("'within' bound must be a number"))?;
+                        if peek(pos + 7).as_deref() != Some("time")
+                            || peek(pos + 8).as_deref() != Some("units")
+                        {
+                            return Err(err("'within <N> time units' expected"));
+                        }
+                        ensure_end(&tokens, pos + 9)?;
+                        PatternKind::bounded_response(p.clone(), s.clone(), n)
+                    }
+                    Some(other) => return Err(err(format!("unexpected '{other}' after response"))),
+                }
+            }
+            (Some("satisfy"), _) => {
+                let p = tokens
+                    .get(pos + 1)
+                    .ok_or_else(|| err("'satisfy' needs a property"))?;
+                if peek(pos + 2).as_deref() != Some("only")
+                    || peek(pos + 3).as_deref() != Some("after")
+                {
+                    return Err(err("'satisfy <p> only after <s>' expected"));
+                }
+                let s = tokens
+                    .get(pos + 4)
+                    .ok_or_else(|| err("'only after' needs an event"))?;
+                ensure_end(&tokens, pos + 5)?;
+                PatternKind::precedence(p.clone(), s.clone())
+            }
+            _ => return Err(err("unknown clause; see the boilerplate grammar")),
+        };
+
+        Ok(ResaRequirement {
+            subject,
+            pattern: SpecPattern::new(scope, kind),
+            source,
+        })
+    }
+
+    /// The subject phrase (e.g. `"audit service"`).
+    #[must_use]
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// The specification pattern the requirement denotes.
+    #[must_use]
+    pub fn pattern(&self) -> &SpecPattern {
+        &self.pattern
+    }
+
+    /// The normalised source text.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+fn ensure_end(tokens: &[String], at: usize) -> Result<(), ParseResaError> {
+    if at < tokens.len() {
+        Err(err(format!(
+            "unexpected trailing text '{}'",
+            tokens[at..].join(" ")
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl fmt::Display for ResaRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⇒ {}", self.source, self.pattern.to_ltl())
+    }
+}
+
+/// Parses a whole boilerplate document: one requirement per line, blank
+/// lines and `#` comments skipped.
+///
+/// # Errors
+///
+/// Returns the first error with its 1-based line number.
+pub fn parse_document(text: &str) -> Result<Vec<ResaRequirement>, (usize, ParseResaError)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(ResaRequirement::parse(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universality_global() {
+        let r = ResaRequirement::parse("The gateway shall always satisfy tls_enabled").unwrap();
+        assert_eq!(r.subject(), "gateway");
+        assert_eq!(r.pattern().to_ltl().to_string(), "G tls_enabled");
+    }
+
+    #[test]
+    fn absence_with_scope() {
+        let r = ResaRequirement::parse(
+            "After deployment, the system shall never satisfy debug_port_open",
+        )
+        .unwrap();
+        assert_eq!(r.pattern().scope().name(), "After");
+        assert!(r
+            .pattern()
+            .to_ltl()
+            .to_string()
+            .contains("!debug_port_open"));
+    }
+
+    #[test]
+    fn bounded_response() {
+        let r = ResaRequirement::parse(
+            "Globally, the intrusion detector shall respond to intrusion with alert \
+             within 5 time units",
+        )
+        .unwrap();
+        assert_eq!(
+            r.pattern().to_ltl().to_string(),
+            "G (intrusion -> F<=5 alert)"
+        );
+        assert_eq!(r.subject(), "intrusion detector");
+    }
+
+    #[test]
+    fn unbounded_response_and_precedence() {
+        let r = ResaRequirement::parse("The server shall respond to request with reply").unwrap();
+        assert_eq!(r.pattern().to_ltl().to_string(), "G (request -> F reply)");
+        let p = ResaRequirement::parse("The door shall satisfy open only after unlocked").unwrap();
+        assert_eq!(p.pattern().kind().name(), "Precedence");
+    }
+
+    #[test]
+    fn all_scopes_parse() {
+        for (text, scope) in [
+            ("Globally, the s shall always satisfy p", "Globally"),
+            ("Before shutdown, the s shall always satisfy p", "Before"),
+            ("After boot, the s shall always satisfy p", "After"),
+            (
+                "Between start and stop, the s shall always satisfy p",
+                "Between",
+            ),
+            (
+                "After start until stop, the s shall always satisfy p",
+                "After-Until",
+            ),
+        ] {
+            let r = ResaRequirement::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(r.pattern().scope().name(), scope, "{text}");
+        }
+    }
+
+    #[test]
+    fn trailing_period_and_case_insensitive() {
+        let r = ResaRequirement::parse("THE System SHALL Always Satisfy safe.").unwrap();
+        assert_eq!(r.subject(), "System");
+        assert_eq!(r.pattern().to_ltl().to_string(), "G safe");
+    }
+
+    #[test]
+    fn rejects_free_form_text() {
+        for bad in [
+            "The system should always satisfy p", // wrong modal
+            "system shall always satisfy p",      // missing 'the'
+            "The system shall be quite secure",   // no boilerplate clause
+            "The system shall respond to a with", // missing response
+            "The system shall respond to a with b within x time units", // bad bound
+            "The system shall always satisfy p and q", // trailing text
+            "The shall always satisfy p",         // empty subject
+            "",
+        ] {
+            assert!(ResaRequirement::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn document_parsing_with_line_numbers() {
+        let doc = "# security requirements\n\
+                   The gateway shall always satisfy tls_enabled\n\
+                   \n\
+                   After boot, the system shall eventually satisfy services_ready\n";
+        let reqs = parse_document(doc).unwrap();
+        assert_eq!(reqs.len(), 2);
+        let bad = "The gateway shall always satisfy tls_enabled\nnot a requirement\n";
+        let (line, _) = parse_document(bad).unwrap_err();
+        assert_eq!(line, 2);
+    }
+
+    #[test]
+    fn display_shows_formula() {
+        let r = ResaRequirement::parse("The s shall eventually satisfy done").unwrap();
+        assert!(r.to_string().contains("F done"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The boilerplate parser is total on arbitrary input.
+            #[test]
+            fn parser_never_panics(s in "\\PC{0,100}") {
+                let _ = ResaRequirement::parse(&s);
+            }
+
+            /// Every grammatical instantiation parses and produces a
+            /// well-formed pattern whose atoms are the ones written.
+            #[test]
+            fn grammatical_sentences_parse(
+                subject in "[a-z]{1,8}( [a-z]{1,8}){0,2}",
+                p in "[a-z][a-z0-9_]{0,10}",
+                s in "[a-z][a-z0-9_]{0,10}",
+                n in 0u64..100,
+                scope_idx in 0usize..5,
+                clause_idx in 0usize..5,
+            ) {
+                let scope = match scope_idx {
+                    0 => String::from("Globally, "),
+                    1 => format!("Before {s}, "),
+                    2 => format!("After {s}, "),
+                    3 => format!("Between {s} and {p}, "),
+                    _ => format!("After {s} until {p}, "),
+                };
+                let clause = match clause_idx {
+                    0 => format!("always satisfy {p}"),
+                    1 => format!("never satisfy {p}"),
+                    2 => format!("eventually satisfy {p}"),
+                    3 => format!("respond to {p} with {s} within {n} time units"),
+                    _ => format!("satisfy {p} only after {s}"),
+                };
+                // Reserved grammar words cannot be subjects/atoms.
+                for word in ["shall", "the", "and", "until", "within", "only", "after",
+                             "before", "between", "globally", "satisfy", "respond",
+                             "to", "with", "always", "never", "eventually", "time", "units"] {
+                    prop_assume!(p != word && s != word);
+                    prop_assume!(!subject.split(' ').any(|w| w == word));
+                }
+                let text = format!("{scope}the {subject} shall {clause}");
+                let req = ResaRequirement::parse(&text)
+                    .unwrap_or_else(|e| panic!("{text}: {e}"));
+                prop_assert_eq!(req.subject(), subject.as_str());
+                let atoms = req.pattern().to_ltl().atoms().join(" ");
+                prop_assert!(atoms.contains(p.as_str()), "{} missing from {}", p, atoms);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # vdo-stigs — executable STIG requirement catalogues
+//!
+//! The concrete security requirements of the VeriDevOps patterns
+//! catalogue (D2.7 packages `rqcode.stigs.ubuntu`, `rqcode.stigs.win10`
+//! and `rqcode.patterns.win10`), implemented as Rust values over the
+//! simulated hosts of `vdo-host`:
+//!
+//! * [`ubuntu`] — Canonical Ubuntu 18.04 LTS STIG findings
+//!   (`V-219157` "no NIS package", `V-219158` "no rsh-server", …) built
+//!   from reusable patterns like [`ubuntu::UbuntuPackagePattern`] — the
+//!   flagship example of RQCODE reuse: one pattern class, many findings;
+//! * [`win10`] — Windows 10 STIG audit-policy findings (`V-63447`,
+//!   `V-63449`, `V-63463`, `V-63467`, `V-63483`, `V-63487`) built from
+//!   [`win10::AuditPolicyPattern`], the Rust counterpart of the Java
+//!   `AuditPolicyRequirement` hierarchy that forks `auditpol.exe`.
+//!
+//! Every finding registers into a [`vdo_core::Catalog`], so the
+//! remediation planner can sweep a whole guide:
+//!
+//! ```
+//! use vdo_core::{PlannerConfig, PlannerOutcome, RemediationPlanner};
+//! use vdo_host::UnixHost;
+//!
+//! let catalog = vdo_stigs::ubuntu::catalog();
+//! let mut host = UnixHost::baseline_ubuntu_1804();   // stock, non-compliant
+//! let run = RemediationPlanner::new(PlannerConfig::default()).run(&catalog, &mut host);
+//! assert_eq!(run.outcome, PlannerOutcome::Compliant);
+//! assert!(!host.is_package_installed("telnetd"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ubuntu;
+pub mod win10;

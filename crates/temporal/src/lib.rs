@@ -1,0 +1,59 @@
+//! # vdo-temporal — temporal requirement patterns and runtime monitoring
+//!
+//! Rust reproduction of the `rqcode.patterns.temporal` package from the
+//! VeriDevOps patterns catalogue (D2.7): the classic specification-pattern
+//! shapes (universality, existence/response, timed variants, after/until
+//! scoping) as *executable* requirement classes, plus the
+//! [`MonitoringLoop`] that the project uses for "reactive protection at
+//! operations".
+//!
+//! Three layers:
+//!
+//! 1. **Traces** ([`trace`]) — a finite, discretely-timed sequence of
+//!    system states. Propositions over states are just
+//!    [`vdo_core::Checkable`] values, so the same closures/requirements
+//!    used for host checking work as atomic propositions here.
+//! 2. **Patterns** ([`patterns`]) — the temporal classes
+//!    ([`GlobalUniversality`], [`Eventually`], [`GlobalResponseTimed`],
+//!    [`GlobalResponseUntil`], [`GlobalUniversalityTimed`],
+//!    [`AfterUntilUniversality`]) with finite-trace evaluation under two
+//!    semantics ([`Semantics::Complete`] and the runtime-verification
+//!    prefix semantics [`Semantics::Prefix`]), TCTL rendering, and
+//!    incremental [`PatternMonitor`]s. A general [`ltl`] AST +
+//!    evaluator backs property tests (each pattern's verdict is
+//!    cross-checked against its LTL expansion).
+//! 3. **Monitoring** ([`monitor`]) — [`MonitoringLoop`] samples an
+//!    evolving environment at a fixed polling period on a simulated
+//!    clock, feeds observations to a pattern monitor, and reports
+//!    detection latency. Experiment E4/A2 sweeps the polling period.
+//!
+//! ```
+//! use vdo_core::CheckStatus;
+//! use vdo_temporal::{GlobalUniversality, Semantics, TemporalPattern, Trace};
+//!
+//! // States are u32 "queue depths"; the invariant: depth < 10.
+//! let ok = |s: &u32| CheckStatus::from(*s < 10);
+//! let pattern = GlobalUniversality::new(ok);
+//! let healthy: Trace<u32> = Trace::from_states([1, 3, 2, 5]);
+//! let broken: Trace<u32> = Trace::from_states([1, 3, 12, 5]);
+//! assert_eq!(pattern.evaluate(&healthy, Semantics::Complete), CheckStatus::Pass);
+//! assert_eq!(pattern.evaluate(&broken, Semantics::Prefix), CheckStatus::Fail);
+//! assert_eq!(pattern.tctl(), "A[] p");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ltl;
+pub mod monitor;
+pub mod patterns;
+pub mod trace;
+
+pub use ltl::{Formula, Interpretation};
+pub use monitor::{MonitorOutcome, MonitorReport, MonitoringLoop};
+pub use patterns::{
+    AfterUntilUniversality, Eventually, GlobalAbsence, GlobalPrecedence, GlobalResponse,
+    GlobalResponseTimed, GlobalResponseUntil, GlobalUniversality, GlobalUniversalityTimed,
+    PatternMonitor, Semantics, TemporalPattern,
+};
+pub use trace::{Tick, Trace};

@@ -1,0 +1,1320 @@
+//! The temporal requirement pattern classes of the VeriDevOps catalogue.
+//!
+//! Each pattern is a value holding its atomic propositions (any
+//! [`vdo_core::Checkable`] over the state type), and provides
+//!
+//! * batch evaluation over a [`Trace`] under [`Semantics::Complete`] or
+//!   [`Semantics::Prefix`] (runtime-verification) semantics,
+//! * an incremental [`PatternMonitor`] (the engine behind
+//!   [`MonitoringLoop`](crate::MonitoringLoop)),
+//! * its TCTL rendering (`tctl()`, as the Java classes print for UPPAAL),
+//! * its reference LTL expansion (`ltl()`), against which the incremental
+//!   monitors are property-tested.
+//!
+//! | Pattern | Informal reading | LTL |
+//! |---|---|---|
+//! | [`GlobalUniversality`] | globally, `p` always holds | `G p` |
+//! | [`Eventually`] | `p` eventually holds | `F p` |
+//! | [`GlobalResponseTimed`] | if `p`, then `s` within `T` ticks | `G (p -> F<=T s)` |
+//! | [`GlobalResponseUntil`] | if `p`, then eventually `q`, unless `r` | `G (p -> F (q ∨ r))` |
+//! | [`GlobalUniversalityTimed`] | `p` holds for the first `T` ticks | `G<=T p` |
+//! | [`AfterUntilUniversality`] | after `q`, `p` holds until `r` | `G (q -> WX (p W r))` |
+
+use std::collections::VecDeque;
+
+use vdo_core::{CheckStatus, Checkable};
+
+use crate::ltl::Formula;
+use crate::trace::{Tick, Trace};
+
+/// How a finite trace is interpreted during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Semantics {
+    /// The trace is the complete behaviour: `G p` passes if `p` held at
+    /// every observed tick; `F p` fails if `p` never held.
+    Complete,
+    /// The trace is a prefix of an unknown infinite behaviour: verdicts
+    /// are `Pass`/`Fail` only when every continuation agrees
+    /// (impartial runtime-verification semantics).
+    Prefix,
+}
+
+/// An incremental evaluator fed one state per tick.
+///
+/// Obtain one from [`TemporalPattern::begin`]. Verdicts are *monotone*:
+/// once `Pass` or `Fail` is returned, every later call returns the same
+/// verdict (monitors latch). [`finish`](PatternMonitor::finish) closes the
+/// trace and returns the [`Semantics::Complete`] verdict.
+pub trait PatternMonitor<S: ?Sized> {
+    /// Feeds the state observed at the next tick; returns the current
+    /// prefix verdict.
+    fn observe(&mut self, state: &S) -> CheckStatus;
+
+    /// Current prefix verdict without feeding a state.
+    fn verdict(&self) -> CheckStatus;
+
+    /// Declares the trace complete and returns the final verdict under
+    /// [`Semantics::Complete`].
+    fn finish(&mut self) -> CheckStatus;
+}
+
+/// A temporal requirement pattern over states of type `S`.
+pub trait TemporalPattern<S> {
+    /// Starts an incremental monitor for this pattern.
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_>;
+
+    /// The TCTL rendering the Java classes hand to UPPAAL.
+    fn tctl(&self) -> String;
+
+    /// Reference LTL expansion over canonical atom names.
+    fn ltl(&self) -> Formula;
+
+    /// One-sentence description (the catalogue's informal reading).
+    fn describe(&self) -> String;
+
+    /// Evaluates the pattern over a full trace.
+    fn evaluate(&self, trace: &Trace<S>, mode: Semantics) -> CheckStatus {
+        let mut m = self.begin();
+        for s in trace.states() {
+            m.observe(s);
+        }
+        match mode {
+            Semantics::Prefix => m.verdict(),
+            Semantics::Complete => m.finish(),
+        }
+    }
+}
+
+/// Tracks proposition verdicts that came back `Incomplete`: the monitor
+/// can still fail definitively, but can no longer pass definitively.
+#[derive(Debug, Clone, Copy, Default)]
+struct Unknown(bool);
+
+impl Unknown {
+    fn absorb(&mut self, v: CheckStatus) -> CheckStatus {
+        if v.is_incomplete() {
+            self.0 = true;
+        }
+        v
+    }
+    fn cap(self, v: CheckStatus) -> CheckStatus {
+        if self.0 && v.is_pass() {
+            CheckStatus::Incomplete
+        } else {
+            v
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalUniversality — G p
+// ---------------------------------------------------------------------------
+
+/// *Globally, it is always the case that `p` holds* (`G p`).
+///
+/// ```
+/// use vdo_core::CheckStatus;
+/// use vdo_temporal::{GlobalUniversality, Semantics, TemporalPattern, Trace};
+/// let pat = GlobalUniversality::new(|s: &bool| CheckStatus::from(*s));
+/// let t = Trace::from_states([true, true]);
+/// assert_eq!(pat.evaluate(&t, Semantics::Complete), CheckStatus::Pass);
+/// assert_eq!(pat.evaluate(&t, Semantics::Prefix), CheckStatus::Incomplete);
+/// ```
+pub struct GlobalUniversality<P> {
+    p: P,
+}
+
+impl<P> GlobalUniversality<P> {
+    /// Creates the pattern over proposition `p`.
+    #[must_use]
+    pub fn new(p: P) -> Self {
+        GlobalUniversality { p }
+    }
+}
+
+struct GlobalUniversalityMonitor<'a, P> {
+    p: &'a P,
+    failed: bool,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>> PatternMonitor<S> for GlobalUniversalityMonitor<'_, P> {
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if !self.failed && self.unknown.absorb(self.p.check(state)).is_fail() {
+            self.failed = true;
+        }
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        if self.failed {
+            CheckStatus::Fail
+        } else {
+            CheckStatus::Incomplete
+        }
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.failed {
+            CheckStatus::Fail
+        } else {
+            self.unknown.cap(CheckStatus::Pass)
+        }
+    }
+}
+
+impl<S, P: Checkable<S>> TemporalPattern<S> for GlobalUniversality<P> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalUniversalityMonitor {
+            p: &self.p,
+            failed: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "A[] p".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        Formula::globally(Formula::atom("p"))
+    }
+    fn describe(&self) -> String {
+        "Globally, it is always the case that p holds".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eventually — F p
+// ---------------------------------------------------------------------------
+
+/// *`p` always eventually holds* (`F p`).
+pub struct Eventually<P> {
+    p: P,
+}
+
+impl<P> Eventually<P> {
+    /// Creates the pattern over proposition `p`.
+    #[must_use]
+    pub fn new(p: P) -> Self {
+        Eventually { p }
+    }
+}
+
+struct EventuallyMonitor<'a, P> {
+    p: &'a P,
+    passed: bool,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>> PatternMonitor<S> for EventuallyMonitor<'_, P> {
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if !self.passed && self.unknown.absorb(self.p.check(state)).is_pass() {
+            self.passed = true;
+        }
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        if self.passed {
+            CheckStatus::Pass
+        } else {
+            CheckStatus::Incomplete
+        }
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.passed {
+            CheckStatus::Pass
+        } else if self.unknown.0 {
+            CheckStatus::Incomplete
+        } else {
+            CheckStatus::Fail
+        }
+    }
+}
+
+impl<S, P: Checkable<S>> TemporalPattern<S> for Eventually<P> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(EventuallyMonitor {
+            p: &self.p,
+            passed: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "A<> p".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        Formula::finally(Formula::atom("p"))
+    }
+    fn describe(&self) -> String {
+        "p always eventually holds".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAbsence — G !p
+// ---------------------------------------------------------------------------
+
+/// *Globally, `p` never holds* (`G !p`) — the safety shape most security
+/// prohibitions take ("the debug port is never open").
+///
+/// Extension beyond the six D2.7 classes: the PROPAS catalogue treats
+/// absence as universality of the negation, and so does this monitor.
+pub struct GlobalAbsence<P> {
+    p: P,
+}
+
+impl<P> GlobalAbsence<P> {
+    /// Creates the pattern over the prohibited proposition `p`.
+    #[must_use]
+    pub fn new(p: P) -> Self {
+        GlobalAbsence { p }
+    }
+}
+
+struct GlobalAbsenceMonitor<'a, P> {
+    p: &'a P,
+    violated: bool,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>> PatternMonitor<S> for GlobalAbsenceMonitor<'_, P> {
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if !self.violated && self.unknown.absorb(self.p.check(state)).is_pass() {
+            self.violated = true;
+        }
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        if self.violated {
+            CheckStatus::Fail
+        } else {
+            CheckStatus::Incomplete
+        }
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.violated {
+            CheckStatus::Fail
+        } else {
+            self.unknown.cap(CheckStatus::Pass)
+        }
+    }
+}
+
+impl<S, P: Checkable<S>> TemporalPattern<S> for GlobalAbsence<P> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalAbsenceMonitor {
+            p: &self.p,
+            violated: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "A[] not p".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        Formula::globally(Formula::not(Formula::atom("p")))
+    }
+    fn describe(&self) -> String {
+        "Globally, it is never the case that p holds".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalResponse — G (p -> F s), untimed
+// ---------------------------------------------------------------------------
+
+/// *Globally, every `p` is eventually followed by `s`* (`G (p -> F s)`)
+/// — untimed response, the liveness backbone of
+/// [`GlobalResponseTimed`] without the deadline.
+pub struct GlobalResponse<P, R> {
+    trigger: P,
+    response: R,
+}
+
+impl<P, R> GlobalResponse<P, R> {
+    /// Creates the pattern.
+    #[must_use]
+    pub fn new(trigger: P, response: R) -> Self {
+        GlobalResponse { trigger, response }
+    }
+}
+
+struct GlobalResponseMonitor<'a, P, R> {
+    trigger: &'a P,
+    response: &'a R,
+    obligation: bool,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>, R: Checkable<S>> PatternMonitor<S> for GlobalResponseMonitor<'_, P, R> {
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if self.unknown.absorb(self.trigger.check(state)).is_pass() {
+            self.obligation = true;
+        }
+        if self.obligation && self.unknown.absorb(self.response.check(state)).is_pass() {
+            self.obligation = false;
+        }
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        // Liveness: no finite prefix refutes or confirms.
+        CheckStatus::Incomplete
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.obligation {
+            CheckStatus::Fail
+        } else {
+            self.unknown.cap(CheckStatus::Pass)
+        }
+    }
+}
+
+impl<S, P: Checkable<S>, R: Checkable<S>> TemporalPattern<S> for GlobalResponse<P, R> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalResponseMonitor {
+            trigger: &self.trigger,
+            response: &self.response,
+            obligation: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "p --> s".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        Formula::globally(Formula::implies(
+            Formula::atom("p"),
+            Formula::finally(Formula::atom("s")),
+        ))
+    }
+    fn describe(&self) -> String {
+        "Globally, it is always the case that if p holds then s eventually holds".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalPrecedence — ¬p W s
+// ---------------------------------------------------------------------------
+
+/// *`p` occurs only after `s`* (`¬p W s`): e.g. "privileged operations
+/// occur only after authentication".
+pub struct GlobalPrecedence<P, R> {
+    p: P,
+    s: R,
+}
+
+impl<P, R> GlobalPrecedence<P, R> {
+    /// Creates the pattern: `s` must precede (or coincide with) the
+    /// first `p`.
+    #[must_use]
+    pub fn new(p: P, s: R) -> Self {
+        GlobalPrecedence { p, s }
+    }
+}
+
+struct GlobalPrecedenceMonitor<'a, P, R> {
+    p: &'a P,
+    s: &'a R,
+    enabled: bool,
+    verdict: CheckStatus,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>, R: Checkable<S>> PatternMonitor<S> for GlobalPrecedenceMonitor<'_, P, R> {
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if self.verdict.is_incomplete() && !self.enabled {
+            let s_now = self.unknown.absorb(self.s.check(state)).is_pass();
+            let p_now = self.unknown.absorb(self.p.check(state)).is_pass();
+            if s_now {
+                // s at (or before) the first p: conclusively satisfied.
+                self.enabled = true;
+                self.verdict = self.unknown.cap(CheckStatus::Pass);
+            } else if p_now {
+                self.verdict = CheckStatus::Fail;
+            }
+        }
+        self.verdict
+    }
+    fn verdict(&self) -> CheckStatus {
+        self.verdict
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.verdict.is_incomplete() {
+            // Neither p nor s ever occurred: the weak until passes.
+            self.unknown.cap(CheckStatus::Pass)
+        } else {
+            self.verdict
+        }
+    }
+}
+
+impl<S, P: Checkable<S>, R: Checkable<S>> TemporalPattern<S> for GlobalPrecedence<P, R> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalPrecedenceMonitor {
+            p: &self.p,
+            s: &self.s,
+            enabled: false,
+            verdict: CheckStatus::Incomplete,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "not E[ (not s) U (p and not s) ]".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        // ¬p W s = (¬p U s) ∨ G ¬p
+        Formula::or(
+            Formula::until(Formula::not(Formula::atom("p")), Formula::atom("s")),
+            Formula::globally(Formula::not(Formula::atom("p"))),
+        )
+    }
+    fn describe(&self) -> String {
+        "p occurs only after s has occurred".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalResponseTimed — G (p -> F<=T s)
+// ---------------------------------------------------------------------------
+
+/// *Globally, whenever `p` holds, `s` holds within `T` ticks*
+/// (`G (p -> F<=T s)`).
+///
+/// The deadline is inclusive: a response at exactly `t + T` is in time;
+/// with `boundary = 0` the pattern degenerates to `G (p -> s)`.
+pub struct GlobalResponseTimed<P, R> {
+    trigger: P,
+    response: R,
+    boundary: Tick,
+}
+
+impl<P, R> GlobalResponseTimed<P, R> {
+    /// Creates the pattern: `trigger` must be answered by `response`
+    /// within `boundary` ticks.
+    #[must_use]
+    pub fn new(trigger: P, response: R, boundary: Tick) -> Self {
+        GlobalResponseTimed {
+            trigger,
+            response,
+            boundary,
+        }
+    }
+
+    /// The time bound `T`.
+    #[must_use]
+    pub fn boundary(&self) -> Tick {
+        self.boundary
+    }
+}
+
+struct GlobalResponseTimedMonitor<'a, P, R> {
+    trigger: &'a P,
+    response: &'a R,
+    boundary: Tick,
+    now: Tick,
+    pending: VecDeque<Tick>,
+    failed: bool,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>, R: Checkable<S>> PatternMonitor<S>
+    for GlobalResponseTimedMonitor<'_, P, R>
+{
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if !self.failed {
+            let t = self.now;
+            if self.unknown.absorb(self.trigger.check(state)).is_pass() {
+                self.pending.push_back(t);
+            }
+            if self.unknown.absorb(self.response.check(state)).is_pass() {
+                self.pending.clear();
+            }
+            // Any obligation whose deadline has been reached without a
+            // response this tick is definitively violated.
+            if let Some(&oldest) = self.pending.front() {
+                if t >= oldest.saturating_add(self.boundary) {
+                    self.failed = true;
+                }
+            }
+        }
+        self.now += 1;
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        if self.failed {
+            CheckStatus::Fail
+        } else {
+            CheckStatus::Incomplete
+        }
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.failed {
+            CheckStatus::Fail
+        } else if !self.pending.is_empty() {
+            // Complete semantics: no more states, outstanding obligations
+            // can never be answered.
+            CheckStatus::Fail
+        } else {
+            self.unknown.cap(CheckStatus::Pass)
+        }
+    }
+}
+
+impl<S, P: Checkable<S>, R: Checkable<S>> TemporalPattern<S> for GlobalResponseTimed<P, R> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalResponseTimedMonitor {
+            trigger: &self.trigger,
+            response: &self.response,
+            boundary: self.boundary,
+            now: 0,
+            pending: VecDeque::new(),
+            failed: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        format!("A[] (p imply (A<>_{{<={}}} s))", self.boundary)
+    }
+    fn ltl(&self) -> Formula {
+        Formula::globally(Formula::implies(
+            Formula::atom("p"),
+            Formula::finally_within(self.boundary, Formula::atom("s")),
+        ))
+    }
+    fn describe(&self) -> String {
+        format!(
+            "Globally, it is always the case that if p holds then s eventually holds within {} time units",
+            self.boundary
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalResponseUntil — G (p -> F (q ∨ r))
+// ---------------------------------------------------------------------------
+
+/// *Globally, if `p` holds then, unless `r` holds, `q` will eventually
+/// hold.* Either `q` (fulfilment) or `r` (release) discharges the
+/// obligation; same-tick fulfilment counts.
+pub struct GlobalResponseUntil<P, Q, R> {
+    p: P,
+    q: Q,
+    r: R,
+}
+
+impl<P, Q, R> GlobalResponseUntil<P, Q, R> {
+    /// Creates the pattern with trigger `p`, fulfilment `q`, release `r`.
+    #[must_use]
+    pub fn new(p: P, q: Q, r: R) -> Self {
+        GlobalResponseUntil { p, q, r }
+    }
+}
+
+struct GlobalResponseUntilMonitor<'a, P, Q, R> {
+    p: &'a P,
+    q: &'a Q,
+    r: &'a R,
+    obligation: bool,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>, Q: Checkable<S>, R: Checkable<S>> PatternMonitor<S>
+    for GlobalResponseUntilMonitor<'_, P, Q, R>
+{
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if self.unknown.absorb(self.p.check(state)).is_pass() {
+            self.obligation = true;
+        }
+        if self.obligation {
+            let q = self.unknown.absorb(self.q.check(state));
+            let r = self.unknown.absorb(self.r.check(state));
+            if q.is_pass() || r.is_pass() {
+                self.obligation = false;
+            }
+        }
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        // Unbounded liveness: a finite prefix can never refute or confirm.
+        CheckStatus::Incomplete
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.obligation {
+            CheckStatus::Fail
+        } else {
+            self.unknown.cap(CheckStatus::Pass)
+        }
+    }
+}
+
+impl<S, P: Checkable<S>, Q: Checkable<S>, R: Checkable<S>> TemporalPattern<S>
+    for GlobalResponseUntil<P, Q, R>
+{
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalResponseUntilMonitor {
+            p: &self.p,
+            q: &self.q,
+            r: &self.r,
+            obligation: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "A[] (p imply A<> (q or r))".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        Formula::globally(Formula::implies(
+            Formula::atom("p"),
+            Formula::finally(Formula::or(Formula::atom("q"), Formula::atom("r"))),
+        ))
+    }
+    fn describe(&self) -> String {
+        "Globally, it is always the case that if p holds then, unless r holds, q will eventually hold"
+            .to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalUniversalityTimed — G<=T p
+// ---------------------------------------------------------------------------
+
+/// *`p` holds at every tick up to and including `T`* (`G<=T p`).
+///
+/// Unlike unbounded universality this pattern can conclusively **pass**
+/// at runtime: once tick `T` is observed without violation the verdict
+/// latches `Pass`.
+pub struct GlobalUniversalityTimed<P> {
+    p: P,
+    boundary: Tick,
+}
+
+impl<P> GlobalUniversalityTimed<P> {
+    /// Creates the pattern: `p` must hold through tick `boundary`.
+    #[must_use]
+    pub fn new(p: P, boundary: Tick) -> Self {
+        GlobalUniversalityTimed { p, boundary }
+    }
+
+    /// The time bound `T`.
+    #[must_use]
+    pub fn boundary(&self) -> Tick {
+        self.boundary
+    }
+}
+
+struct GlobalUniversalityTimedMonitor<'a, P> {
+    p: &'a P,
+    boundary: Tick,
+    now: Tick,
+    verdict: CheckStatus,
+    unknown: Unknown,
+}
+
+impl<S, P: Checkable<S>> PatternMonitor<S> for GlobalUniversalityTimedMonitor<'_, P> {
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if self.verdict.is_incomplete() && self.now <= self.boundary {
+            if self.unknown.absorb(self.p.check(state)).is_fail() {
+                self.verdict = CheckStatus::Fail;
+            } else if self.now == self.boundary {
+                self.verdict = self.unknown.cap(CheckStatus::Pass);
+            }
+        }
+        self.now += 1;
+        self.verdict
+    }
+    fn verdict(&self) -> CheckStatus {
+        self.verdict
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.verdict.is_incomplete() {
+            // Trace ended before the window did: under complete semantics
+            // the window clamps to the trace, so an unviolated run passes.
+            self.unknown.cap(CheckStatus::Pass)
+        } else {
+            self.verdict
+        }
+    }
+}
+
+impl<S, P: Checkable<S>> TemporalPattern<S> for GlobalUniversalityTimed<P> {
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(GlobalUniversalityTimedMonitor {
+            p: &self.p,
+            boundary: self.boundary,
+            now: 0,
+            verdict: CheckStatus::Incomplete,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        format!("A[] (t <= {} imply p)", self.boundary)
+    }
+    fn ltl(&self) -> Formula {
+        Formula::globally_within(self.boundary, Formula::atom("p"))
+    }
+    fn describe(&self) -> String {
+        format!(
+            "Globally, p holds at every instant within the first {} time units",
+            self.boundary
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AfterUntilUniversality — after q, p holds until r
+// ---------------------------------------------------------------------------
+
+/// *After `q`, it is always the case that `p` holds until `r` holds.*
+///
+/// The scope opens at the tick **after** an occurrence of `q` and closes
+/// at (and excluding) the next occurrence of `r`; `p` must hold at every
+/// tick strictly inside the scope. The scope may re-open on later `q`s,
+/// and `r` may never arrive (weak until).
+pub struct AfterUntilUniversality<Q, P, R> {
+    q: Q,
+    p: P,
+    r: R,
+}
+
+impl<Q, P, R> AfterUntilUniversality<Q, P, R> {
+    /// Creates the pattern: scope opener `q`, invariant `p`, closer `r`.
+    #[must_use]
+    pub fn new(q: Q, p: P, r: R) -> Self {
+        AfterUntilUniversality { q, p, r }
+    }
+}
+
+struct AfterUntilUniversalityMonitor<'a, Q, P, R> {
+    q: &'a Q,
+    p: &'a P,
+    r: &'a R,
+    open: bool,
+    failed: bool,
+    unknown: Unknown,
+}
+
+impl<S, Q: Checkable<S>, P: Checkable<S>, R: Checkable<S>> PatternMonitor<S>
+    for AfterUntilUniversalityMonitor<'_, Q, P, R>
+{
+    fn observe(&mut self, state: &S) -> CheckStatus {
+        if !self.failed {
+            if self.open {
+                if self.unknown.absorb(self.r.check(state)).is_pass() {
+                    self.open = false;
+                } else if self.unknown.absorb(self.p.check(state)).is_fail() {
+                    self.failed = true;
+                }
+            }
+            // q (re-)opens the scope starting from the *next* tick; when
+            // the scope is already open this is a no-op.
+            if !self.failed && self.unknown.absorb(self.q.check(state)).is_pass() {
+                self.open = true;
+            }
+        }
+        self.verdict()
+    }
+    fn verdict(&self) -> CheckStatus {
+        if self.failed {
+            CheckStatus::Fail
+        } else {
+            CheckStatus::Incomplete
+        }
+    }
+    fn finish(&mut self) -> CheckStatus {
+        if self.failed {
+            CheckStatus::Fail
+        } else {
+            self.unknown.cap(CheckStatus::Pass)
+        }
+    }
+}
+
+impl<S, Q: Checkable<S>, P: Checkable<S>, R: Checkable<S>> TemporalPattern<S>
+    for AfterUntilUniversality<Q, P, R>
+{
+    fn begin(&self) -> Box<dyn PatternMonitor<S> + '_> {
+        Box::new(AfterUntilUniversalityMonitor {
+            q: &self.q,
+            p: &self.p,
+            r: &self.r,
+            open: false,
+            failed: false,
+            unknown: Unknown::default(),
+        })
+    }
+    fn tctl(&self) -> String {
+        "A[] (q imply (A[] (p or r) W r))".to_string()
+    }
+    fn ltl(&self) -> Formula {
+        // G (q -> WX (p W r)), with WX φ = ¬X¬φ and p W r = (p U r) ∨ G p.
+        let weak_until = Formula::or(
+            Formula::until(Formula::atom("p"), Formula::atom("r")),
+            Formula::globally(Formula::atom("p")),
+        );
+        Formula::globally(Formula::implies(
+            Formula::atom("q"),
+            Formula::not(Formula::next(Formula::not(weak_until))),
+        ))
+    }
+    fn describe(&self) -> String {
+        "After q, it is always the case that p holds until r holds".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type St = (bool, bool, bool); // (p/trigger, q/aux, r/release) or (p, s, _)
+
+    fn p() -> impl Checkable<St> {
+        |s: &St| CheckStatus::from(s.0)
+    }
+    fn q() -> impl Checkable<St> {
+        |s: &St| CheckStatus::from(s.1)
+    }
+    fn r() -> impl Checkable<St> {
+        |s: &St| CheckStatus::from(s.2)
+    }
+
+    fn tr(v: &[St]) -> Trace<St> {
+        Trace::from_states(v.iter().copied())
+    }
+
+    #[test]
+    fn global_universality_semantics() {
+        let pat = GlobalUniversality::new(p());
+        let good = tr(&[(true, false, false); 4]);
+        assert_eq!(pat.evaluate(&good, Semantics::Complete), CheckStatus::Pass);
+        assert_eq!(
+            pat.evaluate(&good, Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+        let bad = tr(&[(true, false, false), (false, false, false)]);
+        assert_eq!(pat.evaluate(&bad, Semantics::Complete), CheckStatus::Fail);
+        assert_eq!(pat.evaluate(&bad, Semantics::Prefix), CheckStatus::Fail);
+        // Empty trace: vacuous under complete semantics.
+        assert_eq!(
+            pat.evaluate(&tr(&[]), Semantics::Complete),
+            CheckStatus::Pass
+        );
+        assert_eq!(
+            pat.evaluate(&tr(&[]), Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+    }
+
+    #[test]
+    fn monitor_latches_fail() {
+        let pat = GlobalUniversality::new(p());
+        let mut m = pat.begin();
+        assert_eq!(m.observe(&(true, false, false)), CheckStatus::Incomplete);
+        assert_eq!(m.observe(&(false, false, false)), CheckStatus::Fail);
+        assert_eq!(
+            m.observe(&(true, false, false)),
+            CheckStatus::Fail,
+            "latched"
+        );
+        assert_eq!(m.finish(), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn eventually_semantics() {
+        let pat = Eventually::new(q());
+        let hit = tr(&[(false, false, false), (false, true, false)]);
+        assert_eq!(pat.evaluate(&hit, Semantics::Prefix), CheckStatus::Pass);
+        assert_eq!(pat.evaluate(&hit, Semantics::Complete), CheckStatus::Pass);
+        let miss = tr(&[(false, false, false); 3]);
+        assert_eq!(
+            pat.evaluate(&miss, Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+        assert_eq!(pat.evaluate(&miss, Semantics::Complete), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn response_timed_in_time() {
+        // p triggers at tick 0, s answers at tick 2, T = 3.
+        let pat = GlobalResponseTimed::new(p(), q(), 3);
+        let t = tr(&[
+            (true, false, false),
+            (false, false, false),
+            (false, true, false),
+            (false, false, false),
+        ]);
+        assert_eq!(pat.evaluate(&t, Semantics::Complete), CheckStatus::Pass);
+        assert_eq!(pat.evaluate(&t, Semantics::Prefix), CheckStatus::Incomplete);
+    }
+
+    #[test]
+    fn response_timed_deadline_inclusive() {
+        // Response exactly at t + T is in time.
+        let pat = GlobalResponseTimed::new(p(), q(), 2);
+        let t = tr(&[
+            (true, false, false),
+            (false, false, false),
+            (false, true, false),
+        ]);
+        assert_eq!(pat.evaluate(&t, Semantics::Complete), CheckStatus::Pass);
+    }
+
+    #[test]
+    fn response_timed_misses_deadline() {
+        let pat = GlobalResponseTimed::new(p(), q(), 1);
+        let t = tr(&[
+            (true, false, false),
+            (false, false, false),
+            (false, true, false), // too late
+        ]);
+        assert_eq!(pat.evaluate(&t, Semantics::Prefix), CheckStatus::Fail);
+        assert_eq!(pat.evaluate(&t, Semantics::Complete), CheckStatus::Fail);
+        // The violation is detectable exactly at the deadline tick.
+        let mut m = pat.begin();
+        m.observe(&(true, false, false));
+        assert_eq!(m.verdict(), CheckStatus::Incomplete);
+        assert_eq!(m.observe(&(false, false, false)), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn response_timed_zero_bound_is_immediate_implication() {
+        let pat = GlobalResponseTimed::new(p(), q(), 0);
+        let ok = tr(&[(true, true, false), (false, false, false)]);
+        assert_eq!(pat.evaluate(&ok, Semantics::Complete), CheckStatus::Pass);
+        let ko = tr(&[(true, false, false)]);
+        assert_eq!(pat.evaluate(&ko, Semantics::Prefix), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn response_timed_open_obligation_at_end() {
+        let pat = GlobalResponseTimed::new(p(), q(), 10);
+        let t = tr(&[(true, false, false), (false, false, false)]);
+        // Prefix: deadline not reached, could still respond.
+        assert_eq!(pat.evaluate(&t, Semantics::Prefix), CheckStatus::Incomplete);
+        // Complete: no more states — obligation unmet.
+        assert_eq!(pat.evaluate(&t, Semantics::Complete), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn response_until_fulfilment_and_release() {
+        let pat = GlobalResponseUntil::new(p(), q(), r());
+        let fulfilled = tr(&[(true, false, false), (false, true, false)]);
+        assert_eq!(
+            pat.evaluate(&fulfilled, Semantics::Complete),
+            CheckStatus::Pass
+        );
+        let released = tr(&[(true, false, false), (false, false, true)]);
+        assert_eq!(
+            pat.evaluate(&released, Semantics::Complete),
+            CheckStatus::Pass
+        );
+        let open = tr(&[(true, false, false), (false, false, false)]);
+        assert_eq!(pat.evaluate(&open, Semantics::Complete), CheckStatus::Fail);
+        assert_eq!(
+            pat.evaluate(&open, Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+        // Same-tick fulfilment counts.
+        let immediate = tr(&[(true, true, false)]);
+        assert_eq!(
+            pat.evaluate(&immediate, Semantics::Complete),
+            CheckStatus::Pass
+        );
+    }
+
+    #[test]
+    fn universality_timed_passes_conclusively() {
+        let pat = GlobalUniversalityTimed::new(p(), 2);
+        let mut m = pat.begin();
+        assert_eq!(m.observe(&(true, false, false)), CheckStatus::Incomplete);
+        assert_eq!(m.observe(&(true, false, false)), CheckStatus::Incomplete);
+        assert_eq!(
+            m.observe(&(true, false, false)),
+            CheckStatus::Pass,
+            "window [0,2] observed without violation ⇒ conclusive Pass"
+        );
+        assert_eq!(
+            m.observe(&(false, false, false)),
+            CheckStatus::Pass,
+            "latched"
+        );
+    }
+
+    #[test]
+    fn universality_timed_fails_inside_window_only() {
+        let pat = GlobalUniversalityTimed::new(p(), 1);
+        let late_violation = tr(&[
+            (true, false, false),
+            (true, false, false),
+            (false, false, false), // outside window
+        ]);
+        assert_eq!(
+            pat.evaluate(&late_violation, Semantics::Complete),
+            CheckStatus::Pass
+        );
+        let early = tr(&[(false, false, false)]);
+        assert_eq!(pat.evaluate(&early, Semantics::Prefix), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn universality_timed_short_trace() {
+        let pat = GlobalUniversalityTimed::new(p(), 5);
+        let short = tr(&[(true, false, false), (true, false, false)]);
+        assert_eq!(
+            pat.evaluate(&short, Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+        assert_eq!(pat.evaluate(&short, Semantics::Complete), CheckStatus::Pass);
+    }
+
+    #[test]
+    fn after_until_scope_rules() {
+        let pat = AfterUntilUniversality::new(q(), p(), r());
+        // q at 0 opens scope from tick 1; p holds 1..2; r at 3 closes;
+        // p may fail afterwards.
+        let good = tr(&[
+            (false, true, false),
+            (true, false, false),
+            (true, false, false),
+            (false, false, true), // r closes; p not required here
+            (false, false, false),
+        ]);
+        assert_eq!(pat.evaluate(&good, Semantics::Complete), CheckStatus::Pass);
+        // Violation inside the open scope.
+        let bad = tr(&[
+            (false, true, false),
+            (true, false, false),
+            (false, false, false), // p fails, scope still open
+        ]);
+        assert_eq!(pat.evaluate(&bad, Semantics::Prefix), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn after_until_never_opened_is_vacuous() {
+        let pat = AfterUntilUniversality::new(q(), p(), r());
+        let t = tr(&[(false, false, false); 3]);
+        assert_eq!(pat.evaluate(&t, Semantics::Complete), CheckStatus::Pass);
+    }
+
+    #[test]
+    fn after_until_reopens() {
+        let pat = AfterUntilUniversality::new(q(), p(), r());
+        let t = tr(&[
+            (false, true, false),  // open
+            (true, false, true),   // r closes (p not checked at r tick)
+            (false, false, false), // outside scope: p may fail
+            (false, true, false),  // reopen
+            (false, false, false), // p fails inside reopened scope
+        ]);
+        assert_eq!(pat.evaluate(&t, Semantics::Prefix), CheckStatus::Fail);
+    }
+
+    #[test]
+    fn absence_response_precedence_basics() {
+        let absence = GlobalAbsence::new(p());
+        assert_eq!(
+            absence.evaluate(&tr(&[(false, false, false); 3]), Semantics::Complete),
+            CheckStatus::Pass
+        );
+        assert_eq!(
+            absence.evaluate(
+                &tr(&[(false, false, false), (true, false, false)]),
+                Semantics::Prefix
+            ),
+            CheckStatus::Fail
+        );
+
+        let response = GlobalResponse::new(p(), q());
+        let answered = tr(&[
+            (true, false, false),
+            (false, false, false),
+            (false, true, false),
+        ]);
+        assert_eq!(
+            response.evaluate(&answered, Semantics::Complete),
+            CheckStatus::Pass
+        );
+        assert_eq!(
+            response.evaluate(&answered, Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+        let open = tr(&[(true, false, false)]);
+        assert_eq!(
+            response.evaluate(&open, Semantics::Complete),
+            CheckStatus::Fail
+        );
+
+        let precedence = GlobalPrecedence::new(p(), q());
+        let ok = tr(&[(false, true, false), (true, false, false)]);
+        assert_eq!(
+            precedence.evaluate(&ok, Semantics::Prefix),
+            CheckStatus::Pass
+        );
+        let ko = tr(&[(true, false, false)]);
+        assert_eq!(
+            precedence.evaluate(&ko, Semantics::Prefix),
+            CheckStatus::Fail
+        );
+        let never = tr(&[(false, false, false); 2]);
+        assert_eq!(
+            precedence.evaluate(&never, Semantics::Complete),
+            CheckStatus::Pass
+        );
+        assert_eq!(
+            precedence.evaluate(&never, Semantics::Prefix),
+            CheckStatus::Incomplete
+        );
+    }
+
+    #[test]
+    fn unknown_propositions_cap_pass() {
+        let maybe = |_: &St| CheckStatus::Incomplete;
+        let pat = GlobalUniversality::new(maybe);
+        let t = tr(&[(true, false, false)]);
+        assert_eq!(
+            pat.evaluate(&t, Semantics::Complete),
+            CheckStatus::Incomplete
+        );
+        let pat = Eventually::new(maybe);
+        assert_eq!(
+            pat.evaluate(&t, Semantics::Complete),
+            CheckStatus::Incomplete
+        );
+    }
+
+    #[test]
+    fn tctl_strings() {
+        assert_eq!(GlobalUniversality::new(p()).tctl(), "A[] p");
+        assert_eq!(Eventually::new(p()).tctl(), "A<> p");
+        assert_eq!(
+            GlobalResponseTimed::new(p(), q(), 5).tctl(),
+            "A[] (p imply (A<>_{<=5} s))"
+        );
+        assert_eq!(
+            GlobalUniversalityTimed::new(p(), 9).tctl(),
+            "A[] (t <= 9 imply p)"
+        );
+        assert!(GlobalResponseUntil::new(p(), q(), r())
+            .tctl()
+            .contains("q or r"));
+        assert!(AfterUntilUniversality::new(q(), p(), r())
+            .tctl()
+            .contains("q imply"));
+    }
+
+    #[test]
+    fn describe_mentions_bound() {
+        assert!(GlobalResponseTimed::new(p(), q(), 7)
+            .describe()
+            .contains('7'));
+        assert!(GlobalUniversalityTimed::new(p(), 7)
+            .describe()
+            .contains('7'));
+    }
+
+    mod against_ltl_reference {
+        //! Property tests: every pattern's verdict equals its LTL
+        //! expansion's verdict under both semantics, on random traces of
+        //! decided propositions.
+        use super::*;
+        use crate::ltl::Interpretation;
+        use proptest::prelude::*;
+
+        fn interp() -> Interpretation<'static, St> {
+            Interpretation::new(|name, s: &St| match name {
+                "p" => CheckStatus::from(s.0),
+                "q" | "s" => CheckStatus::from(s.1),
+                "r" => CheckStatus::from(s.2),
+                _ => CheckStatus::Incomplete,
+            })
+        }
+
+        fn arb_trace() -> impl Strategy<Value = Vec<St>> {
+            prop::collection::vec((prop::bool::ANY, prop::bool::ANY, prop::bool::ANY), 0..24)
+        }
+
+        /// Maps pattern atoms to reference atoms: trigger=p, response=s/q, release=r.
+        fn check_pattern<Pat: TemporalPattern<St>>(pat: &Pat, states: &[St]) {
+            let trace = tr(states);
+            let i = interp();
+            let f = pat.ltl();
+            for mode in [Semantics::Complete, Semantics::Prefix] {
+                let via_monitor = pat.evaluate(&trace, mode);
+                let via_ltl = i.evaluate(&f, &trace, 0, mode);
+                // Empty-trace edge: LTL complete semantics says G/F over an
+                // empty suffix pass/fail vacuously, which matches monitors.
+                assert_eq!(
+                    via_monitor,
+                    via_ltl,
+                    "pattern {} disagrees with LTL {} on {:?} under {:?}",
+                    pat.describe(),
+                    f,
+                    states,
+                    mode
+                );
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn global_universality_matches(states in arb_trace()) {
+                check_pattern(&GlobalUniversality::new(p()), &states);
+            }
+
+            #[test]
+            fn eventually_matches(states in arb_trace()) {
+                check_pattern(&Eventually::new(p()), &states);
+            }
+
+            #[test]
+            fn response_timed_matches(states in arb_trace(), bound in 0u64..6) {
+                check_pattern(&GlobalResponseTimed::new(p(), q(), bound), &states);
+            }
+
+            #[test]
+            fn response_until_matches(states in arb_trace()) {
+                check_pattern(&GlobalResponseUntil::new(p(), q(), r()), &states);
+            }
+
+            #[test]
+            fn universality_timed_matches(states in arb_trace(), bound in 0u64..6) {
+                check_pattern(&GlobalUniversalityTimed::new(p(), bound), &states);
+            }
+
+            #[test]
+            fn global_absence_matches(states in arb_trace()) {
+                check_pattern(&GlobalAbsence::new(p()), &states);
+            }
+
+            #[test]
+            fn global_response_matches(states in arb_trace()) {
+                check_pattern(&GlobalResponse::new(p(), q()), &states);
+            }
+
+            #[test]
+            fn global_precedence_matches(states in arb_trace()) {
+                check_pattern(&GlobalPrecedence::new(p(), q()), &states);
+            }
+
+            #[test]
+            fn after_until_universality_matches(states in arb_trace()) {
+                // Atom mapping: opener q ↦ "q"-slot (field 1), invariant
+                // p ↦ field 0, closer r ↦ field 2 — matching the reference
+                // formula G (q -> WX (p W r)).
+                check_pattern(&AfterUntilUniversality::new(q(), p(), r()), &states);
+            }
+
+            #[test]
+            fn monitors_are_monotone(states in arb_trace()) {
+                // Once decided, a monitor's verdict never changes.
+                let pat = GlobalResponseTimed::new(p(), q(), 2);
+                let mut m = pat.begin();
+                let mut decided: Option<CheckStatus> = None;
+                for s in &states {
+                    let v = m.observe(s);
+                    if let Some(d) = decided {
+                        prop_assert_eq!(v, d);
+                    } else if v.is_decided() {
+                        decided = Some(v);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! GWT scenarios to executable test scripts (the TIGER workflow,
+//! experiment E8 as a demo).
+//!
+//! Builds a behavioural model of an authentication subsystem, annotates
+//! edges with Given-When-Then scenarios, compares the random-walk and
+//! all-edges generators, and concretises the winning suite with mapping
+//! rules.
+//!
+//! Run with: `cargo run --example gwt_testgen`
+
+use veridevops::gwt::{
+    generate::{AllEdges, Generator, RandomWalk},
+    GraphModel, MappingRule, Scenario, ScriptGenerator,
+};
+
+fn build_model() -> GraphModel {
+    let mut m = GraphModel::new("authentication");
+    let idle = m.add_vertex("idle");
+    let authed = m.add_vertex("authenticated");
+    let mfa = m.add_vertex("awaiting_mfa");
+    let locked = m.add_vertex("locked");
+    let e_login = m.add_edge(idle, mfa, "submit_valid_credentials");
+    m.add_edge(mfa, authed, "submit_valid_token");
+    m.add_edge(mfa, idle, "mfa_timeout");
+    m.add_edge(idle, idle, "submit_invalid_credentials");
+    let e_lock = m.add_edge(idle, locked, "third_consecutive_failure");
+    m.add_edge(locked, idle, "admin_unlock");
+    m.add_edge(authed, idle, "logout");
+    m.set_start(idle);
+
+    let lockout = Scenario::parse(
+        "Scenario: lockout after failed logons\n\
+         Given an enabled local account\n\
+         When 3 consecutive logons fail\n\
+         Then the account is locked\n",
+    )
+    .expect("valid scenario");
+    m.annotate_edge(e_lock, lockout);
+    let login = Scenario::parse(
+        "Scenario: multifactor login\n\
+         Given an enabled account with a registered token\n\
+         When valid credentials are submitted\n\
+         And a valid token is submitted\n\
+         Then the session is established\n",
+    )
+    .expect("valid scenario");
+    m.annotate_edge(e_login, login);
+    m
+}
+
+fn main() {
+    let model = build_model();
+    println!("{model}");
+
+    // Generator comparison at equal step budgets.
+    println!(
+        "{:<14} {:>6} {:>7} {:>10} {:>12}",
+        "GENERATOR", "TESTS", "STEPS", "EDGE COV", "VERTEX COV"
+    );
+    let all = AllEdges.generate(&model, 0);
+    let budget: usize = all.iter().map(|t| t.len()).sum();
+    let random = RandomWalk {
+        max_steps: budget,
+        tests: 1,
+        coverage_target: 1.0,
+    }
+    .generate(&model, 99);
+    for (name, suite) in [("all_edges", &all), ("random_walk", &random)] {
+        println!(
+            "{:<14} {:>6} {:>7} {:>9.0}% {:>11.0}%",
+            name,
+            suite.len(),
+            suite.iter().map(|t| t.len()).sum::<usize>(),
+            100.0 * model.edge_coverage(suite),
+            100.0 * model.vertex_coverage(suite),
+        );
+    }
+
+    // Concretise the all-edges suite.
+    let scripts = ScriptGenerator::new()
+        .with_rule(MappingRule::new(
+            "submit_*",
+            "driver.fill_and_submit('{action}')  # {from} -> {to}",
+        ))
+        .with_rule(MappingRule::new("logout", "driver.click('logout')"))
+        .with_rule(MappingRule::new(
+            "admin_unlock",
+            "admin_api.unlock_account()",
+        ))
+        .with_rule(MappingRule::new("mfa_timeout", "clock.advance(minutes=5)"))
+        .with_rule(MappingRule::new(
+            "third_consecutive_failure",
+            "for _ in range(3): driver.fail_login()",
+        ))
+        .concretize_suite(&model, &all);
+    println!("\nconcretised scripts:");
+    for s in &scripts {
+        println!("\n{s}");
+        assert_eq!(s.unmapped, 0, "every action must have a mapping rule");
+    }
+
+    // Requirements-to-tests traceability.
+    let (covered, uncovered) = model.scenario_coverage(&all);
+    println!("scenario traceability: covered = {covered:?}, uncovered = {uncovered:?}");
+    assert!(
+        uncovered.is_empty(),
+        "full edge coverage must cover every scenario"
+    );
+
+    // Show the GWT annotations travelling with the edges.
+    println!("\nscenario annotations:");
+    for e in 0..model.edge_count() {
+        if let Some(sc) = model.edge_scenario(e) {
+            println!("\nedge '{}' realises:\n{sc}", model.edge_action(e));
+        }
+    }
+}

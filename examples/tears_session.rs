@@ -1,0 +1,60 @@
+//! TEARS guarded-assertion analysis session (experiment E9 as a demo).
+//!
+//! Parses a G/A requirements file (the `GA/TEARS requirements.txt` shape
+//! of a NAPKIN session directory), replays a generated throttle-control
+//! signal log with planted faults, and prints the analysis overview.
+//!
+//! Run with: `cargo run --example tears_session`
+
+use veridevops::corpus::traces::throttle_log;
+use veridevops::tears::{Session, SignalTrace};
+
+const REQUIREMENTS: &str = r#"
+# throttle controller guarded assertions
+ga "throttle engages on overload": when load > 0.9 then throttled == 1 within 3
+ga "no throttle at low load":      when load < 0.3 then throttled == 0 within 0
+ga "load stays in range":          when load >= 0 then load <= 1 within 0
+"#;
+
+fn main() {
+    let session = Session::parse(REQUIREMENTS).expect("valid requirements file");
+    println!("loaded {} guarded assertions:", session.len());
+    for ga in session.assertions() {
+        println!("  {ga}");
+    }
+
+    // Generated telemetry: 5,000 ticks, throttle lag 1 tick, 4 planted
+    // faults where throttling silently fails.
+    let (rows, faults) = throttle_log(5_000, 1, 4, 77);
+    let mut trace = SignalTrace::new();
+    for (load, throttled) in &rows {
+        trace.push_sample([("load", *load), ("throttled", *throttled)]);
+    }
+    println!(
+        "\nreplaying {} ticks of telemetry ({} planted throttle faults at {:?})\n",
+        trace.len(),
+        faults.len(),
+        faults
+    );
+
+    let overview = session.evaluate(&trace);
+    println!("{overview}");
+
+    let throttle_report = &overview.reports()[0];
+    println!(
+        "fault detection: {} violations found for '{}' (first at ticks {:?})",
+        throttle_report.violations.len(),
+        throttle_report.name,
+        throttle_report
+            .violations
+            .iter()
+            .take(5)
+            .collect::<Vec<_>>()
+    );
+    if !faults.is_empty() {
+        assert!(
+            !throttle_report.violations.is_empty(),
+            "planted faults must surface as G/A violations"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Bridges between component crates that deliberately do not depend on
+//! each other.
+//!
+//! The GWT behavioural models (test generation) and the specpat Kripke
+//! structures (model checking) describe the same designs from two
+//! angles; [`model_to_kripke`] lets one authored model serve both: the
+//! same graph that generates the test suite is model-checked against the
+//! CTL renderings of the specification patterns.
+
+use vdo_gwt::GraphModel;
+use vdo_specpat::Kripke;
+
+/// Converts a behavioural graph model into a Kripke structure:
+///
+/// * every vertex becomes a state labelled with its vertex name;
+/// * every edge becomes a transition (action labels are dropped —
+///   CTL is state-based);
+/// * the model's start vertex becomes the initial state;
+/// * deadlocked states receive self-loops so the transition relation is
+///   total, as CTL semantics require.
+///
+/// ```
+/// use veridevops::bridge::model_to_kripke;
+/// use veridevops::gwt::GraphModel;
+/// use veridevops::specpat::{CtlFormula, ModelChecker};
+///
+/// let mut m = GraphModel::new("lock");
+/// let idle = m.add_vertex("idle");
+/// let locked = m.add_vertex("locked");
+/// m.add_edge(idle, locked, "lock");
+/// m.add_edge(locked, idle, "unlock");
+/// m.set_start(idle);
+///
+/// let k = model_to_kripke(&m);
+/// let mc = ModelChecker::new(&k);
+/// assert!(mc.holds(&CtlFormula::ef(CtlFormula::atom("locked"))));
+/// ```
+#[must_use]
+pub fn model_to_kripke(model: &GraphModel) -> Kripke {
+    let mut k = Kripke::new();
+    for v in 0..model.vertex_count() {
+        k.add_state([model.vertex_name(v)]);
+    }
+    for e in 0..model.edge_count() {
+        let (from, to) = model.edge_endpoints(e);
+        k.add_transition(from, to);
+    }
+    if let Some(s) = model.start() {
+        k.set_initial(s);
+    }
+    k.totalize();
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdo_specpat::{CtlFormula, ModelChecker};
+
+    fn login_model() -> GraphModel {
+        let mut m = GraphModel::new("login");
+        let idle = m.add_vertex("idle");
+        let authed = m.add_vertex("authenticated");
+        let locked = m.add_vertex("locked");
+        m.add_edge(idle, authed, "login_ok");
+        m.add_edge(idle, locked, "lockout");
+        m.add_edge(authed, idle, "logout");
+        m.add_edge(locked, idle, "admin_unlock");
+        m.set_start(idle);
+        m
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        let m = login_model();
+        let k = model_to_kripke(&m);
+        assert_eq!(k.len(), m.vertex_count());
+        assert!(k.is_total());
+        assert_eq!(k.initial_states(), &[0]);
+        assert!(k.labels(2).contains("locked"));
+    }
+
+    #[test]
+    fn authored_model_is_model_checkable() {
+        let k = model_to_kripke(&login_model());
+        let mc = ModelChecker::new(&k);
+        // Reachability: lockout can happen.
+        assert!(mc.holds(&CtlFormula::ef(CtlFormula::atom("locked"))));
+        // Recoverability: from everywhere, idle is reachable.
+        assert!(mc.holds(&CtlFormula::ag(CtlFormula::ef(CtlFormula::atom("idle")))));
+        // Not every path locks out.
+        assert!(!mc.holds(&CtlFormula::af(CtlFormula::atom("locked"))));
+    }
+
+    #[test]
+    fn deadlocks_get_self_loops() {
+        let mut m = GraphModel::new("sink");
+        let a = m.add_vertex("a");
+        let b = m.add_vertex("terminal");
+        m.add_edge(a, b, "finish");
+        m.set_start(a);
+        let k = model_to_kripke(&m);
+        assert!(k.is_total());
+        // The terminal state loops: AG(terminal → AX terminal) holds there.
+        let mc = ModelChecker::new(&k);
+        assert!(mc.holds(&CtlFormula::af(CtlFormula::atom("terminal"))));
+    }
+}

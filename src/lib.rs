@@ -1,0 +1,45 @@
+//! # veridevops — umbrella crate for the VeriDevOps-RS workspace
+//!
+//! Re-exports every component crate of the VeriDevOps reproduction under
+//! one roof so that examples, integration tests, and downstream users can
+//! depend on a single crate:
+//!
+//! * [`core`] — the Requirements-as-Code (RQCODE) kernel;
+//! * [`host`] — simulated Ubuntu/Windows hosting environments;
+//! * [`stigs`] — concrete STIG requirement catalogues;
+//! * [`temporal`] — temporal requirement patterns and runtime monitoring;
+//! * [`nalabs`] — natural-language requirement smell metrics;
+//! * [`specpat`] — specification patterns, observer automata, CTL checking;
+//! * [`gwt`] — Given-When-Then models and test generation;
+//! * [`tears`] — guarded-assertion (G/A) specifications over signal logs;
+//! * [`corpus`] — synthetic requirement-corpus and workload generators;
+//! * [`pipeline`] — the DevOps pipeline substrate tying it all together.
+//!
+//! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! evaluation suite. The quickest start:
+//!
+//! ```
+//! use veridevops::core::{RemediationPlanner, PlannerConfig, PlannerOutcome};
+//! use veridevops::host::UnixHost;
+//! use veridevops::stigs::ubuntu;
+//!
+//! let catalog = ubuntu::catalog();
+//! let mut host = UnixHost::baseline_ubuntu_1804();
+//! let run = RemediationPlanner::new(PlannerConfig::default()).run(&catalog, &mut host);
+//! assert_eq!(run.outcome, PlannerOutcome::Compliant);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod bridge;
+
+pub use vdo_core as core;
+pub use vdo_corpus as corpus;
+pub use vdo_gwt as gwt;
+pub use vdo_host as host;
+pub use vdo_nalabs as nalabs;
+pub use vdo_pipeline as pipeline;
+pub use vdo_specpat as specpat;
+pub use vdo_stigs as stigs;
+pub use vdo_tears as tears;
+pub use vdo_temporal as temporal;

@@ -1,0 +1,141 @@
+//! Integration: from requirement text to generated tests and monitored
+//! signals — `vdo-corpus` × `vdo-nalabs` × `vdo-gwt` × `vdo-tears`.
+
+use veridevops::corpus::requirements::{generate, CorpusConfig};
+use veridevops::corpus::traces::throttle_log;
+use veridevops::gwt::{
+    generate::{AllEdges, Generator, RandomWalk},
+    GraphModel, MappingRule, Scenario, ScriptGenerator,
+};
+use veridevops::nalabs::Analyzer;
+use veridevops::tears::{Session, SignalTrace};
+
+#[test]
+fn nalabs_scales_and_scores_on_generated_corpora() {
+    for (size, smell_rate) in [(100, 0.1), (500, 0.25), (1_000, 0.4)] {
+        let corpus = generate(&CorpusConfig {
+            size,
+            smell_rate,
+            seed: 9,
+        });
+        let report = Analyzer::with_default_metrics().analyze_corpus(&corpus.documents);
+        assert_eq!(report.len(), size);
+        let pr = report.score_against(&|id| corpus.is_smelly(id));
+        assert!(
+            pr.recall() > 0.9,
+            "size {size} rate {smell_rate}: recall {}",
+            pr.recall()
+        );
+        assert!(
+            pr.precision() > 0.6,
+            "size {size} rate {smell_rate}: precision {}",
+            pr.precision()
+        );
+    }
+}
+
+#[test]
+fn clean_requirements_become_gwt_scenarios_and_full_coverage_suites() {
+    // A clean requirement drives a scenario, the scenario annotates a
+    // model edge, and the all-edges generator covers the model.
+    let requirement_text =
+        "The system shall enforce an account lockout after 3 consecutive failed logons.";
+    let analysis = Analyzer::with_default_metrics().analyze(
+        &veridevops::nalabs::RequirementDoc::new("REQ-7", requirement_text),
+    );
+    assert!(!analysis.is_smelly(), "{:?}", analysis.smells());
+
+    let scenario = Scenario::parse(
+        "Scenario: account lockout\n\
+         Given an enabled local account\n\
+         When 3 consecutive logons fail\n\
+         Then the account is locked\n",
+    )
+    .expect("parsable scenario");
+
+    let mut model = GraphModel::new("lockout");
+    let idle = model.add_vertex("idle");
+    let locked = model.add_vertex("locked");
+    let e = model.add_edge(idle, locked, "third_failure");
+    model.add_edge(locked, idle, "unlock");
+    model.set_start(idle);
+    model.annotate_edge(e, scenario);
+
+    let suite = AllEdges.generate(&model, 0);
+    assert_eq!(model.edge_coverage(&suite), 1.0);
+
+    let scripts = ScriptGenerator::new()
+        .with_rule(MappingRule::new(
+            "third_failure",
+            "for _ in range(3): fail_login()",
+        ))
+        .with_rule(MappingRule::new("unlock", "admin.unlock()"))
+        .concretize_suite(&model, &suite);
+    assert!(scripts.iter().all(|s| s.unmapped == 0));
+}
+
+#[test]
+fn generator_comparison_holds_at_scale() {
+    // All-edges reaches full coverage; a step-budget-matched random walk
+    // typically does not on sparse models (the E8 shape).
+    let mut model = GraphModel::new("sparse");
+    let n = 40;
+    for i in 0..n {
+        model.add_vertex(format!("s{i}"));
+    }
+    for i in 0..n {
+        model.add_edge(i, (i + 1) % n, format!("step{i}"));
+    }
+    // A few branches off the ring.
+    for i in (0..n).step_by(8) {
+        let leaf = model.add_vertex(format!("leaf{i}"));
+        model.add_edge(i, leaf, format!("enter{i}"));
+        model.add_edge(leaf, i, format!("exit{i}"));
+    }
+    model.set_start(0);
+
+    let all = AllEdges.generate(&model, 0);
+    assert_eq!(model.edge_coverage(&all), 1.0);
+    let budget: usize = all.iter().map(|t| t.len()).sum();
+    let rw = RandomWalk {
+        max_steps: budget,
+        tests: 1,
+        coverage_target: 1.0,
+    };
+    let random_cov = model.edge_coverage(&rw.generate(&model, 5));
+    assert!(
+        random_cov <= 1.0 && random_cov > 0.0,
+        "random baseline produces partial coverage"
+    );
+}
+
+#[test]
+fn tears_finds_planted_faults_and_only_them() {
+    let (rows, faults) = throttle_log(10_000, 1, 5, 123);
+    let mut trace = SignalTrace::new();
+    for (load, throttled) in &rows {
+        trace.push_sample([("load", *load), ("throttled", *throttled)]);
+    }
+    let session = Session::parse(r#"ga "throttle": when load > 0.9 then throttled == 1 within 3"#)
+        .expect("valid G/A");
+    let overview = session.evaluate(&trace);
+    let report = &overview.reports()[0];
+    if faults.is_empty() {
+        assert!(report.violations.is_empty());
+    } else {
+        assert!(!report.violations.is_empty(), "faults must surface");
+        // A fault suppresses throttling for a whole hot interval, so
+        // violations may occur anywhere inside it; every violation's hot
+        // interval must start at a planted fault edge.
+        for &v in &report.violations {
+            let mut edge = v as usize;
+            while edge > 0 && rows[edge - 1].0 > 0.9 {
+                edge -= 1;
+            }
+            assert!(
+                faults.contains(&(edge as u64)),
+                "violation at {v}: hot interval starts at {edge}, not a planted fault {faults:?}"
+            );
+        }
+    }
+}
