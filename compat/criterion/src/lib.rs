@@ -1,0 +1,375 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Keeps the familiar API — [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`] — but
+//! replaces the statistical machinery with a fast adaptive timer: each
+//! benchmark is warmed up briefly, the per-iteration cost is estimated,
+//! and `sample_size` samples are timed. Results print as
+//! `name/param  time: [min mean max]` lines. Good enough to compare
+//! configurations on one machine; not a statistics engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in times every
+/// routine invocation individually, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: one per batch upstream.
+    LargeInput,
+    /// Inputs of unknown size.
+    PerIteration,
+}
+
+/// Declares what one iteration processes so the report can show a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&name.into(), self.settings, None, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.settings, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterised benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.settings, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timed iterations for one benchmark.
+pub struct Bencher {
+    settings: Settings,
+    /// Mean/min/max nanoseconds per iteration, filled by `iter*`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and per-iteration cost estimate.
+        let warm_deadline = Instant::now() + self.settings.warm_up_time;
+        let mut probe_iters = 0u64;
+        let probe_start = Instant::now();
+        loop {
+            black_box(routine());
+            probe_iters += 1;
+            if Instant::now() >= warm_deadline || probe_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = probe_start.elapsed().as_secs_f64() / probe_iters as f64;
+
+        let samples = self.settings.sample_size;
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let per_sample = (budget / samples as f64).max(1e-6);
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut mins = f64::INFINITY;
+        let mut maxs = 0.0f64;
+        let mut total = 0.0f64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            mins = mins.min(ns);
+            maxs = maxs.max(ns);
+            total += ns;
+        }
+        self.result = Some((total / samples as f64, mins, maxs));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let samples = self.settings.sample_size.max(1);
+        // One warm-up round.
+        black_box(routine(setup()));
+        let mut mins = f64::INFINITY;
+        let mut maxs = 0.0f64;
+        let mut total = 0.0f64;
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            mins = mins.min(ns);
+            maxs = maxs.max(ns);
+            total += ns;
+        }
+        self.result = Some((total / samples as f64, mins, maxs));
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        settings,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.3} Melem/s", n as f64 / mean * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  thrpt: {:.3} MiB/s",
+                        n as f64 / mean * 1e9 / (1024.0 * 1024.0)
+                    )
+                }
+                None => String::new(),
+            };
+            println!(
+                "{name:<48} time: [{} {} {}]{rate}",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            );
+        }
+        None => println!("{name:<48} (no measurement recorded)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_measurement() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iter_work() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter_batched(
+                || vec![0u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,211 @@
+//! Work-stealing deque: `Worker` / `Stealer` / `Injector`.
+//!
+//! Semantics follow `crossbeam-deque`: each worker owns a local queue
+//! it pushes to and pops from; other workers hold [`Stealer`] handles
+//! that take tasks from the opposite end; an [`Injector`] is a shared
+//! global queue any worker can push to or steal from.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` if the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker-owned queue. FIFO flavour: `pop` takes from the front,
+/// matching `Worker::new_fifo()` upstream.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops the next local task (front of the queue in FIFO flavour).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates a [`Stealer`] handle for other workers.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A handle that steals tasks from another worker's queue (from the
+/// back, the end opposite the owner's `pop`).
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_back() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks at the time of the call.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` when the queue held no tasks at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A shared global FIFO queue all workers inject into and steal from.
+#[derive(Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the global queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Attempts to steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn worker_pop_is_fifo() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_back() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(1));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_shared_across_threads() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Steal::Success(t) = inj.steal() {
+                        got.push(t);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

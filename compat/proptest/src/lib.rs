@@ -1,0 +1,132 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The API mirrors upstream — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`, the [`Strategy`]
+//! trait with `prop_map` / `prop_recursive`, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::sample::select`, numeric-range strategies
+//! and a regex-subset string strategy — but the engine is simplified:
+//!
+//! * cases are generated from a deterministic per-test seed (derived
+//!   from the test's module path), so failures are reproducible and
+//!   runs are stable across machines;
+//! * there is **no shrinking**: a failure reports the attempt number
+//!   and seed instead of a minimised input;
+//! * the number of cases defaults to 64 and can be raised with the
+//!   `PROPTEST_CASES` environment variable.
+//!
+//! [`Strategy`]: strategy::Strategy
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude;
+pub mod prop;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__vdo_rng| {
+                        $( let $arg = $crate::strategy::Strategy::generate(&($strat), __vdo_rng); )+
+                        let mut __vdo_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __vdo_case()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __vdo_left = &$left;
+        let __vdo_right = &$right;
+        if !(__vdo_left == __vdo_right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __vdo_left,
+                    __vdo_right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __vdo_left = &$left;
+        let __vdo_right = &$right;
+        if !(__vdo_left == __vdo_right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    __vdo_left,
+                    __vdo_right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

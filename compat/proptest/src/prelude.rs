@@ -1,0 +1,6 @@
+//! One-stop import mirroring `proptest::prelude::*`.
+
+pub use crate::prop;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,281 @@
+//! Regex-subset string strategy: `&str` patterns generate matching
+//! `String`s.
+//!
+//! Supported syntax (the subset used by this workspace's tests):
+//!
+//! * literal characters (including spaces);
+//! * character classes `[a-z0-9_]` with ranges and single characters;
+//! * `\PC` — any printable (non-control) character, occasionally
+//!   non-ASCII;
+//! * groups `( ... )`;
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the last two capped at
+//!   8 repetitions).
+//!
+//! Unsupported constructs panic with the offending pattern, which
+//! surfaces immediately the first time a test runs.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    NonControl,
+    Group(Vec<Piece>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        gen_seq(&pieces, rng, &mut out);
+        out
+    }
+}
+
+fn gen_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..piece.max + 1)
+        };
+        for _ in 0..count {
+            gen_atom(&piece.atom, rng, out);
+        }
+    }
+}
+
+/// Occasional non-ASCII printable characters for `\PC`, so tokenisers
+/// see multi-byte input.
+const NON_ASCII_POOL: [char; 10] = ['é', 'ß', 'λ', 'Ж', '中', '±', '∞', 'ñ', 'ü', 'Ω'];
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total by construction");
+        }
+        Atom::NonControl => {
+            if rng.gen_bool(0.1) {
+                let i = rng.gen_range(0..NON_ASCII_POOL.len());
+                out.push(NON_ASCII_POOL[i]);
+            } else {
+                out.push(char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ASCII"));
+            }
+        }
+        Atom::Group(pieces) => gen_seq(pieces, rng, out),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let pieces = parse_seq(pattern, &chars, &mut pos, false);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex `{pattern}`: trailing input at offset {pos}"
+    );
+    pieces
+}
+
+fn parse_seq(pattern: &str, chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if c == ')' {
+            assert!(in_group, "unsupported regex `{pattern}`: stray `)`");
+            return pieces;
+        }
+        *pos += 1;
+        let atom = match c {
+            '\\' => {
+                let next = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("unsupported regex `{pattern}`: trailing `\\`"));
+                *pos += 1;
+                match next {
+                    'P' => {
+                        // Only `\PC` (non-control) is supported.
+                        let class = chars.get(*pos).copied();
+                        assert!(
+                            class == Some('C'),
+                            "unsupported regex `{pattern}`: `\\P{class:?}`"
+                        );
+                        *pos += 1;
+                        Atom::NonControl
+                    }
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '?' | '*' | '+') => {
+                        Atom::Literal(c)
+                    }
+                    other => panic!("unsupported regex `{pattern}`: escape `\\{other}`"),
+                }
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let item = *chars
+                        .get(*pos)
+                        .unwrap_or_else(|| panic!("unsupported regex `{pattern}`: unclosed `[`"));
+                    *pos += 1;
+                    if item == ']' {
+                        break;
+                    }
+                    if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1) != Some(&']') {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        assert!(item <= hi, "unsupported regex `{pattern}`: bad range");
+                        ranges.push((item, hi));
+                    } else {
+                        ranges.push((item, item));
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "unsupported regex `{pattern}`: empty class"
+                );
+                Atom::Class(ranges)
+            }
+            '(' => {
+                let inner = parse_seq(pattern, chars, pos, true);
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "unsupported regex `{pattern}`: unclosed `(`"
+                );
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex `{pattern}`: `{c}` is not implemented")
+            }
+            literal => Atom::Literal(literal),
+        };
+        let (min, max) = parse_quantifier(pattern, chars, pos);
+        pieces.push(Piece { atom, min, max });
+    }
+    assert!(!in_group, "unsupported regex `{pattern}`: unclosed `(`");
+    pieces
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], pos: &mut usize) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = String::new();
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                min.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min
+                .parse()
+                .unwrap_or_else(|_| panic!("unsupported regex `{pattern}`: bad quantifier"));
+            let max = match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                        max.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().unwrap_or_else(|_| {
+                        panic!("unsupported regex `{pattern}`: open-ended quantifier")
+                    })
+                }
+                _ => min,
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "unsupported regex `{pattern}`: unclosed quantifier"
+            );
+            *pos += 1;
+            assert!(min <= max, "unsupported regex `{pattern}`: min > max");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::seed_from_u64(42);
+        (0..n).map(|_| pattern.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in samples("[a-z]{1,6}", 200) {
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in samples("[a-z][a-z0-9_]{0,10}", 200) {
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s.chars().count() <= 11);
+        }
+    }
+
+    #[test]
+    fn grouped_words_pattern() {
+        for s in samples("[a-z]{1,8}( [a-z]{1,8}){0,2}", 200) {
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((1..=8).contains(&w.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        for s in samples("\\PC{0,50}", 100) {
+            assert!(s.chars().count() <= 50);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+}

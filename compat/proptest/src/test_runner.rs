@@ -1,0 +1,139 @@
+//! Deterministic case runner and the [`TestCaseError`] type.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded (e.g. `prop_assume!` failed); it does
+    /// not count towards the case budget.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Default number of cases per property; raise with `PROPTEST_CASES`.
+const DEFAULT_CASES: u64 = 64;
+
+/// Runs `case` over deterministically seeded RNGs until the case
+/// budget is met. Panics (failing the surrounding `#[test]`) on the
+/// first property violation, reporting the seed for reproduction.
+pub fn run<F>(test_id: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES);
+    let base = fnv1a(test_id.as_bytes());
+    let max_rejects = cases.saturating_mul(16).saturating_add(100);
+
+    let mut executed = 0u64;
+    let mut rejected = 0u64;
+    let mut attempt = 0u64;
+    while executed < cases {
+        attempt += 1;
+        assert!(
+            rejected <= max_rejects,
+            "property {test_id}: too many rejected cases ({rejected}); \
+             weaken prop_assume! conditions"
+        );
+        let seed = splitmix64(base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let mut rng = TestRng::seed_from_u64(seed);
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) => executed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => rejected += 1,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "property {test_id} failed at attempt {attempt} \
+                     (seed {seed:#018x}):\n{msg}"
+                );
+            }
+            Err(payload) => {
+                eprintln!("property {test_id} panicked at attempt {attempt} (seed {seed:#018x})");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_completes_on_passing_property() {
+        let mut calls = 0u64;
+        run("compat::always_passes", |_rng| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, DEFAULT_CASES);
+    }
+
+    #[test]
+    fn rejects_do_not_consume_budget() {
+        let mut executed = 0u64;
+        let mut toggle = false;
+        run("compat::half_rejected", |_rng| {
+            toggle = !toggle;
+            if toggle {
+                Err(TestCaseError::reject("every other case"))
+            } else {
+                executed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(executed, DEFAULT_CASES);
+    }
+
+    #[test]
+    #[should_panic(expected = "property compat::always_fails failed")]
+    fn failures_panic_with_seed() {
+        run("compat::always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

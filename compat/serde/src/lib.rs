@@ -1,0 +1,286 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Provides a [`Serialize`] trait over an ordered JSON [`json::Value`]
+//! tree plus [`json::to_string`] / [`json::to_string_pretty`]
+//! renderers. The real crate's `#[derive(Serialize)]` proc macro is not
+//! available offline; types implement [`Serialize`] by hand, typically
+//! via the [`json::object`] helper. Field order is preserved (objects
+//! are ordered vectors), so rendering is deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Types that can convert themselves into a [`json::Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> json::Value;
+}
+
+/// JSON value tree and renderers.
+pub mod json {
+    use super::Serialize;
+    use std::fmt::Write as _;
+
+    /// An ordered JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Unsigned integer (rendered without decimal point).
+        UInt(u64),
+        /// Signed integer (rendered without decimal point).
+        Int(i64),
+        /// Floating-point number. Non-finite values render as `null`.
+        Float(f64),
+        /// String (escaped on render).
+        String(String),
+        /// Array of values.
+        Array(Vec<Value>),
+        /// Object with insertion-ordered fields.
+        Object(Vec<(String, Value)>),
+    }
+
+    /// Builds an object value from `(name, value)` pairs, preserving
+    /// order.
+    pub fn object<const N: usize>(fields: [(&str, Value); N]) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders a serialisable value as compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        render(&value.to_value(), &mut out, None, 0);
+        out
+    }
+
+    /// Renders a serialisable value as indented JSON (two spaces).
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        render(&value.to_value(), &mut out, Some(2), 0);
+        out
+    }
+
+    fn render(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    render(item, out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    escape_into(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    render(item, out, indent, depth + 1);
+                }
+                if !fields.is_empty() {
+                    newline_indent(out, indent, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(width * depth) {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+    )+};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )+};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{object, to_string, to_string_pretty, Value};
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i32), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string("a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&Option::<u32>::None), "null");
+    }
+
+    #[test]
+    fn objects_preserve_field_order() {
+        let v = object([
+            ("zeta", Value::UInt(1)),
+            ("alpha", Value::Array(vec![Value::Bool(false)])),
+        ]);
+        assert_eq!(to_string(&v), "{\"zeta\":1,\"alpha\":[false]}");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = object([("k", Value::UInt(1))]);
+        assert_eq!(to_string_pretty(&v), "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn vec_and_map_serialize() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        let mut m = BTreeMap::new();
+        m.insert("a", 1u8);
+        assert_eq!(to_string(&m), "{\"a\":1}");
+    }
+}

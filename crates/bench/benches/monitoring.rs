@@ -24,7 +24,9 @@ fn print_latency_table() {
         // Average over violations planted at 32 different positions.
         for k in 0..32u64 {
             let w = ViolationTrace::at(10_000, 313 * (k + 1) % 9_000 + 500);
-            let report = MonitoringLoop::new(period).run(&pattern, &w.trace);
+            let report = MonitoringLoop::new(period)
+                .expect("nonzero period")
+                .run(&pattern, &w.trace);
             polls += report.polls;
             if let MonitorOutcome::ViolationDetected(_) = report.outcome {
                 latencies.push(report.detection_latency(w.violation_tick).unwrap() as f64);
@@ -53,7 +55,7 @@ fn bench_monitoring(c: &mut Criterion) {
             BenchmarkId::from_parameter(period),
             &period,
             |b, &period| {
-                let looper = MonitoringLoop::new(period);
+                let looper = MonitoringLoop::new(period).expect("nonzero period");
                 b.iter(|| looper.run(&pattern, &workload.trace))
             },
         );

@@ -1,0 +1,230 @@
+//! E11 — event-driven SOC engine vs the polling `MonitoringLoop` idea.
+//!
+//! Regenerates: detection latency and check cost of the `vdo-soc`
+//! sharded-bus engine against the polling baseline
+//! (`OperationsPhase` with `MonitorEngine::Polling`, the host-scale
+//! `MonitoringLoop`) across fleet sizes 1–1,000, and worker-pool
+//! scaling 1–16 under simulated per-batch I/O latency. On a single
+//! core the worker sweep shows scheduling overhead, not speedup —
+//! the `io_latency` column is where extra workers pay off.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vdo_core::RemediationPlanner;
+use vdo_host::UnixHost;
+use vdo_pipeline::{MonitorEngine, OperationsPhase, OpsConfig};
+use vdo_soc::{SocConfig, SocEngine};
+use vdo_stigs::ubuntu;
+
+fn compliant_fleet(n: usize) -> Vec<UnixHost> {
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::default();
+    (0..n)
+        .map(|_| {
+            let mut h = UnixHost::baseline_ubuntu_1804();
+            planner.run(&catalog, &mut h);
+            h
+        })
+        .collect()
+}
+
+/// Ticks per run, scaled down for big fleets so the table stays fast.
+fn ticks_for(hosts: usize) -> u64 {
+    match hosts {
+        0..=10 => 1_000,
+        11..=100 => 500,
+        _ => 100,
+    }
+}
+
+fn print_fleet_table() {
+    println!("\n[E11] event-driven SOC vs polling monitor (drift 2%/tick, polling period 10)");
+    println!(
+        "{:>6} {:>14} {:>10} {:>13} {:>10} {:>10} {:>12}",
+        "HOSTS", "ENGINE", "INCIDENTS", "MEAN LATENCY", "EXPOSURE", "CHECKS", "EVENTS/SEC"
+    );
+    let catalog = ubuntu::catalog();
+    for hosts in [1usize, 10, 100, 1_000] {
+        let duration = ticks_for(hosts);
+
+        // Event-driven: one engine over the whole fleet.
+        let mut fleet = compliant_fleet(hosts);
+        let engine = SocEngine::new(
+            &catalog,
+            SocConfig {
+                duration,
+                drift_rate: 0.02,
+                workers: 4,
+                shards: 16,
+                seed: 11,
+                ..SocConfig::default()
+            },
+        )
+        .expect("valid config");
+        let report = engine.run(&mut fleet);
+        println!(
+            "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10} {:>12.0}",
+            hosts,
+            "event-driven",
+            report.incidents.len(),
+            report.mean_detection_latency(),
+            100.0 * report.exposure(hosts),
+            report.metrics.checks_run,
+            report.metrics.events_per_sec,
+        );
+
+        // Polling baseline: the MonitoringLoop idea per host.
+        let phase = OperationsPhase::new(&catalog);
+        let mut incidents = 0usize;
+        let mut latency_sum = 0.0;
+        let mut noncompliant = 0u64;
+        let mut checks = 0u64;
+        for (i, host) in compliant_fleet(hosts).iter_mut().enumerate() {
+            let r = phase.run(
+                host,
+                &OpsConfig {
+                    engine: MonitorEngine::Polling,
+                    duration,
+                    drift_rate: 0.02,
+                    monitor_period: Some(10),
+                    audit_period: 0,
+                    seed: 11u64.wrapping_add(i as u64),
+                },
+            );
+            incidents += r.incidents.len();
+            latency_sum += r.mean_detection_latency() * r.incidents.len() as f64;
+            noncompliant += r.noncompliant_ticks;
+            checks += r.checks;
+        }
+        println!(
+            "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10} {:>12}",
+            hosts,
+            "polling-10",
+            incidents,
+            latency_sum / incidents.max(1) as f64,
+            100.0 * noncompliant as f64 / (duration as f64 * hosts as f64),
+            checks * catalog.len() as u64,
+            "-",
+        );
+    }
+}
+
+fn print_worker_table() {
+    println!("\n[E11] worker-pool scaling (1,000 hosts, 100 ticks, 200us simulated I/O per batch)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>12}",
+        "WORKERS", "WALL MS", "INCIDENTS", "STEALS", "EVENTS/SEC"
+    );
+    let catalog = ubuntu::catalog();
+    let mut reference: Option<String> = None;
+    for workers in [1usize, 2, 4, 8, 16] {
+        let mut fleet = compliant_fleet(1_000);
+        let engine = SocEngine::new(
+            &catalog,
+            SocConfig {
+                duration: 100,
+                drift_rate: 0.02,
+                workers,
+                shards: 32,
+                seed: 11,
+                io_latency: Duration::from_micros(200),
+                ..SocConfig::default()
+            },
+        )
+        .expect("valid config");
+        let start = Instant::now();
+        let report = engine.run(&mut fleet);
+        let wall = start.elapsed();
+        // The incident log must not depend on the worker count.
+        let log = report.incident_log();
+        match &reference {
+            None => reference = Some(log),
+            Some(expected) => assert_eq!(*expected, log, "incident log varies with workers"),
+        }
+        println!(
+            "{:>8} {:>10.1} {:>10} {:>8} {:>12.0}",
+            workers,
+            wall.as_secs_f64() * 1e3,
+            report.incidents.len(),
+            report.metrics.steals,
+            report.metrics.events_per_sec,
+        );
+    }
+}
+
+fn bench_soc(c: &mut Criterion) {
+    print_fleet_table();
+    print_worker_table();
+
+    let catalog = ubuntu::catalog();
+
+    let mut group = c.benchmark_group("E11_fleet_size");
+    group.sample_size(10);
+    for hosts in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter_batched(
+                || compliant_fleet(hosts),
+                |mut fleet| {
+                    let engine = SocEngine::new(
+                        &catalog,
+                        SocConfig {
+                            duration: 100,
+                            drift_rate: 0.02,
+                            workers: 4,
+                            shards: 16,
+                            seed: 11,
+                            ..SocConfig::default()
+                        },
+                    )
+                    .expect("valid config");
+                    engine.run(&mut fleet)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E11_workers");
+    group.sample_size(10);
+    for workers in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || compliant_fleet(64),
+                    |mut fleet| {
+                        let engine = SocEngine::new(
+                            &catalog,
+                            SocConfig {
+                                duration: 100,
+                                drift_rate: 0.02,
+                                workers,
+                                shards: 16,
+                                seed: 11,
+                                ..SocConfig::default()
+                            },
+                        )
+                        .expect("valid config");
+                        engine.run(&mut fleet)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_soc
+}
+criterion_main!(benches);

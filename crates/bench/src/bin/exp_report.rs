@@ -13,7 +13,8 @@ use vdo_corpus::traces::ViolationTrace;
 use vdo_gwt::generate::{AllEdges, Generator, RandomWalk};
 use vdo_host::{Fleet, FleetConfig};
 use vdo_nalabs::Analyzer;
-use vdo_pipeline::{run, PipelineConfig};
+use vdo_pipeline::{run, MonitorEngine, OperationsPhase, OpsConfig, PipelineConfig};
+use vdo_soc::{RemediationConfig, SocConfig, SocEngine};
 use vdo_specpat::pattern::full_matrix;
 use vdo_specpat::{CtlFormula, ModelChecker, ObserverAutomaton};
 use vdo_stigs::ubuntu;
@@ -31,6 +32,7 @@ fn main() {
     e8_gwt_coverage();
     e9_tears_throughput();
     e10_pipeline_comparison();
+    e11_soc_engine();
     a1_dictionary_ablation();
 }
 
@@ -120,7 +122,9 @@ fn e4_monitor_latency() {
         let mut polls = 0;
         for k in 0..32u64 {
             let w = ViolationTrace::at(10_000, 313 * (k + 1) % 9_000 + 500);
-            let report = MonitoringLoop::new(period).run(&pattern, &w.trace);
+            let report = MonitoringLoop::new(period)
+                .expect("nonzero period")
+                .run(&pattern, &w.trace);
             polls += report.polls;
             if let MonitorOutcome::ViolationDetected(_) = report.outcome {
                 latencies.push(report.detection_latency(w.violation_tick).unwrap() as f64);
@@ -331,6 +335,127 @@ fn e10_pipeline_comparison() {
             incidents / n,
             latency / n,
             100.0 * exposure / n
+        );
+    }
+}
+
+fn e11_soc_engine() {
+    println!("\n== E11: event-driven SOC vs polling monitor (drift 2%/tick) ==");
+    println!(
+        "{:>6} {:>14} {:>10} {:>13} {:>10} {:>10}",
+        "HOSTS", "ENGINE", "INCIDENTS", "MEAN LATENCY", "EXPOSURE", "CHECKS"
+    );
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::default();
+    let fleet_of = |n: usize| -> Vec<vdo_host::UnixHost> {
+        (0..n)
+            .map(|_| {
+                let mut h = vdo_host::UnixHost::baseline_ubuntu_1804();
+                planner.run(&catalog, &mut h);
+                h
+            })
+            .collect()
+    };
+    for hosts in [1usize, 10, 100, 1_000] {
+        let duration = if hosts <= 100 { 500 } else { 100 };
+        let mut fleet = fleet_of(hosts);
+        let engine = SocEngine::new(
+            &catalog,
+            SocConfig {
+                duration,
+                drift_rate: 0.02,
+                workers: 4,
+                shards: 16,
+                seed: 11,
+                ..SocConfig::default()
+            },
+        )
+        .expect("valid config");
+        let report = engine.run(&mut fleet);
+        println!(
+            "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10}",
+            hosts,
+            "event-driven",
+            report.incidents.len(),
+            report.mean_detection_latency(),
+            100.0 * report.exposure(hosts),
+            report.metrics.checks_run
+        );
+        let phase = OperationsPhase::new(&catalog);
+        let (mut incidents, mut weighted_latency, mut noncompliant, mut checks) =
+            (0usize, 0.0f64, 0u64, 0u64);
+        for (i, host) in fleet_of(hosts).iter_mut().enumerate() {
+            let r = phase.run(
+                host,
+                &OpsConfig {
+                    engine: MonitorEngine::Polling,
+                    duration,
+                    drift_rate: 0.02,
+                    monitor_period: Some(10),
+                    audit_period: 0,
+                    seed: 11u64.wrapping_add(i as u64),
+                },
+            );
+            incidents += r.incidents.len();
+            weighted_latency += r.mean_detection_latency() * r.incidents.len() as f64;
+            noncompliant += r.noncompliant_ticks;
+            checks += r.checks;
+        }
+        println!(
+            "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10}",
+            hosts,
+            "polling-10",
+            incidents,
+            weighted_latency / incidents.max(1) as f64,
+            100.0 * noncompliant as f64 / (duration as f64 * hosts as f64),
+            checks * catalog.len() as u64
+        );
+    }
+
+    println!("\n   determinism + remediation faults (64 hosts, 200 ticks, 25% fault rate):");
+    println!(
+        "{:>8} {:>10} {:>8} {:>13} {:>10}",
+        "WORKERS", "INCIDENTS", "RETRIES", "DEAD LETTERS", "IDENTICAL"
+    );
+    let mut reference: Option<String> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let mut fleet = fleet_of(64);
+        let engine = SocEngine::new(
+            &catalog,
+            SocConfig {
+                duration: 200,
+                drift_rate: 0.02,
+                workers,
+                shards: 16,
+                seed: 11,
+                tears_assertion: Some(
+                    r#"ga "lockout": when failed_logins >= 3 then lockout == 1 within 2"#.into(),
+                ),
+                remediation: RemediationConfig {
+                    fault_rate: 0.25,
+                    ..RemediationConfig::default()
+                },
+                ..SocConfig::default()
+            },
+        )
+        .expect("valid config");
+        let report = engine.run(&mut fleet);
+        let log = report.incident_log();
+        let identical = match &reference {
+            None => {
+                reference = Some(log);
+                "baseline"
+            }
+            Some(expected) if *expected == log => "yes",
+            Some(_) => "NO",
+        };
+        println!(
+            "{:>8} {:>10} {:>8} {:>13} {:>10}",
+            workers,
+            report.incidents.len(),
+            report.metrics.retries,
+            report.metrics.dead_letters,
+            identical
         );
     }
 }

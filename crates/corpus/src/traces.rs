@@ -223,7 +223,9 @@ mod tests {
     fn monitor_detects_planted_violation_with_exact_latency() {
         let w = ViolationTrace::at(50, 23);
         let pattern = GlobalUniversality::new(|b: &bool| CheckStatus::from(*b));
-        let report = MonitoringLoop::new(5).run(&pattern, &w.trace);
+        let report = MonitoringLoop::new(5)
+            .expect("nonzero period")
+            .run(&pattern, &w.trace);
         // Polls at 0,5,10,15,20,25 → detection at 25, latency 2.
         assert_eq!(report.outcome, MonitorOutcome::ViolationDetected(25));
         assert_eq!(report.detection_latency(w.violation_tick), Some(2));

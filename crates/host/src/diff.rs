@@ -17,6 +17,9 @@ pub enum HostDelta {
     PackageInstalled(String),
     /// Package installed in `before` but not in `after`.
     PackageRemoved(String),
+    /// Package installed on both sides with different versions:
+    /// `(name, before, after)`. Catches silent downgrades/reinstalls.
+    PackageVersionChanged(String, String, String),
     /// A config directive changed: `(path, key, before, after)`;
     /// `None` means absent on that side.
     DirectiveChanged(String, String, Option<String>, Option<String>),
@@ -36,6 +39,9 @@ impl fmt::Display for HostDelta {
         match self {
             HostDelta::PackageInstalled(p) => write!(f, "+ package {p}"),
             HostDelta::PackageRemoved(p) => write!(f, "- package {p}"),
+            HostDelta::PackageVersionChanged(p, b, a) => {
+                write!(f, "~ package {p}: {b} -> {a}")
+            }
             HostDelta::DirectiveChanged(path, key, b, a) => write!(
                 f,
                 "~ {path} {key}: {} -> {}",
@@ -115,6 +121,17 @@ pub fn diff_unix(before: &UnixHost, after: &UnixHost) -> Vec<HostDelta> {
     }
     for p in b_pkgs.difference(&a_pkgs) {
         deltas.push(HostDelta::PackageRemoved((*p).to_string()));
+    }
+    for p in b_pkgs.intersection(&a_pkgs) {
+        let b = before.package_version(p);
+        let a = after.package_version(p);
+        if b != a {
+            deltas.push(HostDelta::PackageVersionChanged(
+                (*p).to_string(),
+                b.unwrap_or("<unknown>").to_string(),
+                a.unwrap_or("<unknown>").to_string(),
+            ));
+        }
     }
 
     for (path, key) in WATCHED_DIRECTIVES {

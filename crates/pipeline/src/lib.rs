@@ -41,6 +41,6 @@ pub mod repo;
 mod scenario;
 
 pub use gates::{ComplianceGate, GateDecision, RequirementsGate, TestGate};
-pub use ops::{DriftTarget, Incident, OperationsPhase, OpsConfig, OpsReport};
+pub use ops::{DriftTarget, Incident, MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
 pub use repo::{Commit, ConfigChange};
 pub use scenario::{run, PipelineConfig, PipelineReport};

@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 
 use vdo_core::{Catalog, RemediationPlanner};
 use vdo_host::{DriftInjector, UnixHost, WindowsHost};
+use vdo_soc::{DetectionKind, SocConfig, SocEngine, SocHost};
 use vdo_temporal::Trace;
 
 /// A host class the drift injector knows how to degrade. Implemented for
@@ -36,9 +37,29 @@ impl DriftTarget for WindowsHost {
     }
 }
 
+/// Which monitoring engine watches the deployed host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEngine {
+    /// Fixed-period polling: the compliance catalogue is re-checked
+    /// every `monitor_period` ticks (the `MonitoringLoop` idea at host
+    /// scale). Mean detection latency is `(period - 1) / 2` ticks.
+    Polling,
+    /// The `vdo-soc` event-driven engine: every drift event is pushed
+    /// onto the sharded bus and checked on the tick it happens, by a
+    /// work-stealing pool of this many workers. `monitor_period` and
+    /// `audit_period` are ignored — there is nothing to poll.
+    EventDriven {
+        /// Worker threads in the monitor pool (>= 1).
+        workers: usize,
+    },
+}
+
 /// Operations-phase parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpsConfig {
+    /// Monitoring engine; [`MonitorEngine::Polling`] reproduces the
+    /// paper's baseline behaviour.
+    pub engine: MonitorEngine,
     /// Ticks to simulate.
     pub duration: u64,
     /// Per-tick probability of one drift event.
@@ -56,6 +77,7 @@ pub struct OpsConfig {
 impl Default for OpsConfig {
     fn default() -> Self {
         OpsConfig {
+            engine: MonitorEngine::Polling,
             duration: 1_000,
             drift_rate: 0.02,
             monitor_period: Some(10),
@@ -139,7 +161,7 @@ pub struct OperationsPhase<'a, E> {
     planner: RemediationPlanner,
 }
 
-impl<'a, E: DriftTarget> OperationsPhase<'a, E> {
+impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
     /// Creates the phase runner over a compliance catalogue.
     #[must_use]
     pub fn new(catalog: &'a Catalog<E>) -> Self {
@@ -151,6 +173,50 @@ impl<'a, E: DriftTarget> OperationsPhase<'a, E> {
 
     /// Runs the phase, mutating the deployed host in place.
     pub fn run(&self, host: &mut E, config: &OpsConfig) -> OpsReport {
+        match config.engine {
+            MonitorEngine::Polling => self.run_polling(host, config),
+            MonitorEngine::EventDriven { workers } => self.run_event_driven(host, config, workers),
+        }
+    }
+
+    /// The event-driven engine: delegates to [`vdo_soc::SocEngine`]
+    /// over a fleet of one and maps its report back. Drift timing and
+    /// content match the polling engine for equal seeds (same RNG
+    /// streams), so equal-seed runs of both engines face identical
+    /// violation histories.
+    fn run_event_driven(&self, host: &mut E, config: &OpsConfig, workers: usize) -> OpsReport {
+        let soc_config = SocConfig {
+            duration: config.duration,
+            drift_rate: config.drift_rate,
+            workers: workers.max(1),
+            shards: 4,
+            seed: config.seed,
+            ..SocConfig::default()
+        };
+        let engine = SocEngine::new(self.catalog, soc_config)
+            .expect("nonzero workers/shards/capacity by construction");
+        let report = engine.run(std::slice::from_mut(host));
+        OpsReport {
+            incidents: report
+                .incidents
+                .iter()
+                .filter(|i| i.kind == DetectionKind::Stig)
+                .map(|i| Incident {
+                    introduced_at: i.introduced_at,
+                    detected_at: i.detected_at,
+                    found_by_monitor: true,
+                })
+                .collect(),
+            drift_events: report.drift_events,
+            noncompliant_ticks: report.noncompliant_host_ticks,
+            duration: report.duration,
+            checks: report.metrics.checks_run,
+            compliance_trace: report.fleet_compliance_trace,
+        }
+    }
+
+    /// The paper's polling baseline.
+    fn run_polling(&self, host: &mut E, config: &OpsConfig) -> OpsReport {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut drifter = DriftInjector::new(config.seed.wrapping_mul(31).wrapping_add(7));
         let mut incidents = Vec::new();
@@ -168,7 +234,7 @@ impl<'a, E: DriftTarget> OperationsPhase<'a, E> {
         for tick in 0..config.duration {
             // 1. Drift may arrive.
             if rng.gen_bool(config.drift_rate) {
-                host.apply_drift(&mut drifter, 1);
+                DriftTarget::apply_drift(host, &mut drifter, 1);
                 drift_events += 1;
                 if broken_since.is_none() && !is_compliant(self.catalog, host) {
                     broken_since = Some(tick);
@@ -252,6 +318,7 @@ mod tests {
                 monitor_period: Some(5),
                 audit_period: 500,
                 seed: 3,
+                ..OpsConfig::default()
             },
         );
         assert!(report.drift_events > 0);
@@ -283,6 +350,7 @@ mod tests {
             monitor_period: None,
             audit_period: 400,
             seed: 3,
+            ..OpsConfig::default()
         };
         let report = OperationsPhase::new(&catalog).run(&mut host, &cfg);
         assert!(!report.incidents.is_empty());
@@ -299,6 +367,7 @@ mod tests {
             audit_period: 500,
             seed: 11,
             monitor_period: Some(10),
+            ..OpsConfig::default()
         };
         let mut h1 = compliant_host(&catalog);
         let monitored = OperationsPhase::new(&catalog).run(&mut h1, &base);
@@ -334,6 +403,7 @@ mod tests {
                 monitor_period: Some(5),
                 audit_period: 250,
                 seed: 3,
+                ..OpsConfig::default()
             },
         );
         assert_eq!(report.compliance_trace.len(), 1_000);
@@ -382,6 +452,7 @@ mod tests {
                 monitor_period: Some(10),
                 audit_period: 500,
                 seed: 4,
+                ..OpsConfig::default()
             },
         );
         assert!(report.drift_events > 0);
@@ -390,5 +461,66 @@ mod tests {
             "audit-policy drift must be caught"
         );
         assert!(report.incidents.iter().all(|i| i.latency() <= 10));
+    }
+
+    #[test]
+    fn event_driven_engine_detects_on_the_drift_tick() {
+        let catalog = ubuntu::catalog();
+        let mut host = compliant_host(&catalog);
+        let report = OperationsPhase::new(&catalog).run(
+            &mut host,
+            &OpsConfig {
+                engine: MonitorEngine::EventDriven { workers: 2 },
+                duration: 2_000,
+                drift_rate: 0.05,
+                seed: 3,
+                ..OpsConfig::default()
+            },
+        );
+        assert!(report.drift_events > 0);
+        assert!(!report.incidents.is_empty());
+        assert!(
+            report.incidents.iter().all(|i| i.latency() == 0),
+            "event-driven detection is same-tick"
+        );
+        assert_eq!(report.compliance_trace.len(), 2_000);
+    }
+
+    #[test]
+    fn event_driven_beats_polling_at_equal_seed() {
+        let catalog = ubuntu::catalog();
+        let base = OpsConfig {
+            duration: 2_000,
+            drift_rate: 0.05,
+            monitor_period: Some(10),
+            audit_period: 500,
+            seed: 7,
+            ..OpsConfig::default()
+        };
+        let mut polled_host = compliant_host(&catalog);
+        let polled = OperationsPhase::new(&catalog).run(&mut polled_host, &base);
+        let mut event_host = compliant_host(&catalog);
+        let eventful = OperationsPhase::new(&catalog).run(
+            &mut event_host,
+            &OpsConfig {
+                engine: MonitorEngine::EventDriven { workers: 1 },
+                ..base
+            },
+        );
+        // Equal seed ⇒ identical drift streams, so the comparison is
+        // apples to apples: same violations, different detection engines.
+        assert_eq!(polled.drift_events, eventful.drift_events);
+        assert!(
+            eventful.mean_detection_latency() < polled.mean_detection_latency(),
+            "event-driven {} vs polling {}",
+            eventful.mean_detection_latency(),
+            polled.mean_detection_latency()
+        );
+        assert!(
+            eventful.exposure() <= polled.exposure(),
+            "event-driven exposure {} vs polling {}",
+            eventful.exposure(),
+            polled.exposure()
+        );
     }
 }

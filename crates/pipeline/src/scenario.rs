@@ -16,7 +16,7 @@ use vdo_host::UnixHost;
 use vdo_nalabs::RequirementDoc;
 
 use crate::gates::{ComplianceGate, RequirementsGate, TestGate};
-use crate::ops::{OperationsPhase, OpsConfig, OpsReport};
+use crate::ops::{MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
 use crate::repo::{Commit, ConfigChange};
 
 /// Scenario parameters.
@@ -186,6 +186,7 @@ pub fn run(config: &PipelineConfig) -> PipelineReport {
     let ops = OperationsPhase::new(&catalog).run(
         &mut production,
         &OpsConfig {
+            engine: MonitorEngine::Polling,
             duration: config.ops_duration,
             drift_rate: config.drift_rate,
             monitor_period: config.monitor_period,

@@ -1,0 +1,901 @@
+//! The event-driven security-operations engine.
+//!
+//! One [`SocEngine::run`] simulates `duration` ticks over a fleet. Each
+//! tick advances through fixed phases, coordinated by two barriers:
+//!
+//! 1. **publish** (main thread): seeded drift mutates hosts and every
+//!    mutation becomes a bus event; telemetry signals are sampled;
+//!    events deferred by backpressure on a previous tick re-publish
+//!    first so per-host order survives overload;
+//! 2. **process** (worker pool): each non-empty shard becomes one
+//!    [`Batch`]; workers pull batches work-stealing style and drain
+//!    their shard through the monitors, accumulating [`Detection`]s.
+//!    Because monitors run *per event*, a violation is detected on the
+//!    tick it happens — the polling baseline pays `(period - 1) / 2`
+//!    ticks of mean latency for the same detection;
+//! 3. **remediate** (main thread): detections merge in `(shard, seq)`
+//!    order — making the incident log independent of worker count and
+//!    scheduling — and feed the retry/backoff dispatcher.
+//!
+//! Determinism: with a fixed seed the incident log is byte-identical
+//! across runs *and across worker counts*, because host→shard routing
+//! is a fixed hash, one batch is processed by exactly one worker, the
+//! detection merge is totally ordered, and remediation fault rolls are
+//! pure hashes rather than draws from a shared RNG stream.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::Worker;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vdo_core::{Catalog, CheckStatus, RemediationPlanner};
+use vdo_host::{DriftInjector, UnixHost, WindowsHost};
+use vdo_tears::GuardedAssertion;
+use vdo_temporal::{PatternMonitor, Trace};
+
+use crate::bus::{PublishError, ShardedBus};
+use crate::event::{HostId, SecEvent};
+use crate::metrics::{MetricsSnapshot, SocMetrics};
+use crate::monitors::{Detection, DetectionKind, HostMonitors};
+use crate::remediation::{DeadLetter, Dispatcher, RemediationConfig, RemediationTask, SocIncident};
+use crate::runtime::{Batch, TaskQueues, TaskSource};
+
+/// A host class the engine can operate: drift must be injectable and
+/// the state must be shareable with the worker pool.
+pub trait SocHost: Send + Sync {
+    /// Applies `n` random drift events, reporting what changed.
+    fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) -> Vec<vdo_host::DriftEvent>;
+}
+
+impl SocHost for UnixHost {
+    fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) -> Vec<vdo_host::DriftEvent> {
+        injector.drift_unix(self, n)
+    }
+}
+
+impl SocHost for WindowsHost {
+    fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) -> Vec<vdo_host::DriftEvent> {
+        injector.drift_windows(self, n)
+    }
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConfig {
+    /// Ticks to simulate.
+    pub duration: u64,
+    /// Per-host per-tick probability of one drift event.
+    pub drift_rate: f64,
+    /// Worker threads in the pool (must be >= 1).
+    pub workers: usize,
+    /// Bus shards (must be >= 1).
+    pub shards: usize,
+    /// Bounded capacity of each shard queue (must be >= 1).
+    pub queue_capacity: usize,
+    /// Master seed for drift timing, drift content, telemetry, and
+    /// remediation faults.
+    pub seed: u64,
+    /// Simulated I/O latency per processed batch (agent round-trip);
+    /// zero disables the sleep. This is what makes multi-worker
+    /// scaling observable on the simulated clock.
+    pub io_latency: Duration,
+    /// TEARS guarded assertion (source text) monitored over per-host
+    /// telemetry; `None` disables telemetry events entirely.
+    pub tears_assertion: Option<String>,
+    /// Per-host per-tick probability of a brute-force burst in the
+    /// synthesized telemetry (only used when `tears_assertion` is set).
+    pub attack_rate: f64,
+    /// Retry/backoff/fault policy for remediation.
+    pub remediation: RemediationConfig,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            duration: 1_000,
+            drift_rate: 0.02,
+            workers: 4,
+            shards: 16,
+            queue_capacity: 1_024,
+            seed: 0,
+            io_latency: Duration::ZERO,
+            tears_assertion: None,
+            attack_rate: 0.02,
+            remediation: RemediationConfig::default(),
+        }
+    }
+}
+
+/// Rejected [`SocConfig`] values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocConfigError {
+    /// `workers` was zero.
+    ZeroWorkers,
+    /// `shards` was zero.
+    ZeroShards,
+    /// `queue_capacity` was zero.
+    ZeroQueueCapacity,
+    /// `tears_assertion` failed to parse; the payload is the parser's
+    /// message.
+    InvalidAssertion(String),
+}
+
+impl std::fmt::Display for SocConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocConfigError::ZeroWorkers => f.write_str("worker pool needs at least one worker"),
+            SocConfigError::ZeroShards => f.write_str("event bus needs at least one shard"),
+            SocConfigError::ZeroQueueCapacity => {
+                f.write_str("shard queues must hold at least one event")
+            }
+            SocConfigError::InvalidAssertion(e) => write!(f, "invalid TEARS assertion: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SocConfigError {}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocReport {
+    /// All incidents in deterministic `(shard, seq)` detection order.
+    pub incidents: Vec<SocIncident>,
+    /// Remediations abandoned after exhausting retries.
+    pub dead_letters: Vec<DeadLetter>,
+    /// Drift events injected.
+    pub drift_events: u64,
+    /// Host-ticks spent with at least one open violation.
+    pub noncompliant_host_ticks: u64,
+    /// Ticks simulated.
+    pub duration: u64,
+    /// Per-tick "whole fleet compliant" bit, for post-hoc temporal
+    /// evaluation.
+    pub fleet_compliance_trace: Trace<bool>,
+    /// Counter and histogram snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SocReport {
+    /// Mean detection latency over STIG incidents, in ticks.
+    #[must_use]
+    pub fn mean_detection_latency(&self) -> f64 {
+        let stig: Vec<u64> = self
+            .incidents
+            .iter()
+            .filter(|i| i.kind == DetectionKind::Stig)
+            .map(SocIncident::latency)
+            .collect();
+        if stig.is_empty() {
+            0.0
+        } else {
+            stig.iter().sum::<u64>() as f64 / stig.len() as f64
+        }
+    }
+
+    /// Fraction of host-ticks spent out of compliance.
+    #[must_use]
+    pub fn exposure(&self, hosts: usize) -> f64 {
+        let total = self.duration * hosts as u64;
+        if total == 0 {
+            0.0
+        } else {
+            self.noncompliant_host_ticks as f64 / total as f64
+        }
+    }
+
+    /// Canonical JSON incident log. Runs with equal seeds produce
+    /// byte-identical logs regardless of worker count.
+    #[must_use]
+    pub fn incident_log(&self) -> String {
+        serde::json::to_string(&self.incidents)
+    }
+}
+
+/// Per-host violation ledger entry: open rule -> incident index.
+type OpenRules = BTreeMap<String, usize>;
+
+/// Per-shard worker-side state: host monitors plus this tick's
+/// detections.
+struct ShardLocal {
+    hosts: BTreeMap<HostId, HostMonitors>,
+    detections: Vec<Detection>,
+}
+
+/// The engine: a catalogue plus a validated configuration.
+pub struct SocEngine<'a, E> {
+    catalog: &'a Catalog<E>,
+    config: SocConfig,
+    assertion: Option<GuardedAssertion>,
+}
+
+impl<E> std::fmt::Debug for SocEngine<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocEngine")
+            .field("catalog_rules", &self.catalog.len())
+            .field("config", &self.config)
+            .field("assertion", &self.assertion)
+            .finish()
+    }
+}
+
+impl<'a, E: SocHost> SocEngine<'a, E> {
+    /// Validates `config` and builds the engine.
+    ///
+    /// # Errors
+    /// On zero worker/shard/queue sizes or an unparseable assertion.
+    pub fn new(catalog: &'a Catalog<E>, config: SocConfig) -> Result<Self, SocConfigError> {
+        if config.workers == 0 {
+            return Err(SocConfigError::ZeroWorkers);
+        }
+        if config.shards == 0 {
+            return Err(SocConfigError::ZeroShards);
+        }
+        if config.queue_capacity == 0 {
+            return Err(SocConfigError::ZeroQueueCapacity);
+        }
+        let assertion = match &config.tears_assertion {
+            Some(src) => Some(
+                GuardedAssertion::parse(src)
+                    .map_err(|e| SocConfigError::InvalidAssertion(e.to_string()))?,
+            ),
+            None => None,
+        };
+        Ok(SocEngine {
+            catalog,
+            config,
+            assertion,
+        })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Runs the engine over `hosts`, mutating them in place (drift and
+    /// remediation), and reports incidents plus metrics.
+    pub fn run(&self, hosts: &mut [E]) -> SocReport {
+        let cfg = &self.config;
+        let n_hosts = hosts.len();
+        let bus = ShardedBus::new(cfg.shards, cfg.queue_capacity);
+        let metrics = SocMetrics::new();
+        let shard_states: Vec<Mutex<ShardLocal>> = (0..cfg.shards)
+            .map(|_| {
+                Mutex::new(ShardLocal {
+                    hosts: BTreeMap::new(),
+                    detections: Vec::new(),
+                })
+            })
+            .collect();
+        for host in 0..n_hosts {
+            shard_states[bus.shard_for(host)]
+                .lock()
+                .hosts
+                .insert(host, HostMonitors::new(self.assertion.clone()));
+        }
+        let fleet = RwLock::new(hosts);
+        let locals: Vec<Worker<Batch>> = (0..cfg.workers).map(|_| Worker::new_fifo()).collect();
+        let queues = TaskQueues::new(&locals, cfg.shards);
+        let outstanding = AtomicUsize::new(0);
+        let current_tick = AtomicU64::new(0);
+        let shutdown = AtomicBool::new(false);
+        let start_gate = Barrier::new(cfg.workers + 1);
+        let end_gate = Barrier::new(cfg.workers + 1);
+        let wall_start = Instant::now();
+
+        let mut incidents: Vec<SocIncident> = Vec::new();
+        let mut open: Vec<OpenRules> = vec![OpenRules::new(); n_hosts];
+        let mut dispatcher = Dispatcher::new(cfg.remediation, cfg.seed ^ 0x0D15_EA5E);
+        let planner = RemediationPlanner::default();
+        let mut drift_events = 0u64;
+        let mut noncompliant_host_ticks = 0u64;
+        let mut fleet_trace = Trace::new();
+
+        std::thread::scope(|scope| {
+            for (me, local) in locals.into_iter().enumerate() {
+                let bus = &bus;
+                let metrics = &metrics;
+                let shard_states = &shard_states;
+                let queues = &queues;
+                let fleet = &fleet;
+                let outstanding = &outstanding;
+                let current_tick = &current_tick;
+                let shutdown = &shutdown;
+                let start_gate = &start_gate;
+                let end_gate = &end_gate;
+                let catalog = self.catalog;
+                let io_latency = cfg.io_latency;
+                scope.spawn(move || loop {
+                    start_gate.wait();
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let now = current_tick.load(Ordering::SeqCst);
+                    loop {
+                        match queues.find(me, &local) {
+                            Some((batch, src)) => {
+                                if src == TaskSource::Stolen {
+                                    metrics.steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let t0 = Instant::now();
+                                {
+                                    let fleet_guard = fleet.read();
+                                    let mut state = shard_states[batch.shard].lock();
+                                    process_batch(
+                                        batch.shard,
+                                        now,
+                                        bus,
+                                        catalog,
+                                        &fleet_guard[..],
+                                        &mut state,
+                                        metrics,
+                                    );
+                                }
+                                if io_latency > Duration::ZERO {
+                                    std::thread::sleep(io_latency);
+                                }
+                                metrics.batch_micros.record(t0.elapsed().as_micros() as u64);
+                                metrics.batches.fetch_add(1, Ordering::Relaxed);
+                                outstanding.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if outstanding.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    end_gate.wait();
+                });
+            }
+
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut drifter = DriftInjector::new(cfg.seed.wrapping_mul(31).wrapping_add(7));
+            let mut deferred: VecDeque<SecEvent> = VecDeque::new();
+            // Tick a brute-force burst started on, per host (telemetry).
+            let mut attack_since: Vec<Option<u64>> = vec![None; n_hosts];
+
+            for tick in 0..cfg.duration {
+                current_tick.store(tick, Ordering::SeqCst);
+                // --- Phase 1 (main): publish ------------------------
+                let mut blocked = vec![false; cfg.shards];
+                let mut publish = |event: SecEvent, deferred: &mut VecDeque<SecEvent>| {
+                    let shard = bus.shard_for(event.host());
+                    if blocked[shard] {
+                        metrics.events_deferred.fetch_add(1, Ordering::Relaxed);
+                        deferred.push_back(event);
+                        return;
+                    }
+                    match bus.publish(event) {
+                        Ok(_) => {
+                            metrics.events_published.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(PublishError::Backpressure(event)) => {
+                            blocked[shard] = true;
+                            metrics.events_deferred.fetch_add(1, Ordering::Relaxed);
+                            deferred.push_back(event);
+                        }
+                    }
+                };
+                // Deferred events from the previous tick go first so
+                // per-host order is preserved under overload.
+                let mut replay = std::mem::take(&mut deferred);
+                for event in replay.drain(..) {
+                    publish(event, &mut deferred);
+                }
+                if tick == 0 {
+                    // Baseline audit: surface pre-existing violations.
+                    for host in 0..n_hosts {
+                        publish(
+                            SecEvent::ConfigChanged {
+                                host,
+                                tick,
+                                detail: "baseline audit".to_string(),
+                            },
+                            &mut deferred,
+                        );
+                    }
+                }
+                {
+                    let mut guard = fleet.write();
+                    for host in 0..n_hosts {
+                        if rng.gen_bool(cfg.drift_rate) {
+                            for ev in guard[host].apply_drift(&mut drifter, 1) {
+                                drift_events += 1;
+                                publish(
+                                    SecEvent::DriftApplied {
+                                        host,
+                                        tick,
+                                        kind: ev.kind,
+                                        detail: ev.detail,
+                                    },
+                                    &mut deferred,
+                                );
+                            }
+                        }
+                    }
+                }
+                if self.assertion.is_some() {
+                    for host in 0..n_hosts {
+                        let burst = rng.gen_bool(cfg.attack_rate);
+                        let mut failed_logins = 0.0;
+                        let mut lockout = 0.0;
+                        if burst {
+                            failed_logins = 4.0;
+                            attack_since[host] = Some(tick);
+                        } else if let Some(t0) = attack_since[host] {
+                            // A compliant host answers the burst with a
+                            // lockout; a drifted one has lost the
+                            // mechanism and stays silent.
+                            if open[host].is_empty() {
+                                lockout = 1.0;
+                                attack_since[host] = None;
+                            } else if tick.saturating_sub(t0) > 3 {
+                                attack_since[host] = None;
+                            }
+                        }
+                        publish(
+                            SecEvent::SignalTick {
+                                host,
+                                tick,
+                                signals: vec![
+                                    ("failed_logins", failed_logins),
+                                    ("lockout", lockout),
+                                ],
+                            },
+                            &mut deferred,
+                        );
+                    }
+                }
+
+                // --- Phase 2 (workers): process to quiescence --------
+                let mut n_batches = 0usize;
+                for shard in 0..cfg.shards {
+                    let depth = bus.depth(shard);
+                    if depth > 0 {
+                        metrics.observe_queue_depth(depth as u64);
+                        queues.push(Batch { shard });
+                        n_batches += 1;
+                    }
+                }
+                outstanding.store(n_batches, Ordering::SeqCst);
+                start_gate.wait();
+                end_gate.wait();
+
+                // --- Phase 3 (main): merge detections, remediate -----
+                let mut detections: Vec<Detection> = Vec::new();
+                for state in &shard_states {
+                    detections.append(&mut state.lock().detections);
+                }
+                detections.sort();
+                for det in detections {
+                    match det.kind {
+                        DetectionKind::Tears => incidents.push(SocIncident {
+                            host: det.host,
+                            rule: det.rule,
+                            kind: DetectionKind::Tears,
+                            introduced_at: det.introduced_at,
+                            detected_at: det.detected_at,
+                            resolved_at: None,
+                            attempts: 0,
+                        }),
+                        DetectionKind::Stig => {
+                            if open[det.host].contains_key(&det.rule) {
+                                continue; // already being remediated
+                            }
+                            metrics
+                                .detection_latency
+                                .record(det.detected_at - det.introduced_at);
+                            open[det.host].insert(det.rule.clone(), incidents.len());
+                            dispatcher.schedule(
+                                tick,
+                                RemediationTask {
+                                    host: det.host,
+                                    rule: det.rule.clone(),
+                                    introduced_at: det.introduced_at,
+                                    detected_at: det.detected_at,
+                                    attempt: 0,
+                                },
+                            );
+                            incidents.push(SocIncident {
+                                host: det.host,
+                                rule: det.rule,
+                                kind: DetectionKind::Stig,
+                                introduced_at: det.introduced_at,
+                                detected_at: det.detected_at,
+                                resolved_at: None,
+                                attempts: 0,
+                            });
+                        }
+                    }
+                }
+                for task in dispatcher.take_due(tick) {
+                    let Some(&incident_idx) = open[task.host].get(&task.rule) else {
+                        continue; // repaired as a side effect earlier
+                    };
+                    incidents[incident_idx].attempts += 1;
+                    if dispatcher.fault_injected(&task) {
+                        if dispatcher.on_failure(task, tick) {
+                            metrics.retries.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    let mut guard = fleet.write();
+                    planner.run(self.catalog, &mut guard[task.host]);
+                    metrics.remediations.fetch_add(1, Ordering::Relaxed);
+                    let results = self.catalog.check_all(&guard[task.host]);
+                    metrics
+                        .checks_run
+                        .fetch_add(self.catalog.len() as u64, Ordering::Relaxed);
+                    drop(guard);
+                    let host_open = &mut open[task.host];
+                    for (entry, status) in results {
+                        if status.is_pass() {
+                            if let Some(idx) = host_open.remove(entry.spec().finding_id()) {
+                                incidents[idx].resolved_at = Some(tick);
+                            }
+                        }
+                    }
+                }
+
+                // --- Phase 4 (main): accounting ----------------------
+                let broken = open.iter().filter(|rules| !rules.is_empty()).count() as u64;
+                noncompliant_host_ticks += broken;
+                fleet_trace.push(broken == 0);
+            }
+            shutdown.store(true, Ordering::SeqCst);
+            start_gate.wait();
+        });
+
+        SocReport {
+            incidents,
+            dead_letters: dispatcher.into_dead_letters(),
+            drift_events,
+            noncompliant_host_ticks,
+            duration: cfg.duration,
+            fleet_compliance_trace: fleet_trace,
+            metrics: metrics.snapshot(wall_start.elapsed().as_secs_f64()),
+        }
+    }
+}
+
+/// Drains `shard` and runs every event through the monitors. Called by
+/// exactly one worker per tick per shard, with the fleet read-locked
+/// (hosts are immutable during the processing phase).
+fn process_batch<E: SocHost>(
+    shard: usize,
+    now: u64,
+    bus: &ShardedBus,
+    catalog: &Catalog<E>,
+    fleet: &[E],
+    state: &mut ShardLocal,
+    metrics: &SocMetrics,
+) {
+    while let Some(envelope) = bus.pop(shard) {
+        metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+        let seq = envelope.seq;
+        match envelope.event {
+            SecEvent::DriftApplied { host, tick, .. }
+            | SecEvent::ConfigChanged { host, tick, .. } => {
+                // Re-check the catalogue and deliver each result as a
+                // follow-up CheckResult event (local delivery: same
+                // shard, same worker, so order is preserved and the
+                // batch quiesces without re-entering the bounded
+                // queue).
+                let results = catalog.check_all(&fleet[host]);
+                metrics
+                    .checks_run
+                    .fetch_add(catalog.len() as u64, Ordering::Relaxed);
+                let follow_ups: Vec<SecEvent> = results
+                    .iter()
+                    .map(|(entry, status)| SecEvent::CheckResult {
+                        host,
+                        tick,
+                        rule: entry.spec().finding_id().to_string(),
+                        status: *status,
+                    })
+                    .collect();
+                for event in follow_ups {
+                    metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+                    handle_check_result(shard, seq, now, event, state);
+                }
+            }
+            event @ SecEvent::CheckResult { .. } => {
+                handle_check_result(shard, seq, now, event, state);
+            }
+            SecEvent::SignalTick {
+                host,
+                tick: _,
+                signals,
+            } => {
+                let ShardLocal { hosts, detections } = state;
+                let monitors = hosts.get_mut(&host).expect("host registered");
+                if let Some(tears) = &mut monitors.tears {
+                    for activation in tears.observe(&signals) {
+                        detections.push(Detection {
+                            shard,
+                            seq,
+                            host,
+                            rule: tears.name().to_string(),
+                            kind: DetectionKind::Tears,
+                            introduced_at: activation,
+                            detected_at: now,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Feeds one `CheckResult` into the host's temporal compliance monitor
+/// and records a detection when the rule fails.
+fn handle_check_result(shard: usize, seq: u64, now: u64, event: SecEvent, state: &mut ShardLocal) {
+    let SecEvent::CheckResult {
+        host,
+        tick,
+        rule,
+        status,
+    } = event
+    else {
+        unreachable!("only CheckResult events reach this handler");
+    };
+    let ShardLocal { hosts, detections } = state;
+    let monitors = hosts.get_mut(&host).expect("host registered");
+    let compliant = !status.is_fail();
+    monitors.compliance.observe(&compliant);
+    if status == CheckStatus::Fail {
+        detections.push(Detection {
+            shard,
+            seq,
+            host,
+            rule,
+            kind: DetectionKind::Stig,
+            introduced_at: tick,
+            detected_at: now,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdo_core::RemediationPlanner;
+    use vdo_stigs::ubuntu;
+
+    fn compliant_fleet(n: usize) -> Vec<UnixHost> {
+        let catalog = ubuntu::catalog();
+        let planner = RemediationPlanner::default();
+        (0..n)
+            .map(|_| {
+                let mut h = UnixHost::baseline_ubuntu_1804();
+                planner.run(&catalog, &mut h);
+                h
+            })
+            .collect()
+    }
+
+    fn base_config() -> SocConfig {
+        SocConfig {
+            duration: 300,
+            drift_rate: 0.05,
+            workers: 2,
+            shards: 4,
+            seed: 11,
+            ..SocConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_sizes_are_recoverable_errors() {
+        let catalog = ubuntu::catalog();
+        for (cfg, want) in [
+            (
+                SocConfig {
+                    workers: 0,
+                    ..SocConfig::default()
+                },
+                SocConfigError::ZeroWorkers,
+            ),
+            (
+                SocConfig {
+                    shards: 0,
+                    ..SocConfig::default()
+                },
+                SocConfigError::ZeroShards,
+            ),
+            (
+                SocConfig {
+                    queue_capacity: 0,
+                    ..SocConfig::default()
+                },
+                SocConfigError::ZeroQueueCapacity,
+            ),
+        ] {
+            assert_eq!(SocEngine::new(&catalog, cfg).unwrap_err(), want);
+        }
+        let bad = SocConfig {
+            tears_assertion: Some("not a guarded assertion".into()),
+            ..SocConfig::default()
+        };
+        assert!(matches!(
+            SocEngine::new(&catalog, bad).unwrap_err(),
+            SocConfigError::InvalidAssertion(_)
+        ));
+    }
+
+    #[test]
+    fn drift_is_detected_with_zero_tick_latency() {
+        let catalog = ubuntu::catalog();
+        let engine = SocEngine::new(&catalog, base_config()).unwrap();
+        let mut fleet = compliant_fleet(6);
+        let report = engine.run(&mut fleet);
+        assert!(report.drift_events > 0);
+        let stig: Vec<_> = report
+            .incidents
+            .iter()
+            .filter(|i| i.kind == DetectionKind::Stig)
+            .collect();
+        assert!(!stig.is_empty(), "5% drift over 300 ticks must break rules");
+        assert!(
+            stig.iter().all(|i| i.latency() == 0),
+            "event-driven detection happens on the drift tick"
+        );
+        assert!(
+            stig.iter().all(|i| i.resolved_at.is_some()),
+            "fault-free remediation closes every incident"
+        );
+    }
+
+    #[test]
+    fn single_worker_runs_are_byte_identical() {
+        let catalog = ubuntu::catalog();
+        let cfg = SocConfig {
+            workers: 1,
+            ..base_config()
+        };
+        let run = |cfg: &SocConfig| {
+            let engine = SocEngine::new(&catalog, cfg.clone()).unwrap();
+            let mut fleet = compliant_fleet(8);
+            engine.run(&mut fleet).incident_log()
+        };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_incident_log() {
+        let catalog = ubuntu::catalog();
+        let logs: Vec<String> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&workers| {
+                let cfg = SocConfig {
+                    workers,
+                    tears_assertion: Some(
+                        r#"ga "lockout": when failed_logins >= 3 then lockout == 1 within 2"#
+                            .into(),
+                    ),
+                    remediation: RemediationConfig {
+                        fault_rate: 0.3,
+                        ..RemediationConfig::default()
+                    },
+                    ..base_config()
+                };
+                let engine = SocEngine::new(&catalog, cfg).unwrap();
+                let mut fleet = compliant_fleet(8);
+                engine.run(&mut fleet).incident_log()
+            })
+            .collect();
+        assert!(
+            logs.windows(2).all(|w| w[0] == w[1]),
+            "incident log must be independent of worker count"
+        );
+    }
+
+    #[test]
+    fn injected_faults_retry_and_dead_letter() {
+        let catalog = ubuntu::catalog();
+        let cfg = SocConfig {
+            remediation: RemediationConfig {
+                max_retries: 2,
+                backoff_base: 1,
+                fault_rate: 1.0,
+            },
+            ..base_config()
+        };
+        let engine = SocEngine::new(&catalog, cfg).unwrap();
+        let mut fleet = compliant_fleet(4);
+        let report = engine.run(&mut fleet);
+        assert!(report.metrics.retries > 0);
+        assert!(!report.dead_letters.is_empty(), "all attempts fail");
+        assert!(
+            report.dead_letters.iter().all(|d| d.task.attempt == 3),
+            "1 initial + 2 retries before giving up"
+        );
+        assert!(
+            report
+                .incidents
+                .iter()
+                .filter(|i| i.kind == DetectionKind::Stig)
+                .all(|i| i.resolved_at.is_none()),
+            "nothing resolves when every attempt faults"
+        );
+    }
+
+    #[test]
+    fn tears_violations_fire_only_on_drifted_hosts() {
+        let catalog = ubuntu::catalog();
+        let cfg = SocConfig {
+            duration: 400,
+            drift_rate: 0.03,
+            attack_rate: 0.05,
+            tears_assertion: Some(
+                r#"ga "lockout": when failed_logins >= 3 then lockout == 1 within 2"#.into(),
+            ),
+            remediation: RemediationConfig {
+                fault_rate: 0.8,
+                max_retries: 5,
+                backoff_base: 4,
+            },
+            ..base_config()
+        };
+        let engine = SocEngine::new(&catalog, cfg).unwrap();
+        let mut fleet = compliant_fleet(8);
+        let report = engine.run(&mut fleet);
+        let tears: Vec<_> = report
+            .incidents
+            .iter()
+            .filter(|i| i.kind == DetectionKind::Tears)
+            .collect();
+        assert!(
+            !tears.is_empty(),
+            "slow remediation leaves attack windows unanswered"
+        );
+        assert_eq!(report.fleet_compliance_trace.len(), 400);
+    }
+
+    #[test]
+    fn quiet_fleet_stays_clean() {
+        let catalog = ubuntu::catalog();
+        let cfg = SocConfig {
+            drift_rate: 0.0,
+            ..base_config()
+        };
+        let engine = SocEngine::new(&catalog, cfg).unwrap();
+        let mut fleet = compliant_fleet(5);
+        let report = engine.run(&mut fleet);
+        assert!(report.incidents.is_empty());
+        assert_eq!(report.noncompliant_host_ticks, 0);
+        assert_eq!(report.exposure(5), 0.0);
+        // The baseline audit still ran every rule once per host.
+        assert!(report.metrics.checks_run >= 5 * catalog.len() as u64);
+    }
+
+    #[test]
+    fn windows_fleets_are_supported() {
+        let catalog = vdo_stigs::win10::catalog();
+        let planner = RemediationPlanner::default();
+        let mut fleet: Vec<WindowsHost> = (0..4)
+            .map(|_| {
+                let mut h = WindowsHost::baseline_win10();
+                planner.run(&catalog, &mut h);
+                h
+            })
+            .collect();
+        let engine = SocEngine::new(&catalog, base_config()).unwrap();
+        let report = engine.run(&mut fleet);
+        assert!(report.drift_events > 0);
+        assert!(report
+            .incidents
+            .iter()
+            .all(|i| i.kind == DetectionKind::Stig && i.latency() == 0));
+    }
+}

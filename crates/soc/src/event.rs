@@ -1,0 +1,149 @@
+//! Typed security events and their bus envelope.
+//!
+//! Every observable change in the operated fleet becomes one
+//! [`SecEvent`]. Events are routed to a bus shard by their host (a fixed
+//! hash, so one host's events always share a shard) and stamped with a
+//! per-shard sequence number, which is the ordering authority for
+//! everything downstream: monitors consume a shard's events in sequence
+//! order and the incident log is sorted by `(shard, seq)`.
+
+use vdo_core::CheckStatus;
+use vdo_host::DriftKind;
+
+/// Fleet-wide host identifier (index into the engine's host slice).
+pub type HostId = usize;
+
+/// One security-relevant occurrence on a host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SecEvent {
+    /// A drift event mutated the host's configuration state.
+    DriftApplied {
+        /// Affected host.
+        host: HostId,
+        /// Tick at which the drift landed.
+        tick: u64,
+        /// Drift category.
+        kind: DriftKind,
+        /// Human-readable drift detail.
+        detail: String,
+    },
+    /// A configuration change that is not attributed to random drift
+    /// (deploys, audits, manual edits). Triggers the same re-checks.
+    ConfigChanged {
+        /// Affected host.
+        host: HostId,
+        /// Tick of the change.
+        tick: u64,
+        /// What changed.
+        detail: String,
+    },
+    /// One tick's worth of telemetry signals from a host, feeding the
+    /// TEARS guarded-assertion monitors.
+    SignalTick {
+        /// Reporting host.
+        host: HostId,
+        /// Sample tick.
+        tick: u64,
+        /// Named signal values sampled this tick.
+        signals: Vec<(&'static str, f64)>,
+    },
+    /// Outcome of re-checking one catalogue rule against a host.
+    /// Published by the STIG monitor as a follow-up event so other
+    /// monitors (e.g. the temporal compliance monitor) can consume it.
+    CheckResult {
+        /// Checked host.
+        host: HostId,
+        /// Tick of the check.
+        tick: u64,
+        /// Catalogue finding id of the rule.
+        rule: String,
+        /// Three-valued verdict.
+        status: CheckStatus,
+    },
+}
+
+impl SecEvent {
+    /// The host this event concerns (and therefore its shard key).
+    #[must_use]
+    pub fn host(&self) -> HostId {
+        match self {
+            SecEvent::DriftApplied { host, .. }
+            | SecEvent::ConfigChanged { host, .. }
+            | SecEvent::SignalTick { host, .. }
+            | SecEvent::CheckResult { host, .. } => *host,
+        }
+    }
+
+    /// The tick the event happened at.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        match self {
+            SecEvent::DriftApplied { tick, .. }
+            | SecEvent::ConfigChanged { tick, .. }
+            | SecEvent::SignalTick { tick, .. }
+            | SecEvent::CheckResult { tick, .. } => *tick,
+        }
+    }
+}
+
+/// A [`SecEvent`] as carried on the bus: routed and sequenced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Shard the event was routed to.
+    pub shard: usize,
+    /// Position in that shard's total order (0-based, gap-free).
+    pub seq: u64,
+    /// The event itself.
+    pub event: SecEvent,
+}
+
+/// Fixed host-to-shard hash (SplitMix64 finalizer). Stable across runs
+/// and worker counts, so a host's events always serialize through the
+/// same shard.
+#[must_use]
+pub fn shard_of(host: HostId, shards: usize) -> usize {
+    let mut z = (host as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1usize, 2, 7, 16] {
+            for host in 0..200 {
+                let s = shard_of(host, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(host, shards), "must be a pure function");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_spreads_hosts() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for host in 0..800 {
+            counts[shard_of(host, shards)] += 1;
+        }
+        // No shard should be empty or hold more than half the fleet.
+        assert!(counts.iter().all(|&c| c > 0 && c < 400), "{counts:?}");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = SecEvent::CheckResult {
+            host: 4,
+            tick: 9,
+            rule: "V-1".into(),
+            status: CheckStatus::Fail,
+        };
+        assert_eq!(e.host(), 4);
+        assert_eq!(e.tick(), 9);
+    }
+}

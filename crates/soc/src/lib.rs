@@ -1,0 +1,74 @@
+//! # vdo-soc — event-driven security-operations engine
+//!
+//! The VeriDevOps operations story ("protection at operations") is a
+//! monitor that *reacts* to what happens on the fleet. The polling
+//! [`MonitoringLoop`](vdo_temporal::MonitoringLoop) re-checks on a
+//! fixed period and therefore pays a mean detection latency of
+//! `(period - 1) / 2` ticks; this crate is the event-driven
+//! alternative: every host mutation becomes a typed [`SecEvent`] on a
+//! sharded bus, and monitors run *per event*, detecting violations on
+//! the tick they happen.
+//!
+//! Four layers:
+//!
+//! * **bus** ([`ShardedBus`]) — bounded crossbeam queues, one per
+//!   shard; hosts map to shards by a fixed hash; every event carries a
+//!   per-shard sequence number; a full queue pushes back on the
+//!   publisher ([`PublishError::Backpressure`]);
+//! * **runtime** ([`TaskQueues`]) — a work-stealing worker pool
+//!   (injector + per-worker deques + sibling stealing) that dispatches
+//!   shard batches; one shard is processed by exactly one worker per
+//!   tick, preserving per-host event order under any schedule;
+//! * **monitors** — STIG catalogue re-checks, the owned temporal
+//!   compliance monitor [`ComplianceUniversality`], and per-host TEARS
+//!   guarded assertions ([`TearsHostMonitor`]);
+//! * **remediation** ([`Dispatcher`]) — bounded retries with
+//!   exponential backoff and a dead-letter incident queue, exercised
+//!   by seeded fault injection;
+//!
+//! plus lock-free **metrics** ([`SocMetrics`]) with fixed-bucket
+//! latency histograms that snapshot to JSON.
+//!
+//! Determinism contract: a fixed seed yields a byte-identical incident
+//! log ([`SocReport::incident_log`]) for *any* worker count.
+//!
+//! ```
+//! use vdo_soc::{SocConfig, SocEngine};
+//! use vdo_core::RemediationPlanner;
+//! use vdo_host::UnixHost;
+//!
+//! let catalog = vdo_stigs::ubuntu::catalog();
+//! let mut host = UnixHost::baseline_ubuntu_1804();
+//! RemediationPlanner::default().run(&catalog, &mut host);
+//! let mut fleet = vec![host];
+//! let engine = SocEngine::new(&catalog, SocConfig {
+//!     duration: 100,
+//!     drift_rate: 0.1,
+//!     seed: 7,
+//!     ..SocConfig::default()
+//! }).unwrap();
+//! let report = engine.run(&mut fleet);
+//! // Every detection lands on the tick its drift happened.
+//! assert!(report.incidents.iter().all(|i| i.latency() == 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod monitors;
+pub mod remediation;
+pub mod runtime;
+
+pub use bus::{PublishError, ShardedBus};
+pub use engine::{SocConfig, SocConfigError, SocEngine, SocHost, SocReport};
+pub use event::{shard_of, Envelope, HostId, SecEvent};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, SocMetrics};
+pub use monitors::{
+    ComplianceUniversality, Detection, DetectionKind, HostMonitors, TearsHostMonitor,
+};
+pub use remediation::{DeadLetter, Dispatcher, RemediationConfig, RemediationTask, SocIncident};
+pub use runtime::{Batch, TaskQueues, TaskSource};

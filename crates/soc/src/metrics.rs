@@ -1,0 +1,302 @@
+//! SOC runtime metrics: lock-free counters and fixed-bucket histograms.
+//!
+//! Everything here is updated with relaxed atomics from publisher,
+//! worker, and dispatcher threads, and read out as an immutable
+//! [`MetricsSnapshot`] that serialises to JSON. Counters measure load
+//! (events, batches, steals, retries); the histograms capture the two
+//! latency distributions the E11 experiment reports — detection latency
+//! in ticks and per-batch processing time in microseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Upper bucket bounds (inclusive) for tick-valued latencies.
+const TICK_BOUNDS: [u64; 10] = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Upper bucket bounds (inclusive) for microsecond-valued durations.
+const MICROS_BOUNDS: [u64; 10] = [
+    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+];
+
+/// A fixed-bucket histogram with atomic buckets. Values above the last
+/// bound land in the overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram bucketed for tick-valued latencies (0..=256+).
+    #[must_use]
+    pub fn ticks() -> Self {
+        Histogram::with_bounds(&TICK_BOUNDS)
+    }
+
+    /// A histogram bucketed for microsecond durations (10µs..=500ms+).
+    #[must_use]
+    pub fn micros() -> Self {
+        Histogram::with_bounds(&MICROS_BOUNDS)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state. `counts` has one more entry than `bounds`
+/// (the overflow bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds per bucket.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (last entry = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("bounds", self.bounds.to_value()),
+            ("counts", self.counts.to_value()),
+            ("count", self.count.to_value()),
+            ("sum", self.sum.to_value()),
+            ("max", self.max.to_value()),
+            ("mean", self.mean().to_value()),
+        ])
+    }
+}
+
+/// Live counters for one engine run. Shared by reference across the
+/// publisher, the worker pool, and the remediation dispatcher.
+#[derive(Debug)]
+pub struct SocMetrics {
+    /// Events accepted onto the bus.
+    pub events_published: AtomicU64,
+    /// Events deferred at least once due to a full shard queue.
+    pub events_deferred: AtomicU64,
+    /// Events consumed by workers (including follow-ups).
+    pub events_processed: AtomicU64,
+    /// Shard batches executed.
+    pub batches: AtomicU64,
+    /// Batches a worker obtained by stealing (injector or sibling).
+    pub steals: AtomicU64,
+    /// Catalogue rule checks performed.
+    pub checks_run: AtomicU64,
+    /// High-water mark of any shard queue depth.
+    pub max_queue_depth: AtomicU64,
+    /// Remediation attempts that were retried after an injected fault.
+    pub retries: AtomicU64,
+    /// Remediations abandoned to the dead-letter queue.
+    pub dead_letters: AtomicU64,
+    /// Successful remediations.
+    pub remediations: AtomicU64,
+    /// Detection latency in ticks (drift tick to detection tick).
+    pub detection_latency: Histogram,
+    /// Wall-clock batch processing time in microseconds.
+    pub batch_micros: Histogram,
+}
+
+impl SocMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        SocMetrics {
+            events_published: AtomicU64::new(0),
+            events_deferred: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            checks_run: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            dead_letters: AtomicU64::new(0),
+            remediations: AtomicU64::new(0),
+            detection_latency: Histogram::ticks(),
+            batch_micros: Histogram::micros(),
+        }
+    }
+
+    /// Records a shard queue depth observation.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Immutable copy of all counters and histograms.
+    #[must_use]
+    pub fn snapshot(&self, wall_secs: f64) -> MetricsSnapshot {
+        let processed = self.events_processed.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            events_published: self.events_published.load(Ordering::Relaxed),
+            events_deferred: self.events_deferred.load(Ordering::Relaxed),
+            events_processed: processed,
+            batches: self.batches.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            checks_run: self.checks_run.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            dead_letters: self.dead_letters.load(Ordering::Relaxed),
+            remediations: self.remediations.load(Ordering::Relaxed),
+            events_per_sec: if wall_secs > 0.0 {
+                processed as f64 / wall_secs
+            } else {
+                0.0
+            },
+            detection_latency: self.detection_latency.snapshot(),
+            batch_micros: self.batch_micros.snapshot(),
+        }
+    }
+}
+
+impl Default for SocMetrics {
+    fn default() -> Self {
+        SocMetrics::new()
+    }
+}
+
+/// Frozen metrics for one run; serialises to JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Events accepted onto the bus.
+    pub events_published: u64,
+    /// Events deferred at least once by backpressure.
+    pub events_deferred: u64,
+    /// Events consumed by workers.
+    pub events_processed: u64,
+    /// Shard batches executed.
+    pub batches: u64,
+    /// Batches obtained by stealing.
+    pub steals: u64,
+    /// Catalogue rule checks performed.
+    pub checks_run: u64,
+    /// High-water mark of shard queue depth.
+    pub max_queue_depth: u64,
+    /// Remediation retries.
+    pub retries: u64,
+    /// Remediations dead-lettered.
+    pub dead_letters: u64,
+    /// Successful remediations.
+    pub remediations: u64,
+    /// Worker throughput over the run's wall-clock time.
+    pub events_per_sec: f64,
+    /// Detection latency distribution (ticks).
+    pub detection_latency: HistogramSnapshot,
+    /// Batch processing time distribution (µs).
+    pub batch_micros: HistogramSnapshot,
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("events_published", self.events_published.to_value()),
+            ("events_deferred", self.events_deferred.to_value()),
+            ("events_processed", self.events_processed.to_value()),
+            ("batches", self.batches.to_value()),
+            ("steals", self.steals.to_value()),
+            ("checks_run", self.checks_run.to_value()),
+            ("max_queue_depth", self.max_queue_depth.to_value()),
+            ("retries", self.retries.to_value()),
+            ("dead_letters", self.dead_letters.to_value()),
+            ("remediations", self.remediations.to_value()),
+            ("events_per_sec", self.events_per_sec.to_value()),
+            ("detection_latency", self.detection_latency.to_value()),
+            ("batch_micros", self.batch_micros.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::ticks();
+        h.record(0);
+        h.record(3);
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.counts[0], 1, "0 lands in the first bucket");
+        assert_eq!(s.counts[3], 1, "3 lands in the <=4 bucket");
+        assert_eq!(*s.counts.last().unwrap(), 1, "overflow bucket");
+        assert_eq!(s.max, 1_000_000);
+        assert!((s.mean() - (1_000_003.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = SocMetrics::new();
+        m.events_published.fetch_add(5, Ordering::Relaxed);
+        m.detection_latency.record(2);
+        let json = serde::json::to_string(&m.snapshot(1.0));
+        assert!(json.contains("\"events_published\":5"));
+        assert!(json.contains("\"detection_latency\""));
+    }
+
+    #[test]
+    fn queue_depth_keeps_the_high_water_mark() {
+        let m = SocMetrics::new();
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(9);
+        m.observe_queue_depth(1);
+        assert_eq!(m.max_queue_depth.load(Ordering::Relaxed), 9);
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-host incremental monitors driven by bus events.
+//!
+//! Three detector families subscribe to the bus, mirroring the three
+//! verification layers of the reproduced stack:
+//!
+//! * **STIG re-checks** — on `DriftApplied`/`ConfigChanged` the worker
+//!   re-runs the compliance catalogue against the host and publishes a
+//!   `CheckResult` follow-up per rule (see the runtime module);
+//! * **temporal patterns** — [`ComplianceUniversality`] is an *owned*
+//!   streaming `A[] compliant` monitor implementing
+//!   [`vdo_temporal::PatternMonitor`], fed by the `CheckResult` stream
+//!   (the borrowed monitors returned by `TemporalPattern::begin` cannot
+//!   outlive their pattern, which a long-lived monitor registry needs);
+//! * **TEARS guarded assertions** — [`TearsHostMonitor`] accumulates a
+//!   host's `SignalTick` telemetry into a `SignalTrace` and streams it
+//!   through [`vdo_tears::OwnedGaMonitor`].
+//!
+//! All three report [`Detection`]s, which the remediation dispatcher
+//! turns into incidents.
+
+use vdo_core::CheckStatus;
+use vdo_tears::{GuardedAssertion, OwnedGaMonitor, SignalTrace};
+use vdo_temporal::PatternMonitor;
+
+use crate::event::HostId;
+
+/// What class of monitor raised a detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DetectionKind {
+    /// A STIG catalogue rule failed on re-check.
+    Stig,
+    /// A TEARS guarded assertion confirmed a violation.
+    Tears,
+}
+
+impl std::fmt::Display for DetectionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DetectionKind::Stig => "stig",
+            DetectionKind::Tears => "tears",
+        })
+    }
+}
+
+/// One monitor finding, ordered by the `(shard, seq)` stamp of the
+/// event that triggered it — the key that makes the merged detection
+/// stream independent of worker scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Detection {
+    /// Shard of the triggering event.
+    pub shard: usize,
+    /// Sequence number of the triggering event within its shard.
+    pub seq: u64,
+    /// Affected host.
+    pub host: HostId,
+    /// Finding id (STIG rule) or assertion name (TEARS).
+    pub rule: String,
+    /// Detector family.
+    pub kind: DetectionKind,
+    /// Tick the violation entered the system (drift tick / activation
+    /// tick).
+    pub introduced_at: u64,
+    /// Tick the monitor confirmed it.
+    pub detected_at: u64,
+}
+
+/// Owned streaming monitor for `A[] compliant` over a host's
+/// check-result stream. Implements the same latching prefix semantics
+/// as `GlobalUniversality`'s borrowed monitor: `Fail` latches on the
+/// first non-compliant observation, the prefix verdict is otherwise
+/// `Incomplete`, and finishing a never-failed stream yields `Pass`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComplianceUniversality {
+    observed: u64,
+    failed_at: Option<u64>,
+}
+
+impl ComplianceUniversality {
+    /// Fresh monitor with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        ComplianceUniversality::default()
+    }
+
+    /// Tick index (0-based observation count) of the first violation.
+    #[must_use]
+    pub fn failed_at(&self) -> Option<u64> {
+        self.failed_at
+    }
+
+    /// Number of observations fed so far.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+impl PatternMonitor<bool> for ComplianceUniversality {
+    fn observe(&mut self, state: &bool) -> CheckStatus {
+        let t = self.observed;
+        self.observed += 1;
+        if self.failed_at.is_none() && !*state {
+            self.failed_at = Some(t);
+        }
+        self.verdict()
+    }
+
+    fn verdict(&self) -> CheckStatus {
+        if self.failed_at.is_some() {
+            CheckStatus::Fail
+        } else {
+            CheckStatus::Incomplete
+        }
+    }
+
+    fn finish(&mut self) -> CheckStatus {
+        if self.failed_at.is_some() {
+            CheckStatus::Fail
+        } else {
+            CheckStatus::Pass
+        }
+    }
+}
+
+/// Streams one host's telemetry through a TEARS guarded assertion.
+///
+/// Holds the growing [`SignalTrace`] (the G/A expression language reads
+/// the newest tick) and an [`OwnedGaMonitor`]; each `SignalTick` event
+/// appends one sample and advances the monitor by one tick.
+#[derive(Debug, Clone)]
+pub struct TearsHostMonitor {
+    trace: SignalTrace,
+    monitor: OwnedGaMonitor,
+}
+
+impl TearsHostMonitor {
+    /// Starts monitoring `ga` on an empty trace.
+    #[must_use]
+    pub fn new(ga: GuardedAssertion) -> Self {
+        TearsHostMonitor {
+            trace: SignalTrace::new(),
+            monitor: OwnedGaMonitor::new(ga),
+        }
+    }
+
+    /// Feeds one tick of named signal samples; returns the activation
+    /// ticks of any violations confirmed this tick.
+    pub fn observe(&mut self, signals: &[(&'static str, f64)]) -> Vec<u64> {
+        self.trace.push_sample(signals.iter().map(|&(n, v)| (n, v)));
+        self.monitor.observe(&self.trace)
+    }
+
+    /// The monitored assertion's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.monitor.assertion().name()
+    }
+
+    /// Ticks observed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.trace.len()
+    }
+}
+
+/// All incremental monitor state for one host, owned by its shard.
+#[derive(Debug, Clone)]
+pub struct HostMonitors {
+    /// `A[] compliant` over the host's check results.
+    pub compliance: ComplianceUniversality,
+    /// Optional guarded-assertion monitor over the host's telemetry.
+    pub tears: Option<TearsHostMonitor>,
+}
+
+impl HostMonitors {
+    /// Monitors for a host, with TEARS attached when `ga` is given.
+    #[must_use]
+    pub fn new(ga: Option<GuardedAssertion>) -> Self {
+        HostMonitors {
+            compliance: ComplianceUniversality::new(),
+            tears: ga.map(TearsHostMonitor::new),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdo_temporal::{GlobalUniversality, Semantics, TemporalPattern, Trace};
+
+    #[test]
+    fn compliance_monitor_matches_global_universality() {
+        // The owned streaming monitor must agree with vdo-temporal's
+        // batch evaluation under both semantics on every prefix.
+        let streams: [&[bool]; 4] = [
+            &[true, true, true],
+            &[true, false, true],
+            &[false],
+            &[true, true, false, false, true],
+        ];
+        let pattern = GlobalUniversality::new(|c: &bool| CheckStatus::from(*c));
+        for bits in streams {
+            let mut m = ComplianceUniversality::new();
+            for (i, &b) in bits.iter().enumerate() {
+                let verdict = m.observe(&b);
+                let prefix: Trace<bool> = Trace::from_states(bits[..=i].iter().copied());
+                assert_eq!(
+                    verdict,
+                    pattern.evaluate(&prefix, Semantics::Prefix),
+                    "prefix {:?}",
+                    &bits[..=i]
+                );
+            }
+            let whole: Trace<bool> = Trace::from_states(bits.iter().copied());
+            assert_eq!(m.finish(), pattern.evaluate(&whole, Semantics::Complete));
+        }
+    }
+
+    #[test]
+    fn compliance_monitor_records_first_failure_tick() {
+        let mut m = ComplianceUniversality::new();
+        for b in [true, true, false, true, false] {
+            m.observe(&b);
+        }
+        assert_eq!(m.failed_at(), Some(2));
+        assert_eq!(m.observed(), 5);
+    }
+
+    #[test]
+    fn tears_monitor_flags_missing_lockout() {
+        let ga = GuardedAssertion::parse(
+            r#"ga "lockout": when failed_logins >= 3 then lockout == 1 within 2"#,
+        )
+        .unwrap();
+        let mut m = TearsHostMonitor::new(ga);
+        // Burst at tick 1, never answered: the window (ticks 1..=3)
+        // closes at tick 3.
+        let quiet: &[(&str, f64)] = &[("failed_logins", 0.0), ("lockout", 0.0)];
+        let burst: &[(&str, f64)] = &[("failed_logins", 4.0), ("lockout", 0.0)];
+        assert!(m.observe(quiet).is_empty());
+        assert!(m.observe(burst).is_empty());
+        assert!(m.observe(quiet).is_empty());
+        assert_eq!(
+            m.observe(quiet),
+            vec![1],
+            "violation confirmed at window close"
+        );
+        assert_eq!(m.name(), "lockout");
+        assert_eq!(m.ticks(), 4);
+    }
+
+    #[test]
+    fn tears_monitor_accepts_timely_lockout() {
+        let ga = GuardedAssertion::parse(
+            r#"ga "lockout": when failed_logins >= 3 then lockout == 1 within 2"#,
+        )
+        .unwrap();
+        let mut m = TearsHostMonitor::new(ga);
+        let burst: &[(&str, f64)] = &[("failed_logins", 4.0), ("lockout", 0.0)];
+        let locked: &[(&str, f64)] = &[("failed_logins", 0.0), ("lockout", 1.0)];
+        assert!(m.observe(burst).is_empty());
+        assert!(m.observe(locked).is_empty());
+        assert!(m.observe(locked).is_empty());
+        assert!(m.observe(locked).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Work distribution for the worker pool.
+//!
+//! The unit of work is a [`Batch`] — "drain shard *s* and run its
+//! monitors". Batches for one tick are pushed to a global
+//! [`Injector`]; each worker takes a small chunk into its private
+//! [`Worker`] deque (amortising contention on the injector) and
+//! processes from there; an idle worker steals single batches from its
+//! siblings' deques. Because a shard appears in at most one batch per
+//! tick, a batch is processed by exactly one worker, which is what
+//! preserves per-shard (and therefore per-host) event order no matter
+//! how the stealing plays out.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// One unit of schedulable work: drain and process a bus shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// The shard to drain.
+    pub shard: usize,
+}
+
+/// Where a worker obtained its current batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskSource {
+    /// Popped from the worker's own deque.
+    Local,
+    /// Taken from the shared injector.
+    Injector,
+    /// Stolen from a sibling worker's deque.
+    Stolen,
+}
+
+/// The shared side of the scheduler: the injector plus one stealer per
+/// worker deque.
+pub struct TaskQueues {
+    injector: Injector<Batch>,
+    stealers: Vec<Stealer<Batch>>,
+    /// Batches moved from the injector into a local deque per grab.
+    chunk: usize,
+}
+
+impl TaskQueues {
+    /// Builds the shared scheduler state over the workers' own deques.
+    /// `chunk` controls injector amortisation and is computed from the
+    /// shard/worker ratio.
+    #[must_use]
+    pub fn new(locals: &[Worker<Batch>], shards: usize) -> Self {
+        let workers = locals.len().max(1);
+        TaskQueues {
+            injector: Injector::new(),
+            stealers: locals.iter().map(Worker::stealer).collect(),
+            chunk: (shards / (2 * workers)).max(1),
+        }
+    }
+
+    /// Enqueues a batch for any worker to pick up.
+    pub fn push(&self, batch: Batch) {
+        self.injector.push(batch);
+    }
+
+    /// Finds the next batch for worker `me`: own deque, then the
+    /// injector (taking up to `chunk` batches, surplus into the own
+    /// deque), then a sibling's deque.
+    pub fn find(&self, me: usize, local: &Worker<Batch>) -> Option<(Batch, TaskSource)> {
+        if let Some(b) = local.pop() {
+            return Some((b, TaskSource::Local));
+        }
+        // Drain a chunk from the injector.
+        let mut first = None;
+        loop {
+            match self.injector.steal() {
+                Steal::Success(b) => {
+                    if first.is_none() {
+                        first = Some(b);
+                    } else {
+                        local.push(b);
+                    }
+                    if local.len() + 1 >= self.chunk {
+                        break;
+                    }
+                }
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        if let Some(b) = first {
+            return Some((b, TaskSource::Injector));
+        }
+        // Steal a single batch from a sibling.
+        for (i, stealer) in self.stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            loop {
+                match stealer.steal() {
+                    Steal::Success(b) => return Some((b, TaskSource::Stolen)),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier, Mutex};
+
+    #[test]
+    fn every_batch_is_processed_exactly_once() {
+        let n_workers = 4;
+        let n_batches = 64;
+        let locals: Vec<Worker<Batch>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
+        let queues = Arc::new(TaskQueues::new(&locals, n_batches));
+        for shard in 0..n_batches {
+            queues.push(Batch { shard });
+        }
+        let outstanding = Arc::new(AtomicUsize::new(n_batches));
+        let seen = Arc::new(Mutex::new(vec![0usize; n_batches]));
+        let start = Arc::new(Barrier::new(n_workers));
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let queues = Arc::clone(&queues);
+                let outstanding = Arc::clone(&outstanding);
+                let seen = Arc::clone(&seen);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    loop {
+                        match queues.find(me, &local) {
+                            Some((b, _)) => {
+                                seen.lock().unwrap()[b.shard] += 1;
+                                outstanding.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if outstanding.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_sibling() {
+        // Worker 0 hoards every batch in its local deque; worker 1 has
+        // nothing and must steal.
+        let locals: Vec<Worker<Batch>> = (0..2).map(|_| Worker::new_fifo()).collect();
+        let queues = TaskQueues::new(&locals, 8);
+        for shard in 0..8 {
+            locals[0].push(Batch { shard });
+        }
+        let (b, src) = queues.find(1, &locals[1]).expect("sibling steal");
+        assert_eq!(src, TaskSource::Stolen);
+        assert_eq!(b.shard, 7, "steals from the end opposite the owner's pop");
+    }
+
+    #[test]
+    fn injector_grabs_prefetch_a_chunk() {
+        let locals: Vec<Worker<Batch>> = (0..1).map(|_| Worker::new_fifo()).collect();
+        // 8 shards, 1 worker -> chunk of 4.
+        let queues = TaskQueues::new(&locals, 8);
+        for shard in 0..8 {
+            queues.push(Batch { shard });
+        }
+        let (b, src) = queues.find(0, &locals[0]).expect("injector take");
+        assert_eq!(src, TaskSource::Injector);
+        assert_eq!(b.shard, 0);
+        assert_eq!(locals[0].len(), 3, "chunk minus the returned batch");
+        let (_, src) = queues.find(0, &locals[0]).expect("local pop");
+        assert_eq!(src, TaskSource::Local);
+    }
+}

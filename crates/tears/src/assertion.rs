@@ -212,6 +212,13 @@ impl GuardedAssertion {
 /// ```
 pub struct GaMonitor<'a> {
     ga: &'a GuardedAssertion,
+    core: MonitorCore,
+}
+
+/// The assertion-independent streaming state shared by [`GaMonitor`]
+/// and [`OwnedGaMonitor`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct MonitorCore {
     now: u64,
     /// Activation ticks whose windows are still open and unanswered.
     pending: std::collections::VecDeque<u64>,
@@ -219,38 +226,23 @@ pub struct GaMonitor<'a> {
     violations: Vec<u64>,
 }
 
-impl<'a> GaMonitor<'a> {
-    /// Starts monitoring the given assertion.
-    #[must_use]
-    pub fn new(ga: &'a GuardedAssertion) -> Self {
-        GaMonitor {
-            ga,
-            now: 0,
-            pending: std::collections::VecDeque::new(),
-            activations: 0,
-            violations: Vec::new(),
-        }
-    }
-
-    /// Feeds the trace state at the next tick; `trace` must contain the
-    /// data up to and including the current tick (the monitor only reads
-    /// the newest tick). Returns violations newly confirmed this tick.
-    pub fn observe(&mut self, trace: &SignalTrace) -> Vec<u64> {
+impl MonitorCore {
+    fn observe(&mut self, ga: &GuardedAssertion, trace: &SignalTrace) -> Vec<u64> {
         let t = self.now;
         self.now += 1;
         let mut new_violations = Vec::new();
-        if self.ga.guard.eval(trace, t) == Some(true) {
+        if ga.guard.eval(trace, t) == Some(true) {
             self.activations += 1;
             self.pending.push_back(t);
         }
-        if self.ga.assertion.eval(trace, t) == Some(true) {
+        if ga.assertion.eval(trace, t) == Some(true) {
             // Satisfies every pending activation whose window reaches t —
             // all of them, since expired ones were already flushed.
             self.pending.clear();
         } else {
             // Flush activations whose deadline was this tick.
             while let Some(&a) = self.pending.front() {
-                if a.saturating_add(self.ga.within) <= t {
+                if a.saturating_add(ga.within) <= t {
                     self.pending.pop_front();
                     self.violations.push(a);
                     new_violations.push(a);
@@ -262,10 +254,7 @@ impl<'a> GaMonitor<'a> {
         new_violations
     }
 
-    /// Current report: confirmed violations so far, pending activations
-    /// as undecided, verdict per the usual trichotomy.
-    #[must_use]
-    pub fn report(&self) -> GaReport {
+    fn report(&self, ga: &GuardedAssertion) -> GaReport {
         let verdict = if !self.violations.is_empty() {
             CheckStatus::Fail
         } else if !self.pending.is_empty() {
@@ -274,12 +263,77 @@ impl<'a> GaMonitor<'a> {
             CheckStatus::Pass
         };
         GaReport {
-            name: self.ga.name.clone(),
+            name: ga.name.clone(),
             activations: self.activations,
             violations: self.violations.clone(),
             pending: self.pending.iter().copied().collect(),
             verdict,
         }
+    }
+}
+
+impl<'a> GaMonitor<'a> {
+    /// Starts monitoring the given assertion.
+    #[must_use]
+    pub fn new(ga: &'a GuardedAssertion) -> Self {
+        GaMonitor {
+            ga,
+            core: MonitorCore::default(),
+        }
+    }
+
+    /// Feeds the trace state at the next tick; `trace` must contain the
+    /// data up to and including the current tick (the monitor only reads
+    /// the newest tick). Returns violations newly confirmed this tick.
+    pub fn observe(&mut self, trace: &SignalTrace) -> Vec<u64> {
+        self.core.observe(self.ga, trace)
+    }
+
+    /// Current report: confirmed violations so far, pending activations
+    /// as undecided, verdict per the usual trichotomy.
+    #[must_use]
+    pub fn report(&self) -> GaReport {
+        self.core.report(self.ga)
+    }
+}
+
+/// An owned variant of [`GaMonitor`] for long-lived monitor registries
+/// (e.g. event-driven security-operations runtimes) where tying the
+/// monitor's lifetime to a borrowed assertion is impractical.
+///
+/// Semantics are identical to [`GaMonitor`]: both delegate to the same
+/// streaming core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedGaMonitor {
+    ga: GuardedAssertion,
+    core: MonitorCore,
+}
+
+impl OwnedGaMonitor {
+    /// Starts monitoring the given assertion, taking ownership of it.
+    #[must_use]
+    pub fn new(ga: GuardedAssertion) -> Self {
+        OwnedGaMonitor {
+            ga,
+            core: MonitorCore::default(),
+        }
+    }
+
+    /// The monitored assertion.
+    #[must_use]
+    pub fn assertion(&self) -> &GuardedAssertion {
+        &self.ga
+    }
+
+    /// See [`GaMonitor::observe`].
+    pub fn observe(&mut self, trace: &SignalTrace) -> Vec<u64> {
+        self.core.observe(&self.ga, trace)
+    }
+
+    /// See [`GaMonitor::report`].
+    #[must_use]
+    pub fn report(&self) -> GaReport {
+        self.core.report(&self.ga)
     }
 }
 

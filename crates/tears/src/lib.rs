@@ -42,7 +42,7 @@ pub mod expr;
 pub mod session;
 pub mod signal;
 
-pub use assertion::{GaMonitor, GaReport, GuardedAssertion};
+pub use assertion::{GaMonitor, GaReport, GuardedAssertion, OwnedGaMonitor};
 pub use expr::Expr;
 pub use session::{Session, SessionOverview};
 pub use signal::SignalTrace;

@@ -50,7 +50,7 @@ pub mod patterns;
 pub mod trace;
 
 pub use ltl::{Formula, Interpretation};
-pub use monitor::{MonitorOutcome, MonitorReport, MonitoringLoop};
+pub use monitor::{MonitorOutcome, MonitorReport, MonitoringLoop, ZeroPeriodError};
 pub use patterns::{
     AfterUntilUniversality, Eventually, GlobalAbsence, GlobalPrecedence, GlobalResponse,
     GlobalResponseTimed, GlobalResponseUntil, GlobalUniversality, GlobalUniversalityTimed,

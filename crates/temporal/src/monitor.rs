@@ -14,10 +14,25 @@
 //! * **sampling blindness** — a glitch shorter than the polling period
 //!   can be missed entirely.
 
+use std::fmt;
+
 use vdo_core::CheckStatus;
 
 use crate::patterns::TemporalPattern;
 use crate::trace::{Tick, Trace};
+
+/// Error returned by [`MonitoringLoop::new`] when the polling period is
+/// zero: the loop would re-sample the same tick forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroPeriodError;
+
+impl fmt::Display for ZeroPeriodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("polling period must be at least one tick")
+    }
+}
+
+impl std::error::Error for ZeroPeriodError {}
 
 /// Why a monitoring run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +86,7 @@ impl MonitorReport {
 /// // Ground truth: service healthy until tick 6, then down.
 /// let trace: Trace<bool> = (0..10).map(|t| t < 6).collect();
 /// let pattern = GlobalUniversality::new(|up: &bool| CheckStatus::from(*up));
-/// let report = MonitoringLoop::new(2).run(&pattern, &trace);
+/// let report = MonitoringLoop::new(2).unwrap().run(&pattern, &trace);
 /// assert_eq!(report.outcome, MonitorOutcome::ViolationDetected(6));
 /// assert_eq!(report.detection_latency(6), Some(0));
 /// ```
@@ -84,13 +99,16 @@ impl MonitoringLoop {
     /// Creates a loop polling every `period` ticks (the analogue of
     /// `sleepMilliseconds`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `period` is zero.
-    #[must_use]
-    pub fn new(period: Tick) -> Self {
-        assert!(period > 0, "polling period must be at least one tick");
-        MonitoringLoop { period }
+    /// Returns [`ZeroPeriodError`] if `period` is zero, so configs built
+    /// from user input surface a recoverable error instead of aborting
+    /// the process.
+    pub fn new(period: Tick) -> Result<Self, ZeroPeriodError> {
+        if period == 0 {
+            return Err(ZeroPeriodError);
+        }
+        Ok(MonitoringLoop { period })
     }
 
     /// The polling period in ticks.
@@ -153,7 +171,9 @@ mod tests {
     #[test]
     fn tight_polling_detects_at_violation_tick() {
         let pattern = GlobalUniversality::new(|b: &bool| CheckStatus::from(*b));
-        let report = MonitoringLoop::new(1).run(&pattern, &up(7));
+        let report = MonitoringLoop::new(1)
+            .expect("nonzero period")
+            .run(&pattern, &up(7));
         assert_eq!(report.outcome, MonitorOutcome::ViolationDetected(7));
         assert_eq!(report.detection_latency(7), Some(0));
         assert_eq!(report.polls, 8);
@@ -163,7 +183,9 @@ mod tests {
     fn coarse_polling_adds_latency() {
         let pattern = GlobalUniversality::new(|b: &bool| CheckStatus::from(*b));
         // Violation at tick 7; polls at 0,5,10 → detected at 10.
-        let report = MonitoringLoop::new(5).run(&pattern, &up(7));
+        let report = MonitoringLoop::new(5)
+            .expect("nonzero period")
+            .run(&pattern, &up(7));
         assert_eq!(report.outcome, MonitorOutcome::ViolationDetected(10));
         assert_eq!(report.detection_latency(7), Some(3));
         assert_eq!(report.polls, 3);
@@ -174,7 +196,9 @@ mod tests {
         // Down only at tick 3; polls every 2 ticks see 0,2,4,… — blind.
         let trace: Trace<bool> = (0..10).map(|t| t != 3).collect();
         let pattern = GlobalUniversality::new(|b: &bool| CheckStatus::from(*b));
-        let report = MonitoringLoop::new(2).run(&pattern, &trace);
+        let report = MonitoringLoop::new(2)
+            .expect("nonzero period")
+            .run(&pattern, &trace);
         assert_eq!(report.outcome, MonitorOutcome::EndOfTrace);
         assert_eq!(report.final_verdict, CheckStatus::Incomplete);
     }
@@ -183,7 +207,9 @@ mod tests {
     fn conclusive_pass_for_bounded_pattern() {
         let trace: Trace<bool> = (0..20).map(|_| true).collect();
         let pattern = GlobalUniversalityTimed::new(|b: &bool| CheckStatus::from(*b), 4);
-        let report = MonitoringLoop::new(1).run(&pattern, &trace);
+        let report = MonitoringLoop::new(1)
+            .expect("nonzero period")
+            .run(&pattern, &trace);
         assert_eq!(report.outcome, MonitorOutcome::ConclusivePass(4));
         assert_eq!(report.polls, 5);
     }
@@ -192,7 +218,9 @@ mod tests {
     fn eventually_pass_detected() {
         let trace: Trace<bool> = (0..10).map(|t| t == 6).collect();
         let pattern = Eventually::new(|b: &bool| CheckStatus::from(*b));
-        let report = MonitoringLoop::new(3).run(&pattern, &trace);
+        let report = MonitoringLoop::new(3)
+            .expect("nonzero period")
+            .run(&pattern, &trace);
         assert_eq!(report.outcome, MonitorOutcome::ConclusivePass(6));
     }
 
@@ -200,7 +228,9 @@ mod tests {
     fn detection_latency_requires_detection() {
         let trace: Trace<bool> = (0..4).map(|_| true).collect();
         let pattern = GlobalUniversality::new(|b: &bool| CheckStatus::from(*b));
-        let report = MonitoringLoop::new(1).run(&pattern, &trace);
+        let report = MonitoringLoop::new(1)
+            .expect("nonzero period")
+            .run(&pattern, &trace);
         assert_eq!(report.detection_latency(0), None);
     }
 
@@ -222,14 +252,17 @@ mod tests {
             |s: &(bool, bool)| CheckStatus::from(s.1),
             2,
         );
-        let report = MonitoringLoop::new(5).run(&pattern, &states);
+        let report = MonitoringLoop::new(5)
+            .expect("nonzero period")
+            .run(&pattern, &states);
         assert_eq!(report.outcome, MonitorOutcome::EndOfTrace);
         assert_eq!(report.final_verdict, CheckStatus::Incomplete);
     }
 
     #[test]
-    #[should_panic(expected = "polling period")]
-    fn zero_period_panics() {
-        let _ = MonitoringLoop::new(0);
+    fn zero_period_is_a_recoverable_error() {
+        let err = MonitoringLoop::new(0).unwrap_err();
+        assert_eq!(err, ZeroPeriodError);
+        assert!(err.to_string().contains("polling period"));
     }
 }

@@ -135,7 +135,9 @@ After maintenance_start until maintenance_end, the audit service shall always sa
     let invariant = GlobalUniversality::new(|up: &bool| CheckStatus::from(*up));
     println!("{:>8} {:>12} {:>9}", "PERIOD", "DETECTED_AT", "LATENCY");
     for period in [1, 2, 5, 10, 25, 50, 100] {
-        let report = MonitoringLoop::new(period).run(&invariant, &workload.trace);
+        let report = MonitoringLoop::new(period)
+            .expect("nonzero period")
+            .run(&invariant, &workload.trace);
         let latency = report
             .detection_latency(workload.violation_tick)
             .map_or("missed".to_string(), |l| l.to_string());

@@ -11,7 +11,7 @@ use veridevops::core::{PlannerConfig, RemediationPlanner, Severity};
 use veridevops::host::UnixHost;
 use veridevops::nalabs::{Analyzer, RequirementDoc};
 use veridevops::pipeline::{Commit, ComplianceGate, ConfigChange, RequirementsGate};
-use veridevops::pipeline::{OperationsPhase, OpsConfig};
+use veridevops::pipeline::{MonitorEngine, OperationsPhase, OpsConfig};
 use veridevops::stigs::ubuntu;
 
 fn main() {
@@ -77,6 +77,7 @@ fn main() {
     let ops = OperationsPhase::new(&catalog).run(
         &mut production,
         &OpsConfig {
+            engine: MonitorEngine::Polling,
             duration: 2_000,
             drift_rate: 0.03,
             monitor_period: Some(10),

@@ -13,7 +13,9 @@
 //! * [`gwt`] — Given-When-Then models and test generation;
 //! * [`tears`] — guarded-assertion (G/A) specifications over signal logs;
 //! * [`corpus`] — synthetic requirement-corpus and workload generators;
-//! * [`pipeline`] — the DevOps pipeline substrate tying it all together.
+//! * [`pipeline`] — the DevOps pipeline substrate tying it all together;
+//! * [`soc`] — the event-driven security-operations engine (sharded
+//!   event bus, work-stealing monitor runtime, remediation dispatcher).
 //!
 //! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
 //! evaluation suite. The quickest start:
@@ -39,6 +41,7 @@ pub use vdo_gwt as gwt;
 pub use vdo_host as host;
 pub use vdo_nalabs as nalabs;
 pub use vdo_pipeline as pipeline;
+pub use vdo_soc as soc;
 pub use vdo_specpat as specpat;
 pub use vdo_stigs as stigs;
 pub use vdo_tears as tears;

@@ -54,7 +54,7 @@ fn d27_annex_fidelity() {
     assert!(AfterUntilUniversality::new(q, p, q)
         .tctl()
         .contains("imply"));
-    let _loop = MonitoringLoop::new(1);
+    let _loop = MonitoringLoop::new(1).expect("nonzero period");
     // And the PROPAS matrix is complete.
     assert_eq!(veridevops::specpat::pattern::full_matrix().len(), 30);
 }
