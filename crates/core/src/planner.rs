@@ -75,6 +75,7 @@ pub enum PlannerOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct RemediationPlanner {
     config: PlannerConfig,
+    obs: vdo_obs::Registry,
 }
 
 /// Everything a planner run produced.
@@ -94,7 +95,21 @@ impl RemediationPlanner {
     /// Creates a planner with the given configuration.
     #[must_use]
     pub fn new(config: PlannerConfig) -> Self {
-        RemediationPlanner { config }
+        RemediationPlanner {
+            config,
+            obs: vdo_obs::Registry::disabled(),
+        }
+    }
+
+    /// Attaches an observability registry: every run records the
+    /// `core.checks` / `core.enforcements` counters and times itself
+    /// under the `core/planner` span. The default planner carries a
+    /// disabled registry, so instrumentation costs one branch per
+    /// event when unused.
+    #[must_use]
+    pub fn observed(mut self, obs: vdo_obs::Registry) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration in force.
@@ -119,12 +134,16 @@ impl RemediationPlanner {
         waivers: &WaiverSet,
         now: u64,
     ) -> PlannerRun {
+        let _span = self.obs.span("core/planner");
+        let checks_counter = self.obs.counter("core.checks");
+        let enforcements_counter = self.obs.counter("core.enforcements");
         let n = catalog.len();
         let waived: Vec<bool> = catalog
             .iter()
             .map(|e| waivers.is_waived(e.spec().finding_id(), now))
             .collect();
         let initial: Vec<CheckStatus> = catalog.iter().map(|e| e.check(env)).collect();
+        checks_counter.add(n as u64);
         let mut current = initial.clone();
         let mut attempts = vec![0u32; n];
         let mut last_enforcement: Vec<Option<EnforcementStatus>> = vec![None; n];
@@ -154,6 +173,7 @@ impl RemediationPlanner {
                 let status = entry.enforce(env);
                 attempts[i] += 1;
                 enforcements += 1;
+                enforcements_counter.inc();
                 last_enforcement[i] = Some(status);
                 if status == EnforcementStatus::Failure && self.config.fail_fast {
                     outcome = PlannerOutcome::Aborted;
@@ -161,6 +181,7 @@ impl RemediationPlanner {
                     for (j, e) in catalog.iter().enumerate() {
                         current[j] = e.check(env);
                     }
+                    checks_counter.add(n as u64);
                     break 'sweeps;
                 }
             }
@@ -172,6 +193,7 @@ impl RemediationPlanner {
                 }
                 current[j] = new;
             }
+            checks_counter.add(n as u64);
             if all_pass(&current, &waived) {
                 outcome = PlannerOutcome::Compliant;
                 break;
@@ -407,6 +429,21 @@ mod tests {
         assert_eq!(run.outcome, PlannerOutcome::Stuck);
         assert_eq!(run.iterations, 1);
         assert_eq!(env, 1);
+    }
+
+    #[test]
+    fn observed_planner_records_checks_and_enforcements() {
+        let registry = vdo_obs::Registry::new();
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        let planner = RemediationPlanner::default().observed(registry.clone());
+        let mut env = vec![false];
+        let run = planner.run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Compliant);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.enforcements"), Some(1));
+        assert_eq!(snap.counter("core.checks"), Some(2), "initial + re-check");
+        assert_eq!(snap.span_count("core/planner"), Some(1));
     }
 
     #[test]

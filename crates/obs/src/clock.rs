@@ -1,0 +1,113 @@
+//! The observability clock: wall time for real runs, a manually
+//! advanced counter for simulations.
+//!
+//! Spans measure elapsed time between two `now_nanos()` reads. A
+//! [`Clock::wall`] clock reads the OS monotonic clock; a
+//! [`Clock::simulated`] clock is an atomic nanosecond counter that the
+//! simulation advances explicitly (typically one fixed quantum per
+//! tick), which makes span durations — not just counts — reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond clock, either wall or simulated.
+///
+/// Cloning is cheap and clones share the same time source: advancing a
+/// simulated clock is visible through every clone.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    kind: ClockKind,
+}
+
+#[derive(Debug, Clone)]
+enum ClockKind {
+    Wall(Instant),
+    Simulated(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A wall clock: `now_nanos` reads the OS monotonic clock relative
+    /// to the moment this constructor ran.
+    #[must_use]
+    pub fn wall() -> Self {
+        Clock {
+            kind: ClockKind::Wall(Instant::now()),
+        }
+    }
+
+    /// A simulated clock starting at zero. Time only moves when
+    /// [`advance`](Clock::advance) or [`set`](Clock::set) is called.
+    #[must_use]
+    pub fn simulated() -> Self {
+        Clock {
+            kind: ClockKind::Simulated(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Nanoseconds since the clock's origin.
+    #[must_use]
+    pub fn now_nanos(&self) -> u64 {
+        match &self.kind {
+            ClockKind::Wall(origin) => origin.elapsed().as_nanos() as u64,
+            ClockKind::Simulated(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a simulated clock by `nanos`. No-op on a wall clock.
+    pub fn advance(&self, nanos: u64) {
+        if let ClockKind::Simulated(t) = &self.kind {
+            t.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves a simulated clock forward to `nanos` (monotonic: a value
+    /// in the past is ignored). No-op on a wall clock.
+    pub fn set(&self, nanos: u64) {
+        if let ClockKind::Simulated(t) = &self.kind {
+            t.fetch_max(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` when this is a simulated clock.
+    #[must_use]
+    pub fn is_simulated(&self) -> bool {
+        matches!(self.kind, ClockKind::Simulated(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_clock_only_moves_when_told() {
+        let c = Clock::simulated();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(10);
+        assert_eq!(c.now_nanos(), 10);
+        c.set(5); // monotonic: ignored
+        assert_eq!(c.now_nanos(), 10);
+        c.set(25);
+        assert_eq!(c.now_nanos(), 25);
+    }
+
+    #[test]
+    fn clones_share_the_time_source() {
+        let a = Clock::simulated();
+        let b = a.clone();
+        a.advance(7);
+        assert_eq!(b.now_nanos(), 7);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = Clock::wall();
+        let t0 = c.now_nanos();
+        let t1 = c.now_nanos();
+        assert!(t1 >= t0);
+        assert!(!c.is_simulated());
+        c.advance(1_000_000); // no-op
+        c.set(u64::MAX); // no-op
+    }
+}

@@ -1,0 +1,340 @@
+//! Atomic metric primitives: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Every primitive is a cheap-to-clone *handle*. An enabled handle
+//! points at shared atomic state (updated with relaxed ordering from
+//! any thread); a disabled handle points at nothing and every operation
+//! is a branch-on-`None` no-op — that is the "no-op recorder" the E12
+//! experiment measures. Handles come either standalone (constructors
+//! here) or registered by name in a [`Registry`](crate::Registry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::Serialize;
+
+/// Upper bucket bounds (inclusive) for tick-valued latencies.
+pub const TICK_BOUNDS: [u64; 10] = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Upper bucket bounds (inclusive) for microsecond-valued durations.
+pub const MICROS_BOUNDS: [u64; 10] = [
+    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+];
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A fresh enabled counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter {
+            cell: Some(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// A no-op counter: increments vanish, reads return zero.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Counter { cell: Some(cell) }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// `true` when increments are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// A last-value / high-water-mark gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A fresh enabled gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge {
+            cell: Some(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// A no-op gauge: writes vanish, reads return zero.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Self {
+        Gauge { cell: Some(cell) }
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the value to `v` if larger (high-water mark).
+    pub fn record_max(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state behind enabled handles.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn with_bounds(bounds: &'static [u64]) -> Self {
+        HistogramCore {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket histogram with atomic buckets. Values above the last
+/// bound land in the overflow bucket.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A histogram over caller-chosen inclusive upper bounds.
+    #[must_use]
+    pub fn with_bounds(bounds: &'static [u64]) -> Self {
+        Histogram {
+            core: Some(Arc::new(HistogramCore::with_bounds(bounds))),
+        }
+    }
+
+    /// A histogram bucketed for tick-valued latencies (0..=256+).
+    #[must_use]
+    pub fn ticks() -> Self {
+        Histogram::with_bounds(&TICK_BOUNDS)
+    }
+
+    /// A histogram bucketed for microsecond durations (10µs..=500ms+).
+    #[must_use]
+    pub fn micros() -> Self {
+        Histogram::with_bounds(&MICROS_BOUNDS)
+    }
+
+    /// A no-op histogram: observations vanish, the snapshot is empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram { core: None }
+    }
+
+    pub(crate) fn from_core(core: Arc<HistogramCore>) -> Self {
+        Histogram { core: Some(core) }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.record(value);
+        }
+    }
+
+    /// Immutable copy of the current state (all-empty when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.core {
+            Some(core) => core.snapshot(),
+            None => HistogramSnapshot {
+                bounds: Vec::new(),
+                counts: Vec::new(),
+                count: 0,
+                sum: 0,
+                max: 0,
+            },
+        }
+    }
+
+    /// `true` when observations are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+}
+
+/// Frozen histogram state. `counts` has one more entry than `bounds`
+/// (the overflow bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds per bucket.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (last entry = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("bounds", self.bounds.to_value()),
+            ("counts", self.counts.to_value()),
+            ("count", self.count.to_value()),
+            ("sum", self.sum.to_value()),
+            ("max", self.max.to_value()),
+            ("mean", self.mean().to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::ticks();
+        h.record(0);
+        h.record(3);
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.counts[0], 1, "0 lands in the first bucket");
+        assert_eq!(s.counts[3], 1, "3 lands in the <=4 bucket");
+        assert_eq!(*s.counts.last().unwrap(), 1, "overflow bucket");
+        assert_eq!(s.max, 1_000_000);
+        assert!((s.mean() - (1_000_003.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_primitives_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+        let g = Gauge::disabled();
+        g.set(5);
+        g.record_max(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::disabled();
+        h.record(42);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(h.snapshot().bounds.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.add(3);
+        c2.add(4);
+        assert_eq!(c.get(), 7);
+        let g = Gauge::new();
+        g.record_max(3);
+        g.record_max(9);
+        g.record_max(1);
+        assert_eq!(g.get(), 9);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn histogram_snapshot_serialises() {
+        let h = Histogram::micros();
+        h.record(30);
+        let json = serde::json::to_string(&h.snapshot());
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"mean\":30"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Hierarchical timing spans.
+//!
+//! A span measures one region of code: entering creates a
+//! [`SpanGuard`], dropping it records the elapsed clock time into the
+//! registry under the span's `/`-separated path. Spans nest —
+//! [`SpanGuard::child`] opens a sub-span whose path extends the
+//! parent's — so a snapshot reads like a profile tree:
+//!
+//! ```text
+//! pipeline              1 call   812µs
+//! pipeline/dev          1 call   343µs
+//! pipeline/dev/gates   60 calls  281µs
+//! pipeline/ops          1 call   455µs
+//! ```
+//!
+//! Aggregation is by path: the *count* of recordings per path is
+//! deterministic for seeded workloads, while durations follow the
+//! registry's [`Clock`](crate::Clock) (wall or simulated).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use crate::registry::RegistryInner;
+
+/// Shared per-path aggregate behind every recorded span.
+#[derive(Debug, Default)]
+pub(crate) struct SpanCore {
+    pub(crate) count: AtomicU64,
+    pub(crate) total_nanos: AtomicU64,
+    pub(crate) max_nanos: AtomicU64,
+}
+
+impl SpanCore {
+    pub(crate) fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen aggregate for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Times the span was entered and exited.
+    pub count: u64,
+    /// Total nanoseconds across all recordings.
+    pub total_nanos: u64,
+    /// Longest single recording in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean recording duration in nanoseconds (0 when never entered).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+impl Serialize for SpanSnapshot {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("count", self.count.to_value()),
+            ("total_nanos", self.total_nanos.to_value()),
+            ("max_nanos", self.max_nanos.to_value()),
+            ("mean_nanos", self.mean_nanos().to_value()),
+        ])
+    }
+}
+
+/// An open span; dropping it records the elapsed time. Obtained from
+/// [`Registry::span`](crate::Registry::span) or [`SpanGuard::child`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    inner: Arc<RegistryInner>,
+    path: String,
+    start_nanos: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> Self {
+        SpanGuard { active: None }
+    }
+
+    pub(crate) fn start(inner: Arc<RegistryInner>, path: String) -> Self {
+        let start_nanos = inner.clock.now_nanos();
+        SpanGuard {
+            active: Some(ActiveSpan {
+                inner,
+                path,
+                start_nanos,
+            }),
+        }
+    }
+
+    /// Opens a nested span at `parent_path/name`.
+    #[must_use]
+    pub fn child(&self, name: &str) -> SpanGuard {
+        match &self.active {
+            Some(span) => {
+                SpanGuard::start(Arc::clone(&span.inner), format!("{}/{}", span.path, name))
+            }
+            None => SpanGuard::disabled(),
+        }
+    }
+
+    /// The span's full path, when enabled.
+    #[must_use]
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|s| s.path.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.active.take() {
+            let elapsed = span
+                .inner
+                .clock
+                .now_nanos()
+                .saturating_sub(span.start_nanos);
+            span.inner.span_core(&span.path).record(elapsed);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Validating builders for the pipeline and operations configs.
+//!
+//! The plain structs ([`PipelineConfig`], [`OpsConfig`]) stay `Copy`
+//! literal-constructible for tests and struct-update syntax; the
+//! builders are the front door for configs assembled from user input
+//! (CLI flags, experiment sweeps), turning nonsense — a zero-commit
+//! pipeline, a 140% drift rate, a zero-tick monitor period — into a
+//! recoverable [`ConfigError`] instead of a panic or a silent
+//! degenerate run.
+
+use std::fmt;
+
+use crate::ops::{MonitorEngine, OpsConfig};
+use crate::scenario::PipelineConfig;
+
+/// Why a builder rejected its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A probability field fell outside `[0, 1]`; payload is the field
+    /// name and the offending value.
+    RateOutOfRange(&'static str, f64),
+    /// A field that must be nonzero was zero; payload is the field name.
+    Zero(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::RateOutOfRange(field, v) => {
+                write!(f, "{field} must be a probability in [0, 1], got {v}")
+            }
+            ConfigError::Zero(field) => write!(f, "{field} must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn check_rate(field: &'static str, v: f64) -> Result<(), ConfigError> {
+    if (0.0..=1.0).contains(&v) {
+        Ok(())
+    } else {
+        Err(ConfigError::RateOutOfRange(field, v))
+    }
+}
+
+/// Builder for [`PipelineConfig`]; see [`PipelineConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Number of commits in the development phase (must be ≥ 1).
+    #[must_use]
+    pub fn commits(mut self, commits: usize) -> Self {
+        self.config.commits = commits;
+        self
+    }
+
+    /// Probability a commit carries a smelly requirement.
+    #[must_use]
+    pub fn smelly_commit_rate(mut self, rate: f64) -> Self {
+        self.config.smelly_commit_rate = rate;
+        self
+    }
+
+    /// Probability a commit carries a compliance-breaking change.
+    #[must_use]
+    pub fn vulnerable_commit_rate(mut self, rate: f64) -> Self {
+        self.config.vulnerable_commit_rate = rate;
+        self
+    }
+
+    /// Probability a commit ships a broken behavioural model.
+    #[must_use]
+    pub fn broken_model_rate(mut self, rate: f64) -> Self {
+        self.config.broken_model_rate = rate;
+        self
+    }
+
+    /// Toggles the NALABS requirements gate.
+    #[must_use]
+    pub fn requirements_gate(mut self, on: bool) -> Self {
+        self.config.requirements_gate = on;
+        self
+    }
+
+    /// Toggles the RQCODE compliance gate.
+    #[must_use]
+    pub fn compliance_gate(mut self, on: bool) -> Self {
+        self.config.compliance_gate = on;
+        self
+    }
+
+    /// Toggles the GWT test-coverage gate.
+    #[must_use]
+    pub fn test_gate(mut self, on: bool) -> Self {
+        self.config.test_gate = on;
+        self
+    }
+
+    /// Continuous-monitoring period (`None` = audits only; `Some(0)` is
+    /// rejected by [`build`](Self::build)).
+    #[must_use]
+    pub fn monitor_period(mut self, period: Option<u64>) -> Self {
+        self.config.monitor_period = period;
+        self
+    }
+
+    /// Operations duration in ticks (must be ≥ 1).
+    #[must_use]
+    pub fn ops_duration(mut self, ticks: u64) -> Self {
+        self.config.ops_duration = ticks;
+        self
+    }
+
+    /// Per-tick drift probability at operations.
+    #[must_use]
+    pub fn drift_rate(mut self, rate: f64) -> Self {
+        self.config.drift_rate = rate;
+        self
+    }
+
+    /// Scheduled audit period in ticks.
+    #[must_use]
+    pub fn audit_period(mut self, ticks: u64) -> Self {
+        self.config.audit_period = ticks;
+        self
+    }
+
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Zero`] for zero `commits`, `ops_duration`, or a
+    /// `Some(0)` monitor period; [`ConfigError::RateOutOfRange`] for
+    /// any probability outside `[0, 1]`.
+    pub fn build(self) -> Result<PipelineConfig, ConfigError> {
+        let c = &self.config;
+        if c.commits == 0 {
+            return Err(ConfigError::Zero("commits"));
+        }
+        if c.ops_duration == 0 {
+            return Err(ConfigError::Zero("ops_duration"));
+        }
+        if c.monitor_period == Some(0) {
+            return Err(ConfigError::Zero("monitor_period"));
+        }
+        check_rate("smelly_commit_rate", c.smelly_commit_rate)?;
+        check_rate("vulnerable_commit_rate", c.vulnerable_commit_rate)?;
+        check_rate("broken_model_rate", c.broken_model_rate)?;
+        check_rate("drift_rate", c.drift_rate)?;
+        Ok(self.config)
+    }
+}
+
+impl PipelineConfig {
+    /// Starts a validating builder from the defaults.
+    ///
+    /// ```
+    /// use vdo_pipeline::PipelineConfig;
+    ///
+    /// let cfg = PipelineConfig::builder()
+    ///     .commits(20)
+    ///     .drift_rate(0.05)
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.commits, 20);
+    /// assert!(PipelineConfig::builder().drift_rate(1.4).build().is_err());
+    /// ```
+    #[must_use]
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`OpsConfig`]; see [`OpsConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpsConfigBuilder {
+    config: OpsConfig,
+}
+
+impl OpsConfigBuilder {
+    /// Monitoring engine (`EventDriven` workers must be ≥ 1).
+    #[must_use]
+    pub fn engine(mut self, engine: MonitorEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Ticks to simulate (must be ≥ 1).
+    #[must_use]
+    pub fn duration(mut self, ticks: u64) -> Self {
+        self.config.duration = ticks;
+        self
+    }
+
+    /// Per-tick probability of one drift event.
+    #[must_use]
+    pub fn drift_rate(mut self, rate: f64) -> Self {
+        self.config.drift_rate = rate;
+        self
+    }
+
+    /// Compliance-check period (`None` disables continuous monitoring;
+    /// `Some(0)` is rejected by [`build`](Self::build)).
+    #[must_use]
+    pub fn monitor_period(mut self, period: Option<u64>) -> Self {
+        self.config.monitor_period = period;
+        self
+    }
+
+    /// Scheduled-audit period in ticks.
+    #[must_use]
+    pub fn audit_period(mut self, ticks: u64) -> Self {
+        self.config.audit_period = ticks;
+        self
+    }
+
+    /// RNG seed for drift timing.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Zero`] for a zero `duration`, a `Some(0)` monitor
+    /// period, or an `EventDriven` engine with zero workers;
+    /// [`ConfigError::RateOutOfRange`] for a `drift_rate` outside
+    /// `[0, 1]`.
+    pub fn build(self) -> Result<OpsConfig, ConfigError> {
+        let c = &self.config;
+        if c.duration == 0 {
+            return Err(ConfigError::Zero("duration"));
+        }
+        if c.monitor_period == Some(0) {
+            return Err(ConfigError::Zero("monitor_period"));
+        }
+        if let MonitorEngine::EventDriven { workers: 0 } = c.engine {
+            return Err(ConfigError::Zero("workers"));
+        }
+        check_rate("drift_rate", c.drift_rate)?;
+        Ok(self.config)
+    }
+}
+
+impl OpsConfig {
+    /// Starts a validating builder from the defaults.
+    ///
+    /// ```
+    /// use vdo_pipeline::{MonitorEngine, OpsConfig};
+    ///
+    /// let cfg = OpsConfig::builder()
+    ///     .engine(MonitorEngine::EventDriven { workers: 4 })
+    ///     .duration(500)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.duration, 500);
+    /// let err = OpsConfig::builder()
+    ///     .engine(MonitorEngine::EventDriven { workers: 0 })
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert!(err.to_string().contains("workers"));
+    /// ```
+    #[must_use]
+    pub fn builder() -> OpsConfigBuilder {
+        OpsConfigBuilder {
+            config: OpsConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builders_reproduce_the_default_literals() {
+        assert_eq!(
+            PipelineConfig::builder().build().unwrap(),
+            PipelineConfig::default()
+        );
+        assert_eq!(OpsConfig::builder().build().unwrap(), OpsConfig::default());
+    }
+
+    #[test]
+    fn pipeline_builder_sets_every_field() {
+        let cfg = PipelineConfig::builder()
+            .commits(7)
+            .smelly_commit_rate(0.5)
+            .vulnerable_commit_rate(0.25)
+            .broken_model_rate(0.0)
+            .requirements_gate(false)
+            .compliance_gate(false)
+            .test_gate(false)
+            .monitor_period(None)
+            .ops_duration(123)
+            .drift_rate(1.0)
+            .audit_period(10)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.commits, 7);
+        assert!(!cfg.requirements_gate);
+        assert_eq!(cfg.monitor_period, None);
+        assert_eq!(cfg.ops_duration, 123);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn pipeline_builder_rejects_nonsense() {
+        assert_eq!(
+            PipelineConfig::builder().commits(0).build(),
+            Err(ConfigError::Zero("commits"))
+        );
+        assert_eq!(
+            PipelineConfig::builder().ops_duration(0).build(),
+            Err(ConfigError::Zero("ops_duration"))
+        );
+        assert_eq!(
+            PipelineConfig::builder().monitor_period(Some(0)).build(),
+            Err(ConfigError::Zero("monitor_period"))
+        );
+        assert_eq!(
+            PipelineConfig::builder().drift_rate(-0.1).build(),
+            Err(ConfigError::RateOutOfRange("drift_rate", -0.1))
+        );
+        assert_eq!(
+            PipelineConfig::builder().smelly_commit_rate(1.5).build(),
+            Err(ConfigError::RateOutOfRange("smelly_commit_rate", 1.5))
+        );
+        let msg = PipelineConfig::builder()
+            .vulnerable_commit_rate(2.0)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("vulnerable_commit_rate"));
+        assert!(msg.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn ops_builder_rejects_nonsense() {
+        assert_eq!(
+            OpsConfig::builder().duration(0).build(),
+            Err(ConfigError::Zero("duration"))
+        );
+        assert_eq!(
+            OpsConfig::builder().monitor_period(Some(0)).build(),
+            Err(ConfigError::Zero("monitor_period"))
+        );
+        assert_eq!(
+            OpsConfig::builder()
+                .engine(MonitorEngine::EventDriven { workers: 0 })
+                .build(),
+            Err(ConfigError::Zero("workers"))
+        );
+        assert_eq!(
+            OpsConfig::builder().drift_rate(7.0).build(),
+            Err(ConfigError::RateOutOfRange("drift_rate", 7.0))
+        );
+    }
+
+    #[test]
+    fn built_configs_drive_real_runs() {
+        let cfg = PipelineConfig::builder()
+            .commits(10)
+            .ops_duration(100)
+            .seed(3)
+            .build()
+            .unwrap();
+        let report = crate::run(&cfg);
+        assert_eq!(report.commits, 10);
+    }
+}

@@ -34,13 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod gates;
 pub mod ops;
 pub mod repo;
 
 mod scenario;
 
+pub use config::{ConfigError, OpsConfigBuilder, PipelineConfigBuilder};
 pub use gates::{ComplianceGate, GateDecision, RequirementsGate, TestGate};
 pub use ops::{DriftTarget, Incident, MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
 pub use repo::{Commit, ConfigChange};
-pub use scenario::{run, PipelineConfig, PipelineReport};
+pub use scenario::{run, run_observed, PipelineConfig, PipelineReport};

@@ -12,9 +12,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use serde::Serialize;
 use vdo_core::{Catalog, RemediationPlanner};
 use vdo_host::{DriftInjector, UnixHost, WindowsHost};
-use vdo_soc::{DetectionKind, SocConfig, SocEngine, SocHost};
+use vdo_soc::{DetectionKind, SocConfig, SocEngine, SocHost, SocMetrics};
 use vdo_temporal::Trace;
 
 /// A host class the drift injector knows how to degrade. Implemented for
@@ -106,6 +107,17 @@ impl Incident {
     }
 }
 
+impl Serialize for Incident {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("introduced_at", self.introduced_at.to_value()),
+            ("detected_at", self.detected_at.to_value()),
+            ("found_by_monitor", self.found_by_monitor.to_value()),
+            ("latency", self.latency().to_value()),
+        ])
+    }
+}
+
 /// Result of one operations phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpsReport {
@@ -154,6 +166,23 @@ impl OpsReport {
     }
 }
 
+impl Serialize for OpsReport {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("incidents", self.incidents.to_value()),
+            ("drift_events", self.drift_events.to_value()),
+            ("noncompliant_ticks", self.noncompliant_ticks.to_value()),
+            ("duration", self.duration.to_value()),
+            ("checks", self.checks.to_value()),
+            (
+                "mean_detection_latency",
+                self.mean_detection_latency().to_value(),
+            ),
+            ("exposure", self.exposure().to_value()),
+        ])
+    }
+}
+
 /// Executes operations phases over a deployed host of any
 /// [`DriftTarget`] class.
 pub struct OperationsPhase<'a, E> {
@@ -173,10 +202,35 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
 
     /// Runs the phase, mutating the deployed host in place.
     pub fn run(&self, host: &mut E, config: &OpsConfig) -> OpsReport {
-        match config.engine {
-            MonitorEngine::Polling => self.run_polling(host, config),
-            MonitorEngine::EventDriven { workers } => self.run_event_driven(host, config, workers),
-        }
+        self.run_observed(host, config, &vdo_obs::Registry::disabled())
+    }
+
+    /// Like [`run`](Self::run), but times the phase under the
+    /// `pipeline/ops` span and records the `ops.*` counters
+    /// (`drift_events`, `checks`, `incidents`, `noncompliant_ticks`) in
+    /// `obs`. On the event-driven path the deterministic SOC engine
+    /// counters additionally surface as `ops.soc.*`; on the polling path
+    /// the remediation planner's `core.*` counters accumulate.
+    pub fn run_observed(
+        &self,
+        host: &mut E,
+        config: &OpsConfig,
+        obs: &vdo_obs::Registry,
+    ) -> OpsReport {
+        let _span = obs.span("pipeline/ops");
+        let report = match config.engine {
+            MonitorEngine::Polling => self.run_polling(host, config, obs),
+            MonitorEngine::EventDriven { workers } => {
+                self.run_event_driven(host, config, workers, obs)
+            }
+        };
+        obs.counter("ops.drift_events").add(report.drift_events);
+        obs.counter("ops.checks").add(report.checks);
+        obs.counter("ops.incidents")
+            .add(report.incidents.len() as u64);
+        obs.counter("ops.noncompliant_ticks")
+            .add(report.noncompliant_ticks);
+        report
     }
 
     /// The event-driven engine: delegates to [`vdo_soc::SocEngine`]
@@ -184,7 +238,13 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
     /// content match the polling engine for equal seeds (same RNG
     /// streams), so equal-seed runs of both engines face identical
     /// violation histories.
-    fn run_event_driven(&self, host: &mut E, config: &OpsConfig, workers: usize) -> OpsReport {
+    fn run_event_driven(
+        &self,
+        host: &mut E,
+        config: &OpsConfig,
+        workers: usize,
+        obs: &vdo_obs::Registry,
+    ) -> OpsReport {
         let soc_config = SocConfig {
             duration: config.duration,
             drift_rate: config.drift_rate,
@@ -195,7 +255,12 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
         };
         let engine = SocEngine::new(self.catalog, soc_config)
             .expect("nonzero workers/shards/capacity by construction");
-        let report = engine.run(std::slice::from_mut(host));
+        let metrics = if obs.is_enabled() {
+            SocMetrics::in_registry(obs, "ops.soc")
+        } else {
+            SocMetrics::new()
+        };
+        let report = engine.run_with_metrics(std::slice::from_mut(host), &metrics);
         OpsReport {
             incidents: report
                 .incidents
@@ -216,7 +281,8 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
     }
 
     /// The paper's polling baseline.
-    fn run_polling(&self, host: &mut E, config: &OpsConfig) -> OpsReport {
+    fn run_polling(&self, host: &mut E, config: &OpsConfig, obs: &vdo_obs::Registry) -> OpsReport {
+        let planner = self.planner.clone().observed(obs.clone());
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut drifter = DriftInjector::new(config.seed.wrapping_mul(31).wrapping_add(7));
         let mut incidents = Vec::new();
@@ -250,7 +316,7 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
                     if is_compliant(self.catalog, host) {
                         broken_since = None;
                     } else {
-                        self.planner.run(self.catalog, host);
+                        planner.run(self.catalog, host);
                         incidents.push(Incident {
                             introduced_at: since,
                             detected_at: tick,
@@ -484,6 +550,61 @@ mod tests {
             "event-driven detection is same-tick"
         );
         assert_eq!(report.compliance_trace.len(), 2_000);
+    }
+
+    #[test]
+    fn observed_event_driven_run_exports_soc_counters() {
+        let catalog = ubuntu::catalog();
+        let mut host = compliant_host(&catalog);
+        let registry = vdo_obs::Registry::new();
+        let report = OperationsPhase::new(&catalog).run_observed(
+            &mut host,
+            &OpsConfig {
+                engine: MonitorEngine::EventDriven { workers: 2 },
+                duration: 1_000,
+                drift_rate: 0.05,
+                seed: 3,
+                ..OpsConfig::default()
+            },
+            &registry,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ops.drift_events"), Some(report.drift_events));
+        assert_eq!(snap.counter("ops.checks"), Some(report.checks));
+        assert_eq!(
+            snap.counter("ops.soc.checks_run"),
+            Some(report.checks),
+            "soc engine counters surface under ops.soc.*"
+        );
+        assert_eq!(snap.span_count("pipeline/ops"), Some(1));
+    }
+
+    #[test]
+    fn equal_seed_event_driven_fingerprints_match_across_worker_counts() {
+        let catalog = ubuntu::catalog();
+        let base = OpsConfig {
+            engine: MonitorEngine::EventDriven { workers: 1 },
+            duration: 1_000,
+            drift_rate: 0.05,
+            seed: 7,
+            ..OpsConfig::default()
+        };
+        let mut fingerprints = Vec::new();
+        for workers in [1, 2, 4] {
+            let mut host = compliant_host(&catalog);
+            let registry = vdo_obs::Registry::new();
+            OperationsPhase::new(&catalog).run_observed(
+                &mut host,
+                &OpsConfig {
+                    engine: MonitorEngine::EventDriven { workers },
+                    ..base
+                },
+                &registry,
+            );
+            fingerprints.push(registry.snapshot().deterministic_fingerprint());
+        }
+        assert_eq!(fingerprints[0], fingerprints[1]);
+        assert_eq!(fingerprints[1], fingerprints[2]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use serde::Serialize;
 use vdo_core::{RemediationPlanner, Severity};
 use vdo_host::UnixHost;
 use vdo_nalabs::RequirementDoc;
@@ -127,19 +128,62 @@ impl std::fmt::Display for PipelineReport {
     }
 }
 
+impl Serialize for PipelineReport {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("commits", self.commits.to_value()),
+            (
+                "rejected_requirements",
+                self.rejected_requirements.to_value(),
+            ),
+            ("rejected_compliance", self.rejected_compliance.to_value()),
+            ("rejected_tests", self.rejected_tests.to_value()),
+            ("rejected_total", self.rejected_total().to_value()),
+            (
+                "smelly_requirements_merged",
+                self.smelly_requirements_merged.to_value(),
+            ),
+            (
+                "vulnerabilities_deployed",
+                self.vulnerabilities_deployed.to_value(),
+            ),
+            ("ops", self.ops.to_value()),
+        ])
+    }
+}
+
 /// Runs the full scenario.
 #[must_use]
 pub fn run(config: &PipelineConfig) -> PipelineReport {
+    run_observed(config, &vdo_obs::Registry::disabled())
+}
+
+/// Runs the full scenario with observability: the development phase is
+/// timed under `pipeline/dev` (initial hardening, gates, merges), the
+/// operations phase under `pipeline/ops`, the whole run under
+/// `pipeline`, and the `pipeline.*` counters record gate decisions. The
+/// planner and operations instrumentation (`core.*`, `ops.*`)
+/// accumulate in the same registry, so one [`vdo_obs::Snapshot`] covers
+/// the closed loop end to end.
+#[must_use]
+pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> PipelineReport {
+    let run_span = obs.span("pipeline");
     let catalog = vdo_stigs::ubuntu::catalog();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
+    let dev_span = run_span.child("dev");
     // Deploy target starts compliant (initial hardening).
     let mut production = UnixHost::baseline_ubuntu_1804();
-    RemediationPlanner::default().run(&catalog, &mut production);
+    RemediationPlanner::default()
+        .observed(obs.clone())
+        .run(&catalog, &mut production);
 
     let req_gate = RequirementsGate::new();
     let compliance_gate = ComplianceGate::new(&catalog, Severity::Medium);
     let test_gate = TestGate::new(1.0);
+
+    let commits_counter = obs.counter("pipeline.commits");
+    let merged_counter = obs.counter("pipeline.merged");
 
     let mut rejected_requirements = 0;
     let mut rejected_compliance = 0;
@@ -149,6 +193,7 @@ pub fn run(config: &PipelineConfig) -> PipelineReport {
 
     for i in 0..config.commits {
         let commit = synth_commit(i, config, &mut rng);
+        commits_counter.inc();
         let smelly = commit
             .requirements
             .iter()
@@ -157,33 +202,40 @@ pub fn run(config: &PipelineConfig) -> PipelineReport {
 
         if config.requirements_gate && !req_gate.evaluate(&commit).passed {
             rejected_requirements += 1;
+            obs.counter("pipeline.rejected.requirements").inc();
             continue;
         }
         if config.compliance_gate && !compliance_gate.evaluate(&commit, &production).passed {
             rejected_compliance += 1;
+            obs.counter("pipeline.rejected.compliance").inc();
             continue;
         }
         if config.test_gate {
             if let Some(model) = &commit.model {
                 if !test_gate.evaluate(model).passed {
                     rejected_tests += 1;
+                    obs.counter("pipeline.rejected.tests").inc();
                     continue;
                 }
             }
         }
         // Merge + deploy.
+        merged_counter.inc();
         if smelly {
             smelly_requirements_merged += 1;
+            obs.counter("pipeline.smelly_merged").inc();
         }
         if vulnerable {
             vulnerabilities_deployed += 1;
+            obs.counter("pipeline.vulns_deployed").inc();
         }
         for change in &commit.changes {
             change.apply(&mut production);
         }
     }
+    drop(dev_span);
 
-    let ops = OperationsPhase::new(&catalog).run(
+    let ops = OperationsPhase::new(&catalog).run_observed(
         &mut production,
         &OpsConfig {
             engine: MonitorEngine::Polling,
@@ -193,6 +245,7 @@ pub fn run(config: &PipelineConfig) -> PipelineReport {
             audit_period: config.audit_period,
             seed: config.seed.wrapping_add(1),
         },
+        obs,
     );
 
     PipelineReport {
@@ -340,6 +393,80 @@ mod tests {
             ..PipelineConfig::default()
         };
         assert_eq!(run(&cfg), run(&cfg));
+    }
+
+    #[test]
+    fn observed_run_mirrors_the_report_in_counters() {
+        let registry = vdo_obs::Registry::new();
+        let cfg = PipelineConfig {
+            commits: 40,
+            seed: 5,
+            ..PipelineConfig::default()
+        };
+        let report = run_observed(&cfg, &registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pipeline.commits"), Some(40));
+        assert_eq!(
+            snap.counter("pipeline.rejected.requirements"),
+            Some(report.rejected_requirements as u64)
+        );
+        assert_eq!(
+            snap.counter("pipeline.merged"),
+            Some((report.commits - report.rejected_total()) as u64)
+        );
+        assert_eq!(
+            snap.counter("ops.drift_events"),
+            Some(report.ops.drift_events)
+        );
+        assert_eq!(snap.span_count("pipeline"), Some(1));
+        assert_eq!(snap.span_count("pipeline/dev"), Some(1));
+        assert_eq!(snap.span_count("pipeline/ops"), Some(1));
+        assert!(
+            snap.counter("core.checks").unwrap_or(0) > 0,
+            "planner instrumentation accumulates in the same registry"
+        );
+    }
+
+    #[test]
+    fn observed_and_plain_runs_agree() {
+        let cfg = PipelineConfig {
+            commits: 30,
+            seed: 9,
+            ..PipelineConfig::default()
+        };
+        let plain = run(&cfg);
+        let observed = run_observed(&cfg, &vdo_obs::Registry::new());
+        assert_eq!(plain, observed, "instrumentation must not change behaviour");
+    }
+
+    #[test]
+    fn equal_seed_observed_runs_have_identical_fingerprints() {
+        let cfg = PipelineConfig {
+            commits: 30,
+            seed: 17,
+            ..PipelineConfig::default()
+        };
+        let a = vdo_obs::Registry::new();
+        let _ = run_observed(&cfg, &a);
+        let b = vdo_obs::Registry::new();
+        let _ = run_observed(&cfg, &b);
+        assert_eq!(
+            a.snapshot().deterministic_fingerprint(),
+            b.snapshot().deterministic_fingerprint()
+        );
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let report = run(&PipelineConfig {
+            commits: 20,
+            seed: 3,
+            ..PipelineConfig::default()
+        });
+        let json = serde::json::to_string(&report);
+        assert!(json.contains("\"commits\":20"));
+        assert!(json.contains("\"ops\""));
+        assert!(json.contains("\"exposure\""));
     }
 
     #[test]

@@ -261,10 +261,19 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
     /// Runs the engine over `hosts`, mutating them in place (drift and
     /// remediation), and reports incidents plus metrics.
     pub fn run(&self, hosts: &mut [E]) -> SocReport {
+        self.run_with_metrics(hosts, &SocMetrics::new())
+    }
+
+    /// Like [`run`](Self::run), but records into caller-owned
+    /// instruments: pass [`SocMetrics::in_registry`] to surface the run
+    /// in a unified [`vdo_obs`] snapshot, or [`SocMetrics::disabled`]
+    /// to run with the no-op recorder (experiment E12 measures that
+    /// overhead at under 5%). The returned report snapshots whatever
+    /// the instruments captured.
+    pub fn run_with_metrics(&self, hosts: &mut [E], metrics: &SocMetrics) -> SocReport {
         let cfg = &self.config;
         let n_hosts = hosts.len();
         let bus = ShardedBus::new(cfg.shards, cfg.queue_capacity);
-        let metrics = SocMetrics::new();
         let shard_states: Vec<Mutex<ShardLocal>> = (0..cfg.shards)
             .map(|_| {
                 Mutex::new(ShardLocal {
@@ -300,7 +309,6 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
         std::thread::scope(|scope| {
             for (me, local) in locals.into_iter().enumerate() {
                 let bus = &bus;
-                let metrics = &metrics;
                 let shard_states = &shard_states;
                 let queues = &queues;
                 let fleet = &fleet;
@@ -321,7 +329,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                         match queues.find(me, &local) {
                             Some((batch, src)) => {
                                 if src == TaskSource::Stolen {
-                                    metrics.steals.fetch_add(1, Ordering::Relaxed);
+                                    metrics.steals.inc();
                                 }
                                 let t0 = Instant::now();
                                 {
@@ -341,7 +349,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                     std::thread::sleep(io_latency);
                                 }
                                 metrics.batch_micros.record(t0.elapsed().as_micros() as u64);
-                                metrics.batches.fetch_add(1, Ordering::Relaxed);
+                                metrics.batches.inc();
                                 outstanding.fetch_sub(1, Ordering::SeqCst);
                             }
                             None => {
@@ -369,17 +377,17 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                 let mut publish = |event: SecEvent, deferred: &mut VecDeque<SecEvent>| {
                     let shard = bus.shard_for(event.host());
                     if blocked[shard] {
-                        metrics.events_deferred.fetch_add(1, Ordering::Relaxed);
+                        metrics.events_deferred.inc();
                         deferred.push_back(event);
                         return;
                     }
                     match bus.publish(event) {
                         Ok(_) => {
-                            metrics.events_published.fetch_add(1, Ordering::Relaxed);
+                            metrics.events_published.inc();
                         }
                         Err(PublishError::Backpressure(event)) => {
                             blocked[shard] = true;
-                            metrics.events_deferred.fetch_add(1, Ordering::Relaxed);
+                            metrics.events_deferred.inc();
                             deferred.push_back(event);
                         }
                     }
@@ -523,19 +531,17 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                     incidents[incident_idx].attempts += 1;
                     if dispatcher.fault_injected(&task) {
                         if dispatcher.on_failure(task, tick) {
-                            metrics.retries.fetch_add(1, Ordering::Relaxed);
+                            metrics.retries.inc();
                         } else {
-                            metrics.dead_letters.fetch_add(1, Ordering::Relaxed);
+                            metrics.dead_letters.inc();
                         }
                         continue;
                     }
                     let mut guard = fleet.write();
                     planner.run(self.catalog, &mut guard[task.host]);
-                    metrics.remediations.fetch_add(1, Ordering::Relaxed);
+                    metrics.remediations.inc();
                     let results = self.catalog.check_all(&guard[task.host]);
-                    metrics
-                        .checks_run
-                        .fetch_add(self.catalog.len() as u64, Ordering::Relaxed);
+                    metrics.checks_run.add(self.catalog.len() as u64);
                     drop(guard);
                     let host_open = &mut open[task.host];
                     for (entry, status) in results {
@@ -581,7 +587,7 @@ fn process_batch<E: SocHost>(
     metrics: &SocMetrics,
 ) {
     while let Some(envelope) = bus.pop(shard) {
-        metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+        metrics.events_processed.inc();
         let seq = envelope.seq;
         match envelope.event {
             SecEvent::DriftApplied { host, tick, .. }
@@ -592,9 +598,7 @@ fn process_batch<E: SocHost>(
                 // batch quiesces without re-entering the bounded
                 // queue).
                 let results = catalog.check_all(&fleet[host]);
-                metrics
-                    .checks_run
-                    .fetch_add(catalog.len() as u64, Ordering::Relaxed);
+                metrics.checks_run.add(catalog.len() as u64);
                 let follow_ups: Vec<SecEvent> = results
                     .iter()
                     .map(|(entry, status)| SecEvent::CheckResult {
@@ -605,7 +609,7 @@ fn process_batch<E: SocHost>(
                     })
                     .collect();
                 for event in follow_ups {
-                    metrics.events_processed.fetch_add(1, Ordering::Relaxed);
+                    metrics.events_processed.inc();
                     handle_check_result(shard, seq, now, event, state);
                 }
             }

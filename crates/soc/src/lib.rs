@@ -66,7 +66,9 @@ pub mod runtime;
 pub use bus::{PublishError, ShardedBus};
 pub use engine::{SocConfig, SocConfigError, SocEngine, SocHost, SocReport};
 pub use event::{shard_of, Envelope, HostId, SecEvent};
-pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, SocMetrics};
+#[allow(deprecated)] // the aliases stay exported for downstream callers
+pub use metrics::{Histogram, HistogramSnapshot};
+pub use metrics::{MetricsSnapshot, SocMetrics};
 pub use monitors::{
     ComplianceUniversality, Detection, DetectionKind, HostMonitors, TearsHostMonitor,
 };

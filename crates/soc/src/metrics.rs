@@ -1,4 +1,4 @@
-//! SOC runtime metrics: lock-free counters and fixed-bucket histograms.
+//! SOC runtime metrics, built on the [`vdo_obs`] primitives.
 //!
 //! Everything here is updated with relaxed atomics from publisher,
 //! worker, and dispatcher threads, and read out as an immutable
@@ -6,152 +6,52 @@
 //! (events, batches, steals, retries); the histograms capture the two
 //! latency distributions the E11 experiment reports — detection latency
 //! in ticks and per-batch processing time in microseconds.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! The concrete counter/histogram types moved to `vdo-obs` (this module
+//! re-exports them under deprecated aliases); what remains here is the
+//! SOC-specific instrument set. [`SocMetrics::disabled`] wires every
+//! instrument to the no-op recorder, which is what experiment E12
+//! benchmarks against the enabled default.
 
 use serde::Serialize;
+use vdo_obs::{Counter, Gauge};
 
-/// Upper bucket bounds (inclusive) for tick-valued latencies.
-const TICK_BOUNDS: [u64; 10] = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+/// Deprecated alias: the fixed-bucket histogram now lives in `vdo-obs`.
+#[deprecated(note = "moved to vdo-obs; use vdo_obs::Histogram")]
+pub type Histogram = vdo_obs::Histogram;
 
-/// Upper bucket bounds (inclusive) for microsecond-valued durations.
-const MICROS_BOUNDS: [u64; 10] = [
-    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
-];
-
-/// A fixed-bucket histogram with atomic buckets. Values above the last
-/// bound land in the overflow bucket.
-#[derive(Debug)]
-pub struct Histogram {
-    bounds: &'static [u64],
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Histogram {
-    fn with_bounds(bounds: &'static [u64]) -> Self {
-        Histogram {
-            bounds,
-            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    /// A histogram bucketed for tick-valued latencies (0..=256+).
-    #[must_use]
-    pub fn ticks() -> Self {
-        Histogram::with_bounds(&TICK_BOUNDS)
-    }
-
-    /// A histogram bucketed for microsecond durations (10µs..=500ms+).
-    #[must_use]
-    pub fn micros() -> Self {
-        Histogram::with_bounds(&MICROS_BOUNDS)
-    }
-
-    /// Records one observation.
-    pub fn record(&self, value: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
-    }
-
-    /// Immutable copy of the current state.
-    #[must_use]
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            bounds: self.bounds.to_vec(),
-            counts: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            count: self.count.load(Ordering::Relaxed),
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Frozen histogram state. `counts` has one more entry than `bounds`
-/// (the overflow bucket).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    /// Inclusive upper bounds per bucket.
-    pub bounds: Vec<u64>,
-    /// Observations per bucket (last entry = overflow).
-    pub counts: Vec<u64>,
-    /// Total observations.
-    pub count: u64,
-    /// Sum of all observed values.
-    pub sum: u64,
-    /// Largest observed value.
-    pub max: u64,
-}
-
-impl HistogramSnapshot {
-    /// Mean observed value (0 when empty).
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-}
-
-impl Serialize for HistogramSnapshot {
-    fn to_value(&self) -> serde::json::Value {
-        serde::json::object([
-            ("bounds", self.bounds.to_value()),
-            ("counts", self.counts.to_value()),
-            ("count", self.count.to_value()),
-            ("sum", self.sum.to_value()),
-            ("max", self.max.to_value()),
-            ("mean", self.mean().to_value()),
-        ])
-    }
-}
+/// Deprecated alias: the frozen histogram state now lives in `vdo-obs`.
+#[deprecated(note = "moved to vdo-obs; use vdo_obs::HistogramSnapshot")]
+pub type HistogramSnapshot = vdo_obs::HistogramSnapshot;
 
 /// Live counters for one engine run. Shared by reference across the
 /// publisher, the worker pool, and the remediation dispatcher.
 #[derive(Debug)]
 pub struct SocMetrics {
     /// Events accepted onto the bus.
-    pub events_published: AtomicU64,
+    pub events_published: Counter,
     /// Events deferred at least once due to a full shard queue.
-    pub events_deferred: AtomicU64,
+    pub events_deferred: Counter,
     /// Events consumed by workers (including follow-ups).
-    pub events_processed: AtomicU64,
+    pub events_processed: Counter,
     /// Shard batches executed.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Batches a worker obtained by stealing (injector or sibling).
-    pub steals: AtomicU64,
+    pub steals: Counter,
     /// Catalogue rule checks performed.
-    pub checks_run: AtomicU64,
+    pub checks_run: Counter,
     /// High-water mark of any shard queue depth.
-    pub max_queue_depth: AtomicU64,
+    pub max_queue_depth: Gauge,
     /// Remediation attempts that were retried after an injected fault.
-    pub retries: AtomicU64,
+    pub retries: Counter,
     /// Remediations abandoned to the dead-letter queue.
-    pub dead_letters: AtomicU64,
+    pub dead_letters: Counter,
     /// Successful remediations.
-    pub remediations: AtomicU64,
+    pub remediations: Counter,
     /// Detection latency in ticks (drift tick to detection tick).
-    pub detection_latency: Histogram,
+    pub detection_latency: vdo_obs::Histogram,
     /// Wall-clock batch processing time in microseconds.
-    pub batch_micros: Histogram,
+    pub batch_micros: vdo_obs::Histogram,
 }
 
 impl SocMetrics {
@@ -159,41 +59,97 @@ impl SocMetrics {
     #[must_use]
     pub fn new() -> Self {
         SocMetrics {
-            events_published: AtomicU64::new(0),
-            events_deferred: AtomicU64::new(0),
-            events_processed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            checks_run: AtomicU64::new(0),
-            max_queue_depth: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            dead_letters: AtomicU64::new(0),
-            remediations: AtomicU64::new(0),
-            detection_latency: Histogram::ticks(),
-            batch_micros: Histogram::micros(),
+            events_published: Counter::new(),
+            events_deferred: Counter::new(),
+            events_processed: Counter::new(),
+            batches: Counter::new(),
+            steals: Counter::new(),
+            checks_run: Counter::new(),
+            max_queue_depth: Gauge::new(),
+            retries: Counter::new(),
+            dead_letters: Counter::new(),
+            remediations: Counter::new(),
+            detection_latency: vdo_obs::Histogram::ticks(),
+            batch_micros: vdo_obs::Histogram::micros(),
         }
+    }
+
+    /// The no-op recorder: every instrument is inert, the snapshot is
+    /// all zeros. Pass to
+    /// [`SocEngine::run_with_metrics`](crate::SocEngine::run_with_metrics)
+    /// to measure the engine with observability off (experiment E12).
+    #[must_use]
+    pub fn disabled() -> Self {
+        SocMetrics {
+            events_published: Counter::disabled(),
+            events_deferred: Counter::disabled(),
+            events_processed: Counter::disabled(),
+            batches: Counter::disabled(),
+            steals: Counter::disabled(),
+            checks_run: Counter::disabled(),
+            max_queue_depth: Gauge::disabled(),
+            retries: Counter::disabled(),
+            dead_letters: Counter::disabled(),
+            remediations: Counter::disabled(),
+            detection_latency: vdo_obs::Histogram::disabled(),
+            batch_micros: vdo_obs::Histogram::disabled(),
+        }
+    }
+
+    /// `true` when the instruments record (see [`SocMetrics::disabled`]).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.events_published.is_enabled()
     }
 
     /// Records a shard queue depth observation.
     pub fn observe_queue_depth(&self, depth: u64) {
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.max_queue_depth.record_max(depth);
+    }
+
+    /// Registers every instrument into `registry` under
+    /// `<prefix>.<name>`, so an engine run surfaces in a unified
+    /// [`vdo_obs::Snapshot`] alongside the rest of the closed loop.
+    /// Only deterministic instruments are exported: `steals`,
+    /// `max_queue_depth`, and `batch_micros` depend on scheduling and
+    /// stay engine-local so equal-seed snapshots stay identical at any
+    /// worker count.
+    #[must_use]
+    pub fn in_registry(registry: &vdo_obs::Registry, prefix: &str) -> Self {
+        SocMetrics {
+            events_published: registry.counter(&format!("{prefix}.events_published")),
+            events_deferred: registry.counter(&format!("{prefix}.events_deferred")),
+            events_processed: registry.counter(&format!("{prefix}.events_processed")),
+            batches: registry.counter(&format!("{prefix}.batches")),
+            steals: Counter::new(),
+            checks_run: registry.counter(&format!("{prefix}.checks_run")),
+            max_queue_depth: Gauge::new(),
+            retries: registry.counter(&format!("{prefix}.retries")),
+            dead_letters: registry.counter(&format!("{prefix}.dead_letters")),
+            remediations: registry.counter(&format!("{prefix}.remediations")),
+            detection_latency: registry.histogram(
+                &format!("{prefix}.detection_latency"),
+                &vdo_obs::TICK_BOUNDS,
+            ),
+            batch_micros: vdo_obs::Histogram::micros(),
+        }
     }
 
     /// Immutable copy of all counters and histograms.
     #[must_use]
     pub fn snapshot(&self, wall_secs: f64) -> MetricsSnapshot {
-        let processed = self.events_processed.load(Ordering::Relaxed);
+        let processed = self.events_processed.get();
         MetricsSnapshot {
-            events_published: self.events_published.load(Ordering::Relaxed),
-            events_deferred: self.events_deferred.load(Ordering::Relaxed),
+            events_published: self.events_published.get(),
+            events_deferred: self.events_deferred.get(),
             events_processed: processed,
-            batches: self.batches.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            checks_run: self.checks_run.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            dead_letters: self.dead_letters.load(Ordering::Relaxed),
-            remediations: self.remediations.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            steals: self.steals.get(),
+            checks_run: self.checks_run.get(),
+            max_queue_depth: self.max_queue_depth.get(),
+            retries: self.retries.get(),
+            dead_letters: self.dead_letters.get(),
+            remediations: self.remediations.get(),
             events_per_sec: if wall_secs > 0.0 {
                 processed as f64 / wall_secs
             } else {
@@ -237,9 +193,9 @@ pub struct MetricsSnapshot {
     /// Worker throughput over the run's wall-clock time.
     pub events_per_sec: f64,
     /// Detection latency distribution (ticks).
-    pub detection_latency: HistogramSnapshot,
+    pub detection_latency: vdo_obs::HistogramSnapshot,
     /// Batch processing time distribution (µs).
-    pub batch_micros: HistogramSnapshot,
+    pub batch_micros: vdo_obs::HistogramSnapshot,
 }
 
 impl Serialize for MetricsSnapshot {
@@ -268,7 +224,7 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_overflow() {
-        let h = Histogram::ticks();
+        let h = vdo_obs::Histogram::ticks();
         h.record(0);
         h.record(3);
         h.record(1_000_000);
@@ -284,7 +240,7 @@ mod tests {
     #[test]
     fn snapshot_serialises_to_json() {
         let m = SocMetrics::new();
-        m.events_published.fetch_add(5, Ordering::Relaxed);
+        m.events_published.add(5);
         m.detection_latency.record(2);
         let json = serde::json::to_string(&m.snapshot(1.0));
         assert!(json.contains("\"events_published\":5"));
@@ -297,6 +253,43 @@ mod tests {
         m.observe_queue_depth(3);
         m.observe_queue_depth(9);
         m.observe_queue_depth(1);
-        assert_eq!(m.max_queue_depth.load(Ordering::Relaxed), 9);
+        assert_eq!(m.max_queue_depth.get(), 9);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = SocMetrics::disabled();
+        assert!(!m.is_enabled());
+        m.events_published.add(5);
+        m.observe_queue_depth(9);
+        m.detection_latency.record(2);
+        let s = m.snapshot(1.0);
+        assert_eq!(s.events_published, 0);
+        assert_eq!(s.max_queue_depth, 0);
+        assert_eq!(s.detection_latency.count, 0);
+    }
+
+    #[test]
+    fn registry_backed_metrics_surface_in_the_snapshot() {
+        let registry = vdo_obs::Registry::new();
+        let m = SocMetrics::in_registry(&registry, "soc");
+        m.events_published.add(2);
+        m.checks_run.add(17);
+        m.detection_latency.record(0);
+        m.steals.inc(); // engine-local: deliberately not exported
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("soc.events_published"), Some(2));
+        assert_eq!(snap.counter("soc.checks_run"), Some(17));
+        assert_eq!(snap.histograms["soc.detection_latency"].count, 1);
+        assert_eq!(snap.counter("soc.steals"), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_keep_compiling() {
+        let h: Histogram = Histogram::ticks();
+        h.record(1);
+        let s: HistogramSnapshot = h.snapshot();
+        assert_eq!(s.count, 1);
     }
 }

@@ -70,14 +70,32 @@ impl Session {
     /// Evaluates every assertion over the trace.
     #[must_use]
     pub fn evaluate(&self, trace: &SignalTrace) -> SessionOverview {
-        SessionOverview {
+        self.evaluate_observed(trace, &vdo_obs::Registry::disabled())
+    }
+
+    /// Like [`evaluate`](Self::evaluate), but records the
+    /// `tears.assertions_evaluated` / `tears.violations` counters and
+    /// times the evaluation under the `tears/session` span in `obs`.
+    #[must_use]
+    pub fn evaluate_observed(
+        &self,
+        trace: &SignalTrace,
+        obs: &vdo_obs::Registry,
+    ) -> SessionOverview {
+        let _span = obs.span("tears/session");
+        let overview = SessionOverview {
             reports: self
                 .assertions
                 .iter()
                 .map(|ga| ga.evaluate(trace))
                 .collect(),
             trace_ticks: trace.len(),
-        }
+        };
+        obs.counter("tears.assertions_evaluated")
+            .add(overview.reports.len() as u64);
+        obs.counter("tears.violations")
+            .add(overview.total_violations() as u64);
+        overview
     }
 }
 
@@ -208,6 +226,21 @@ ga "no pressure when idle": when pedal < 0.1 then pressure < 1 within 0
         let table = overview.to_table();
         assert!(table.contains("impossible"));
         assert!(table.contains("FAIL"));
+    }
+
+    #[test]
+    fn observed_evaluation_records_counts() {
+        let registry = vdo_obs::Registry::new();
+        let s = Session::parse(r#"ga "impossible": when pedal >= 0 then pressure > 99 within 0"#)
+            .unwrap();
+        let overview = s.evaluate_observed(&trace(), &registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("tears.assertions_evaluated"), Some(1));
+        assert_eq!(
+            snap.counter("tears.violations"),
+            Some(overview.total_violations() as u64)
+        );
+        assert_eq!(snap.span_count("tears/session"), Some(1));
     }
 
     #[test]

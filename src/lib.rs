@@ -4,6 +4,8 @@
 //! one roof so that examples, integration tests, and downstream users can
 //! depend on a single crate:
 //!
+//! * [`obs`] — the unified observability layer (spans, counters,
+//!   histograms, deterministic snapshots) the closed loop records into;
 //! * [`core`] — the Requirements-as-Code (RQCODE) kernel;
 //! * [`host`] — simulated Ubuntu/Windows hosting environments;
 //! * [`stigs`] — concrete STIG requirement catalogues;
@@ -40,6 +42,7 @@ pub use vdo_corpus as corpus;
 pub use vdo_gwt as gwt;
 pub use vdo_host as host;
 pub use vdo_nalabs as nalabs;
+pub use vdo_obs as obs;
 pub use vdo_pipeline as pipeline;
 pub use vdo_soc as soc;
 pub use vdo_specpat as specpat;
