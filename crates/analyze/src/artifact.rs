@@ -1,0 +1,451 @@
+//! The symbolic artifact model the lints run over.
+//!
+//! The runtime [`vdo_core::Catalog`] holds opaque boxed capabilities —
+//! executable, but not inspectable. Static analysis needs *structure*,
+//! so callers describe their catalogue entries with [`ReqExpr`], a
+//! small symbolic mirror of the `vdo-core` composite combinators
+//! (`all_of` / `any_of` / `not` over named atomic checks), and bundle
+//! every analysable artifact of one revision into an [`ArtifactSet`].
+
+use std::collections::BTreeSet;
+
+use vdo_core::{RequirementSpec, WaiverSet};
+
+/// A symbolic requirement expression: what a catalogue entry *checks*,
+/// as a boolean combination of named atomic checks.
+///
+/// Mirrors the `vdo-core` composite combinators one-for-one, but keeps
+/// the structure inspectable instead of boxing it behind
+/// `dyn Checkable`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReqExpr {
+    /// A named atomic check (e.g. `"sshd.permit_root_login=no"`).
+    Atom(String),
+    /// Negation.
+    Not(Box<ReqExpr>),
+    /// Conjunction: every operand must pass.
+    AllOf(Vec<ReqExpr>),
+    /// Disjunction: at least one operand must pass.
+    AnyOf(Vec<ReqExpr>),
+}
+
+impl ReqExpr {
+    /// A named atomic check.
+    #[must_use]
+    pub fn atom(name: impl Into<String>) -> ReqExpr {
+        ReqExpr::Atom(name.into())
+    }
+
+    /// Negation.
+    #[must_use]
+    // Mirrors the builder-style constructors of `vdo_core` composites;
+    // an `ops::Not` impl would move the operand.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: ReqExpr) -> ReqExpr {
+        ReqExpr::Not(Box::new(e))
+    }
+
+    /// Conjunction.
+    #[must_use]
+    pub fn all_of(es: impl IntoIterator<Item = ReqExpr>) -> ReqExpr {
+        ReqExpr::AllOf(es.into_iter().collect())
+    }
+
+    /// Disjunction.
+    #[must_use]
+    pub fn any_of(es: impl IntoIterator<Item = ReqExpr>) -> ReqExpr {
+        ReqExpr::AnyOf(es.into_iter().collect())
+    }
+
+    /// Canonical form: negation normal form (negations pushed to the
+    /// atoms, double negations elided), nested conjunctions/disjunctions
+    /// flattened, operands sorted and deduplicated. Two entries check
+    /// the same thing iff their normal forms are equal.
+    #[must_use]
+    pub fn normalize(&self) -> ReqExpr {
+        self.nnf(false)
+    }
+
+    fn nnf(&self, negated: bool) -> ReqExpr {
+        match self {
+            ReqExpr::Atom(a) => {
+                let atom = ReqExpr::Atom(a.clone());
+                if negated {
+                    ReqExpr::Not(Box::new(atom))
+                } else {
+                    atom
+                }
+            }
+            ReqExpr::Not(e) => e.nnf(!negated),
+            ReqExpr::AllOf(es) if !negated => Self::flatten(es, false, true),
+            ReqExpr::AllOf(es) => Self::flatten(es, true, false),
+            ReqExpr::AnyOf(es) if !negated => Self::flatten(es, false, false),
+            ReqExpr::AnyOf(es) => Self::flatten(es, true, true),
+        }
+    }
+
+    /// Normalises the operands (each negated iff `negate`), flattens
+    /// same-shaped children, sorts, dedupes, and unwraps singletons.
+    fn flatten(es: &[ReqExpr], negate: bool, conjunction: bool) -> ReqExpr {
+        let mut out: Vec<ReqExpr> = Vec::new();
+        for e in es {
+            let n = e.nnf(negate);
+            match n {
+                ReqExpr::AllOf(inner) if conjunction => out.extend(inner),
+                ReqExpr::AnyOf(inner) if !conjunction => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        out.sort();
+        out.dedup();
+        if out.len() == 1 {
+            return out.into_iter().next().expect("len checked");
+        }
+        if conjunction {
+            ReqExpr::AllOf(out)
+        } else {
+            ReqExpr::AnyOf(out)
+        }
+    }
+
+    /// If the normalised expression is a pure conjunction of literals
+    /// (atoms or negated atoms), the literal set as `(atom, polarity)`
+    /// pairs; `None` otherwise. The subsumption lint compares these.
+    #[must_use]
+    pub fn conjunctive_literals(&self) -> Option<BTreeSet<(String, bool)>> {
+        fn literal(e: &ReqExpr) -> Option<(String, bool)> {
+            match e {
+                ReqExpr::Atom(a) => Some((a.clone(), true)),
+                ReqExpr::Not(inner) => match inner.as_ref() {
+                    ReqExpr::Atom(a) => Some((a.clone(), false)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        let n = self.normalize();
+        match &n {
+            ReqExpr::AllOf(es) => es.iter().map(literal).collect(),
+            other => literal(other).map(|l| [l].into_iter().collect()),
+        }
+    }
+}
+
+impl std::fmt::Display for ReqExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReqExpr::Atom(a) => f.write_str(a),
+            ReqExpr::Not(e) => write!(f, "not({e})"),
+            ReqExpr::AllOf(es) => {
+                f.write_str("all_of(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            ReqExpr::AnyOf(es) => {
+                f.write_str("any_of(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// One catalogue entry as the analyzer sees it: identity plus an
+/// optional symbolic expression of what it checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryArtifact {
+    /// Finding id (e.g. `"V-219161"`), the entry's stable identity.
+    pub finding_id: String,
+    /// Package path the entry lives under.
+    pub package: String,
+    /// Short title.
+    pub title: String,
+    /// STIG severity of the underlying requirement.
+    pub severity: vdo_core::Severity,
+    /// Symbolic check expression, when the caller can describe it.
+    /// Entries without one still participate in the identity,
+    /// waiver, and traceability lints.
+    pub expr: Option<ReqExpr>,
+}
+
+impl EntryArtifact {
+    /// Creates an entry with defaults (medium severity, no expression).
+    #[must_use]
+    pub fn new(finding_id: impl Into<String>) -> Self {
+        EntryArtifact {
+            finding_id: finding_id.into(),
+            package: String::new(),
+            title: String::new(),
+            severity: vdo_core::Severity::Medium,
+            expr: None,
+        }
+    }
+
+    /// Mirrors a [`RequirementSpec`] (identity and severity; the boxed
+    /// capability itself is opaque, so no expression).
+    #[must_use]
+    pub fn from_spec(spec: &RequirementSpec) -> Self {
+        EntryArtifact {
+            finding_id: spec.finding_id().to_string(),
+            package: String::new(),
+            title: spec.title().to_string(),
+            severity: spec.severity(),
+            expr: None,
+        }
+    }
+
+    /// Sets the package path.
+    #[must_use]
+    pub fn package(mut self, package: impl Into<String>) -> Self {
+        self.package = package.into();
+        self
+    }
+
+    /// Sets the title.
+    #[must_use]
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Sets the severity.
+    #[must_use]
+    pub fn severity(mut self, severity: vdo_core::Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Sets the symbolic check expression.
+    #[must_use]
+    pub fn expr(mut self, expr: ReqExpr) -> Self {
+        self.expr = Some(expr);
+        self
+    }
+}
+
+/// A named LTL formula (a monitor specification under analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedFormula {
+    /// Formula name (the artifact id in diagnostics).
+    pub name: String,
+    /// The formula.
+    pub formula: vdo_temporal::Formula,
+}
+
+impl NamedFormula {
+    /// Creates a named formula.
+    #[must_use]
+    pub fn new(name: impl Into<String>, formula: vdo_temporal::Formula) -> Self {
+        NamedFormula {
+            name: name.into(),
+            formula,
+        }
+    }
+}
+
+/// Everything analysable about one revision of the requirements-as-code
+/// corpus: catalogue entries, waivers, monitor formulas, behavioural
+/// models, guarded assertions, and the traceability record.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactSet {
+    /// Catalogue entries.
+    pub entries: Vec<EntryArtifact>,
+    /// Accepted risks.
+    pub waivers: WaiverSet,
+    /// The current tick, against which waiver expiry is judged.
+    pub now: u64,
+    /// Monitor formulas.
+    pub formulas: Vec<NamedFormula>,
+    /// Behavioural graph models.
+    pub models: Vec<vdo_gwt::GraphModel>,
+    /// TEARS guarded assertions.
+    pub assertions: Vec<vdo_tears::GuardedAssertion>,
+    /// Finding ids checked by a dev-time gate.
+    pub dev_covered: BTreeSet<String>,
+    /// Finding ids watched by an ops-time monitor.
+    pub ops_covered: BTreeSet<String>,
+}
+
+impl ArtifactSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ArtifactSet::default()
+    }
+
+    /// Adds a catalogue entry.
+    #[must_use]
+    pub fn with_entry(mut self, entry: EntryArtifact) -> Self {
+        self.entries.push(entry);
+        self
+    }
+
+    /// Mirrors every entry of a runtime catalogue (identity, package,
+    /// severity — the capabilities are opaque, so no expressions).
+    #[must_use]
+    pub fn with_catalog<E>(mut self, catalog: &vdo_core::Catalog<E>) -> Self {
+        for e in catalog.iter() {
+            self.entries
+                .push(EntryArtifact::from_spec(e.spec()).package(e.package().to_string()));
+        }
+        self
+    }
+
+    /// Adds a waiver.
+    #[must_use]
+    pub fn with_waiver(mut self, waiver: vdo_core::Waiver) -> Self {
+        self.waivers.add(waiver);
+        self
+    }
+
+    /// Sets the current tick for waiver-expiry judgement.
+    #[must_use]
+    pub fn at_tick(mut self, now: u64) -> Self {
+        self.now = now;
+        self
+    }
+
+    /// Adds a named monitor formula.
+    #[must_use]
+    pub fn with_formula(mut self, name: impl Into<String>, f: vdo_temporal::Formula) -> Self {
+        self.formulas.push(NamedFormula::new(name, f));
+        self
+    }
+
+    /// Adds a behavioural model.
+    #[must_use]
+    pub fn with_model(mut self, model: vdo_gwt::GraphModel) -> Self {
+        self.models.push(model);
+        self
+    }
+
+    /// Adds a guarded assertion.
+    #[must_use]
+    pub fn with_assertion(mut self, ga: vdo_tears::GuardedAssertion) -> Self {
+        self.assertions.push(ga);
+        self
+    }
+
+    /// Records that a dev-time gate checks `finding_id`.
+    #[must_use]
+    pub fn covered_dev(mut self, finding_id: impl Into<String>) -> Self {
+        self.dev_covered.insert(finding_id.into());
+        self
+    }
+
+    /// Records that an ops-time monitor watches `finding_id`.
+    #[must_use]
+    pub fn covered_ops(mut self, finding_id: impl Into<String>) -> Self {
+        self.ops_covered.insert(finding_id.into());
+        self
+    }
+
+    /// Marks every current entry as dev-covered (e.g. the whole
+    /// catalogue runs in a compliance gate).
+    #[must_use]
+    pub fn covered_dev_all(mut self) -> Self {
+        for e in &self.entries {
+            self.dev_covered.insert(e.finding_id.clone());
+        }
+        self
+    }
+
+    /// Total number of artifacts of all kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+            + self.waivers.len()
+            + self.formulas.len()
+            + self.models.len()
+            + self.assertions.len()
+    }
+
+    /// `true` iff there is nothing to analyse.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_flattens_and_sorts() {
+        let e = ReqExpr::all_of([
+            ReqExpr::atom("b"),
+            ReqExpr::all_of([ReqExpr::atom("a"), ReqExpr::atom("b")]),
+        ]);
+        assert_eq!(
+            e.normalize(),
+            ReqExpr::AllOf(vec![ReqExpr::atom("a"), ReqExpr::atom("b")])
+        );
+    }
+
+    #[test]
+    fn normalize_pushes_negation_down() {
+        // ¬(a ∧ ¬b) = ¬a ∨ b
+        let e = ReqExpr::not(ReqExpr::all_of([
+            ReqExpr::atom("a"),
+            ReqExpr::not(ReqExpr::atom("b")),
+        ]));
+        assert_eq!(
+            e.normalize(),
+            ReqExpr::AnyOf(vec![ReqExpr::atom("b"), ReqExpr::not(ReqExpr::atom("a")),])
+        );
+        // Double negation cancels.
+        assert_eq!(
+            ReqExpr::not(ReqExpr::not(ReqExpr::atom("x"))).normalize(),
+            ReqExpr::atom("x")
+        );
+    }
+
+    #[test]
+    fn singleton_composites_unwrap() {
+        assert_eq!(
+            ReqExpr::all_of([ReqExpr::atom("only")]).normalize(),
+            ReqExpr::atom("only")
+        );
+    }
+
+    #[test]
+    fn conjunctive_literals_extraction() {
+        let e = ReqExpr::all_of([ReqExpr::atom("a"), ReqExpr::not(ReqExpr::atom("b"))]);
+        let lits = e.conjunctive_literals().unwrap();
+        assert!(lits.contains(&("a".to_string(), true)));
+        assert!(lits.contains(&("b".to_string(), false)));
+        // Disjunctions are not conjunctive.
+        let d = ReqExpr::any_of([ReqExpr::atom("a"), ReqExpr::atom("b")]);
+        assert_eq!(d.conjunctive_literals(), None);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let e = ReqExpr::all_of([ReqExpr::atom("a"), ReqExpr::not(ReqExpr::atom("b"))]);
+        assert_eq!(e.to_string(), "all_of(a, not(b))");
+    }
+
+    #[test]
+    fn artifact_set_builders_accumulate() {
+        let set = ArtifactSet::new()
+            .with_entry(EntryArtifact::new("V-1"))
+            .with_formula("f", vdo_temporal::Formula::atom("p"))
+            .covered_dev("V-1")
+            .at_tick(7);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.now, 7);
+        assert!(set.dev_covered.contains("V-1"));
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Analyzer configuration, with a validating builder.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::diag::{LintCode, LintLevel};
+
+/// Bounds for the small-witness trace search (see
+/// [`AnalysisConfig::witness_trace_len`]).
+pub const MAX_WITNESS_TRACE_LEN: usize = 6;
+/// Bounds for the small-witness atom budget (see
+/// [`AnalysisConfig::witness_max_atoms`]).
+pub const MAX_WITNESS_ATOMS: usize = 4;
+
+/// Validated analyzer configuration. Construct via
+/// [`AnalysisConfig::builder`] or take [`AnalysisConfig::default`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    levels: BTreeMap<LintCode, LintLevel>,
+    witness_trace_len: usize,
+    witness_max_atoms: usize,
+}
+
+impl AnalysisConfig {
+    /// Starts a builder with every lint at [`LintLevel::Deny`] and the
+    /// default witness bounds.
+    #[must_use]
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder {
+            levels: BTreeMap::new(),
+            witness_trace_len: 4,
+            witness_max_atoms: 3,
+        }
+    }
+
+    /// Level configured for a lint (default: [`LintLevel::Deny`]).
+    #[must_use]
+    pub fn level(&self, code: LintCode) -> LintLevel {
+        self.levels.get(&code).copied().unwrap_or_default()
+    }
+
+    /// Maximum witness-trace length the tautology/contradiction search
+    /// enumerates (in `1..=`[`MAX_WITNESS_TRACE_LEN`]).
+    #[must_use]
+    pub fn witness_trace_len(&self) -> usize {
+        self.witness_trace_len
+    }
+
+    /// Maximum number of distinct atoms a formula may use and still be
+    /// searched exhaustively (in `1..=`[`MAX_WITNESS_ATOMS`]); larger
+    /// formulas are skipped rather than half-checked.
+    #[must_use]
+    pub fn witness_max_atoms(&self) -> usize {
+        self.witness_max_atoms
+    }
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig::builder()
+            .build()
+            .expect("builder defaults are valid")
+    }
+}
+
+/// Why an [`AnalysisConfigBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `witness_trace_len` outside `1..=`[`MAX_WITNESS_TRACE_LEN`]: 0
+    /// searches nothing, larger blows up exponentially.
+    TraceLenOutOfRange(usize),
+    /// `witness_max_atoms` outside `1..=`[`MAX_WITNESS_ATOMS`]: the
+    /// state space is `2^atoms` per trace position.
+    AtomBudgetOutOfRange(usize),
+    /// Every lint is set to [`LintLevel::Allow`]; the analyzer would be
+    /// a no-op, which is never what a CI gate intends.
+    AllLintsAllowed,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TraceLenOutOfRange(v) => write!(
+                f,
+                "witness_trace_len must be in 1..={MAX_WITNESS_TRACE_LEN}, got {v}"
+            ),
+            ConfigError::AtomBudgetOutOfRange(v) => write!(
+                f,
+                "witness_max_atoms must be in 1..={MAX_WITNESS_ATOMS}, got {v}"
+            ),
+            ConfigError::AllLintsAllowed => {
+                f.write_str("every lint is allowed; the analyzer would check nothing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`AnalysisConfig`]; [`build`](Self::build) validates.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfigBuilder {
+    levels: BTreeMap<LintCode, LintLevel>,
+    witness_trace_len: usize,
+    witness_max_atoms: usize,
+}
+
+impl AnalysisConfigBuilder {
+    /// Sets the level for one lint.
+    #[must_use]
+    pub fn level(mut self, code: LintCode, level: LintLevel) -> Self {
+        self.levels.insert(code, level);
+        self
+    }
+
+    /// Shorthand for [`level`](Self::level) with [`LintLevel::Allow`].
+    #[must_use]
+    pub fn allow(self, code: LintCode) -> Self {
+        self.level(code, LintLevel::Allow)
+    }
+
+    /// Shorthand for [`level`](Self::level) with [`LintLevel::Warn`].
+    #[must_use]
+    pub fn warn(self, code: LintCode) -> Self {
+        self.level(code, LintLevel::Warn)
+    }
+
+    /// Shorthand for [`level`](Self::level) with [`LintLevel::Deny`].
+    #[must_use]
+    pub fn deny(self, code: LintCode) -> Self {
+        self.level(code, LintLevel::Deny)
+    }
+
+    /// Sets the witness-trace length bound.
+    #[must_use]
+    pub fn witness_trace_len(mut self, len: usize) -> Self {
+        self.witness_trace_len = len;
+        self
+    }
+
+    /// Sets the witness atom budget.
+    #[must_use]
+    pub fn witness_max_atoms(mut self, atoms: usize) -> Self {
+        self.witness_max_atoms = atoms;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a witness bound is out of range or
+    /// every lint has been allowed away.
+    pub fn build(self) -> Result<AnalysisConfig, ConfigError> {
+        if !(1..=MAX_WITNESS_TRACE_LEN).contains(&self.witness_trace_len) {
+            return Err(ConfigError::TraceLenOutOfRange(self.witness_trace_len));
+        }
+        if !(1..=MAX_WITNESS_ATOMS).contains(&self.witness_max_atoms) {
+            return Err(ConfigError::AtomBudgetOutOfRange(self.witness_max_atoms));
+        }
+        let all_allowed = LintCode::ALL
+            .into_iter()
+            .all(|c| self.levels.get(&c).copied().unwrap_or_default() == LintLevel::Allow);
+        if all_allowed {
+            return Err(ConfigError::AllLintsAllowed);
+        }
+        Ok(AnalysisConfig {
+            levels: self.levels,
+            witness_trace_len: self.witness_trace_len,
+            witness_max_atoms: self.witness_max_atoms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_denies_everything() {
+        let c = AnalysisConfig::default();
+        for code in LintCode::ALL {
+            assert_eq!(c.level(code), LintLevel::Deny);
+        }
+        assert_eq!(c.witness_trace_len(), 4);
+        assert_eq!(c.witness_max_atoms(), 3);
+    }
+
+    #[test]
+    fn levels_override() {
+        let c = AnalysisConfig::builder()
+            .warn(LintCode::SubsumedEntry)
+            .allow(LintCode::UntracedRequirement)
+            .build()
+            .unwrap();
+        assert_eq!(c.level(LintCode::SubsumedEntry), LintLevel::Warn);
+        assert_eq!(c.level(LintCode::UntracedRequirement), LintLevel::Allow);
+        assert_eq!(c.level(LintCode::DuplicateEntry), LintLevel::Deny);
+    }
+
+    #[test]
+    fn builder_rejects_bad_bounds() {
+        assert_eq!(
+            AnalysisConfig::builder().witness_trace_len(0).build(),
+            Err(ConfigError::TraceLenOutOfRange(0))
+        );
+        assert_eq!(
+            AnalysisConfig::builder().witness_trace_len(99).build(),
+            Err(ConfigError::TraceLenOutOfRange(99))
+        );
+        assert_eq!(
+            AnalysisConfig::builder().witness_max_atoms(9).build(),
+            Err(ConfigError::AtomBudgetOutOfRange(9))
+        );
+        let e = ConfigError::TraceLenOutOfRange(0).to_string();
+        assert!(e.contains("witness_trace_len"), "{e}");
+    }
+
+    #[test]
+    fn builder_rejects_allow_everything() {
+        let mut b = AnalysisConfig::builder();
+        for code in LintCode::ALL {
+            b = b.allow(code);
+        }
+        assert_eq!(b.build(), Err(ConfigError::AllLintsAllowed));
+    }
+}

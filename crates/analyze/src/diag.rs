@@ -1,0 +1,285 @@
+//! Diagnostic primitives: stable lint codes, severities, and findings.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// Stable identifier of one lint class.
+///
+/// The wire form is `VDA0xx` (VeriDevOps Analysis); codes are never
+/// reused or renumbered, so CI suppressions and dashboards can key on
+/// them across releases. The declaration order here *is* the numeric
+/// order, which the derived [`Ord`] relies on for deterministic output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `VDA001` — an `all_of` composite requires both `x` and `not(x)`;
+    /// the entry can never pass.
+    ContradictoryComposite,
+    /// `VDA002` — two catalogue entries share a finding id or have
+    /// identical (normalised) requirement expressions.
+    DuplicateEntry,
+    /// `VDA003` — a catalogue entry is implied by a strictly stronger
+    /// entry and adds no checking power.
+    SubsumedEntry,
+    /// `VDA004` — a waiver references a finding id that no catalogue
+    /// entry carries.
+    UnknownWaiver,
+    /// `VDA005` — a waiver's expiry tick is in the past.
+    ExpiredWaiver,
+    /// `VDA006` — an LTL formula fails on every bounded witness trace;
+    /// its monitor would page on every run.
+    ContradictoryFormula,
+    /// `VDA007` — an LTL formula passes on every bounded witness trace;
+    /// its monitor can never fire.
+    TautologicalFormula,
+    /// `VDA008` — a `G (a -> …)` pattern whose antecedent is
+    /// propositionally unsatisfiable; the obligation is vacuous.
+    VacuousPattern,
+    /// `VDA009` — a behavioural model has no start vertex, or vertices/
+    /// edges unreachable from it (untestable specified behaviour).
+    UnreachableModel,
+    /// `VDA010` — a TEARS guarded assertion whose `when` guard is
+    /// unsatisfiable; it can never activate.
+    UnsatisfiableGuard,
+    /// `VDA011` — a catalogue requirement covered by neither a dev-time
+    /// gate nor an ops-time monitor.
+    UntracedRequirement,
+}
+
+impl LintCode {
+    /// Every lint code, in numeric order.
+    pub const ALL: [LintCode; 11] = [
+        LintCode::ContradictoryComposite,
+        LintCode::DuplicateEntry,
+        LintCode::SubsumedEntry,
+        LintCode::UnknownWaiver,
+        LintCode::ExpiredWaiver,
+        LintCode::ContradictoryFormula,
+        LintCode::TautologicalFormula,
+        LintCode::VacuousPattern,
+        LintCode::UnreachableModel,
+        LintCode::UnsatisfiableGuard,
+        LintCode::UntracedRequirement,
+    ];
+
+    /// The stable wire form, e.g. `"VDA001"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::ContradictoryComposite => "VDA001",
+            LintCode::DuplicateEntry => "VDA002",
+            LintCode::SubsumedEntry => "VDA003",
+            LintCode::UnknownWaiver => "VDA004",
+            LintCode::ExpiredWaiver => "VDA005",
+            LintCode::ContradictoryFormula => "VDA006",
+            LintCode::TautologicalFormula => "VDA007",
+            LintCode::VacuousPattern => "VDA008",
+            LintCode::UnreachableModel => "VDA009",
+            LintCode::UnsatisfiableGuard => "VDA010",
+            LintCode::UntracedRequirement => "VDA011",
+        }
+    }
+
+    /// Human-readable kebab-case lint name, e.g.
+    /// `"contradictory-composite"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::ContradictoryComposite => "contradictory-composite",
+            LintCode::DuplicateEntry => "duplicate-entry",
+            LintCode::SubsumedEntry => "subsumed-entry",
+            LintCode::UnknownWaiver => "unknown-waiver",
+            LintCode::ExpiredWaiver => "expired-waiver",
+            LintCode::ContradictoryFormula => "contradictory-formula",
+            LintCode::TautologicalFormula => "tautological-formula",
+            LintCode::VacuousPattern => "vacuous-pattern",
+            LintCode::UnreachableModel => "unreachable-model",
+            LintCode::UnsatisfiableGuard => "unsatisfiable-guard",
+            LintCode::UntracedRequirement => "untraced-requirement",
+        }
+    }
+
+    /// Parses the wire form (`"VDA001"`) or the kebab-case name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.as_str() == s || c.name() == s)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for LintCode {
+    fn to_value(&self) -> serde::json::Value {
+        self.as_str().to_value()
+    }
+}
+
+/// How serious a diagnostic is. Derived from the configured
+/// [`LintLevel`]: `Deny` lints report errors, `Warn` lints report
+/// warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth fixing; does not block a gate.
+    Warning,
+    /// Blocks the `AnalysisGate` in CI (see `vdo-pipeline`).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> serde::json::Value {
+        self.to_string().to_value()
+    }
+}
+
+/// Per-lint reporting level, in ascending strictness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintLevel {
+    /// The lint does not run.
+    Allow,
+    /// Findings are reported at [`Severity::Warning`].
+    Warn,
+    /// Findings are reported at [`Severity::Error`].
+    #[default]
+    Deny,
+}
+
+impl fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintLevel::Allow => "allow",
+            LintLevel::Warn => "warn",
+            LintLevel::Deny => "deny",
+        })
+    }
+}
+
+/// One finding: a lint code anchored to a named artifact.
+///
+/// The derived [`Ord`] (code, then severity, artifact, message,
+/// related) is the canonical report order; see
+/// [`AnalysisReport`](crate::AnalysisReport).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity after applying the configured level.
+    pub severity: Severity,
+    /// Name of the offending artifact (finding id, formula name, model
+    /// name, assertion name).
+    pub artifact: String,
+    /// What is wrong and why it matters.
+    pub message: String,
+    /// Other artifacts involved (e.g. the entry that subsumes this one).
+    pub related: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no related artifacts. The severity is
+    /// a placeholder ([`Severity::Error`]) until the engine applies the
+    /// configured level.
+    #[must_use]
+    pub fn new(code: LintCode, artifact: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            artifact: artifact.into(),
+            message: message.into(),
+            related: Vec::new(),
+        }
+    }
+
+    /// Adds a related artifact.
+    #[must_use]
+    pub fn with_related(mut self, artifact: impl Into<String>) -> Self {
+        self.related.push(artifact.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.artifact, self.message
+        )?;
+        if !self.related.is_empty() {
+            write!(f, " (related: {})", self.related.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("code", self.code.to_value()),
+            ("severity", self.severity.to_value()),
+            ("artifact", self.artifact.to_value()),
+            ("message", self.message.to_value()),
+            ("related", self.related.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_ordered() {
+        assert_eq!(LintCode::ContradictoryComposite.as_str(), "VDA001");
+        assert_eq!(LintCode::UntracedRequirement.as_str(), "VDA011");
+        let mut sorted = LintCode::ALL.to_vec();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            LintCode::ALL.to_vec(),
+            "declaration order is numeric order"
+        );
+        for (i, c) in LintCode::ALL.iter().enumerate() {
+            assert_eq!(c.as_str(), format!("VDA{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.as_str()), Some(c));
+            assert_eq!(LintCode::parse(c.name()), Some(c));
+        }
+        assert_eq!(LintCode::parse("VDA999"), None);
+    }
+
+    #[test]
+    fn display_includes_code_and_related() {
+        let d = Diagnostic::new(LintCode::DuplicateEntry, "V-1", "duplicate of V-2")
+            .with_related("V-2");
+        let s = d.to_string();
+        assert!(s.contains("error[VDA002] V-1"), "{s}");
+        assert!(s.contains("related: V-2"), "{s}");
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let d = Diagnostic::new(LintCode::ExpiredWaiver, "V-9", "expired at tick 10");
+        let json = serde::json::to_string(&d);
+        assert!(json.contains("\"code\":\"VDA005\""));
+        assert!(json.contains("\"severity\":\"error\""));
+    }
+}

@@ -1,0 +1,55 @@
+//! E13 — the static analyzer: full-pass cost over planted-defect
+//! corpora of growing size, sequential vs parallel.
+//!
+//! Regenerates: the throughput half of the E13 table (entries/second vs
+//! catalogue size) and the speed-up of `analyze_all` at 2 and 4 worker
+//! threads over the sequential pass on the same artifact set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vdo_analyze::{AnalysisConfig, Analyzer};
+use vdo_corpus::defects::{generate, DefectConfig};
+
+fn bench_analyze(c: &mut Criterion) {
+    let analyzer = Analyzer::new(AnalysisConfig::default());
+
+    let mut group = c.benchmark_group("E13_catalogue_size");
+    for clean_entries in [100usize, 1_000, 5_000] {
+        let corpus = generate(&DefectConfig {
+            clean_entries,
+            defects_per_class: 3,
+            seed: 7,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clean_entries),
+            &corpus.artifacts,
+            |b, artifacts| b.iter(|| analyzer.analyze(artifacts)),
+        );
+    }
+    group.finish();
+
+    let corpus = generate(&DefectConfig {
+        clean_entries: 2_000,
+        defects_per_class: 3,
+        seed: 7,
+    });
+    let mut group = c.benchmark_group("E13_threads_2000_entries");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| analyzer.analyze_all(&corpus.artifacts, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_analyze
+}
+criterion_main!(benches);

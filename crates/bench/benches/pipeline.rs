@@ -31,6 +31,7 @@ fn configs(seed: u64) -> Vec<(&'static str, PipelineConfig)> {
                 requirements_gate: false,
                 compliance_gate: false,
                 test_gate: false,
+                analysis_gate: false,
                 ..base
             },
         ),
@@ -40,6 +41,7 @@ fn configs(seed: u64) -> Vec<(&'static str, PipelineConfig)> {
                 requirements_gate: false,
                 compliance_gate: false,
                 test_gate: false,
+                analysis_gate: false,
                 monitor_period: None,
                 ..base
             },
@@ -67,7 +69,7 @@ fn print_comparison_table() {
                 .expect("config exists")
                 .1;
             let r = run(&cfg);
-            rejected += (r.rejected_requirements + r.rejected_compliance + r.rejected_tests) as f64;
+            rejected += r.rejected_total() as f64;
             shipped += r.vulnerabilities_deployed as f64;
             incidents += r.ops.incidents.len() as f64;
             latency += r.ops.mean_detection_latency();

@@ -13,8 +13,10 @@ use std::time::Instant;
 
 use serde::json::Value;
 use serde::Serialize;
+use vdo_analyze::{AnalysisConfig, Analyzer as StaticAnalyzer};
 use vdo_bench::workloads;
 use vdo_core::{CheckStatus, PlannerConfig, PlannerOutcome, RemediationPlanner};
+use vdo_corpus::defects::{self, DefectConfig};
 use vdo_corpus::requirements::{generate, CorpusConfig};
 use vdo_corpus::traces::ViolationTrace;
 use vdo_gwt::generate::{AllEdges, Generator, RandomWalk};
@@ -59,6 +61,7 @@ fn main() {
         ("e10_pipeline_comparison", e10_pipeline_comparison()),
         ("e11_soc_engine", e11_soc_engine()),
         ("e12_obs_overhead", e12_obs_overhead()),
+        ("e13_analyze", e13_analyze()),
         ("f1_closed_loop", f1_closed_loop()),
         ("a1_dictionary_ablation", a1_dictionary_ablation()),
     ];
@@ -408,6 +411,7 @@ fn e10_pipeline_comparison() -> Value {
                 requirements_gate: false,
                 compliance_gate: false,
                 test_gate: false,
+                analysis_gate: false,
                 ..base
             }),
         ),
@@ -418,6 +422,7 @@ fn e10_pipeline_comparison() -> Value {
                 requirements_gate: false,
                 compliance_gate: false,
                 test_gate: false,
+                analysis_gate: false,
                 monitor_period: None,
                 ..base
             }),
@@ -430,7 +435,7 @@ fn e10_pipeline_comparison() -> Value {
         let seeds = [1u64, 2, 3, 4, 5];
         for &seed in &seeds {
             let r = run(&make(seed));
-            rejected += (r.rejected_requirements + r.rejected_compliance + r.rejected_tests) as f64;
+            rejected += r.rejected_total() as f64;
             shipped += r.vulnerabilities_deployed as f64;
             incidents += r.ops.incidents.len() as f64;
             latency += r.ops.mean_detection_latency();
@@ -671,6 +676,118 @@ fn e12_obs_overhead() -> Value {
         ("disabled_best_secs", Value::Float(best[1])),
         ("overhead_pct", Value::Float(overhead_pct)),
         ("rounds", Value::UInt(rounds)),
+    ])
+}
+
+/// E13: the static analyzer against the planted-defect corpus —
+/// per-class precision/recall, a byte-identical-listing determinism
+/// check across thread counts, and throughput vs catalogue size.
+fn e13_analyze() -> Value {
+    println!("\n== E13: static-analyzer detection on planted defects (60 clean + 3/class) ==");
+    println!(
+        "{:<8} {:>8} {:>6} {:>4} {:>4} {:>10} {:>7}",
+        "CODE", "PLANTED", "FOUND", "FP", "FN", "PRECISION", "RECALL"
+    );
+    let corpus = defects::generate(&DefectConfig::default());
+    let analyzer = StaticAnalyzer::new(AnalysisConfig::default());
+    let report = analyzer.analyze(&corpus.artifacts);
+    let score = corpus.score(&report);
+    let mut detection = Vec::new();
+    for (code, class) in &score.per_class {
+        println!(
+            "{:<8} {:>8} {:>6} {:>4} {:>4} {:>10.3} {:>7.3}",
+            code.as_str(),
+            class.planted,
+            class.true_positives,
+            class.false_positives,
+            class.false_negatives,
+            class.precision(),
+            class.recall()
+        );
+        detection.push(serde::json::object([
+            ("code", Value::String(code.as_str().to_string())),
+            ("planted", Value::UInt(class.planted as u64)),
+            ("found", Value::UInt(class.true_positives as u64)),
+            ("false_positives", Value::UInt(class.false_positives as u64)),
+            ("false_negatives", Value::UInt(class.false_negatives as u64)),
+            ("precision", Value::Float(class.precision())),
+            ("recall", Value::Float(class.recall())),
+        ]));
+    }
+    println!(
+        "{:<8} {:>8} {:>6} {:>4} {:>4} {:>10.3} {:>7.3}",
+        "TOTAL",
+        corpus.planted_total(),
+        score.true_positives,
+        score.false_positives,
+        score.false_negatives,
+        score.precision(),
+        score.recall()
+    );
+    assert!(
+        score.is_perfect(),
+        "E13 regression: planted-defect detection is no longer perfect"
+    );
+
+    // Determinism: equal inputs must yield byte-identical listings at
+    // every thread count.
+    let listings: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| analyzer.analyze_all(&corpus.artifacts, t).listing())
+        .collect();
+    let identical = listings.iter().all(|l| *l == listings[0]);
+    assert!(identical, "E13 regression: listings differ across threads");
+    println!(
+        "   determinism: {} diagnostics, listings byte-identical at 1/2/4 threads",
+        report.diagnostics.len()
+    );
+
+    // Throughput vs catalogue size (clean corpora, so the analyzer
+    // walks everything and reports nothing).
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "ENTRIES", "ARTIFACTS", "1-THREAD", "4-THREAD", "ENTRIES/S"
+    );
+    let mut throughput = Vec::new();
+    for clean_entries in [100usize, 1_000, 10_000] {
+        let corpus = defects::generate(&DefectConfig {
+            clean_entries,
+            defects_per_class: 0,
+            seed: 7,
+        });
+        let t0 = Instant::now();
+        let r1 = analyzer.analyze_all(&corpus.artifacts, 1);
+        let dt1 = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let r4 = analyzer.analyze_all(&corpus.artifacts, 4);
+        let dt4 = t0.elapsed().as_secs_f64();
+        assert!(
+            r1.is_clean() && r4.is_clean(),
+            "clean corpus must stay clean"
+        );
+        let eps = clean_entries as f64 / dt1;
+        println!(
+            "{clean_entries:>8} {:>10} {:>10.2}ms {:>10.2}ms {:>12.0}",
+            corpus.artifacts.len(),
+            dt1 * 1e3,
+            dt4 * 1e3,
+            eps
+        );
+        throughput.push(serde::json::object([
+            ("entries", Value::UInt(clean_entries as u64)),
+            ("artifacts", Value::UInt(corpus.artifacts.len() as u64)),
+            ("one_thread_secs", Value::Float(dt1)),
+            ("four_thread_secs", Value::Float(dt4)),
+            ("entries_per_sec", Value::Float(eps)),
+        ]));
+    }
+    serde::json::object([
+        ("detection", Value::Array(detection)),
+        ("total_planted", Value::UInt(corpus.planted_total() as u64)),
+        ("precision", Value::Float(score.precision())),
+        ("recall", Value::Float(score.recall())),
+        ("listings_identical_1_2_4", Value::Bool(identical)),
+        ("throughput", Value::Array(throughput)),
     ])
 }
 

@@ -5,6 +5,4 @@
 //! between them and the `exp_report` binary that prints the experiment
 //! tables without Criterion's statistical machinery.
 
-#![forbid(unsafe_code)]
-
 pub mod workloads;

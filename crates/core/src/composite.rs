@@ -4,7 +4,7 @@
 //! and composition — a Windows 10 STIG instance is a conjunction of dozens
 //! of audit-policy requirements. These combinators make that composition a
 //! first-class value while preserving three-valued semantics (see
-//! [`CheckStatus`](crate::CheckStatus)'s Kleene algebra).
+//! [`crate::CheckStatus`]'s Kleene algebra).
 
 use crate::{CheckStatus, Checkable, Enforceable, EnforcementStatus};
 

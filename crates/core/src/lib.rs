@@ -37,9 +37,6 @@
 //! assert_eq!(policy.check(&Env { tls: true, telnet: true }), CheckStatus::Fail);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod catalog;
 pub mod composite;
 pub mod planner;

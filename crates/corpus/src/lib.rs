@@ -11,7 +11,10 @@
 //!   known ground truth instead of hand labels;
 //! * [`traces`] — monitoring workloads with **planted violations at
 //!   known ticks**, so detection latency (experiment E4) is exact, plus
-//!   signal logs for the TEARS throughput experiment (E9).
+//!   signal logs for the TEARS throughput experiment (E9);
+//! * [`defects`] — requirements-as-code artifact sets with **planted
+//!   defects for every `vdo-analyze` lint class**, so the static
+//!   analyzer's precision/recall (experiment E13) is exact.
 //!
 //! ```
 //! use vdo_corpus::requirements::{CorpusConfig, generate};
@@ -22,11 +25,10 @@
 //! assert!(planted > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod defects;
 pub mod requirements;
 pub mod traces;
 
+pub use defects::{ClassScore, DefectConfig, DefectCorpus, DefectScore};
 pub use requirements::{Corpus, CorpusConfig};
 pub use traces::{ResponseWorkload, ViolationTrace};

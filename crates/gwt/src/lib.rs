@@ -25,9 +25,6 @@
 //! assert_eq!(m.edge_coverage(&suite), 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod generate;
 pub mod model;
 pub mod parse;

@@ -31,9 +31,6 @@
 //! assert!(!host.is_package_installed("nis"));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod diff;
 pub mod drift;
 pub mod fleet;

@@ -40,9 +40,6 @@
 //! assert!(report.smell_count() >= 3); // optionality, weakness/vagueness, references
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod dictionaries;
 pub mod metrics;

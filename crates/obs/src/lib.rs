@@ -44,9 +44,6 @@
 //! assert!(json.contains("pipeline/ops"));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod clock;
 pub mod metrics;
 pub mod registry;

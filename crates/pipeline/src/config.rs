@@ -79,6 +79,13 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Probability a commit ships a defective monitor artifact.
+    #[must_use]
+    pub fn bad_artifact_rate(mut self, rate: f64) -> Self {
+        self.config.bad_artifact_rate = rate;
+        self
+    }
+
     /// Toggles the NALABS requirements gate.
     #[must_use]
     pub fn requirements_gate(mut self, on: bool) -> Self {
@@ -97,6 +104,13 @@ impl PipelineConfigBuilder {
     #[must_use]
     pub fn test_gate(mut self, on: bool) -> Self {
         self.config.test_gate = on;
+        self
+    }
+
+    /// Toggles the vdo-analyze static-analysis gate.
+    #[must_use]
+    pub fn analysis_gate(mut self, on: bool) -> Self {
+        self.config.analysis_gate = on;
         self
     }
 
@@ -157,6 +171,7 @@ impl PipelineConfigBuilder {
         check_rate("smelly_commit_rate", c.smelly_commit_rate)?;
         check_rate("vulnerable_commit_rate", c.vulnerable_commit_rate)?;
         check_rate("broken_model_rate", c.broken_model_rate)?;
+        check_rate("bad_artifact_rate", c.bad_artifact_rate)?;
         check_rate("drift_rate", c.drift_rate)?;
         Ok(self.config)
     }
@@ -305,9 +320,11 @@ mod tests {
             .smelly_commit_rate(0.5)
             .vulnerable_commit_rate(0.25)
             .broken_model_rate(0.0)
+            .bad_artifact_rate(0.2)
             .requirements_gate(false)
             .compliance_gate(false)
             .test_gate(false)
+            .analysis_gate(false)
             .monitor_period(None)
             .ops_duration(123)
             .drift_rate(1.0)
@@ -317,6 +334,8 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.commits, 7);
         assert!(!cfg.requirements_gate);
+        assert!(!cfg.analysis_gate);
+        assert_eq!(cfg.bad_artifact_rate, 0.2);
         assert_eq!(cfg.monitor_period, None);
         assert_eq!(cfg.ops_duration, 123);
         assert_eq!(cfg.seed, 42);
@@ -343,6 +362,10 @@ mod tests {
         assert_eq!(
             PipelineConfig::builder().smelly_commit_rate(1.5).build(),
             Err(ConfigError::RateOutOfRange("smelly_commit_rate", 1.5))
+        );
+        assert_eq!(
+            PipelineConfig::builder().bad_artifact_rate(-1.0).build(),
+            Err(ConfigError::RateOutOfRange("bad_artifact_rate", -1.0))
         );
         let msg = PipelineConfig::builder()
             .vulnerable_commit_rate(2.0)

@@ -1,12 +1,38 @@
 //! Prevention at development: CI quality gates.
+//!
+//! Every gate implements the common [`Gate`] trait (a name plus an
+//! evaluation over a [`GateContext`]), which is how the scenario loop
+//! treats them uniformly; the concrete types keep their narrower
+//! inherent `evaluate` methods for direct use.
 
 use std::fmt;
 
+use vdo_analyze::{AnalysisConfig, Analyzer as StaticAnalyzer, ArtifactSet};
 use vdo_core::{Catalog, Severity};
 use vdo_host::UnixHost;
 use vdo_nalabs::Analyzer;
 
 use crate::repo::Commit;
+
+/// Everything a gate may inspect when judging a commit: the commit
+/// itself and the current production host (gates stage changes on a
+/// clone; production is never mutated).
+#[derive(Debug, Clone, Copy)]
+pub struct GateContext<'a> {
+    /// The commit under evaluation.
+    pub commit: &'a Commit,
+    /// The current production host.
+    pub production: &'a UnixHost,
+}
+
+/// Common interface over the CI quality gates.
+pub trait Gate {
+    /// Stable gate name (used for counters and report attribution).
+    fn name(&self) -> &'static str;
+
+    /// Judges a commit in context.
+    fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision;
+}
 
 /// Outcome of one gate on one commit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +128,16 @@ impl Default for RequirementsGate {
     }
 }
 
+impl Gate for RequirementsGate {
+    fn name(&self) -> &'static str {
+        "requirements"
+    }
+
+    fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
+        self.evaluate(cx.commit)
+    }
+}
+
 /// The RQCODE compliance gate: applies a commit's configuration changes
 /// to a **staging clone** of the deployment and rejects the commit if
 /// the STIG catalogue reports any violation at or above the blocking
@@ -140,6 +176,16 @@ impl<'a> ComplianceGate<'a> {
         } else {
             GateDecision::fail("compliance", violations)
         }
+    }
+}
+
+impl Gate for ComplianceGate<'_> {
+    fn name(&self) -> &'static str {
+        "compliance"
+    }
+
+    fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
+        self.evaluate(cx.commit, cx.production)
     }
 }
 
@@ -182,6 +228,78 @@ impl TestGate {
                 )],
             )
         }
+    }
+}
+
+impl Gate for TestGate {
+    fn name(&self) -> &'static str {
+        "tests"
+    }
+
+    fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
+        match &cx.commit.model {
+            Some(model) => self.evaluate(model),
+            None => GateDecision::pass("tests"),
+        }
+    }
+}
+
+/// The vdo-analyze static-analysis gate: lints the monitor artifacts a
+/// commit ships (LTL formulas, TEARS guarded assertions) and rejects
+/// the commit on any error-severity finding — a contradictory or
+/// tautological monitor, a vacuous pattern, a dead guard.
+///
+/// It deliberately covers the artifact kinds no other gate looks at:
+/// requirement *text* belongs to [`RequirementsGate`], configuration
+/// changes to [`ComplianceGate`], behavioural models to [`TestGate`].
+pub struct AnalysisGate {
+    analyzer: StaticAnalyzer,
+}
+
+impl AnalysisGate {
+    /// Creates the gate with every built-in lint at the given config.
+    #[must_use]
+    pub fn new(config: AnalysisConfig) -> Self {
+        AnalysisGate {
+            analyzer: StaticAnalyzer::new(config),
+        }
+    }
+
+    /// Evaluates the gate on a commit's shipped artifacts.
+    #[must_use]
+    pub fn evaluate(&self, commit: &Commit) -> GateDecision {
+        let mut artifacts = ArtifactSet::new();
+        for (name, formula) in &commit.formulas {
+            artifacts = artifacts.with_formula(name.clone(), formula.clone());
+        }
+        for ga in &commit.assertions {
+            artifacts = artifacts.with_assertion(ga.clone());
+        }
+        let report = self.analyzer.analyze(&artifacts);
+        if report.has_errors() {
+            GateDecision::fail(
+                "analysis",
+                report.diagnostics.iter().map(ToString::to_string).collect(),
+            )
+        } else {
+            GateDecision::pass("analysis")
+        }
+    }
+}
+
+impl Default for AnalysisGate {
+    fn default() -> Self {
+        Self::new(AnalysisConfig::default())
+    }
+}
+
+impl Gate for AnalysisGate {
+    fn name(&self) -> &'static str {
+        "analysis"
+    }
+
+    fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
+        self.evaluate(cx.commit)
     }
 }
 
@@ -290,6 +408,68 @@ mod tests {
         // Production itself must be untouched by staging evaluation.
         assert!(!prod.is_package_installed("telnetd"));
         assert!(!prod.is_package_installed("htop"));
+    }
+
+    #[test]
+    fn analysis_gate_rejects_defective_monitor_artifacts() {
+        use vdo_temporal::Formula;
+        let gate = AnalysisGate::default();
+        let bad = Commit::new("bad").with_formula(
+            "lock-monitor",
+            Formula::and(
+                Formula::globally(Formula::atom("locked")),
+                Formula::finally(Formula::not(Formula::atom("locked"))),
+            ),
+        );
+        let d = gate.evaluate(&bad);
+        assert!(!d.passed);
+        assert!(d.reasons[0].contains("VDA006"), "{d}");
+
+        let dead_guard = Commit::new("dead").with_assertion(
+            vdo_tears::GuardedAssertion::parse(
+                "ga \"dead\": when load > 1 and load < 0 then ok == 1",
+            )
+            .unwrap(),
+        );
+        let d = gate.evaluate(&dead_guard);
+        assert!(!d.passed);
+        assert!(d.reasons[0].contains("VDA010"), "{d}");
+
+        let clean = Commit::new("ok").with_formula(
+            "response-monitor",
+            Formula::globally(Formula::implies(
+                Formula::atom("request"),
+                Formula::finally(Formula::atom("response")),
+            )),
+        );
+        assert!(gate.evaluate(&clean).passed);
+        assert!(gate.evaluate(&Commit::new("empty")).passed);
+    }
+
+    #[test]
+    fn every_gate_speaks_the_common_trait() {
+        let catalog = vdo_stigs::ubuntu::catalog();
+        let mut prod = vdo_host::UnixHost::baseline_ubuntu_1804();
+        vdo_core::RemediationPlanner::default().run(&catalog, &mut prod);
+        let req = RequirementsGate::new();
+        let comp = ComplianceGate::new(&catalog, Severity::Medium);
+        let tests = TestGate::new(1.0);
+        let analysis = AnalysisGate::default();
+        let gates: Vec<&dyn Gate> = vec![&req, &comp, &tests, &analysis];
+        assert_eq!(
+            gates.iter().map(|g| g.name()).collect::<Vec<_>>(),
+            ["requirements", "compliance", "tests", "analysis"]
+        );
+        let commit = clean_commit();
+        let cx = GateContext {
+            commit: &commit,
+            production: &prod,
+        };
+        for g in gates {
+            let d = g.evaluate(&cx);
+            assert_eq!(d.gate, g.name());
+            assert!(d.passed, "{d}");
+        }
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!
 //! * [`repo`] — commits carrying new requirement text and configuration
 //!   changes;
-//! * [`gates`] — CI quality gates: the NALABS requirements gate and the
-//!   RQCODE compliance gate (each can be disabled to obtain the paper's
-//!   "manual / unassisted" baseline);
+//! * [`gates`] — CI quality gates behind the common [`Gate`] trait: the
+//!   NALABS requirements gate, the RQCODE compliance gate, the GWT
+//!   test-coverage gate, and the vdo-analyze static-analysis gate (each
+//!   can be disabled to obtain the paper's "manual / unassisted"
+//!   baseline);
 //! * [`ops`] — the operations phase: deployed host, seeded drift,
 //!   periodic compliance monitoring, automated remediation, and an
 //!   incident log with exact detection latencies;
@@ -31,9 +33,6 @@
 //! assert!(automated.ops.mean_detection_latency() <= manual.ops.mean_detection_latency());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod gates;
 pub mod ops;
@@ -42,7 +41,9 @@ pub mod repo;
 mod scenario;
 
 pub use config::{ConfigError, OpsConfigBuilder, PipelineConfigBuilder};
-pub use gates::{ComplianceGate, GateDecision, RequirementsGate, TestGate};
+pub use gates::{
+    AnalysisGate, ComplianceGate, Gate, GateContext, GateDecision, RequirementsGate, TestGate,
+};
 pub use ops::{DriftTarget, Incident, MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
 pub use repo::{Commit, ConfigChange};
 pub use scenario::{run, run_observed, PipelineConfig, PipelineReport};

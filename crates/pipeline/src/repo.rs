@@ -64,7 +64,9 @@ impl fmt::Display for ConfigChange {
 }
 
 /// One commit: new/changed requirement documents, configuration changes
-/// for the deployment, and optionally an updated behavioural test model.
+/// for the deployment, optionally an updated behavioural test model,
+/// and any monitor artifacts (LTL formulas, TEARS assertions) the
+/// commit ships for the operations phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Commit {
     /// Commit identifier.
@@ -75,6 +77,12 @@ pub struct Commit {
     pub changes: Vec<ConfigChange>,
     /// Behavioural model update (checked by the test gate when present).
     pub model: Option<vdo_gwt::GraphModel>,
+    /// Named LTL monitor formulas shipped by this commit (checked by
+    /// the analysis gate).
+    pub formulas: Vec<(String, vdo_temporal::Formula)>,
+    /// TEARS guarded assertions shipped by this commit (checked by the
+    /// analysis gate).
+    pub assertions: Vec<vdo_tears::GuardedAssertion>,
 }
 
 impl Commit {
@@ -86,6 +94,8 @@ impl Commit {
             requirements: Vec::new(),
             changes: Vec::new(),
             model: None,
+            formulas: Vec::new(),
+            assertions: Vec::new(),
         }
     }
 
@@ -107,6 +117,20 @@ impl Commit {
     #[must_use]
     pub fn with_model(mut self, model: vdo_gwt::GraphModel) -> Self {
         self.model = Some(model);
+        self
+    }
+
+    /// Adds a named LTL monitor formula (builder style).
+    #[must_use]
+    pub fn with_formula(mut self, name: impl Into<String>, formula: vdo_temporal::Formula) -> Self {
+        self.formulas.push((name.into(), formula));
+        self
+    }
+
+    /// Adds a TEARS guarded assertion (builder style).
+    #[must_use]
+    pub fn with_assertion(mut self, assertion: vdo_tears::GuardedAssertion) -> Self {
+        self.assertions.push(assertion);
         self
     }
 }

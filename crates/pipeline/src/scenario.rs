@@ -8,6 +8,8 @@
 //! monitoring. The report compares vulnerability exposure between the
 //! automated VeriDevOps configuration and the manual baseline.
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,8 +17,10 @@ use serde::Serialize;
 use vdo_core::{RemediationPlanner, Severity};
 use vdo_host::UnixHost;
 use vdo_nalabs::RequirementDoc;
+use vdo_tears::{Expr, GuardedAssertion};
+use vdo_temporal::Formula;
 
-use crate::gates::{ComplianceGate, RequirementsGate, TestGate};
+use crate::gates::{AnalysisGate, ComplianceGate, Gate, GateContext, RequirementsGate, TestGate};
 use crate::ops::{MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
 use crate::repo::{Commit, ConfigChange};
 
@@ -32,12 +36,17 @@ pub struct PipelineConfig {
     /// Probability a commit ships a behavioural-model update with
     /// unreachable (untestable) transitions.
     pub broken_model_rate: f64,
+    /// Probability a commit ships a defective monitor artifact (a
+    /// contradictory formula, a vacuous pattern, or a dead TEARS guard).
+    pub bad_artifact_rate: f64,
     /// Whether the NALABS requirements gate runs.
     pub requirements_gate: bool,
     /// Whether the RQCODE compliance gate runs.
     pub compliance_gate: bool,
     /// Whether the GWT test-coverage gate runs.
     pub test_gate: bool,
+    /// Whether the vdo-analyze static-analysis gate runs.
+    pub analysis_gate: bool,
     /// Continuous-monitoring period at operations (`None` = audits only).
     pub monitor_period: Option<u64>,
     /// Operations duration in ticks.
@@ -57,9 +66,11 @@ impl Default for PipelineConfig {
             smelly_commit_rate: 0.3,
             vulnerable_commit_rate: 0.3,
             broken_model_rate: 0.1,
+            bad_artifact_rate: 0.1,
             requirements_gate: true,
             compliance_gate: true,
             test_gate: true,
+            analysis_gate: true,
             monitor_period: Some(10),
             ops_duration: 2_000,
             drift_rate: 0.02,
@@ -80,6 +91,11 @@ pub struct PipelineReport {
     pub rejected_compliance: usize,
     /// Commits rejected by the test gate.
     pub rejected_tests: usize,
+    /// Commits rejected by the static-analysis gate.
+    pub rejected_analysis: usize,
+    /// Diagnostic listings from every analysis-gate rejection, in
+    /// commit order (each entry is one rendered diagnostic).
+    pub analysis_findings: Vec<String>,
     /// Smelly requirement documents that reached the accepted baseline
     /// (escaped or no gate).
     pub smelly_requirements_merged: usize,
@@ -93,7 +109,10 @@ impl PipelineReport {
     /// Total commits rejected across all gates.
     #[must_use]
     pub fn rejected_total(&self) -> usize {
-        self.rejected_requirements + self.rejected_compliance + self.rejected_tests
+        self.rejected_requirements
+            + self.rejected_compliance
+            + self.rejected_tests
+            + self.rejected_analysis
     }
 
     /// Renders the run as a compact text summary — the "pipeline run"
@@ -101,7 +120,8 @@ impl PipelineReport {
     #[must_use]
     pub fn to_summary(&self) -> String {
         format!(
-            "pipeline run: {} commits ({} merged, {} rejected: {} requirements / {} compliance / {} tests)\n\
+            "pipeline run: {} commits ({} merged, {} rejected: {} requirements / {} compliance / \
+             {} tests / {} analysis)\n\
              development:  {} smelly requirements merged, {} vulnerabilities deployed\n\
              operations:   {} ticks, {} drift events, {} incidents \
              (mean detection latency {:.1} ticks), exposure {:.2}%\n",
@@ -111,6 +131,7 @@ impl PipelineReport {
             self.rejected_requirements,
             self.rejected_compliance,
             self.rejected_tests,
+            self.rejected_analysis,
             self.smelly_requirements_merged,
             self.vulnerabilities_deployed,
             self.ops.duration,
@@ -138,6 +159,8 @@ impl Serialize for PipelineReport {
             ),
             ("rejected_compliance", self.rejected_compliance.to_value()),
             ("rejected_tests", self.rejected_tests.to_value()),
+            ("rejected_analysis", self.rejected_analysis.to_value()),
+            ("analysis_findings", self.analysis_findings.to_value()),
             ("rejected_total", self.rejected_total().to_value()),
             (
                 "smelly_requirements_merged",
@@ -181,17 +204,25 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
     let req_gate = RequirementsGate::new();
     let compliance_gate = ComplianceGate::new(&catalog, Severity::Medium);
     let test_gate = TestGate::new(1.0);
+    let analysis_gate = AnalysisGate::default();
+    // Gate order matters for attribution: the analysis gate runs last
+    // so every defect class is charged to the gate that owns it.
+    let gates: [(&dyn Gate, bool); 4] = [
+        (&req_gate, config.requirements_gate),
+        (&compliance_gate, config.compliance_gate),
+        (&test_gate, config.test_gate),
+        (&analysis_gate, config.analysis_gate),
+    ];
 
     let commits_counter = obs.counter("pipeline.commits");
     let merged_counter = obs.counter("pipeline.merged");
 
-    let mut rejected_requirements = 0;
-    let mut rejected_compliance = 0;
-    let mut rejected_tests = 0;
+    let mut rejected: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut analysis_findings: Vec<String> = Vec::new();
     let mut smelly_requirements_merged = 0;
     let mut vulnerabilities_deployed = 0;
 
-    for i in 0..config.commits {
+    'commits: for i in 0..config.commits {
         let commit = synth_commit(i, config, &mut rng);
         commits_counter.inc();
         let smelly = commit
@@ -200,23 +231,23 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
             .any(|d| d.id().ends_with("-smelly"));
         let vulnerable = !commit.changes.is_empty();
 
-        if config.requirements_gate && !req_gate.evaluate(&commit).passed {
-            rejected_requirements += 1;
-            obs.counter("pipeline.rejected.requirements").inc();
-            continue;
-        }
-        if config.compliance_gate && !compliance_gate.evaluate(&commit, &production).passed {
-            rejected_compliance += 1;
-            obs.counter("pipeline.rejected.compliance").inc();
-            continue;
-        }
-        if config.test_gate {
-            if let Some(model) = &commit.model {
-                if !test_gate.evaluate(model).passed {
-                    rejected_tests += 1;
-                    obs.counter("pipeline.rejected.tests").inc();
-                    continue;
+        let cx = GateContext {
+            commit: &commit,
+            production: &production,
+        };
+        for (gate, enabled) in gates {
+            if !enabled {
+                continue;
+            }
+            let decision = gate.evaluate(&cx);
+            if !decision.passed {
+                *rejected.entry(gate.name()).or_default() += 1;
+                obs.counter(&format!("pipeline.rejected.{}", gate.name()))
+                    .inc();
+                if gate.name() == "analysis" {
+                    analysis_findings.extend(decision.reasons);
                 }
+                continue 'commits;
             }
         }
         // Merge + deploy.
@@ -250,9 +281,11 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
 
     PipelineReport {
         commits: config.commits,
-        rejected_requirements,
-        rejected_compliance,
-        rejected_tests,
+        rejected_requirements: rejected.get("requirements").copied().unwrap_or(0),
+        rejected_compliance: rejected.get("compliance").copied().unwrap_or(0),
+        rejected_tests: rejected.get("tests").copied().unwrap_or(0),
+        rejected_analysis: rejected.get("analysis").copied().unwrap_or(0),
+        analysis_findings,
         smelly_requirements_merged,
         vulnerabilities_deployed,
         ops,
@@ -311,6 +344,42 @@ fn synth_commit(index: usize, config: &PipelineConfig, rng: &mut StdRng) -> Comm
         ];
         commit = commit.with_change(breakages[rng.gen_range(0..breakages.len())].clone());
     }
+    // Monitor artifacts: with the configured rate the commit ships a
+    // defective one (cycling through the planted defect classes the
+    // analysis gate must catch); otherwise every fifth commit ships a
+    // clean response monitor.
+    if rng.gen_bool(config.bad_artifact_rate) {
+        commit = match index % 3 {
+            0 => commit.with_formula(
+                format!("monitor_{index}"),
+                Formula::and(
+                    Formula::globally(Formula::atom("locked")),
+                    Formula::finally(Formula::not(Formula::atom("locked"))),
+                ),
+            ),
+            1 => commit.with_formula(
+                format!("monitor_{index}"),
+                Formula::globally(Formula::implies(
+                    Formula::and(Formula::atom("armed"), Formula::not(Formula::atom("armed"))),
+                    Formula::finally(Formula::atom("alert")),
+                )),
+            ),
+            _ => commit.with_assertion(GuardedAssertion::new(
+                format!("assert_{index}"),
+                Expr::parse("load > 1 and load < 0").expect("guard parses"),
+                Expr::parse("throttled == 1").expect("assertion parses"),
+                5,
+            )),
+        };
+    } else if index.is_multiple_of(5) {
+        commit = commit.with_formula(
+            format!("monitor_{index}"),
+            Formula::globally(Formula::implies(
+                Formula::atom("request"),
+                Formula::finally(Formula::atom("response")),
+            )),
+        );
+    }
     commit
 }
 
@@ -330,6 +399,14 @@ mod tests {
         assert!(report.rejected_requirements > 0);
         assert!(report.rejected_compliance > 0);
         assert!(report.rejected_tests > 0, "broken models must be caught");
+        assert!(
+            report.rejected_analysis > 0,
+            "defective monitor artifacts must be caught"
+        );
+        assert!(
+            !report.analysis_findings.is_empty(),
+            "analysis rejections carry their diagnostics"
+        );
     }
 
     #[test]
@@ -339,6 +416,7 @@ mod tests {
             requirements_gate: false,
             compliance_gate: false,
             test_gate: false,
+            analysis_gate: false,
             seed: 5,
             ..PipelineConfig::default()
         });
@@ -354,6 +432,7 @@ mod tests {
             commits: 60,
             requirements_gate: true,
             compliance_gate: false,
+            analysis_gate: false,
             seed: 7,
             ..PipelineConfig::default()
         });
@@ -373,6 +452,7 @@ mod tests {
             requirements_gate: false,
             compliance_gate: false,
             test_gate: false,
+            analysis_gate: false,
             monitor_period: None,
             ..PipelineConfig::default()
         });
@@ -409,6 +489,10 @@ mod tests {
         assert_eq!(
             snap.counter("pipeline.rejected.requirements"),
             Some(report.rejected_requirements as u64)
+        );
+        assert_eq!(
+            snap.counter("pipeline.rejected.analysis").unwrap_or(0),
+            report.rejected_analysis as u64
         );
         assert_eq!(
             snap.counter("pipeline.merged"),
@@ -467,6 +551,8 @@ mod tests {
         assert!(json.contains("\"commits\":20"));
         assert!(json.contains("\"ops\""));
         assert!(json.contains("\"exposure\""));
+        assert!(json.contains("\"rejected_analysis\""));
+        assert!(json.contains("\"analysis_findings\""));
     }
 
     #[test]
@@ -483,7 +569,10 @@ mod tests {
         assert_eq!(report.to_string(), s);
         assert_eq!(
             report.rejected_total(),
-            report.rejected_requirements + report.rejected_compliance + report.rejected_tests
+            report.rejected_requirements
+                + report.rejected_compliance
+                + report.rejected_tests
+                + report.rejected_analysis
         );
     }
 }

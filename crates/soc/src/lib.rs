@@ -52,9 +52,6 @@
 //! assert!(report.incidents.iter().all(|i| i.latency() == 0));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bus;
 pub mod engine;
 pub mod event;
@@ -66,8 +63,6 @@ pub mod runtime;
 pub use bus::{PublishError, ShardedBus};
 pub use engine::{SocConfig, SocConfigError, SocEngine, SocHost, SocReport};
 pub use event::{shard_of, Envelope, HostId, SecEvent};
-#[allow(deprecated)] // the aliases stay exported for downstream callers
-pub use metrics::{Histogram, HistogramSnapshot};
 pub use metrics::{MetricsSnapshot, SocMetrics};
 pub use monitors::{
     ComplianceUniversality, Detection, DetectionKind, HostMonitors, TearsHostMonitor,

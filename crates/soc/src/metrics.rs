@@ -7,22 +7,13 @@
 //! latency distributions the E11 experiment reports — detection latency
 //! in ticks and per-batch processing time in microseconds.
 //!
-//! The concrete counter/histogram types moved to `vdo-obs` (this module
-//! re-exports them under deprecated aliases); what remains here is the
-//! SOC-specific instrument set. [`SocMetrics::disabled`] wires every
-//! instrument to the no-op recorder, which is what experiment E12
-//! benchmarks against the enabled default.
+//! The concrete counter/histogram types live in `vdo-obs`; what remains
+//! here is the SOC-specific instrument set. [`SocMetrics::disabled`]
+//! wires every instrument to the no-op recorder, which is what
+//! experiment E12 benchmarks against the enabled default.
 
 use serde::Serialize;
 use vdo_obs::{Counter, Gauge};
-
-/// Deprecated alias: the fixed-bucket histogram now lives in `vdo-obs`.
-#[deprecated(note = "moved to vdo-obs; use vdo_obs::Histogram")]
-pub type Histogram = vdo_obs::Histogram;
-
-/// Deprecated alias: the frozen histogram state now lives in `vdo-obs`.
-#[deprecated(note = "moved to vdo-obs; use vdo_obs::HistogramSnapshot")]
-pub type HistogramSnapshot = vdo_obs::HistogramSnapshot;
 
 /// Live counters for one engine run. Shared by reference across the
 /// publisher, the worker pool, and the remediation dispatcher.
@@ -282,14 +273,5 @@ mod tests {
         assert_eq!(snap.counter("soc.checks_run"), Some(17));
         assert_eq!(snap.histograms["soc.detection_latency"].count, 1);
         assert_eq!(snap.counter("soc.steals"), None);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_keep_compiling() {
-        let h: Histogram = Histogram::ticks();
-        h.record(1);
-        let s: HistogramSnapshot = h.snapshot();
-        assert_eq!(s.count, 1);
     }
 }

@@ -28,9 +28,6 @@
 //! assert_eq!(pat.to_uppaal().unwrap(), "alarm_raised --> operator_notified");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ctl;
 pub mod kripke;
 pub mod observer;

@@ -28,8 +28,5 @@
 //! assert!(!host.is_package_installed("telnetd"));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ubuntu;
 pub mod win10;

@@ -34,9 +34,6 @@
 //! assert!(report.violations.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod assertion;
 pub mod expr;
 pub mod session;

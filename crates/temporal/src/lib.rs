@@ -41,9 +41,6 @@
 //! assert_eq!(pattern.tctl(), "A[] p");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ltl;
 pub mod monitor;
 pub mod patterns;

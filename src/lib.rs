@@ -15,6 +15,8 @@
 //! * [`gwt`] — Given-When-Then models and test generation;
 //! * [`tears`] — guarded-assertion (G/A) specifications over signal logs;
 //! * [`corpus`] — synthetic requirement-corpus and workload generators;
+//! * [`analyze`] — cross-artifact static analysis (the requirements
+//!   lint engine behind the pipeline's analysis gate);
 //! * [`pipeline`] — the DevOps pipeline substrate tying it all together;
 //! * [`soc`] — the event-driven security-operations engine (sharded
 //!   event bus, work-stealing monitor runtime, remediation dispatcher).
@@ -33,10 +35,9 @@
 //! assert_eq!(run.outcome, PlannerOutcome::Compliant);
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub mod bridge;
 
+pub use vdo_analyze as analyze;
 pub use vdo_core as core;
 pub use vdo_corpus as corpus;
 pub use vdo_gwt as gwt;
