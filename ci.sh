@@ -27,9 +27,11 @@ for ex in examples/*.rs; do
   cargo run --release --quiet --example "$name" > /dev/null
 done
 
-echo "==> exp_report --json"
-cargo run -p vdo-bench --bin exp_report --release --quiet -- --json target/exp_report.json > /dev/null
+echo "==> exp_report --json --journal"
+cargo run -p vdo-bench --bin exp_report --release --quiet -- --json target/exp_report.json --journal target/journal.jsonl > /dev/null
 python3 -c "import json; json.load(open('target/exp_report.json'))" 2> /dev/null \
   || echo "   (python3 unavailable — skipping JSON validation)"
+python3 -c "import json; [json.loads(l) for l in open('target/journal.jsonl')]" 2> /dev/null \
+  || echo "   (python3 unavailable — skipping JSONL validation)"
 
 echo "CI green."

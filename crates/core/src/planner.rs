@@ -76,6 +76,8 @@ pub enum PlannerOutcome {
 pub struct RemediationPlanner {
     config: PlannerConfig,
     obs: vdo_obs::Registry,
+    journal: vdo_trace::Journal,
+    trace_seed: u64,
 }
 
 /// Everything a planner run produced.
@@ -98,6 +100,8 @@ impl RemediationPlanner {
         RemediationPlanner {
             config,
             obs: vdo_obs::Registry::disabled(),
+            journal: vdo_trace::Journal::default(),
+            trace_seed: 0,
         }
     }
 
@@ -109,6 +113,19 @@ impl RemediationPlanner {
     #[must_use]
     pub fn observed(mut self, obs: vdo_obs::Registry) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a trace journal: every enforcement attempt is recorded
+    /// as a `core.enforce` event whose trace is a child of the finding's
+    /// requirement root (`TraceContext::root(trace_seed, finding_id)`),
+    /// so remediations resolve to the requirement they serve. The
+    /// default planner carries a disabled journal — the untraced cost is
+    /// one branch per enforcement.
+    #[must_use]
+    pub fn traced(mut self, journal: vdo_trace::Journal, trace_seed: u64) -> Self {
+        self.journal = journal;
+        self.trace_seed = trace_seed;
         self
     }
 
@@ -175,6 +192,18 @@ impl RemediationPlanner {
                 enforcements += 1;
                 enforcements_counter.inc();
                 last_enforcement[i] = Some(status);
+                if self.journal.is_enabled() {
+                    let rule = entry.spec().finding_id();
+                    let ctx = vdo_trace::TraceContext::root(self.trace_seed, rule)
+                        .child_u64("enforce", u64::from(attempts[i]));
+                    self.journal.emit(
+                        vdo_trace::Event::info("core.enforce")
+                            .at(now)
+                            .trace(ctx)
+                            .field("rule", rule)
+                            .field("success", status == EnforcementStatus::Success),
+                    );
+                }
                 if status == EnforcementStatus::Failure && self.config.fail_fast {
                     outcome = PlannerOutcome::Aborted;
                     // Refresh verdicts before reporting.
@@ -444,6 +473,28 @@ mod tests {
         assert_eq!(snap.counter("core.enforcements"), Some(1));
         assert_eq!(snap.counter("core.checks"), Some(2), "initial + re-check");
         assert_eq!(snap.span_count("core/planner"), Some(1));
+    }
+
+    #[test]
+    fn traced_planner_roots_enforcements_at_their_requirements() {
+        use vdo_trace::{Journal, TraceContext};
+        let journal = Journal::new();
+        let mut cat = Catalog::new();
+        cat.register_enforceable("p", spec("V-1"), Slot { idx: 0, want: true });
+        cat.register_enforceable("p", spec("V-2"), Slot { idx: 1, want: true });
+        let planner = RemediationPlanner::default().traced(journal.clone(), 5);
+        let mut env = vec![false, true];
+        let run = planner.run(&cat, &mut env);
+        assert_eq!(run.outcome, PlannerOutcome::Compliant);
+        let snap = journal.snapshot();
+        let enforces = snap.events_named("core.enforce");
+        assert_eq!(enforces.len(), 1, "only the failing finding is enforced");
+        let t = enforces[0].trace.expect("traced planner stamps events");
+        assert_eq!(t.trace_id, TraceContext::root(5, "V-1").trace_id);
+        // The default planner journals nothing.
+        let mut env = vec![false, false];
+        RemediationPlanner::default().run(&cat, &mut env);
+        assert_eq!(snap.events.len(), journal.len(), "no stray events");
     }
 
     #[test]

@@ -262,6 +262,64 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0..=1.0`) estimated by linear interpolation
+    /// inside the bucket holding the target rank — the same estimator
+    /// Prometheus's `histogram_quantile` uses, so `quantile(0.95)` is
+    /// the p95 a dashboard would report. Values in the overflow bucket
+    /// interpolate between the last bound and the observed maximum.
+    /// Returns `None` for an empty histogram; `q` is clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0.0_f64;
+        let mut lower = 0u64;
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            let n = self.counts[i] as f64;
+            if n > 0.0 && cumulative + n >= target {
+                let within = ((target - cumulative) / n).clamp(0.0, 1.0);
+                return Some(lower as f64 + (bound - lower) as f64 * within);
+            }
+            cumulative += n;
+            lower = bound;
+        }
+        let overflow = *self.counts.last()? as f64;
+        if overflow > 0.0 {
+            let within = ((target - cumulative) / overflow).clamp(0.0, 1.0);
+            let upper = self.max.max(lower);
+            Some(lower as f64 + (upper - lower) as f64 * within)
+        } else {
+            Some(self.max as f64)
+        }
+    }
+
+    /// The observations recorded since `earlier` was taken, assuming
+    /// `earlier` is a previous snapshot of the same histogram (same
+    /// bounds, monotonically grown counts): bucket counts, total count,
+    /// and sum subtract saturating. `max` keeps the lifetime maximum —
+    /// a high-water mark cannot be windowed — so window quantiles that
+    /// reach the overflow bucket stay conservative.
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != earlier.bounds {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
 }
 
 impl Serialize for HistogramSnapshot {
@@ -327,6 +385,67 @@ mod tests {
         assert_eq!(g.get(), 9);
         g.set(2);
         assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn quantile_matches_known_uniform_distribution() {
+        static DECADES: [u64; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        let h = Histogram::with_bounds(&DECADES);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Uniform 1..=100: the q-quantile is 100q under linear
+        // interpolation.
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.95), Some(95.0));
+        assert_eq!(s.quantile(0.1), Some(10.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        assert_eq!(s.quantile(0.0), Some(0.0), "q=0 is the bucket floor");
+        assert_eq!(s.quantile(2.0), Some(100.0), "q clamps high");
+    }
+
+    #[test]
+    fn quantile_interpolates_overflow_against_max() {
+        let h = Histogram::ticks();
+        h.record(1);
+        h.record(1_000);
+        let s = h.snapshot();
+        // p100 reaches the overflow bucket, bounded by the observed max.
+        assert_eq!(s.quantile(1.0), Some(1_000.0));
+        let p75 = s.quantile(0.75).unwrap();
+        assert!(p75 > 256.0 && p75 <= 1_000.0, "{p75}");
+    }
+
+    #[test]
+    fn quantile_of_empty_or_skewed_histograms() {
+        let h = Histogram::ticks();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.snapshot().quantile(0.99), Some(0.0), "all-zero mass");
+    }
+
+    #[test]
+    fn histogram_delta_isolates_the_window() {
+        let h = Histogram::ticks();
+        h.record(2);
+        h.record(300);
+        let earlier = h.snapshot();
+        h.record(2);
+        h.record(7);
+        let d = h.snapshot().delta(&earlier);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 9);
+        assert_eq!(d.counts[2], 1, "one new observation <=2");
+        assert_eq!(
+            *d.counts.last().unwrap(),
+            0,
+            "overflow was before the window"
+        );
+        assert_eq!(d.max, 300, "max stays the lifetime high-water mark");
+        assert_eq!(d.bounds, earlier.bounds);
     }
 
     #[test]

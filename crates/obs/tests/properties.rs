@@ -1,0 +1,110 @@
+//! Property tests for the snapshot algebra: `delta` recovers exactly
+//! the window between two snapshots, and the deterministic fingerprint
+//! ignores wall-clock durations (the worker-count-invariance contract
+//! windowed SLO evaluation builds on).
+
+use proptest::prelude::*;
+
+use vdo_obs::{Clock, Registry, TICK_BOUNDS};
+
+/// SplitMix64 — a tiny deterministic value stream for workloads.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    /// `now.delta(&then)` recovers exactly the observations recorded
+    /// between the two snapshots: counter increments, histogram count,
+    /// sum, and per-bucket totals.
+    #[test]
+    fn delta_recovers_exactly_the_window(
+        seed in 0u64..5_000,
+        early_n in 0usize..60,
+        late_n in 0usize..60,
+    ) {
+        let obs = Registry::new();
+        let counter = obs.counter("win.ops");
+        let histogram = obs.histogram("win.latency", &TICK_BOUNDS);
+        let mut state = seed;
+
+        for _ in 0..early_n {
+            counter.add(1);
+            histogram.record(splitmix(&mut state) % 600);
+        }
+        let earlier = obs.snapshot();
+
+        let mut late_sum = 0u64;
+        for _ in 0..late_n {
+            counter.add(1);
+            let v = splitmix(&mut state) % 600;
+            late_sum += v;
+            histogram.record(v);
+        }
+
+        let delta = obs.snapshot().delta(&earlier);
+        prop_assert_eq!(delta.counter("win.ops"), Some(late_n as u64));
+        let h = delta.histograms.get("win.latency").expect("registered");
+        prop_assert_eq!(h.count, late_n as u64);
+        prop_assert_eq!(h.sum, late_sum);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), late_n as u64);
+    }
+
+    /// The histogram-level delta composes with quantiles: the window
+    /// quantile of `now.delta(&then)` only sees window observations.
+    #[test]
+    fn histogram_delta_quantile_sees_only_the_window(
+        early_v in 0u64..4,
+        late_v in 500u64..900,
+        n in 1usize..40,
+    ) {
+        let obs = Registry::new();
+        let histogram = obs.histogram("q.latency", &TICK_BOUNDS);
+        for _ in 0..n {
+            histogram.record(early_v);
+        }
+        let earlier = obs.snapshot();
+        for _ in 0..n {
+            histogram.record(late_v);
+        }
+        let now = obs.snapshot();
+        let whole = now.histograms["q.latency"].clone();
+        let window = whole.delta(&earlier.histograms["q.latency"]);
+        prop_assert_eq!(window.count, n as u64);
+        // All window mass sits in high buckets, so even the median
+        // clears the early values.
+        let p50 = window.quantile(0.5).expect("non-empty");
+        prop_assert!(p50 > f64::from(4u32), "window p50 {p50} leaked early data");
+    }
+
+    /// Two runs of the same logical workload fingerprint identically
+    /// even when their span durations differ wildly — durations are
+    /// wall-clock and must not affect the deterministic digest.
+    #[test]
+    fn equal_workloads_fingerprint_identically_despite_timing(
+        seed in 0u64..5_000,
+        n in 1usize..60,
+        fast in 1u64..100,
+        slow in 10_000u64..1_000_000,
+    ) {
+        let run = |advance: u64| {
+            let clock = Clock::simulated();
+            let obs = Registry::with_clock(clock.clone());
+            let mut state = seed;
+            for i in 0..n {
+                obs.counter("fp.ops").add(splitmix(&mut state) % 9);
+                obs.gauge("fp.depth").record_max(splitmix(&mut state) % 32);
+                obs.histogram("fp.latency", &TICK_BOUNDS)
+                    .record(splitmix(&mut state) % 600);
+                let span = obs.span("fp/work");
+                clock.advance(advance + i as u64);
+                drop(span);
+            }
+            obs.snapshot().deterministic_fingerprint()
+        };
+        prop_assert_eq!(run(fast), run(slow));
+    }
+}

@@ -10,19 +10,45 @@ use std::fmt;
 use vdo_analyze::{AnalysisConfig, Analyzer as StaticAnalyzer, ArtifactSet};
 use vdo_core::{Catalog, Severity};
 use vdo_host::UnixHost;
-use vdo_nalabs::Analyzer;
+use vdo_nalabs::{Analyzer, CorpusReport};
+use vdo_trace::{Event, Journal, TraceContext};
 
 use crate::repo::Commit;
 
 /// Everything a gate may inspect when judging a commit: the commit
 /// itself and the current production host (gates stage changes on a
-/// clone; production is never mutated).
+/// clone; production is never mutated), plus the causal-tracing
+/// channel — the journal every verdict is recorded in and the commit's
+/// trace context, of which each gate verdict becomes a child span.
 #[derive(Debug, Clone, Copy)]
 pub struct GateContext<'a> {
     /// The commit under evaluation.
     pub commit: &'a Commit,
     /// The current production host.
     pub production: &'a UnixHost,
+    /// Event journal for `gate.verdict` records (disabled = silent).
+    pub journal: &'a Journal,
+    /// The commit's trace context, when tracing is on.
+    pub trace: Option<TraceContext>,
+    /// Logical time of the evaluation (the commit index in the
+    /// scenario), stamped on emitted events.
+    pub at: u64,
+}
+
+impl<'a> GateContext<'a> {
+    /// A context without tracing: verdicts are computed but nothing is
+    /// journalled and no spans are minted. The `journal` reference must
+    /// outlive the context, so callers lend a disabled journal.
+    #[must_use]
+    pub fn untraced(commit: &'a Commit, production: &'a UnixHost, journal: &'a Journal) -> Self {
+        GateContext {
+            commit,
+            production,
+            journal,
+            trace: None,
+            at: 0,
+        }
+    }
 }
 
 /// Common interface over the CI quality gates.
@@ -43,6 +69,9 @@ pub struct GateDecision {
     pub passed: bool,
     /// Human-readable findings (empty when passed without remarks).
     pub reasons: Vec<String>,
+    /// The verdict's span — a child of the commit's trace context —
+    /// when the gate ran under tracing.
+    pub trace: Option<TraceContext>,
 }
 
 impl GateDecision {
@@ -51,6 +80,7 @@ impl GateDecision {
             gate,
             passed: true,
             reasons: Vec::new(),
+            trace: None,
         }
     }
 
@@ -59,8 +89,33 @@ impl GateDecision {
             gate,
             passed: false,
             reasons,
+            trace: None,
         }
     }
+}
+
+/// Stamps a decision with its verdict span (a child of the commit
+/// context) and journals it: `gate.verdict` at Info when the commit may
+/// proceed, Warn when it is rejected.
+fn record(mut decision: GateDecision, cx: &GateContext<'_>) -> GateDecision {
+    decision.trace = cx.trace.map(|t| t.child(decision.gate));
+    if cx.journal.is_enabled() {
+        let mut ev = if decision.passed {
+            Event::info("gate.verdict")
+        } else {
+            Event::warn("gate.verdict")
+        }
+        .at(cx.at)
+        .field("gate", decision.gate)
+        .field("commit", cx.commit.id.as_str())
+        .field("passed", decision.passed)
+        .field("reasons", decision.reasons.len());
+        if let Some(t) = decision.trace {
+            ev = ev.trace(t);
+        }
+        cx.journal.emit(ev);
+    }
+    decision
 }
 
 impl fmt::Display for GateDecision {
@@ -107,7 +162,10 @@ impl RequirementsGate {
     /// Evaluates the gate on a commit.
     #[must_use]
     pub fn evaluate(&self, commit: &Commit) -> GateDecision {
-        let report = self.analyzer.analyze_corpus(&commit.requirements);
+        self.decide(&self.analyzer.analyze_corpus(&commit.requirements))
+    }
+
+    fn decide(&self, report: &CorpusReport) -> GateDecision {
         let smelly: Vec<String> = report
             .documents()
             .iter()
@@ -134,7 +192,10 @@ impl Gate for RequirementsGate {
     }
 
     fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
-        self.evaluate(cx.commit)
+        let report =
+            self.analyzer
+                .analyze_corpus_traced(&cx.commit.requirements, cx.trace, cx.journal);
+        record(self.decide(&report), cx)
     }
 }
 
@@ -185,7 +246,7 @@ impl Gate for ComplianceGate<'_> {
     }
 
     fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
-        self.evaluate(cx.commit, cx.production)
+        record(self.evaluate(cx.commit, cx.production), cx)
     }
 }
 
@@ -237,10 +298,11 @@ impl Gate for TestGate {
     }
 
     fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
-        match &cx.commit.model {
+        let decision = match &cx.commit.model {
             Some(model) => self.evaluate(model),
             None => GateDecision::pass("tests"),
-        }
+        };
+        record(decision, cx)
     }
 }
 
@@ -299,7 +361,7 @@ impl Gate for AnalysisGate {
     }
 
     fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
-        self.evaluate(cx.commit)
+        record(self.evaluate(cx.commit), cx)
     }
 }
 
@@ -461,15 +523,49 @@ mod tests {
             ["requirements", "compliance", "tests", "analysis"]
         );
         let commit = clean_commit();
-        let cx = GateContext {
-            commit: &commit,
-            production: &prod,
-        };
+        let journal = Journal::default();
+        let cx = GateContext::untraced(&commit, &prod, &journal);
         for g in gates {
             let d = g.evaluate(&cx);
             assert_eq!(d.gate, g.name());
             assert!(d.passed, "{d}");
+            assert_eq!(d.trace, None, "untraced context mints no spans");
         }
+    }
+
+    #[test]
+    fn traced_gates_journal_their_verdicts_as_commit_children() {
+        let catalog = vdo_stigs::ubuntu::catalog();
+        let mut prod = vdo_host::UnixHost::baseline_ubuntu_1804();
+        vdo_core::RemediationPlanner::default().run(&catalog, &mut prod);
+        let req = RequirementsGate::new();
+        let comp = ComplianceGate::new(&catalog, Severity::Medium);
+        let tests = TestGate::new(1.0);
+        let analysis = AnalysisGate::default();
+        let gates: Vec<&dyn Gate> = vec![&req, &comp, &tests, &analysis];
+
+        let commit = smelly_commit();
+        let journal = Journal::new();
+        let root = TraceContext::root(42, &commit.id);
+        let cx = GateContext {
+            commit: &commit,
+            production: &prod,
+            journal: &journal,
+            trace: Some(root),
+            at: 7,
+        };
+        for g in &gates {
+            let d = g.evaluate(&cx);
+            let t = d.trace.expect("traced context stamps every verdict");
+            assert_eq!(t, root.child(g.name()), "verdict is a commit child");
+            assert_eq!(t.trace_id, root.trace_id);
+        }
+        let snap = journal.snapshot();
+        let verdicts = snap.events_named("gate.verdict");
+        assert_eq!(verdicts.len(), 4, "one verdict event per gate");
+        assert!(verdicts.iter().all(|e| e.at == 7));
+        // The smelly requirement also produced a NALABS verdict record.
+        assert!(!snap.events_named("nalabs.verdict").is_empty());
     }
 
     #[test]

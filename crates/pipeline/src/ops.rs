@@ -15,8 +15,9 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use vdo_core::{Catalog, RemediationPlanner};
 use vdo_host::{DriftInjector, UnixHost, WindowsHost};
-use vdo_soc::{DetectionKind, SocConfig, SocEngine, SocHost, SocMetrics};
+use vdo_soc::{DetectionKind, SocConfig, SocEngine, SocHost, SocMetrics, SocTracing};
 use vdo_temporal::Trace;
+use vdo_trace::{Event, Journal, TraceContext};
 
 /// A host class the drift injector knows how to degrade. Implemented for
 /// both simulated host types so one [`OperationsPhase`] serves Ubuntu and
@@ -97,6 +98,11 @@ pub struct Incident {
     pub detected_at: u64,
     /// `true` when found by the continuous monitor, `false` by audit.
     pub found_by_monitor: bool,
+    /// Causal context when the run is traced: its `trace_id` is the
+    /// root trace of the catalogue requirement the incident violated,
+    /// so the chain requirement → detection → remediation is walkable
+    /// in the journal. `None` on untraced runs.
+    pub trace: Option<TraceContext>,
 }
 
 impl Incident {
@@ -114,6 +120,7 @@ impl Serialize for Incident {
             ("detected_at", self.detected_at.to_value()),
             ("found_by_monitor", self.found_by_monitor.to_value()),
             ("latency", self.latency().to_value()),
+            ("trace", self.trace.to_value()),
         ])
     }
 }
@@ -217,11 +224,28 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
         config: &OpsConfig,
         obs: &vdo_obs::Registry,
     ) -> OpsReport {
+        self.run_traced(host, config, obs, &Journal::default(), 0)
+    }
+
+    /// Like [`run_observed`](Self::run_observed), but additionally
+    /// journals the phase's causal chain: every incident carries a
+    /// [`TraceContext`] rooted at `TraceContext::root(trace_seed,
+    /// finding_id)` — the same roots the scenario mints at requirement
+    /// ingestion — and detections/remediations are recorded as journal
+    /// events. A disabled journal makes this exactly `run_observed`.
+    pub fn run_traced(
+        &self,
+        host: &mut E,
+        config: &OpsConfig,
+        obs: &vdo_obs::Registry,
+        journal: &Journal,
+        trace_seed: u64,
+    ) -> OpsReport {
         let _span = obs.span("pipeline/ops");
         let report = match config.engine {
-            MonitorEngine::Polling => self.run_polling(host, config, obs),
+            MonitorEngine::Polling => self.run_polling(host, config, obs, journal, trace_seed),
             MonitorEngine::EventDriven { workers } => {
-                self.run_event_driven(host, config, workers, obs)
+                self.run_event_driven(host, config, workers, obs, journal, trace_seed)
             }
         };
         obs.counter("ops.drift_events").add(report.drift_events);
@@ -244,6 +268,8 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
         config: &OpsConfig,
         workers: usize,
         obs: &vdo_obs::Registry,
+        journal: &Journal,
+        trace_seed: u64,
     ) -> OpsReport {
         let soc_config = SocConfig {
             duration: config.duration,
@@ -260,7 +286,12 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
         } else {
             SocMetrics::new()
         };
-        let report = engine.run_with_metrics(std::slice::from_mut(host), &metrics);
+        let tracing = if journal.is_enabled() {
+            SocTracing::new(journal.clone(), trace_seed)
+        } else {
+            SocTracing::disabled()
+        };
+        let report = engine.run_traced(std::slice::from_mut(host), &metrics, &tracing);
         OpsReport {
             incidents: report
                 .incidents
@@ -270,6 +301,7 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
                     introduced_at: i.introduced_at,
                     detected_at: i.detected_at,
                     found_by_monitor: true,
+                    trace: i.trace,
                 })
                 .collect(),
             drift_events: report.drift_events,
@@ -281,8 +313,36 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
     }
 
     /// The paper's polling baseline.
-    fn run_polling(&self, host: &mut E, config: &OpsConfig, obs: &vdo_obs::Registry) -> OpsReport {
-        let planner = self.planner.clone().observed(obs.clone());
+    fn run_polling(
+        &self,
+        host: &mut E,
+        config: &OpsConfig,
+        obs: &vdo_obs::Registry,
+        journal: &Journal,
+        trace_seed: u64,
+    ) -> OpsReport {
+        let tracing_on = journal.is_enabled();
+        if tracing_on {
+            // Declare the requirements this phase watches: one root per
+            // catalogue rule, the anchor every later incident's
+            // trace_id resolves to.
+            for entry in self.catalog.iter() {
+                let rule = entry.spec().finding_id();
+                journal.emit(
+                    Event::info("requirement.ingested")
+                        .trace(TraceContext::root(trace_seed, rule))
+                        .field("rule", rule),
+                );
+            }
+        }
+        let planner = if tracing_on {
+            self.planner
+                .clone()
+                .observed(obs.clone())
+                .traced(journal.clone(), trace_seed)
+        } else {
+            self.planner.clone().observed(obs.clone())
+        };
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut drifter = DriftInjector::new(config.seed.wrapping_mul(31).wrapping_add(7));
         let mut incidents = Vec::new();
@@ -316,11 +376,49 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
                     if is_compliant(self.catalog, host) {
                         broken_since = None;
                     } else {
-                        planner.run(self.catalog, host);
+                        // Attribute the incident before repairing: the
+                        // first failing rule names the violated
+                        // requirement, and its root becomes the
+                        // incident's trace id.
+                        let trace = if tracing_on {
+                            self.catalog
+                                .check_all(host)
+                                .iter()
+                                .find(|(_, v)| !v.is_pass())
+                                .map(|(e, _)| {
+                                    TraceContext::root(trace_seed, e.spec().finding_id())
+                                        .child_u64("host", 0)
+                                        .child_u64("detect", tick)
+                                })
+                        } else {
+                            None
+                        };
+                        planner.run_with_waivers(
+                            self.catalog,
+                            host,
+                            &vdo_core::WaiverSet::new(),
+                            tick,
+                        );
+                        if tracing_on {
+                            let mut ev = Event::warn("ops.incident")
+                                .at(tick)
+                                .field("introduced_at", since)
+                                .field("monitor", monitor_due);
+                            if let Some(t) = trace {
+                                ev = ev.trace(t);
+                                journal.emit(
+                                    Event::info("ops.remediated")
+                                        .at(tick)
+                                        .trace(t.child_u64("resolve", tick)),
+                                );
+                            }
+                            journal.emit(ev);
+                        }
                         incidents.push(Incident {
                             introduced_at: since,
                             detected_at: tick,
                             found_by_monitor: monitor_due,
+                            trace,
                         });
                         broken_since = None;
                     }
@@ -605,6 +703,75 @@ mod tests {
         }
         assert_eq!(fingerprints[0], fingerprints[1]);
         assert_eq!(fingerprints[1], fingerprints[2]);
+    }
+
+    #[test]
+    fn traced_event_driven_incidents_inherit_soc_traces() {
+        let catalog = ubuntu::catalog();
+        let mut host = compliant_host(&catalog);
+        let journal = Journal::new();
+        let report = OperationsPhase::new(&catalog).run_traced(
+            &mut host,
+            &OpsConfig {
+                engine: MonitorEngine::EventDriven { workers: 2 },
+                duration: 1_500,
+                drift_rate: 0.05,
+                seed: 3,
+                ..OpsConfig::default()
+            },
+            &vdo_obs::Registry::disabled(),
+            &journal,
+            21,
+        );
+        assert!(!report.incidents.is_empty());
+        let snap = journal.snapshot();
+        for i in &report.incidents {
+            let t = i.trace.expect("soc traces map onto ops incidents");
+            let root = snap.root_event(t.trace_id).expect("root resolves");
+            assert_eq!(root.name, "requirement.ingested");
+        }
+        assert!(!snap.events_named("soc.detection").is_empty());
+    }
+
+    #[test]
+    fn traced_polling_incidents_resolve_to_catalogue_rules() {
+        let catalog = ubuntu::catalog();
+        let mut host = compliant_host(&catalog);
+        let journal = Journal::new();
+        let report = OperationsPhase::new(&catalog).run_traced(
+            &mut host,
+            &OpsConfig {
+                duration: 1_500,
+                drift_rate: 0.05,
+                monitor_period: Some(5),
+                seed: 3,
+                ..OpsConfig::default()
+            },
+            &vdo_obs::Registry::disabled(),
+            &journal,
+            21,
+        );
+        assert!(!report.incidents.is_empty());
+        let snap = journal.snapshot();
+        let rule_roots: Vec<_> = catalog
+            .iter()
+            .map(|e| TraceContext::root(21, e.spec().finding_id()).trace_id)
+            .collect();
+        for i in &report.incidents {
+            let t = i.trace.expect("traced polling stamps incidents");
+            assert!(
+                rule_roots.contains(&t.trace_id),
+                "incident trace id {} is a catalogue requirement root",
+                t.trace_id
+            );
+            assert_eq!(
+                snap.root_event(t.trace_id).map(|e| e.name),
+                Some("requirement.ingested")
+            );
+        }
+        assert!(!snap.events_named("ops.incident").is_empty());
+        assert!(!snap.events_named("ops.remediated").is_empty());
+        assert!(!snap.events_named("core.enforce").is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use vdo_host::UnixHost;
 use vdo_nalabs::RequirementDoc;
 use vdo_tears::{Expr, GuardedAssertion};
 use vdo_temporal::Formula;
+use vdo_trace::{Event, Journal, TraceContext};
 
 use crate::gates::{AnalysisGate, ComplianceGate, Gate, GateContext, RequirementsGate, TestGate};
 use crate::ops::{MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
@@ -190,16 +191,40 @@ pub fn run(config: &PipelineConfig) -> PipelineReport {
 /// the closed loop end to end.
 #[must_use]
 pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> PipelineReport {
+    run_traced(config, obs, &Journal::default())
+}
+
+/// Like [`run_observed`], but threads a [`vdo_trace::Journal`] through
+/// the whole closed loop: every commit gets a root [`TraceContext`]
+/// derived from `(seed, commit id)` at ingestion, each requirement
+/// document gets its own root, gate verdicts become child spans
+/// (`gate.verdict` events), merges emit `pipeline.deploy`, and the
+/// operations phase inherits `config.seed` as its trace namespace so
+/// every incident's trace id resolves back to the catalogue requirement
+/// it violated. Equal seeds yield byte-identical journal fingerprints.
+/// A disabled journal makes this exactly [`run_observed`].
+#[must_use]
+pub fn run_traced(
+    config: &PipelineConfig,
+    obs: &vdo_obs::Registry,
+    journal: &Journal,
+) -> PipelineReport {
     let run_span = obs.span("pipeline");
     let catalog = vdo_stigs::ubuntu::catalog();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let tracing_on = journal.is_enabled();
 
     let dev_span = run_span.child("dev");
     // Deploy target starts compliant (initial hardening).
     let mut production = UnixHost::baseline_ubuntu_1804();
-    RemediationPlanner::default()
-        .observed(obs.clone())
-        .run(&catalog, &mut production);
+    let hardening_planner = if tracing_on {
+        RemediationPlanner::default()
+            .observed(obs.clone())
+            .traced(journal.clone(), config.seed)
+    } else {
+        RemediationPlanner::default().observed(obs.clone())
+    };
+    hardening_planner.run(&catalog, &mut production);
 
     let req_gate = RequirementsGate::new();
     let compliance_gate = ComplianceGate::new(&catalog, Severity::Medium);
@@ -231,9 +256,34 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
             .any(|d| d.id().ends_with("-smelly"));
         let vulnerable = !commit.changes.is_empty();
 
+        let commit_trace = if tracing_on {
+            // Requirement ingestion: the commit and each requirement
+            // document it ships get deterministic root contexts.
+            let ctx = TraceContext::root(config.seed, &commit.id);
+            journal.emit(
+                Event::info("commit.ingested")
+                    .at(i as u64)
+                    .trace(ctx)
+                    .field("commit", commit.id.as_str()),
+            );
+            for doc in &commit.requirements {
+                journal.emit(
+                    Event::info("requirement.ingested")
+                        .at(i as u64)
+                        .trace(TraceContext::root(config.seed, doc.id()))
+                        .field("rule", doc.id()),
+                );
+            }
+            Some(ctx)
+        } else {
+            None
+        };
         let cx = GateContext {
             commit: &commit,
             production: &production,
+            journal,
+            trace: commit_trace,
+            at: i as u64,
         };
         for (gate, enabled) in gates {
             if !enabled {
@@ -263,10 +313,22 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
         for change in &commit.changes {
             change.apply(&mut production);
         }
+        if let Some(t) = commit_trace {
+            journal.emit(
+                Event::info("pipeline.deploy")
+                    .at(i as u64)
+                    .trace(t.child("deploy"))
+                    .field("commit", commit.id.as_str())
+                    .field("changes", commit.changes.len()),
+            );
+        }
     }
     drop(dev_span);
 
-    let ops = OperationsPhase::new(&catalog).run_observed(
+    // The operations phase inherits `config.seed` as its trace
+    // namespace (its drift RNG still uses the offset seed below), so
+    // incident roots coincide with the requirement roots minted above.
+    let ops = OperationsPhase::new(&catalog).run_traced(
         &mut production,
         &OpsConfig {
             engine: MonitorEngine::Polling,
@@ -277,6 +339,8 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
             seed: config.seed.wrapping_add(1),
         },
         obs,
+        journal,
+        config.seed,
     );
 
     PipelineReport {
@@ -537,6 +601,98 @@ mod tests {
         assert_eq!(
             a.snapshot().deterministic_fingerprint(),
             b.snapshot().deterministic_fingerprint()
+        );
+    }
+
+    #[test]
+    fn traced_run_resolves_every_incident_to_a_requirement_root() {
+        let cfg = PipelineConfig {
+            commits: 20,
+            ops_duration: 800,
+            drift_rate: 0.05,
+            seed: 5,
+            ..PipelineConfig::default()
+        };
+        let journal = Journal::new();
+        let report = run_traced(&cfg, &vdo_obs::Registry::disabled(), &journal);
+        assert!(!report.ops.incidents.is_empty(), "drift must bite");
+        let snap = journal.snapshot();
+        for incident in &report.ops.incidents {
+            let t = incident.trace.expect("traced runs stamp every incident");
+            let root = snap
+                .root_event(t.trace_id)
+                .expect("incident trace resolves to a root event");
+            assert_eq!(
+                root.name, "requirement.ingested",
+                "the chain starts at requirement ingestion"
+            );
+        }
+        // The development phase journalled the full causal chain too:
+        // rejected commits stop at their failing gate, merged commits
+        // clear all four.
+        let verdicts = snap.events_named("gate.verdict");
+        let merged = cfg.commits - report.rejected_total();
+        assert!(verdicts.len() >= 4 * merged, "merged commits clear 4 gates");
+        assert_eq!(snap.events_named("commit.ingested").len(), cfg.commits);
+        assert!(!snap.events_named("pipeline.deploy").is_empty());
+        assert!(!snap.events_named("core.enforce").is_empty());
+        assert_eq!(snap.dropped(), 0, "default capacity holds the run");
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree_up_to_trace_stamps() {
+        let cfg = PipelineConfig {
+            commits: 20,
+            ops_duration: 600,
+            seed: 9,
+            ..PipelineConfig::default()
+        };
+        let plain = run(&cfg);
+        let traced = run_traced(&cfg, &vdo_obs::Registry::disabled(), &Journal::new());
+        assert_eq!(plain.to_summary(), traced.to_summary());
+        assert_eq!(plain.rejected_total(), traced.rejected_total());
+        assert_eq!(
+            plain
+                .ops
+                .incidents
+                .iter()
+                .map(|i| (i.introduced_at, i.detected_at, i.found_by_monitor))
+                .collect::<Vec<_>>(),
+            traced
+                .ops
+                .incidents
+                .iter()
+                .map(|i| (i.introduced_at, i.detected_at, i.found_by_monitor))
+                .collect::<Vec<_>>(),
+            "tracing must not change behaviour"
+        );
+        assert!(plain.ops.incidents.iter().all(|i| i.trace.is_none()));
+        assert!(traced.ops.incidents.iter().all(|i| i.trace.is_some()));
+    }
+
+    #[test]
+    fn equal_seed_traced_runs_have_identical_journal_fingerprints() {
+        let cfg = PipelineConfig {
+            commits: 15,
+            ops_duration: 500,
+            seed: 17,
+            ..PipelineConfig::default()
+        };
+        let a = Journal::new();
+        let _ = run_traced(&cfg, &vdo_obs::Registry::disabled(), &a);
+        let b = Journal::new();
+        let _ = run_traced(&cfg, &vdo_obs::Registry::disabled(), &b);
+        assert_eq!(a.snapshot().fingerprint(), b.snapshot().fingerprint());
+        let c = Journal::new();
+        let _ = run_traced(
+            &PipelineConfig { seed: 18, ..cfg },
+            &vdo_obs::Registry::disabled(),
+            &c,
+        );
+        assert_ne!(
+            a.snapshot().fingerprint(),
+            c.snapshot().fingerprint(),
+            "different seeds give different journals"
         );
     }
 

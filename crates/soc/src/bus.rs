@@ -13,6 +13,7 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use vdo_trace::TraceContext;
 
 use crate::event::{shard_of, Envelope, SecEvent};
 
@@ -92,12 +93,25 @@ impl ShardedBus {
     /// stamp on success; on a full queue the event comes back as
     /// [`PublishError::Backpressure`] and no sequence number is consumed.
     pub fn publish(&self, event: SecEvent) -> Result<(usize, u64), PublishError> {
+        self.publish_traced(event, None)
+    }
+
+    /// Like [`publish`](Self::publish), but stamps the envelope with the
+    /// publisher's causal context so consumers can chain their own spans
+    /// off it. On backpressure the *event* is handed back; the caller
+    /// still holds the context and re-attaches it on retry.
+    pub fn publish_traced(
+        &self,
+        event: SecEvent,
+        trace: Option<TraceContext>,
+    ) -> Result<(usize, u64), PublishError> {
         let shard = self.shard_for(event.host());
         let s = &self.shards[shard];
         let mut seq = s.seq.lock();
         let envelope = Envelope {
             shard,
             seq: *seq,
+            trace,
             event,
         };
         match s.tx.try_send(envelope) {
@@ -172,6 +186,21 @@ mod tests {
         assert_eq!(bus.pop(0).unwrap().seq, 0);
         let (_, seq) = bus.publish(e).unwrap();
         assert_eq!(seq, 2);
+    }
+
+    #[test]
+    fn envelopes_carry_the_publishers_trace_context() {
+        let bus = ShardedBus::new(2, 8);
+        let ctx = TraceContext::root(9, "V-1").child("drift");
+        bus.publish_traced(signal(0, 0), Some(ctx)).unwrap();
+        bus.publish(signal(0, 1)).unwrap();
+        let shard = bus.shard_for(0);
+        assert_eq!(bus.pop(shard).unwrap().trace, Some(ctx));
+        assert_eq!(
+            bus.pop(shard).unwrap().trace,
+            None,
+            "plain publish is untraced"
+        );
     }
 
     #[test]

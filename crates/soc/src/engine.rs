@@ -35,8 +35,10 @@ use rand::{Rng, SeedableRng};
 
 use vdo_core::{Catalog, CheckStatus, RemediationPlanner};
 use vdo_host::{DriftInjector, UnixHost, WindowsHost};
+use vdo_obs::Registry;
 use vdo_tears::GuardedAssertion;
 use vdo_temporal::{PatternMonitor, Trace};
+use vdo_trace::{BurnRateRule, Event, Journal, SloAlert, SloEngine, TraceContext};
 
 use crate::bus::{PublishError, ShardedBus};
 use crate::event::{HostId, SecEvent};
@@ -111,6 +113,64 @@ impl Default for SocConfig {
     }
 }
 
+/// Causal-tracing and SLO wiring for one engine run.
+///
+/// A disabled journal (the [`Default`]) turns the whole layer off: no
+/// events are emitted, no trace contexts are minted, and the run is
+/// byte-identical to an untraced one. When enabled, `trace_seed` must
+/// match the seed the ingestion side (the pipeline scenario) used to
+/// mint requirement roots, so an incident detected here resolves to
+/// the catalogue requirement that caused it.
+#[derive(Debug, Clone, Default)]
+pub struct SocTracing {
+    /// The event journal; [`Journal::disabled`] makes this struct inert.
+    pub journal: Journal,
+    /// Seed for requirement-root [`TraceContext`]s.
+    pub trace_seed: u64,
+    /// Optional SLO burn-rate policy evaluated during the run.
+    pub slo: Option<SloPolicy>,
+}
+
+impl SocTracing {
+    /// Journal + seed, no SLO policy.
+    #[must_use]
+    pub fn new(journal: Journal, trace_seed: u64) -> Self {
+        SocTracing {
+            journal,
+            trace_seed,
+            slo: None,
+        }
+    }
+
+    /// The inert layer: disabled journal, no tracing, no SLO.
+    #[must_use]
+    pub fn disabled() -> Self {
+        SocTracing::default()
+    }
+
+    /// `true` when events and trace contexts are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.journal.is_enabled()
+    }
+}
+
+/// In-run SLO evaluation: every `period` ticks the engine snapshots
+/// `registry`, feeds it to an [`SloEngine`] over `rules`, journals any
+/// burn-rate alerts, and publishes each as a [`SecEvent::SloAlert`] on
+/// the bus (triggering a re-audit — observability closing back into
+/// reaction).
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Snapshot source — pass the same registry the run's
+    /// [`SocMetrics::in_registry`] instruments write into.
+    pub registry: Registry,
+    /// Burn-rate rules to evaluate.
+    pub rules: Vec<BurnRateRule>,
+    /// Evaluation cadence in ticks (zero disables evaluation).
+    pub period: u64,
+}
+
 /// Rejected [`SocConfig`] values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SocConfigError {
@@ -156,6 +216,9 @@ pub struct SocReport {
     /// Per-tick "whole fleet compliant" bit, for post-hoc temporal
     /// evaluation.
     pub fleet_compliance_trace: Trace<bool>,
+    /// SLO burn-rate alerts fired during the run (empty unless an
+    /// [`SloPolicy`] was active).
+    pub slo_alerts: Vec<SloAlert>,
     /// Counter and histogram snapshot.
     pub metrics: MetricsSnapshot,
 }
@@ -200,10 +263,12 @@ impl SocReport {
 type OpenRules = BTreeMap<String, usize>;
 
 /// Per-shard worker-side state: host monitors plus this tick's
-/// detections.
+/// detections, and the tracing seed (copied in so any worker derives
+/// detection contexts locally without touching shared tracing state).
 struct ShardLocal {
     hosts: BTreeMap<HostId, HostMonitors>,
     detections: Vec<Detection>,
+    trace_seed: Option<u64>,
 }
 
 /// The engine: a catalogue plus a validated configuration.
@@ -271,7 +336,48 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
     /// overhead at under 5%). The returned report snapshots whatever
     /// the instruments captured.
     pub fn run_with_metrics(&self, hosts: &mut [E], metrics: &SocMetrics) -> SocReport {
+        self.run_traced(hosts, metrics, &SocTracing::disabled())
+    }
+
+    /// Like [`run_with_metrics`](Self::run_with_metrics), plus causal
+    /// tracing: requirement roots are journalled at tick 0, every
+    /// detection/remediation step emits a journal event chained to the
+    /// requirement's [`TraceContext`], bus envelopes carry their
+    /// publisher's context, and an optional [`SloPolicy`] evaluates
+    /// burn-rate rules in-run. With [`SocTracing::disabled`] this is
+    /// byte-identical to an untraced run — experiment E14 measures the
+    /// enabled overhead. Journal events are emitted from the main
+    /// thread with purely derived contents, so equal-seed runs produce
+    /// identical journal fingerprints at any worker count.
+    pub fn run_traced(
+        &self,
+        hosts: &mut [E],
+        metrics: &SocMetrics,
+        tracing: &SocTracing,
+    ) -> SocReport {
         let cfg = &self.config;
+        let journal = &tracing.journal;
+        let tracing_on = journal.is_enabled();
+        let trace_seed = tracing_on.then_some(tracing.trace_seed);
+        if tracing_on {
+            // Requirement ingestion: one root per monitored artifact.
+            // Incident traces minted later resolve back to these.
+            for entry in self.catalog.iter() {
+                let id = entry.spec().finding_id();
+                journal.emit(
+                    Event::info("requirement.ingested")
+                        .trace(TraceContext::root(tracing.trace_seed, id))
+                        .field("rule", id),
+                );
+            }
+            if let Some(ga) = &self.assertion {
+                journal.emit(
+                    Event::info("requirement.ingested")
+                        .trace(TraceContext::root(tracing.trace_seed, ga.name()))
+                        .field("rule", ga.name()),
+                );
+            }
+        }
         let n_hosts = hosts.len();
         let bus = ShardedBus::new(cfg.shards, cfg.queue_capacity);
         let shard_states: Vec<Mutex<ShardLocal>> = (0..cfg.shards)
@@ -279,6 +385,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                 Mutex::new(ShardLocal {
                     hosts: BTreeMap::new(),
                     detections: Vec::new(),
+                    trace_seed,
                 })
             })
             .collect();
@@ -305,6 +412,12 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
         let mut drift_events = 0u64;
         let mut noncompliant_host_ticks = 0u64;
         let mut fleet_trace = Trace::new();
+        let mut slo_engine = tracing
+            .slo
+            .as_ref()
+            .filter(|_| tracing_on)
+            .map(|p| SloEngine::new(tracing.trace_seed, p.rules.clone()));
+        let mut slo_alerts: Vec<SloAlert> = Vec::new();
 
         std::thread::scope(|scope| {
             for (me, local) in locals.into_iter().enumerate() {
@@ -366,7 +479,11 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
 
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             let mut drifter = DriftInjector::new(cfg.seed.wrapping_mul(31).wrapping_add(7));
-            let mut deferred: VecDeque<SecEvent> = VecDeque::new();
+            // Hoisted out of the drift loop: the per-event context is a
+            // child of this fixed root, so only the cheap child
+            // derivation runs per drift event.
+            let drift_root = trace_seed.map(|s| TraceContext::root(s, "drift"));
+            let mut deferred: VecDeque<(SecEvent, Option<TraceContext>)> = VecDeque::new();
             // Tick a brute-force burst started on, per host (telemetry).
             let mut attack_since: Vec<Option<u64>> = vec![None; n_hosts];
 
@@ -374,29 +491,31 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                 current_tick.store(tick, Ordering::SeqCst);
                 // --- Phase 1 (main): publish ------------------------
                 let mut blocked = vec![false; cfg.shards];
-                let mut publish = |event: SecEvent, deferred: &mut VecDeque<SecEvent>| {
+                let mut publish = |event: SecEvent,
+                                   trace: Option<TraceContext>,
+                                   deferred: &mut VecDeque<(SecEvent, Option<TraceContext>)>| {
                     let shard = bus.shard_for(event.host());
                     if blocked[shard] {
                         metrics.events_deferred.inc();
-                        deferred.push_back(event);
+                        deferred.push_back((event, trace));
                         return;
                     }
-                    match bus.publish(event) {
+                    match bus.publish_traced(event, trace) {
                         Ok(_) => {
                             metrics.events_published.inc();
                         }
                         Err(PublishError::Backpressure(event)) => {
                             blocked[shard] = true;
                             metrics.events_deferred.inc();
-                            deferred.push_back(event);
+                            deferred.push_back((event, trace));
                         }
                     }
                 };
                 // Deferred events from the previous tick go first so
                 // per-host order is preserved under overload.
                 let mut replay = std::mem::take(&mut deferred);
-                for event in replay.drain(..) {
-                    publish(event, &mut deferred);
+                for (event, trace) in replay.drain(..) {
+                    publish(event, trace, &mut deferred);
                 }
                 if tick == 0 {
                     // Baseline audit: surface pre-existing violations.
@@ -407,6 +526,9 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                 tick,
                                 detail: "baseline audit".to_string(),
                             },
+                            trace_seed.map(|s| {
+                                TraceContext::root(s, "audit").child_u64("host", host as u64)
+                            }),
                             &mut deferred,
                         );
                     }
@@ -417,6 +539,19 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                         if rng.gen_bool(cfg.drift_rate) {
                             for ev in guard[host].apply_drift(&mut drifter, 1) {
                                 drift_events += 1;
+                                let ctx = drift_root.map(|r| {
+                                    r.child_u64("host", host as u64).child_u64("tick", tick)
+                                });
+                                if tracing_on {
+                                    let mut jev = Event::debug("soc.drift")
+                                        .at(tick)
+                                        .field("host", host)
+                                        .field("detail", ev.detail.as_str());
+                                    if let Some(t) = ctx {
+                                        jev = jev.trace(t);
+                                    }
+                                    journal.emit(jev);
+                                }
                                 publish(
                                     SecEvent::DriftApplied {
                                         host,
@@ -424,6 +559,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                         kind: ev.kind,
                                         detail: ev.detail,
                                     },
+                                    ctx,
                                     &mut deferred,
                                 );
                             }
@@ -458,6 +594,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                     ("lockout", lockout),
                                 ],
                             },
+                            None,
                             &mut deferred,
                         );
                     }
@@ -485,15 +622,29 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                 detections.sort();
                 for det in detections {
                     match det.kind {
-                        DetectionKind::Tears => incidents.push(SocIncident {
-                            host: det.host,
-                            rule: det.rule,
-                            kind: DetectionKind::Tears,
-                            introduced_at: det.introduced_at,
-                            detected_at: det.detected_at,
-                            resolved_at: None,
-                            attempts: 0,
-                        }),
+                        DetectionKind::Tears => {
+                            if tracing_on {
+                                let mut ev = Event::warn("soc.tears_violation")
+                                    .at(tick)
+                                    .field("host", det.host)
+                                    .field("rule", det.rule.as_str())
+                                    .field("activated_at", det.introduced_at);
+                                if let Some(t) = det.trace {
+                                    ev = ev.trace(t);
+                                }
+                                journal.emit(ev);
+                            }
+                            incidents.push(SocIncident {
+                                host: det.host,
+                                rule: det.rule,
+                                kind: DetectionKind::Tears,
+                                introduced_at: det.introduced_at,
+                                detected_at: det.detected_at,
+                                resolved_at: None,
+                                attempts: 0,
+                                trace: det.trace,
+                            });
+                        }
                         DetectionKind::Stig => {
                             if open[det.host].contains_key(&det.rule) {
                                 continue; // already being remediated
@@ -501,6 +652,17 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                             metrics
                                 .detection_latency
                                 .record(det.detected_at - det.introduced_at);
+                            if tracing_on {
+                                let mut ev = Event::warn("soc.detection")
+                                    .at(tick)
+                                    .field("host", det.host)
+                                    .field("rule", det.rule.as_str())
+                                    .field("latency", det.detected_at - det.introduced_at);
+                                if let Some(t) = det.trace {
+                                    ev = ev.trace(t);
+                                }
+                                journal.emit(ev);
+                            }
                             open[det.host].insert(det.rule.clone(), incidents.len());
                             dispatcher.schedule(
                                 tick,
@@ -510,6 +672,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                     introduced_at: det.introduced_at,
                                     detected_at: det.detected_at,
                                     attempt: 0,
+                                    trace: det.trace,
                                 },
                             );
                             incidents.push(SocIncident {
@@ -520,6 +683,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                 detected_at: det.detected_at,
                                 resolved_at: None,
                                 attempts: 0,
+                                trace: det.trace,
                             });
                         }
                     }
@@ -529,11 +693,46 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                         continue; // repaired as a side effect earlier
                     };
                     incidents[incident_idx].attempts += 1;
+                    let attempt_trace = task
+                        .trace
+                        .map(|t| t.child_u64("attempt", u64::from(task.attempt)));
+                    if tracing_on {
+                        let mut ev = Event::info("soc.remediation.attempt")
+                            .at(tick)
+                            .field("host", task.host)
+                            .field("rule", task.rule.as_str())
+                            .field("attempt", u64::from(task.attempt));
+                        if let Some(t) = attempt_trace {
+                            ev = ev.trace(t);
+                        }
+                        journal.emit(ev);
+                    }
                     if dispatcher.fault_injected(&task) {
+                        let fields = tracing_on.then(|| (task.host, task.rule.clone()));
                         if dispatcher.on_failure(task, tick) {
                             metrics.retries.inc();
+                            if let Some((host, rule)) = fields {
+                                let mut ev = Event::warn("soc.remediation.retry")
+                                    .at(tick)
+                                    .field("host", host)
+                                    .field("rule", rule);
+                                if let Some(t) = attempt_trace {
+                                    ev = ev.trace(t);
+                                }
+                                journal.emit(ev);
+                            }
                         } else {
                             metrics.dead_letters.inc();
+                            if let Some((host, rule)) = fields {
+                                let mut ev = Event::error("soc.remediation.dead_letter")
+                                    .at(tick)
+                                    .field("host", host)
+                                    .field("rule", rule);
+                                if let Some(t) = attempt_trace {
+                                    ev = ev.trace(t);
+                                }
+                                journal.emit(ev);
+                            }
                         }
                         continue;
                     }
@@ -548,15 +747,51 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                         if status.is_pass() {
                             if let Some(idx) = host_open.remove(entry.spec().finding_id()) {
                                 incidents[idx].resolved_at = Some(tick);
+                                if tracing_on {
+                                    let mut ev = Event::info("soc.remediation.resolved")
+                                        .at(tick)
+                                        .field("host", incidents[idx].host)
+                                        .field("rule", incidents[idx].rule.as_str());
+                                    if let Some(t) = incidents[idx].trace {
+                                        ev = ev.trace(t.child_u64("resolve", tick));
+                                    }
+                                    journal.emit(ev);
+                                }
                             }
                         }
                     }
                 }
 
-                // --- Phase 4 (main): accounting ----------------------
+                // --- Phase 4 (main): accounting + SLO evaluation -----
                 let broken = open.iter().filter(|rules| !rules.is_empty()).count() as u64;
                 noncompliant_host_ticks += broken;
                 fleet_trace.push(broken == 0);
+                if let (Some(policy), Some(slo)) = (&tracing.slo, slo_engine.as_mut()) {
+                    if n_hosts > 0 && policy.period > 0 && (tick + 1) % policy.period == 0 {
+                        let snap = policy.registry.snapshot();
+                        for alert in slo.observe(tick, &snap, journal) {
+                            // Alerts close the loop: each one triggers a
+                            // re-audit of a representative host on the
+                            // next tick.
+                            let event = SecEvent::SloAlert {
+                                host: 0,
+                                tick,
+                                rule: alert.rule.clone(),
+                            };
+                            let trace = Some(alert.trace);
+                            match bus.publish_traced(event, trace) {
+                                Ok(_) => {
+                                    metrics.events_published.inc();
+                                }
+                                Err(PublishError::Backpressure(event)) => {
+                                    metrics.events_deferred.inc();
+                                    deferred.push_back((event, trace));
+                                }
+                            }
+                            slo_alerts.push(alert);
+                        }
+                    }
+                }
             }
             shutdown.store(true, Ordering::SeqCst);
             start_gate.wait();
@@ -569,6 +804,7 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
             noncompliant_host_ticks,
             duration: cfg.duration,
             fleet_compliance_trace: fleet_trace,
+            slo_alerts,
             metrics: metrics.snapshot(wall_start.elapsed().as_secs_f64()),
         }
     }
@@ -591,7 +827,8 @@ fn process_batch<E: SocHost>(
         let seq = envelope.seq;
         match envelope.event {
             SecEvent::DriftApplied { host, tick, .. }
-            | SecEvent::ConfigChanged { host, tick, .. } => {
+            | SecEvent::ConfigChanged { host, tick, .. }
+            | SecEvent::SloAlert { host, tick, .. } => {
                 // Re-check the catalogue and deliver each result as a
                 // follow-up CheckResult event (local delivery: same
                 // shard, same worker, so order is preserved and the
@@ -621,7 +858,10 @@ fn process_batch<E: SocHost>(
                 tick: _,
                 signals,
             } => {
-                let ShardLocal { hosts, detections } = state;
+                let trace_seed = state.trace_seed;
+                let ShardLocal {
+                    hosts, detections, ..
+                } = state;
                 let monitors = hosts.get_mut(&host).expect("host registered");
                 if let Some(tears) = &mut monitors.tears {
                     for activation in tears.observe(&signals) {
@@ -633,6 +873,11 @@ fn process_batch<E: SocHost>(
                             kind: DetectionKind::Tears,
                             introduced_at: activation,
                             detected_at: now,
+                            trace: trace_seed.map(|s| {
+                                TraceContext::root(s, tears.name())
+                                    .child_u64("host", host as u64)
+                                    .child_u64("detect", now)
+                            }),
                         });
                     }
                 }
@@ -642,7 +887,10 @@ fn process_batch<E: SocHost>(
 }
 
 /// Feeds one `CheckResult` into the host's temporal compliance monitor
-/// and records a detection when the rule fails.
+/// and records a detection when the rule fails. The detection's trace
+/// is minted as a child of the *requirement root* — a pure function of
+/// `(trace_seed, rule, host, tick)` — so any worker derives the same
+/// context and the incident chain resolves to the catalogue rule.
 fn handle_check_result(shard: usize, seq: u64, now: u64, event: SecEvent, state: &mut ShardLocal) {
     let SecEvent::CheckResult {
         host,
@@ -653,11 +901,19 @@ fn handle_check_result(shard: usize, seq: u64, now: u64, event: SecEvent, state:
     else {
         unreachable!("only CheckResult events reach this handler");
     };
-    let ShardLocal { hosts, detections } = state;
+    let trace_seed = state.trace_seed;
+    let ShardLocal {
+        hosts, detections, ..
+    } = state;
     let monitors = hosts.get_mut(&host).expect("host registered");
     let compliant = !status.is_fail();
     monitors.compliance.observe(&compliant);
     if status == CheckStatus::Fail {
+        let trace = trace_seed.map(|s| {
+            TraceContext::root(s, &rule)
+                .child_u64("host", host as u64)
+                .child_u64("detect", now)
+        });
         detections.push(Detection {
             shard,
             seq,
@@ -666,6 +922,7 @@ fn handle_check_result(shard: usize, seq: u64, now: u64, event: SecEvent, state:
             kind: DetectionKind::Stig,
             introduced_at: tick,
             detected_at: now,
+            trace,
         });
     }
 }
@@ -864,6 +1121,116 @@ mod tests {
             "slow remediation leaves attack windows unanswered"
         );
         assert_eq!(report.fleet_compliance_trace.len(), 400);
+    }
+
+    #[test]
+    fn traced_incidents_resolve_to_requirement_roots() {
+        let catalog = ubuntu::catalog();
+        let engine = SocEngine::new(&catalog, base_config()).unwrap();
+        let mut fleet = compliant_fleet(6);
+        let journal = Journal::new();
+        let tracing = SocTracing::new(journal.clone(), 11);
+        let report = engine.run_traced(&mut fleet, &SocMetrics::new(), &tracing);
+        assert!(!report.incidents.is_empty());
+        let snap = journal.snapshot();
+        for inc in &report.incidents {
+            let ctx = inc.trace.expect("traced runs stamp every incident");
+            assert_eq!(
+                ctx.trace_id,
+                TraceContext::root(11, &inc.rule).trace_id,
+                "incident trace must be rooted at its requirement"
+            );
+            let root = snap
+                .root_event(ctx.trace_id)
+                .expect("requirement root event journalled");
+            assert_eq!(root.name, "requirement.ingested");
+        }
+        assert!(!snap.events_named("soc.detection").is_empty());
+        assert!(!snap.events_named("soc.remediation.resolved").is_empty());
+    }
+
+    #[test]
+    fn disabled_tracing_is_byte_identical_to_untraced() {
+        let catalog = ubuntu::catalog();
+        let engine = SocEngine::new(&catalog, base_config()).unwrap();
+        let mut a = compliant_fleet(6);
+        let mut b = compliant_fleet(6);
+        let untraced = engine.run_with_metrics(&mut a, &SocMetrics::new());
+        let disabled = engine.run_traced(&mut b, &SocMetrics::new(), &SocTracing::disabled());
+        assert_eq!(untraced.incident_log(), disabled.incident_log());
+        assert!(disabled.incidents.iter().all(|i| i.trace.is_none()));
+        assert!(disabled.slo_alerts.is_empty());
+    }
+
+    #[test]
+    fn traced_journal_fingerprints_are_worker_count_invariant() {
+        let catalog = ubuntu::catalog();
+        let prints: Vec<String> = [1usize, 2, 4]
+            .iter()
+            .map(|&workers| {
+                let cfg = SocConfig {
+                    workers,
+                    ..base_config()
+                };
+                let engine = SocEngine::new(&catalog, cfg).unwrap();
+                let mut fleet = compliant_fleet(8);
+                let journal = Journal::new();
+                let tracing = SocTracing::new(journal.clone(), 5);
+                engine.run_traced(&mut fleet, &SocMetrics::new(), &tracing);
+                journal.snapshot().fingerprint()
+            })
+            .collect();
+        assert!(
+            prints.windows(2).all(|w| w[0] == w[1]),
+            "journal fingerprint must be independent of worker count"
+        );
+    }
+
+    #[test]
+    fn slo_policy_alerts_and_feeds_the_bus() {
+        let catalog = ubuntu::catalog();
+        let cfg = SocConfig {
+            drift_rate: 0.3,
+            ..base_config()
+        };
+        let engine = SocEngine::new(&catalog, cfg).unwrap();
+        let mut fleet = compliant_fleet(6);
+        let registry = Registry::new();
+        let metrics = SocMetrics::in_registry(&registry, "soc");
+        let journal = Journal::new();
+        let tracing = SocTracing {
+            journal: journal.clone(),
+            trace_seed: 11,
+            slo: Some(SloPolicy {
+                registry: registry.clone(),
+                rules: vec![BurnRateRule {
+                    name: "event-volume".into(),
+                    signal: vdo_trace::SloSignal::CounterRatio {
+                        bad: "soc.events_published".into(),
+                        total: "soc.events_published".into(),
+                    },
+                    objective: 0.5,
+                    long_window: 20,
+                    short_window: 5,
+                    factor: 1.0,
+                }],
+                period: 5,
+            }),
+        };
+        let report = engine.run_traced(&mut fleet, &metrics, &tracing);
+        assert!(
+            !report.slo_alerts.is_empty(),
+            "a saturated bad-ratio must breach the budget"
+        );
+        let snap = journal.snapshot();
+        assert_eq!(
+            snap.events_named("slo.alert").len(),
+            report.slo_alerts.len(),
+            "every alert is journalled"
+        );
+        assert!(
+            report.slo_alerts[0].trace.is_root() || report.slo_alerts[0].trace.parent.is_some()
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use vdo_core::CheckStatus;
 use vdo_host::DriftKind;
+use vdo_trace::TraceContext;
 
 /// Fleet-wide host identifier (index into the engine's host slice).
 pub type HostId = usize;
@@ -47,6 +48,18 @@ pub enum SecEvent {
         /// Named signal values sampled this tick.
         signals: Vec<(&'static str, f64)>,
     },
+    /// An SLO burn-rate alert fired by the tracing layer. Routed to a
+    /// representative host (alerts are fleet-level) and handled like a
+    /// configuration change: the alert triggers a catalogue re-audit,
+    /// closing the observability loop back into reaction.
+    SloAlert {
+        /// Host whose shard carries the alert (audit target).
+        host: HostId,
+        /// Tick the alert fired.
+        tick: u64,
+        /// Name of the breached burn-rate rule.
+        rule: String,
+    },
     /// Outcome of re-checking one catalogue rule against a host.
     /// Published by the STIG monitor as a follow-up event so other
     /// monitors (e.g. the temporal compliance monitor) can consume it.
@@ -70,6 +83,7 @@ impl SecEvent {
             SecEvent::DriftApplied { host, .. }
             | SecEvent::ConfigChanged { host, .. }
             | SecEvent::SignalTick { host, .. }
+            | SecEvent::SloAlert { host, .. }
             | SecEvent::CheckResult { host, .. } => *host,
         }
     }
@@ -81,18 +95,23 @@ impl SecEvent {
             SecEvent::DriftApplied { tick, .. }
             | SecEvent::ConfigChanged { tick, .. }
             | SecEvent::SignalTick { tick, .. }
+            | SecEvent::SloAlert { tick, .. }
             | SecEvent::CheckResult { tick, .. } => *tick,
         }
     }
 }
 
-/// A [`SecEvent`] as carried on the bus: routed and sequenced.
+/// A [`SecEvent`] as carried on the bus: routed, sequenced, and
+/// (optionally) causally attributed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Shard the event was routed to.
     pub shard: usize,
     /// Position in that shard's total order (0-based, gap-free).
     pub seq: u64,
+    /// Causal context of the event's publisher, when tracing is on
+    /// (see [`ShardedBus::publish_traced`](crate::ShardedBus::publish_traced)).
+    pub trace: Option<TraceContext>,
     /// The event itself.
     pub event: SecEvent,
 }

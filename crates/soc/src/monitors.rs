@@ -21,6 +21,7 @@
 use vdo_core::CheckStatus;
 use vdo_tears::{GuardedAssertion, OwnedGaMonitor, SignalTrace};
 use vdo_temporal::PatternMonitor;
+use vdo_trace::TraceContext;
 
 use crate::event::HostId;
 
@@ -62,6 +63,11 @@ pub struct Detection {
     pub introduced_at: u64,
     /// Tick the monitor confirmed it.
     pub detected_at: u64,
+    /// Causal context when tracing is on: a child of the originating
+    /// requirement's root trace, so the incident chain resolves back to
+    /// the catalogue rule. Last field on purpose — the `(shard, seq)`
+    /// prefix stays the derived sort key.
+    pub trace: Option<TraceContext>,
 }
 
 /// Owned streaming monitor for `A[] compliant` over a host's

@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 
 use serde::Serialize;
+use vdo_trace::TraceContext;
 
 use crate::event::HostId;
 use crate::monitors::DetectionKind;
@@ -54,6 +55,8 @@ pub struct RemediationTask {
     pub detected_at: u64,
     /// 0-based attempt counter.
     pub attempt: u32,
+    /// Causal context inherited from the detection, when tracing is on.
+    pub trace: Option<TraceContext>,
 }
 
 /// A task abandoned after exhausting its retries.
@@ -83,6 +86,10 @@ pub struct SocIncident {
     pub resolved_at: Option<u64>,
     /// Remediation attempts spent (0 for report-only incidents).
     pub attempts: u32,
+    /// Causal context when tracing is on; its `trace_id` is the root
+    /// trace of the requirement (catalogue rule / TEARS assertion) the
+    /// incident violates.
+    pub trace: Option<TraceContext>,
 }
 
 impl SocIncident {
@@ -103,6 +110,7 @@ impl Serialize for SocIncident {
             ("detected_at", self.detected_at.to_value()),
             ("resolved_at", self.resolved_at.to_value()),
             ("attempts", (u64::from(self.attempts)).to_value()),
+            ("trace", self.trace.to_value()),
         ])
     }
 }
@@ -116,6 +124,7 @@ impl Serialize for DeadLetter {
             ("detected_at", self.task.detected_at.to_value()),
             ("failed_attempts", (u64::from(self.task.attempt)).to_value()),
             ("abandoned_at", self.abandoned_at.to_value()),
+            ("trace", self.task.trace.to_value()),
         ])
     }
 }
@@ -245,6 +254,7 @@ mod tests {
             introduced_at: 3,
             detected_at: 3,
             attempt: 0,
+            trace: None,
         }
     }
 

@@ -182,6 +182,7 @@ proptest! {
                 introduced_at: 0,
                 detected_at: 0,
                 attempt: 0,
+                trace: None,
             });
         }
         // Worst-case completion: every task retries at every backoff.

@@ -97,6 +97,41 @@ impl Session {
             .add(overview.total_violations() as u64);
         overview
     }
+
+    /// Like [`evaluate_observed`](Self::evaluate_observed), but also
+    /// records one `tears.verdict` event per assertion in `journal` —
+    /// Info on pass/incomplete, Warn on fail — rooted at the
+    /// assertion's requirement trace (`TraceContext::root(trace_seed,
+    /// name)`), so a session verdict resolves to the same trace id as
+    /// any runtime incident raised for that assertion. With a disabled
+    /// journal this is exactly `evaluate_observed`.
+    #[must_use]
+    pub fn evaluate_traced(
+        &self,
+        trace: &SignalTrace,
+        obs: &vdo_obs::Registry,
+        journal: &vdo_trace::Journal,
+        trace_seed: u64,
+    ) -> SessionOverview {
+        let overview = self.evaluate_observed(trace, obs);
+        if journal.is_enabled() {
+            for r in overview.reports() {
+                let ctx = vdo_trace::TraceContext::root(trace_seed, &r.name).child("verdict");
+                let ev = if r.verdict == CheckStatus::Fail {
+                    vdo_trace::Event::warn("tears.verdict")
+                } else {
+                    vdo_trace::Event::info("tears.verdict")
+                };
+                journal.emit(
+                    ev.trace(ctx)
+                        .field("assertion", r.name.as_str())
+                        .field("violations", r.violations.len())
+                        .field("verdict", r.verdict.to_string()),
+                );
+            }
+        }
+        overview
+    }
 }
 
 /// Aggregated session results.
@@ -241,6 +276,36 @@ ga "no pressure when idle": when pedal < 0.1 then pressure < 1 within 0
             Some(overview.total_violations() as u64)
         );
         assert_eq!(snap.span_count("tears/session"), Some(1));
+    }
+
+    #[test]
+    fn traced_evaluation_roots_verdicts_at_assertion_requirements() {
+        use vdo_trace::{Journal, TraceContext};
+        let s = Session::parse(REQS).unwrap();
+        let journal = Journal::new();
+        let overview = s.evaluate_traced(&trace(), &vdo_obs::Registry::disabled(), &journal, 11);
+        assert_eq!(
+            overview,
+            s.evaluate(&trace()),
+            "tracing never changes verdicts"
+        );
+        let snap = journal.snapshot();
+        let verdicts = snap.events_named("tears.verdict");
+        assert_eq!(verdicts.len(), 2);
+        for ga in s.assertions() {
+            let root = TraceContext::root(11, ga.name());
+            assert!(
+                verdicts
+                    .iter()
+                    .any(|ev| ev.trace.is_some_and(|t| t.trace_id == root.trace_id)),
+                "verdict for {:?} resolves to its requirement root",
+                ga.name()
+            );
+        }
+        // Disabled journal stays silent.
+        let silent = Journal::default();
+        let _ = s.evaluate_traced(&trace(), &vdo_obs::Registry::disabled(), &silent, 11);
+        assert!(silent.snapshot().events.is_empty());
     }
 
     #[test]

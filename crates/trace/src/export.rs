@@ -1,0 +1,227 @@
+//! Exporters: the journal and the metric snapshot in the formats
+//! external tooling actually ingests.
+//!
+//! * [`jsonl`] — one JSON object per line per journal event, the
+//!   standard shape for log shippers and `jq` pipelines;
+//! * [`chrome_trace`] — Chrome `trace_event` JSON built from a
+//!   [`vdo_obs::Snapshot`]'s span aggregates, loadable in
+//!   `chrome://tracing` / Perfetto for flame-graph profiling;
+//! * [`prometheus`] — Prometheus text exposition (format version
+//!   0.0.4) of the full snapshot: counters, gauges, histograms with
+//!   cumulative `le` buckets, and span aggregates.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+use vdo_obs::Snapshot;
+
+use crate::journal::JournalSnapshot;
+
+/// Renders the journal as JSON Lines: one event object per line, in
+/// snapshot order, ending with one trailing newline (empty string for
+/// an empty journal).
+#[must_use]
+pub fn jsonl(snapshot: &JournalSnapshot) -> String {
+    let mut out = String::new();
+    for event in &snapshot.events {
+        out.push_str(&serde::json::to_string(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders span aggregates as Chrome `trace_event` JSON (one complete
+/// `"X"` event per span path). Spans nest by their `/`-separated
+/// paths: a child starts where its parent starts, offset by the total
+/// duration of the siblings before it, so the flame graph shows the
+/// aggregate time layout of one run. Timestamps are microseconds of
+/// *total* span time — profile shape, not a literal timeline.
+#[must_use]
+pub fn chrome_trace(snapshot: &Snapshot) -> String {
+    // Paths sort lexicographically, so a parent precedes its children
+    // and siblings are grouped; track each path's start offset and the
+    // running end of its latest child.
+    let mut events: Vec<serde::json::Value> = Vec::new();
+    // (path, start_us, next_child_start_us)
+    let mut stack: Vec<(String, f64, f64)> = Vec::new();
+    let mut top_level_cursor = 0.0_f64;
+    for (path, span) in &snapshot.spans {
+        while let Some((prefix, ..)) = stack.last() {
+            if path.starts_with(prefix.as_str()) && path.as_bytes().get(prefix.len()) == Some(&b'/')
+            {
+                break;
+            }
+            stack.pop();
+        }
+        let total_us = span.total_nanos as f64 / 1_000.0;
+        let start_us = match stack.last_mut() {
+            Some((_, _, cursor)) => {
+                let s = *cursor;
+                *cursor += total_us;
+                s
+            }
+            None => {
+                let s = top_level_cursor;
+                top_level_cursor += total_us;
+                s
+            }
+        };
+        events.push(serde::json::object([
+            ("name", path.to_value()),
+            ("ph", "X".to_value()),
+            ("pid", 1u64.to_value()),
+            ("tid", 1u64.to_value()),
+            ("ts", start_us.to_value()),
+            ("dur", total_us.to_value()),
+            (
+                "args",
+                serde::json::object([
+                    ("count", span.count.to_value()),
+                    ("max_us", (span.max_nanos as f64 / 1_000.0).to_value()),
+                    ("mean_us", (span.mean_nanos() / 1_000.0).to_value()),
+                ]),
+            ),
+        ]));
+        stack.push((path.clone(), start_us, start_us));
+    }
+    serde::json::to_string(&serde::json::object([("traceEvents", events.to_value())]))
+}
+
+/// Maps a metric name to a valid Prometheus identifier: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders the snapshot in the Prometheus text exposition format:
+/// counters and gauges as-is, histograms as cumulative `_bucket{le=}`
+/// series plus `_sum`/`_count`, span aggregates as
+/// `_span_count` / `_span_total_nanos` / `_span_max_nanos` gauges.
+/// Names are sanitized (`.` and `/` become `_`); ordering is the
+/// snapshot's stable BTreeMap order, so the exposition is
+/// byte-deterministic for a given snapshot.
+#[must_use]
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snapshot.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    for (path, span) in &snapshot.spans {
+        let n = sanitize(path);
+        let _ = writeln!(out, "# TYPE {n}_span_count gauge");
+        let _ = writeln!(out, "{n}_span_count {}", span.count);
+        let _ = writeln!(out, "# TYPE {n}_span_total_nanos gauge");
+        let _ = writeln!(out, "{n}_span_total_nanos {}", span.total_nanos);
+        let _ = writeln!(out, "# TYPE {n}_span_max_nanos gauge");
+        let _ = writeln!(out, "{n}_span_max_nanos {}", span.max_nanos);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Event, Journal};
+    use crate::TraceContext;
+    use vdo_obs::{Clock, Registry, TICK_BOUNDS};
+
+    fn sample_registry() -> Registry {
+        let clock = Clock::simulated();
+        let obs = Registry::with_clock(clock.clone());
+        obs.counter("pipeline.commits").add(40);
+        obs.gauge("soc.queue_depth").record_max(12);
+        let h = obs.histogram("soc.detection_latency", &TICK_BOUNDS);
+        h.record(0);
+        h.record(3);
+        h.record(500);
+        {
+            let outer = obs.span("pipeline");
+            clock.advance(10_000);
+            let _inner = outer.child("ops");
+            clock.advance(4_000);
+        }
+        obs
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let j = Journal::new();
+        j.emit(Event::info("a").at(1).trace(TraceContext::root(0, "x")));
+        j.emit(Event::warn("b").at(2).field("k", 3u64));
+        let text = jsonl(&j.snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(text.contains("\"name\":\"a\""));
+        assert!(text.contains("\"severity\":\"warn\""));
+    }
+
+    #[test]
+    fn chrome_trace_nests_children_inside_parents() {
+        let json = chrome_trace(&sample_registry().snapshot());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"pipeline\""));
+        assert!(json.contains("\"name\":\"pipeline/ops\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Parent total is 14µs, child 4µs, both starting at 0.
+        assert!(json.contains("\"dur\":14"));
+        assert!(json.contains("\"dur\":4"));
+    }
+
+    #[test]
+    fn prometheus_exposes_all_instrument_kinds() {
+        let text = prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE pipeline_commits counter\npipeline_commits 40\n"));
+        assert!(text.contains("# TYPE soc_queue_depth gauge\nsoc_queue_depth 12\n"));
+        assert!(text.contains("# TYPE soc_detection_latency histogram"));
+        assert!(text.contains("soc_detection_latency_bucket{le=\"0\"} 1"));
+        assert!(text.contains("soc_detection_latency_bucket{le=\"4\"} 2"));
+        assert!(text.contains("soc_detection_latency_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("soc_detection_latency_sum 503"));
+        assert!(text.contains("soc_detection_latency_count 3"));
+        assert!(text.contains("pipeline_ops_span_count 1"));
+    }
+
+    #[test]
+    fn prometheus_is_deterministic_for_a_snapshot() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(prometheus(&snap), prometheus(&snap));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_empty() {
+        let snap = Registry::disabled().snapshot();
+        assert!(prometheus(&snap).is_empty());
+        assert_eq!(chrome_trace(&snap), "{\"traceEvents\":[]}");
+        assert!(jsonl(&Journal::disabled().snapshot()).is_empty());
+    }
+}

@@ -1,0 +1,697 @@
+//! The sharded, bounded, causally-linked event journal.
+//!
+//! A [`Journal`] is the per-run audit log the closed loop writes its
+//! structured events into: requirement ingestions, NALABS and gate
+//! verdicts, deployments, SOC detections, remediation attempts, SLO
+//! alerts. It follows the two disciplines the rest of the workspace
+//! already enforces:
+//!
+//! * **`Registry::disabled` cost model** — a journal is an
+//!   `Option<Arc<_>>` handle; the disabled journal (also the
+//!   `Default`) makes [`emit`](Journal::emit) a branch on `None`, so a
+//!   `Journal` field costs nothing until a caller opts in.
+//! * **Determinism** — event payloads carry *logical* time (ticks, or
+//!   0 for the development phase) and deterministic
+//!   [`TraceContext`]s; the snapshot
+//!   [`fingerprint`](JournalSnapshot::fingerprint) compares the sorted
+//!   canonical event multiset plus drop counts, so equal-seed runs
+//!   fingerprint identically at any worker count.
+//!
+//! Capacity is bounded per shard (events route to shards by trace id,
+//! falling back to the event name, so one trace's events stay
+//! together). When a shard ring is full the **incoming** event is
+//! dropped — a lossy tail — and the shard's drop counter records
+//! exactly how many were lost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::context::{TraceContext, TraceId};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// High-volume diagnostics (drift events, per-doc verdicts).
+    Debug,
+    /// Normal milestones (ingestion, deployment, resolution).
+    Info,
+    /// Findings that need attention (gate failures, detections).
+    Warn,
+    /// Failures (dead letters, SLO alerts).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A typed field value. `From` impls cover the primitive types the
+/// loop reports, so `.field("host", 3usize)` just works.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:?}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Serialize for FieldValue {
+    fn to_value(&self) -> serde::json::Value {
+        match self {
+            FieldValue::U64(v) => v.to_value(),
+            FieldValue::I64(v) => v.to_value(),
+            FieldValue::F64(v) => v.to_value(),
+            FieldValue::Bool(v) => v.to_value(),
+            FieldValue::Str(v) => v.to_value(),
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+field_from!(u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+            i64 => I64 as i64, i32 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Typed key-value payload of one event, in emission order. The first
+/// four pairs are stored inline — building and journalling an event
+/// with up to four fields (every event the closed loop emits) costs no
+/// heap allocation for the field list — and further pairs spill to a
+/// heap vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fields {
+    inline: [Option<(&'static str, FieldValue)>; 4],
+    spill: Vec<(&'static str, FieldValue)>,
+}
+
+impl Fields {
+    /// An empty field list.
+    #[must_use]
+    pub fn new() -> Self {
+        Fields::default()
+    }
+
+    /// Appends one pair, preserving emission order.
+    pub fn push(&mut self, key: &'static str, value: FieldValue) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some((key, value));
+                return;
+            }
+        }
+        self.spill.push((key, value));
+    }
+
+    /// The pairs in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &(&'static str, FieldValue)> {
+        self.inline.iter().flatten().chain(self.spill.iter())
+    }
+
+    /// Number of pairs held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inline.iter().flatten().count() + self.spill.len()
+    }
+
+    /// `true` when no pairs are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inline[0].is_none() && self.spill.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Fields {
+    type Item = &'a (&'static str, FieldValue);
+    type IntoIter = std::iter::Chain<
+        std::iter::Flatten<std::slice::Iter<'a, Option<(&'static str, FieldValue)>>>,
+        std::slice::Iter<'a, (&'static str, FieldValue)>,
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline.iter().flatten().chain(self.spill.iter())
+    }
+}
+
+/// One journal entry: logical time, severity, a dotted event name, an
+/// optional causal context, and typed key-value fields. Built fluently:
+///
+/// ```
+/// use vdo_trace::{Event, TraceContext};
+/// let ctx = TraceContext::root(7, "V-219161");
+/// let e = Event::warn("soc.detection").at(42).trace(ctx).field("host", 3u64);
+/// assert_eq!(e.at, 42);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Logical timestamp: the operations tick, or 0 for development-
+    /// phase events. Never wall time — fingerprints include it.
+    pub at: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// Dotted event name, e.g. `"gate.verdict"`.
+    pub name: &'static str,
+    /// Causal context, when the event belongs to a trace.
+    pub trace: Option<TraceContext>,
+    /// Typed key-value payload, in emission order.
+    pub fields: Fields,
+}
+
+impl Event {
+    /// A new event at severity `severity`.
+    #[must_use]
+    pub fn new(name: &'static str, severity: Severity) -> Self {
+        Event {
+            at: 0,
+            severity,
+            name,
+            trace: None,
+            fields: Fields::new(),
+        }
+    }
+
+    /// A `Debug` event.
+    #[must_use]
+    pub fn debug(name: &'static str) -> Self {
+        Event::new(name, Severity::Debug)
+    }
+
+    /// An `Info` event.
+    #[must_use]
+    pub fn info(name: &'static str) -> Self {
+        Event::new(name, Severity::Info)
+    }
+
+    /// A `Warn` event.
+    #[must_use]
+    pub fn warn(name: &'static str) -> Self {
+        Event::new(name, Severity::Warn)
+    }
+
+    /// An `Error` event.
+    #[must_use]
+    pub fn error(name: &'static str) -> Self {
+        Event::new(name, Severity::Error)
+    }
+
+    /// Sets the logical timestamp (builder style).
+    #[must_use]
+    pub fn at(mut self, at: u64) -> Self {
+        self.at = at;
+        self
+    }
+
+    /// Attaches a causal context (builder style).
+    #[must_use]
+    pub fn trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
+
+    /// Appends one typed field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        self.fields.push(key, value.into());
+        self
+    }
+
+    /// The canonical single-line rendering — the unit the journal
+    /// fingerprint is computed over. Everything in it is deterministic
+    /// for seeded workloads.
+    #[must_use]
+    pub fn canonical_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!("{:>8} {} {}", self.at, self.severity, self.name);
+        if let Some(t) = &self.trace {
+            let _ = write!(line, " [{t}]");
+        }
+        for (k, v) in &self.fields {
+            let _ = write!(line, " {k}={v}");
+        }
+        line
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> serde::json::Value {
+        let fields: Vec<serde::json::Value> = self
+            .fields
+            .iter()
+            .map(|(k, v)| serde::json::object([("key", (*k).to_value()), ("value", v.to_value())]))
+            .collect();
+        serde::json::object([
+            ("at", self.at.to_value()),
+            ("severity", self.severity.to_string().to_value()),
+            ("name", self.name.to_value()),
+            ("trace", self.trace.to_value()),
+            ("fields", fields.to_value()),
+        ])
+    }
+}
+
+/// Journal sizing and filtering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Independent ring shards (>= 1).
+    pub shards: usize,
+    /// Bounded capacity of each shard (>= 1); an event arriving at a
+    /// full shard is dropped and counted.
+    pub capacity_per_shard: usize,
+    /// Events below this severity are ignored (not counted as drops).
+    pub min_severity: Severity,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            shards: 8,
+            capacity_per_shard: 1 << 14,
+            min_severity: Severity::Debug,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    config: JournalConfig,
+    shards: Vec<Mutex<Vec<Event>>>,
+    dropped: Vec<AtomicU64>,
+}
+
+/// The journal handle. Cheap to clone (clones share state); the
+/// disabled journal (also the `Default`) records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<JournalInner>>,
+}
+
+impl Journal {
+    /// An enabled journal with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Journal::with_config(JournalConfig::default())
+    }
+
+    /// An enabled journal with explicit sizing/filter policy.
+    ///
+    /// # Panics
+    /// When `shards` or `capacity_per_shard` is zero.
+    #[must_use]
+    pub fn with_config(config: JournalConfig) -> Self {
+        assert!(config.shards > 0, "journal needs at least one shard");
+        assert!(
+            config.capacity_per_shard > 0,
+            "journal shards must hold at least one event"
+        );
+        // Pre-reserve a modest ring prefix so steady-state emission
+        // does not pay repeated grow-and-copy cycles (full capacity
+        // up front would be wasteful for short runs).
+        let reserve = config.capacity_per_shard.min(1024);
+        Journal {
+            inner: Some(Arc::new(JournalInner {
+                shards: (0..config.shards)
+                    .map(|_| Mutex::new(Vec::with_capacity(reserve)))
+                    .collect(),
+                dropped: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+                config,
+            })),
+        }
+    }
+
+    /// The no-op journal: emissions vanish, the snapshot is empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Journal { inner: None }
+    }
+
+    /// `true` when emissions are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shard `event` routes to: by trace id when present (so one
+    /// trace's events stay together), by name otherwise. A pure
+    /// function, like the SOC bus's host→shard hash.
+    fn shard_for(inner: &JournalInner, event: &Event) -> usize {
+        let key = match &event.trace {
+            Some(t) => t.trace_id.0,
+            None => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &b in event.name.as_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            }
+        };
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % inner.config.shards as u64) as usize
+    }
+
+    /// Records `event`, unless the journal is disabled, the event is
+    /// below the severity floor, or its shard is full (a lossy-tail
+    /// drop, which the shard's drop counter records exactly).
+    pub fn emit(&self, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        if event.severity < inner.config.min_severity {
+            return;
+        }
+        let shard = Self::shard_for(inner, &event);
+        let mut ring = inner.shards[shard].lock().expect("journal shard poisoned");
+        if ring.len() < inner.config.capacity_per_shard {
+            ring.push(event);
+        } else {
+            drop(ring);
+            inner.dropped[shard].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events currently held (0 when disabled).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("journal shard poisoned").len())
+                .sum()
+        })
+    }
+
+    /// `true` when no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events dropped at full shards.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .dropped
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum()
+        })
+    }
+
+    /// Freezes the journal into an immutable [`JournalSnapshot`]
+    /// (empty when disabled). Events are listed shard by shard in
+    /// emission order; when all emitters share one thread — as in the
+    /// engine main loops — that order is deterministic, and the
+    /// fingerprint is deterministic regardless.
+    #[must_use]
+    pub fn snapshot(&self) -> JournalSnapshot {
+        let Some(inner) = &self.inner else {
+            return JournalSnapshot::default();
+        };
+        JournalSnapshot {
+            events: inner
+                .shards
+                .iter()
+                .flat_map(|s| s.lock().expect("journal shard poisoned").clone())
+                .collect(),
+            dropped_per_shard: inner
+                .dropped
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen journal state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalSnapshot {
+    /// All held events, shard by shard in emission order.
+    pub events: Vec<Event>,
+    /// Exact lossy-tail drop count per shard.
+    pub dropped_per_shard: Vec<u64>,
+}
+
+impl JournalSnapshot {
+    /// Total events dropped.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_per_shard.iter().sum()
+    }
+
+    /// Events with the given name, in snapshot order.
+    #[must_use]
+    pub fn events_named(&self, name: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+
+    /// Events belonging to `trace`, in snapshot order.
+    #[must_use]
+    pub fn events_for_trace(&self, trace: TraceId) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| e.trace.is_some_and(|t| t.trace_id == trace))
+            .collect()
+    }
+
+    /// The event that *rooted* `trace` (its context has no parent) —
+    /// for an incident trace, the requirement-ingestion event.
+    #[must_use]
+    pub fn root_event(&self, trace: TraceId) -> Option<&Event> {
+        self.events
+            .iter()
+            .find(|e| e.trace.is_some_and(|t| t.trace_id == trace && t.is_root()))
+    }
+
+    /// The canonical order-independent digest: every event's
+    /// [`canonical_line`](Event::canonical_line), sorted, plus the
+    /// per-shard drop counts. Two runs that emitted the same event
+    /// *multiset* (in any interleaving) fingerprint identically —
+    /// which is the worker-count-independence contract the loop's
+    /// engines provide.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut lines: Vec<String> = self.events.iter().map(Event::canonical_line).collect();
+        lines.sort_unstable();
+        let mut out = lines.join("\n");
+        out.push_str(&format!("\ndropped = {:?}", self.dropped_per_shard));
+        out
+    }
+}
+
+impl Serialize for JournalSnapshot {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::object([
+            ("events", self.events.to_value()),
+            ("dropped_per_shard", self.dropped_per_shard.to_value()),
+            ("dropped", self.dropped().to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = Journal::disabled();
+        assert!(!j.is_enabled());
+        j.emit(Event::info("x"));
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.snapshot(), JournalSnapshot::default());
+        assert!(!Journal::default().is_enabled());
+    }
+
+    #[test]
+    fn events_record_with_fields_and_traces() {
+        let j = Journal::new();
+        let ctx = TraceContext::root(1, "V-1");
+        j.emit(
+            Event::warn("soc.detection")
+                .at(9)
+                .trace(ctx)
+                .field("host", 4u64)
+                .field("rule", "V-1"),
+        );
+        j.emit(Event::info("deploy").at(3));
+        assert_eq!(j.len(), 2);
+        let snap = j.snapshot();
+        assert_eq!(snap.events_named("soc.detection").len(), 1);
+        assert_eq!(snap.events_for_trace(ctx.trace_id).len(), 1);
+        assert_eq!(snap.root_event(ctx.trace_id).unwrap().name, "soc.detection");
+        let line = snap.events_named("soc.detection")[0].canonical_line();
+        assert!(line.contains("warn soc.detection"));
+        assert!(line.contains("host=4"));
+        assert!(line.contains("rule=V-1"));
+    }
+
+    #[test]
+    fn severity_floor_filters_without_counting_drops() {
+        let j = Journal::with_config(JournalConfig {
+            min_severity: Severity::Warn,
+            ..JournalConfig::default()
+        });
+        j.emit(Event::debug("noise"));
+        j.emit(Event::info("milestone"));
+        j.emit(Event::warn("finding"));
+        j.emit(Event::error("failure"));
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 0, "filtered events are not drops");
+    }
+
+    #[test]
+    fn full_shards_drop_the_tail_and_count_exactly() {
+        let j = Journal::with_config(JournalConfig {
+            shards: 1,
+            capacity_per_shard: 3,
+            min_severity: Severity::Debug,
+        });
+        for i in 0..10u64 {
+            j.emit(Event::info("e").at(i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        let snap = j.snapshot();
+        // Lossy tail: the *oldest* events survive.
+        assert_eq!(
+            snap.events.iter().map(|e| e.at).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(snap.dropped_per_shard, [7]);
+    }
+
+    #[test]
+    fn one_traces_events_share_a_shard() {
+        let j = Journal::with_config(JournalConfig {
+            shards: 4,
+            ..JournalConfig::default()
+        });
+        let ctx = TraceContext::root(5, "commit-7");
+        j.emit(Event::info("a").trace(ctx));
+        j.emit(Event::info("b").trace(ctx.child("gate")));
+        j.emit(Event::info("c").trace(ctx.child("gate").child("deploy")));
+        let inner = j.inner.as_ref().unwrap();
+        let occupied: Vec<usize> = inner
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.lock().unwrap().is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(occupied.len(), 1, "same trace id ⇒ same shard");
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let make = |reversed: bool| {
+            let j = Journal::new();
+            let mut events: Vec<Event> = (0..20u64)
+                .map(|i| Event::info("e").at(i).field("i", i))
+                .collect();
+            if reversed {
+                events.reverse();
+            }
+            for e in events {
+                j.emit(e);
+            }
+            j.snapshot().fingerprint()
+        };
+        assert_eq!(make(false), make(true));
+    }
+
+    #[test]
+    fn fingerprint_covers_drops() {
+        let emit_n = |n: u64| {
+            let j = Journal::with_config(JournalConfig {
+                shards: 1,
+                capacity_per_shard: 2,
+                min_severity: Severity::Debug,
+            });
+            for i in 0..n {
+                j.emit(Event::info("e").at(i.min(1)));
+            }
+            j.snapshot().fingerprint()
+        };
+        assert_ne!(emit_n(3), emit_n(4), "drop counts are part of the digest");
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let j = Journal::new();
+        j.emit(Event::info("x").field("k", "v"));
+        let json = serde::json::to_string(&j.snapshot());
+        assert!(json.contains("\"events\""));
+        assert!(json.contains("\"dropped_per_shard\""));
+    }
+
+    #[test]
+    fn concurrent_emitters_are_safe() {
+        let j = Journal::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let j = j.clone();
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        j.emit(Event::info("shared").at(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(j.len(), 2_000);
+        assert_eq!(j.dropped(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # vdo-trace — causal tracing across the VeriDevOps closed loop
+//!
+//! The paper's closed loop (requirements → gates → deployment →
+//! monitoring → remediation) is only auditable if every artifact can
+//! answer *"which requirement caused you?"*. This crate supplies the
+//! machinery:
+//!
+//! * [`TraceContext`] — deterministic trace/span identities minted as
+//!   pure hashes of `(seed, artifact id)`, so equal-seed runs emit
+//!   bit-identical causal trees at any worker count;
+//! * [`Journal`] — a sharded, bounded, lossy-tail event journal with
+//!   severity levels, typed fields, exact drop accounting, and a
+//!   no-op disabled mode that costs one branch per call site (the
+//!   same discipline as [`vdo_obs::Registry::disabled`]);
+//! * [`export`] — JSONL, Chrome `trace_event`, and Prometheus text
+//!   exposition renderers;
+//! * [`SloEngine`] — multi-window burn-rate evaluation of SLO rules
+//!   (detection latency, gate pass rate, remediation failures) over
+//!   successive metric snapshots, feeding alerts back into the
+//!   journal and — via the caller — the SOC event bus.
+
+pub mod context;
+pub mod export;
+pub mod journal;
+pub mod slo;
+
+pub use context::{SpanId, TraceContext, TraceId};
+pub use journal::{Event, FieldValue, Journal, JournalConfig, JournalSnapshot, Severity};
+pub use slo::{BurnRateRule, SloAlert, SloEngine, SloSignal};

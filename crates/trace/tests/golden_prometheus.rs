@@ -1,0 +1,49 @@
+//! Golden-file test for the Prometheus text exposition: the rendering
+//! of a fixed, fully deterministic snapshot (simulated clock, fixed
+//! instrument values) must match `tests/golden/prometheus.txt` byte for
+//! byte. Regenerate after an intentional format change with
+//! `BLESS_GOLDEN=1 cargo test -p vdo-trace --test golden_prometheus`.
+
+use vdo_obs::{Clock, Registry, TICK_BOUNDS};
+
+/// The fixture: one of every instrument kind, with values chosen so
+/// each exposition feature shows up (empty bucket, overflow bucket,
+/// nested spans, sanitized names).
+fn fixture() -> Registry {
+    let clock = Clock::simulated();
+    let obs = Registry::with_clock(clock.clone());
+    obs.counter("pipeline.commits").add(50);
+    obs.counter("soc.detections").add(7);
+    obs.gauge("soc.queue_depth").record_max(12);
+    let h = obs.histogram("soc.detection_latency", &TICK_BOUNDS);
+    h.record(0);
+    h.record(3);
+    h.record(3);
+    h.record(500);
+    {
+        let outer = obs.span("pipeline");
+        clock.advance(10_000);
+        let inner = outer.child("ops");
+        clock.advance(4_000);
+        drop(inner);
+        let inner = outer.child("ops");
+        clock.advance(2_000);
+        drop(inner);
+    }
+    obs
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_file() {
+    let actual = vdo_trace::export::prometheus(&fixture().snapshot());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(path, &actual).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        actual, expected,
+        "Prometheus exposition drifted from tests/golden/prometheus.txt; \
+         re-bless with BLESS_GOLDEN=1 if the change is intentional"
+    );
+}

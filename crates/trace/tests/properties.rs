@@ -1,0 +1,140 @@
+//! Property tests for the journal's three load-bearing guarantees:
+//! no losses below capacity under concurrent emitters, exact drop
+//! accounting above capacity, and emission-order independence of the
+//! snapshot fingerprint (the worker-count-invariance contract).
+
+use proptest::prelude::*;
+
+use vdo_trace::{Event, Journal, JournalConfig, Severity, TraceContext};
+
+/// A deterministic event stream: a mix of traced (varying roots, so
+/// events spread across shards) and untraced events.
+fn stream(seed: u64, n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            let event = Event::info("prop.stream")
+                .at(i as u64)
+                .field("i", i)
+                .field("seed", seed);
+            if i % 3 == 0 {
+                event
+            } else {
+                let root = TraceContext::root(seed, &format!("R-{}", i % 7));
+                event.trace(root.child_u64("step", i as u64))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Concurrent emitters below capacity lose nothing: every event
+    /// lands, drop counters stay zero, regardless of thread count and
+    /// shard count.
+    #[test]
+    fn concurrent_emitters_lose_nothing_below_capacity(
+        seed in 0u64..1_000,
+        threads in 1usize..6,
+        per_thread in 1usize..300,
+        shards in 1usize..6,
+    ) {
+        let journal = Journal::with_config(JournalConfig {
+            shards,
+            // Worst case routes every event to one shard.
+            capacity_per_shard: threads * per_thread,
+            min_severity: Severity::Debug,
+        });
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let journal = journal.clone();
+                let mine = stream(seed.wrapping_add(t as u64), per_thread);
+                scope.spawn(move || {
+                    for event in mine {
+                        journal.emit(event);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(journal.len(), threads * per_thread);
+        prop_assert_eq!(journal.dropped(), 0);
+        prop_assert_eq!(journal.snapshot().dropped(), 0);
+    }
+
+    /// Above capacity the journal keeps the oldest events (lossy tail)
+    /// and its drop counter records *exactly* how many were lost.
+    #[test]
+    fn full_shards_record_exact_drop_counts(
+        capacity in 1usize..32,
+        emitted in 0usize..96,
+    ) {
+        let journal = Journal::with_config(JournalConfig {
+            shards: 1,
+            capacity_per_shard: capacity,
+            min_severity: Severity::Debug,
+        });
+        for i in 0..emitted {
+            journal.emit(Event::info("prop.flood").at(i as u64));
+        }
+        prop_assert_eq!(journal.len(), emitted.min(capacity));
+        prop_assert_eq!(journal.dropped(), emitted.saturating_sub(capacity) as u64);
+        let snap = journal.snapshot();
+        prop_assert_eq!(snap.dropped(), journal.dropped());
+        // Survivors are the oldest events, in emission order.
+        for (i, event) in snap.events.iter().enumerate() {
+            prop_assert_eq!(event.at, i as u64);
+        }
+    }
+
+    /// Severity filtering is not loss: events below the floor vanish
+    /// without touching the drop counters.
+    #[test]
+    fn severity_floor_is_not_counted_as_loss(n in 0usize..200) {
+        let journal = Journal::with_config(JournalConfig {
+            min_severity: Severity::Warn,
+            ..JournalConfig::default()
+        });
+        for i in 0..n {
+            journal.emit(Event::debug("prop.noise").at(i as u64));
+            journal.emit(Event::warn("prop.finding").at(i as u64));
+        }
+        prop_assert_eq!(journal.len(), n);
+        prop_assert_eq!(journal.dropped(), 0);
+    }
+
+    /// Splitting one event multiset across any number of worker
+    /// threads fingerprints identically to sequential emission — the
+    /// contract that lets equal-seed engine runs compare journals at
+    /// any worker count.
+    #[test]
+    fn parallel_and_sequential_emission_fingerprint_identically(
+        seed in 0u64..1_000,
+        n in 1usize..300,
+        workers in 1usize..7,
+    ) {
+        let events = stream(seed, n);
+
+        let sequential = Journal::new();
+        for event in &events {
+            sequential.emit(event.clone());
+        }
+
+        let parallel = Journal::new();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let parallel = parallel.clone();
+                let mine: Vec<Event> =
+                    events.iter().skip(w).step_by(workers).cloned().collect();
+                scope.spawn(move || {
+                    for event in mine {
+                        parallel.emit(event);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(parallel.len(), sequential.len());
+        prop_assert_eq!(
+            sequential.snapshot().fingerprint(),
+            parallel.snapshot().fingerprint()
+        );
+    }
+}

@@ -19,7 +19,10 @@
 //!   lint engine behind the pipeline's analysis gate);
 //! * [`pipeline`] — the DevOps pipeline substrate tying it all together;
 //! * [`soc`] — the event-driven security-operations engine (sharded
-//!   event bus, work-stealing monitor runtime, remediation dispatcher).
+//!   event bus, work-stealing monitor runtime, remediation dispatcher);
+//! * [`trace`] — causal tracing across the closed loop (trace contexts,
+//!   the sharded event journal, JSONL/Chrome/Prometheus exporters, and
+//!   SLO burn-rate alerting).
 //!
 //! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
 //! evaluation suite. The quickest start:
@@ -50,3 +53,4 @@ pub use vdo_specpat as specpat;
 pub use vdo_stigs as stigs;
 pub use vdo_tears as tears;
 pub use vdo_temporal as temporal;
+pub use vdo_trace as trace;
