@@ -34,4 +34,13 @@ python3 -c "import json; json.load(open('target/exp_report.json'))" 2> /dev/null
 python3 -c "import json; [json.loads(l) for l in open('target/journal.jsonl')]" 2> /dev/null \
   || echo "   (python3 unavailable — skipping JSONL validation)"
 
+echo "==> E15 latency budget (smoke p99 vs documented budget)"
+python3 - << 'EOF' 2> /dev/null || echo "   (python3 unavailable — budget asserted in-binary by exp_report)"
+import json
+smoke = json.load(open('target/exp_report.json'))['e15_server']['smoke']
+assert smoke['within_budget'], \
+    f"E15 smoke p99 {smoke['p99_ticks']:.1f} exceeds the {smoke['budget_ticks']}-round budget"
+print(f"   p99 {smoke['p99_ticks']:.1f} rounds <= budget {smoke['budget_ticks']}")
+EOF
+
 echo "CI green."

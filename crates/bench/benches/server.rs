@@ -1,0 +1,153 @@
+//! E15 — the multi-tenant service front end under open-loop load.
+//!
+//! Regenerates: throughput and p99 end-to-end latency of `vdo-server`
+//! versus tenant count and worker count, plus the admission-control
+//! shedding behaviour under 2× overload. The full experiment tables
+//! (1M-request headline run, sweeps, determinism, smoke budget) come
+//! from `cargo run -p vdo-bench --bin exp_report --release`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vdo_server::{
+    LoadConfig, LoadGen, Request, Server, ServerConfig, ServerMetrics, ServerTracing, TenantConfig,
+};
+
+fn service(tenants: usize, workers: usize, queue_capacity: usize) -> Server {
+    let mut server = Server::new(ServerConfig {
+        capacity_per_round: 1_200,
+        quantum: 4,
+        workers,
+        retain_responses: false,
+    });
+    for t in 0..tenants {
+        server.register_tenant(
+            &TenantConfig::new(format!("tenant-{t}"))
+                .with_seed(t as u64)
+                .with_weight(1 + (t as u64 % 3))
+                .with_queue_capacity(queue_capacity),
+        );
+    }
+    server
+}
+
+fn run(server: &mut Server, tenants: usize, total: u64, base_rate: u64) -> f64 {
+    let weights: Vec<u64> = (0..tenants).map(|t| 1 + (t as u64 % 3)).collect();
+    let mut gen = LoadGen::new(LoadConfig {
+        total_requests: total,
+        base_rate,
+        burst_period: 0,
+        burst_size: 0,
+        tenant_weights: weights,
+        mix: vdo_server::MixWeights::default(),
+        seed: 7,
+    });
+    let metrics = ServerMetrics::new();
+    let report = server.run_load(&mut gen, &metrics, &ServerTracing::disabled());
+    assert_eq!(report.completed(), report.admitted());
+    metrics
+        .queue_latency
+        .snapshot()
+        .quantile(0.99)
+        .unwrap_or(0.0)
+}
+
+fn print_tables() {
+    println!("\n[E15] service throughput vs tenant count (100k requests, 4 workers)");
+    println!("{:>10} {:>12} {:>10}", "TENANTS", "THROUGHPUT", "P99 RNDS");
+    for tenants in [2usize, 4, 8, 16] {
+        let mut server = service(tenants, 4, 512);
+        let t0 = std::time::Instant::now();
+        let p99 = run(&mut server, tenants, 100_000, 1_000);
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{tenants:>10} {:>10.0}/s {p99:>10.1}", 100_000.0 / dt);
+    }
+
+    println!("\n[E15] admission shedding under 2x overload (50k requests, capacity 500/round)");
+    println!("{:>10} {:>10} {:>10}", "QUEUE CAP", "ADMITTED", "REJECTED");
+    for queue_capacity in [64usize, 256, 1_024] {
+        let mut server = Server::new(ServerConfig {
+            capacity_per_round: 500,
+            quantum: 4,
+            workers: 4,
+            retain_responses: false,
+        });
+        for t in 0..8usize {
+            server.register_tenant(
+                &TenantConfig::new(format!("tenant-{t}"))
+                    .with_seed(t as u64)
+                    .with_queue_capacity(queue_capacity),
+            );
+        }
+        let mut gen = LoadGen::new(LoadConfig::even(8, 50_000, 1_000, 13));
+        let metrics = ServerMetrics::new();
+        let report = server.run_load(&mut gen, &metrics, &ServerTracing::disabled());
+        println!(
+            "{queue_capacity:>10} {:>10} {:>10}",
+            report.admitted(),
+            report.rejected()
+        );
+        assert!(report.rejected() > 0, "overload must shed load");
+    }
+}
+
+fn bench_server(c: &mut Criterion) {
+    print_tables();
+
+    let mut group = c.benchmark_group("E15_tenants");
+    group.sample_size(10);
+    for tenants in [2usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter_batched(
+                    || service(tenants, 4, 512),
+                    |mut server| run(&mut server, tenants, 20_000, 1_000),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E15_workers");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || service(8, workers, 512),
+                    |mut server| run(&mut server, 8, 20_000, 1_000),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    // Single-request path: synchronous submit + drain round trip.
+    let mut group = c.benchmark_group("E15_sync_path");
+    group.sample_size(10);
+    group.bench_function("submit_drain", |b| {
+        let mut server = service(1, 1, 64);
+        b.iter(|| {
+            server
+                .submit(0, Request::QueryIncident { rule: None })
+                .expect("queue has room");
+            server.drain(&ServerMetrics::disabled(), &ServerTracing::disabled())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_server
+}
+criterion_main!(benches);

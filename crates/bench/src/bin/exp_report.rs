@@ -74,6 +74,7 @@ fn main() {
         ("e12_obs_overhead", e12_obs_overhead()),
         ("e13_analyze", e13_analyze()),
         ("e14_trace", e14_trace()),
+        ("e15_server", e15_server()),
         ("f1_closed_loop", f1_closed_loop()),
         ("a1_dictionary_ablation", a1_dictionary_ablation()),
     ];
@@ -869,6 +870,14 @@ fn e14_trace() -> Value {
         ("completeness", Value::Array(completeness_rows)),
         ("fingerprint_worker_invariant", Value::Bool(invariant)),
     ])
+}
+
+/// E15: the multi-tenant service front end — one million open-loop
+/// requests across eight tenants, latency/throughput/rejection tables,
+/// scaling sweeps, the worker-count determinism check, and the smoke
+/// configuration CI holds to its latency budget.
+fn e15_server() -> Value {
+    vdo_bench::e15::section(&vdo_bench::e15::E15Scale::full())
 }
 
 /// E13: the static analyzer against the planted-defect corpus —

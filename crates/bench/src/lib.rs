@@ -5,4 +5,5 @@
 //! between them and the `exp_report` binary that prints the experiment
 //! tables without Criterion's statistical machinery.
 
+pub mod e15;
 pub mod workloads;

@@ -50,6 +50,9 @@ pub mod registry;
 pub mod span;
 
 pub use clock::Clock;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MICROS_BOUNDS, TICK_BOUNDS};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, FINE_MICROS_BOUNDS, MICROS_BOUNDS, NANOS_BOUNDS,
+    TICK_BOUNDS,
+};
 pub use registry::{Registry, Snapshot};
 pub use span::{SpanGuard, SpanSnapshot};

@@ -21,6 +21,19 @@ pub const MICROS_BOUNDS: [u64; 10] = [
     10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
 ];
 
+/// Upper bucket bounds (inclusive) for nanosecond-valued durations —
+/// the sub-millisecond preset per-request service latency needs: the
+/// [`MICROS_BOUNDS`] preset's first bucket (10µs) already swallows an
+/// entire fast request, so this ladder resolves 250ns…1ms instead.
+pub const NANOS_BOUNDS: [u64; 12] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+];
+
+/// Upper bucket bounds (inclusive) for microsecond-valued durations
+/// below one millisecond — a finer companion to [`MICROS_BOUNDS`] for
+/// service latencies that live in the 1µs–1ms band.
+pub const FINE_MICROS_BOUNDS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000];
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
@@ -197,6 +210,20 @@ impl Histogram {
         Histogram::with_bounds(&MICROS_BOUNDS)
     }
 
+    /// A histogram bucketed for sub-millisecond nanosecond durations
+    /// (250ns..=1ms+) — per-request service latency resolution.
+    #[must_use]
+    pub fn nanos() -> Self {
+        Histogram::with_bounds(&NANOS_BOUNDS)
+    }
+
+    /// A histogram bucketed for sub-millisecond microsecond durations
+    /// (1µs..=1ms+).
+    #[must_use]
+    pub fn fine_micros() -> Self {
+        Histogram::with_bounds(&FINE_MICROS_BOUNDS)
+    }
+
     /// A no-op histogram: observations vanish, the snapshot is empty.
     #[must_use]
     pub fn disabled() -> Self {
@@ -352,6 +379,45 @@ mod tests {
         assert_eq!(*s.counts.last().unwrap(), 1, "overflow bucket");
         assert_eq!(s.max, 1_000_000);
         assert!((s.mean() - (1_000_003.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_millisecond_presets_resolve_fast_requests() {
+        // Every preset ladder must be strictly increasing (the bucket
+        // search relies on it) and top out at or below 1ms.
+        for bounds in [&NANOS_BOUNDS[..], &FINE_MICROS_BOUNDS[..]] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        }
+        assert_eq!(*NANOS_BOUNDS.last().unwrap(), 1_000_000, "1ms in ns");
+        assert_eq!(*FINE_MICROS_BOUNDS.last().unwrap(), 1_000, "1ms in µs");
+
+        // A 3µs request is indistinguishable from a 9µs one under the
+        // coarse preset (both land in the first <=10µs bucket)…
+        let coarse = Histogram::micros();
+        coarse.record(3);
+        coarse.record(9);
+        let s = coarse.snapshot();
+        assert_eq!(s.counts[0], 2, "coarse preset merges sub-10µs values");
+
+        // …but the sub-millisecond presets separate them.
+        let fine = Histogram::fine_micros();
+        fine.record(3);
+        fine.record(9);
+        let s = fine.snapshot();
+        assert_eq!(s.counts[2], 1, "3µs lands in the <=5µs bucket");
+        assert_eq!(s.counts[3], 1, "9µs lands in the <=10µs bucket");
+
+        let nanos = Histogram::nanos();
+        nanos.record(400); // 400ns
+        nanos.record(90_000); // 90µs
+        nanos.record(2_000_000); // 2ms -> overflow
+        let s = nanos.snapshot();
+        assert_eq!(s.counts[1], 1, "400ns lands in the <=500ns bucket");
+        assert_eq!(s.counts[8], 1, "90µs lands in the <=100µs bucket");
+        assert_eq!(*s.counts.last().unwrap(), 1, ">1ms overflows");
+        // Quantiles stay sub-bucket-accurate at this resolution.
+        let p50 = s.quantile(0.5).unwrap();
+        assert!(p50 < 100_000.0, "median must stay sub-0.1ms: {p50}");
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Deterministic open-loop synthetic traffic.
+//!
+//! **Open loop** means arrivals are a function of the schedule alone:
+//! the generator emits its per-round arrivals whether or not the
+//! service has kept up, which is what exposes queueing, backpressure,
+//! and admission rejections under overload (a closed-loop generator
+//! would politely slow down and hide all three).
+//!
+//! The schedule is seeded: the same [`LoadConfig`] replays the same
+//! arrival sequence — same rounds, same tenants, same request payloads
+//! — so end-to-end runs are reproducible and per-tenant verdict logs
+//! can be compared across worker counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vdo_gwt::GraphModel;
+use vdo_nalabs::RequirementDoc;
+use vdo_pipeline::{Commit, ConfigChange};
+use vdo_tears::GuardedAssertion;
+use vdo_temporal::Formula;
+
+use crate::request::Request;
+
+/// Relative weights of the four request kinds in the generated mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixWeights {
+    /// Weight of `SubmitRequirement` arrivals.
+    pub submit: u32,
+    /// Weight of `PushCommit` arrivals.
+    pub push: u32,
+    /// Weight of `QueryIncident` arrivals.
+    pub query: u32,
+    /// Weight of `RunOps` arrivals.
+    pub ops: u32,
+}
+
+impl Default for MixWeights {
+    /// A read-heavy service mix: queries dominate, commits and ops
+    /// bursts are comparatively rare (they are also the expensive
+    /// kinds, which keeps million-request runs tractable).
+    fn default() -> Self {
+        MixWeights {
+            submit: 30,
+            push: 8,
+            query: 54,
+            ops: 8,
+        }
+    }
+}
+
+/// Parameters of one synthetic traffic run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Total requests to generate before the schedule dries up.
+    pub total_requests: u64,
+    /// Arrivals per dispatch round (the open-loop rate).
+    pub base_rate: u64,
+    /// Every `burst_period`-th round adds `burst_size` extra arrivals
+    /// (0 disables bursts).
+    pub burst_period: u64,
+    /// Extra arrivals on burst rounds.
+    pub burst_size: u64,
+    /// Relative share of arrivals per tenant; the length fixes the
+    /// tenant count addressed by this schedule.
+    pub tenant_weights: Vec<u64>,
+    /// Request-kind mix.
+    pub mix: MixWeights,
+    /// Seed for arrival placement and request payloads.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// An even-share schedule over `tenants` tenants.
+    #[must_use]
+    pub fn even(tenants: usize, total_requests: u64, base_rate: u64, seed: u64) -> Self {
+        LoadConfig {
+            total_requests,
+            base_rate,
+            burst_period: 0,
+            burst_size: 0,
+            tenant_weights: vec![1; tenants.max(1)],
+            mix: MixWeights::default(),
+            seed,
+        }
+    }
+}
+
+// Payload templates. Clean requirement texts pass the NALABS smell
+// thresholds, smelly ones trip several dictionaries at once.
+const CLEAN_TEXTS: [&str; 4] = [
+    "The system shall record every failed logon attempt in the security log.",
+    "The system shall lock the session after 15 minutes of inactivity.",
+    "The server shall reject authentication after three failed attempts.",
+    "The audit daemon shall write one record per privileged command.",
+];
+const SMELLY_TEXTS: [&str; 3] = [
+    "The system may possibly provide adequate and user friendly handling \
+     as appropriate, TBD, see section 4.",
+    "The module could eventually support various flexible options etc., \
+     if needed, as applicable.",
+    "Login handling may be easy to use and as fast as possible where \
+     appropriate, to be confirmed later.",
+];
+const QUERY_RULES: [&str; 3] = ["V-219161", "V-219155", "V-219166"];
+
+/// The seeded open-loop generator. Construct once per run; the internal
+/// RNG advances with every arrival, so equal configs replay equal
+/// schedules.
+#[derive(Debug)]
+pub struct LoadGen {
+    config: LoadConfig,
+    rng: StdRng,
+    issued: u64,
+    tenant_cum: Vec<u64>,
+    kind_cum: [u64; 4],
+    broken_model: GraphModel,
+    bad_formula: Formula,
+    dead_assertion: GuardedAssertion,
+}
+
+impl LoadGen {
+    /// Builds the generator for `config`.
+    #[must_use]
+    pub fn new(mut config: LoadConfig) -> Self {
+        if config.total_requests > 0 {
+            // A zero arrival rate would never drain `total_requests`
+            // and the serving loop would spin forever.
+            config.base_rate = config.base_rate.max(1);
+        }
+        let mut tenant_cum = Vec::with_capacity(config.tenant_weights.len());
+        let mut acc = 0u64;
+        for &w in &config.tenant_weights {
+            acc += w.max(1);
+            tenant_cum.push(acc);
+        }
+        let mix = config.mix;
+        let kinds = [mix.submit, mix.push, mix.query, mix.ops].map(|w| u64::from(w.max(1)));
+        let mut kind_cum = [0u64; 4];
+        let mut acc = 0u64;
+        for (i, w) in kinds.into_iter().enumerate() {
+            acc += w;
+            kind_cum[i] = acc;
+        }
+        // A model with an island edge: unreachable from the start
+        // vertex, so a full-coverage test gate rejects it.
+        let mut broken_model = GraphModel::new("island");
+        let a = broken_model.add_vertex("a");
+        let b = broken_model.add_vertex("b");
+        let x = broken_model.add_vertex("x");
+        let y = broken_model.add_vertex("y");
+        broken_model.add_edge(a, b, "go");
+        broken_model.add_edge(x, y, "island_hop");
+        broken_model.set_start(a);
+        // A contradictory monitor: globally locked ∧ finally unlocked.
+        let bad_formula = Formula::and(
+            Formula::globally(Formula::atom("locked")),
+            Formula::finally(Formula::not(Formula::atom("locked"))),
+        );
+        let dead_assertion =
+            GuardedAssertion::parse("ga \"dead\": when load > 1 and load < 0 then ok == 1")
+                .expect("template assertion parses");
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x10AD_6E4E_5EED_5A17);
+        LoadGen {
+            config,
+            rng,
+            issued: 0,
+            tenant_cum,
+            kind_cum,
+            broken_model,
+            bad_formula,
+            dead_assertion,
+        }
+    }
+
+    /// A generator that never emits anything (used to drain a server).
+    #[must_use]
+    pub fn idle() -> Self {
+        LoadGen::new(LoadConfig::even(1, 0, 0, 0))
+    }
+
+    /// The schedule's configuration.
+    #[must_use]
+    pub fn config(&self) -> &LoadConfig {
+        &self.config
+    }
+
+    /// Requests not yet emitted.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.config.total_requests - self.issued
+    }
+
+    /// Emits the arrivals scheduled for dispatch round `round`:
+    /// `base_rate` requests, plus `burst_size` extra on burst rounds,
+    /// clipped to what remains of the total. Each arrival is a
+    /// `(tenant, request)` pair drawn from the weighted mixes.
+    pub fn arrivals_for(&mut self, round: u64) -> Vec<(usize, Request)> {
+        let mut n = self.config.base_rate;
+        if self.config.burst_period > 0
+            && round > 0
+            && round.is_multiple_of(self.config.burst_period)
+        {
+            n += self.config.burst_size;
+        }
+        let n = n.min(self.remaining());
+        let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
+        for _ in 0..n {
+            let tenant = self.pick_tenant();
+            let request = self.next_request();
+            self.issued += 1;
+            out.push((tenant, request));
+        }
+        out
+    }
+
+    fn pick_tenant(&mut self) -> usize {
+        let total = *self.tenant_cum.last().expect("at least one tenant");
+        let roll = self.rng.gen_range(0..total);
+        self.tenant_cum.partition_point(|&c| c <= roll)
+    }
+
+    fn next_request(&mut self) -> Request {
+        let total = self.kind_cum[3];
+        let roll = self.rng.gen_range(0..total);
+        let kind = self.kind_cum.iter().position(|&c| roll < c).expect("cum");
+        match kind {
+            0 => Request::SubmitRequirement(self.next_doc()),
+            1 => Request::PushCommit(self.next_commit()),
+            2 => Request::QueryIncident {
+                rule: if self.rng.gen_bool(0.3) {
+                    Some(QUERY_RULES[self.rng.gen_range(0..QUERY_RULES.len())].to_string())
+                } else {
+                    None
+                },
+            },
+            _ => Request::RunOps {
+                ticks: self.rng.gen_range(1..=3),
+            },
+        }
+    }
+
+    fn next_doc(&mut self) -> RequirementDoc {
+        let id = format!("R-{}", self.issued);
+        if self.rng.gen_bool(0.3) {
+            RequirementDoc::new(id, SMELLY_TEXTS[self.rng.gen_range(0..SMELLY_TEXTS.len())])
+        } else {
+            RequirementDoc::new(id, CLEAN_TEXTS[self.rng.gen_range(0..CLEAN_TEXTS.len())])
+        }
+    }
+
+    /// Mostly clean commits, salted with one of four defect classes so
+    /// every gate in the pipeline sees rejections under load.
+    fn next_commit(&mut self) -> Commit {
+        let id = format!("c-{}", self.issued);
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            0..=69 => {
+                let clean = Commit::new(id).with_requirement(RequirementDoc::new(
+                    format!("R-{}", self.issued),
+                    CLEAN_TEXTS[self.rng.gen_range(0..CLEAN_TEXTS.len())],
+                ));
+                if self.rng.gen_bool(0.5) {
+                    clean.with_change(ConfigChange::SetDirective(
+                        "/etc/ssh/sshd_config".into(),
+                        "PermitRootLogin".into(),
+                        "no".into(),
+                    ))
+                } else {
+                    clean.with_change(ConfigChange::InstallPackage("htop".into(), "2.1".into()))
+                }
+            }
+            // A CAT I compliance regression: the gate must block it.
+            70..=79 => Commit::new(id).with_change(ConfigChange::InstallPackage(
+                "telnetd".into(),
+                "0.17".into(),
+            )),
+            // A smelly requirement: the requirements gate must block it.
+            80..=89 => Commit::new(id).with_requirement(RequirementDoc::new(
+                format!("R-{}", self.issued),
+                SMELLY_TEXTS[self.rng.gen_range(0..SMELLY_TEXTS.len())],
+            )),
+            // An untestable model: the test gate must block it.
+            90..=94 => Commit::new(id).with_model(self.broken_model.clone()),
+            // Defective monitor artifacts: the analysis gate must block.
+            _ => {
+                if self.rng.gen_bool(0.5) {
+                    Commit::new(id).with_formula("lock-monitor", self.bad_formula.clone())
+                } else {
+                    Commit::new(id).with_assertion(self.dead_assertion.clone())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(gen: &mut LoadGen) -> Vec<(usize, Request)> {
+        let mut all = Vec::new();
+        let mut round = 0;
+        while gen.remaining() > 0 {
+            all.extend(gen.arrivals_for(round));
+            round += 1;
+        }
+        all
+    }
+
+    #[test]
+    fn equal_seeds_replay_the_same_schedule() {
+        let cfg = LoadConfig {
+            burst_period: 5,
+            burst_size: 7,
+            ..LoadConfig::even(4, 500, 13, 42)
+        };
+        let a = drain(&mut LoadGen::new(cfg.clone()));
+        let b = drain(&mut LoadGen::new(cfg.clone()));
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        let c = drain(&mut LoadGen::new(LoadConfig { seed: 43, ..cfg }));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bursts_add_arrivals_on_schedule() {
+        let cfg = LoadConfig {
+            burst_period: 4,
+            burst_size: 6,
+            ..LoadConfig::even(2, 10_000, 10, 1)
+        };
+        let mut gen = LoadGen::new(cfg);
+        assert_eq!(gen.arrivals_for(0).len(), 10, "round 0 never bursts");
+        for round in 1..8 {
+            let want = if round % 4 == 0 { 16 } else { 10 };
+            assert_eq!(gen.arrivals_for(round).len(), want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn tenant_weights_shape_the_arrival_split() {
+        let cfg = LoadConfig {
+            tenant_weights: vec![1, 4],
+            ..LoadConfig::even(2, 20_000, 100, 7)
+        };
+        let all = drain(&mut LoadGen::new(cfg));
+        let t1 = all.iter().filter(|(t, _)| *t == 1).count();
+        let share = t1 as f64 / all.len() as f64;
+        assert!((0.75..=0.85).contains(&share), "share {share} ≉ 0.8");
+    }
+
+    #[test]
+    fn the_mix_covers_every_request_kind() {
+        let all = drain(&mut LoadGen::new(LoadConfig::even(3, 5_000, 50, 3)));
+        use crate::request::RequestKind;
+        for kind in RequestKind::ALL {
+            assert!(
+                all.iter().any(|(_, r)| r.kind() == kind),
+                "{kind} missing from 5k arrivals"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_generator_emits_nothing() {
+        let mut gen = LoadGen::idle();
+        assert_eq!(gen.remaining(), 0);
+        assert!(gen.arrivals_for(0).is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Service metrics, built on the [`vdo_obs`] primitives.
+//!
+//! The instrument set follows the split the rest of the workspace
+//! uses: **deterministic** instruments (admission counters, per-kind
+//! counters, queue-depth high-water, end-to-end latency in dispatch
+//! rounds) may be exported into a shared [`vdo_obs::Registry`] and stay
+//! equal-seed-identical at any worker count, while **wall-clock**
+//! instruments (per-request service time in nanoseconds — this is what
+//! the sub-millisecond [`vdo_obs::Histogram::nanos`] preset exists
+//! for) depend on the machine and scheduling and stay run-local.
+
+use serde::Serialize;
+use vdo_obs::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+use crate::request::RequestKind;
+
+/// Live instruments for one server run.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests accepted into a tenant queue.
+    pub admitted: Counter,
+    /// Requests turned away by admission control.
+    pub rejected: Counter,
+    /// Responses produced.
+    pub completed: Counter,
+    /// Admitted requests by kind, indexed like [`RequestKind::ALL`].
+    pub by_kind: [Counter; 4],
+    /// High-water mark over every tenant queue's depth.
+    pub max_queue_depth: Gauge,
+    /// End-to-end latency (admission round to response round) in
+    /// dispatch rounds. Deterministic.
+    pub queue_latency: Histogram,
+    /// Wall-clock per-request service time in nanoseconds, on the
+    /// sub-millisecond bucket preset. Machine-dependent; never exported
+    /// to a registry.
+    pub service_nanos: Histogram,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero instruments.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerMetrics {
+            admitted: Counter::new(),
+            rejected: Counter::new(),
+            completed: Counter::new(),
+            by_kind: [
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+                Counter::new(),
+            ],
+            max_queue_depth: Gauge::new(),
+            queue_latency: Histogram::ticks(),
+            service_nanos: Histogram::nanos(),
+        }
+    }
+
+    /// The no-op recorder: every instrument inert, snapshots all zero.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ServerMetrics {
+            admitted: Counter::disabled(),
+            rejected: Counter::disabled(),
+            completed: Counter::disabled(),
+            by_kind: [
+                Counter::disabled(),
+                Counter::disabled(),
+                Counter::disabled(),
+                Counter::disabled(),
+            ],
+            max_queue_depth: Gauge::disabled(),
+            queue_latency: Histogram::disabled(),
+            service_nanos: Histogram::disabled(),
+        }
+    }
+
+    /// `true` when the instruments record.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.admitted.is_enabled()
+    }
+
+    /// Registers the deterministic instruments into `registry` under
+    /// `<prefix>.<name>`. `service_nanos` stays run-local (wall clock),
+    /// so equal-seed registry snapshots remain identical at any worker
+    /// count.
+    #[must_use]
+    pub fn in_registry(registry: &vdo_obs::Registry, prefix: &str) -> Self {
+        let kind_counter =
+            |k: RequestKind| registry.counter(&format!("{prefix}.requests.{}", k.as_str()));
+        ServerMetrics {
+            admitted: registry.counter(&format!("{prefix}.admitted")),
+            rejected: registry.counter(&format!("{prefix}.rejected")),
+            completed: registry.counter(&format!("{prefix}.completed")),
+            by_kind: RequestKind::ALL.map(kind_counter),
+            max_queue_depth: registry.gauge(&format!("{prefix}.max_queue_depth")),
+            queue_latency: registry
+                .histogram(&format!("{prefix}.queue_latency"), &vdo_obs::TICK_BOUNDS),
+            service_nanos: Histogram::nanos(),
+        }
+    }
+
+    /// The counter for one request kind.
+    #[must_use]
+    pub fn kind(&self, kind: RequestKind) -> &Counter {
+        let idx = RequestKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("ALL covers every kind");
+        &self.by_kind[idx]
+    }
+
+    /// Immutable copy of every instrument; `wall_secs` turns completed
+    /// requests into throughput.
+    #[must_use]
+    pub fn snapshot(&self, wall_secs: f64) -> ServerMetricsSnapshot {
+        let completed = self.completed.get();
+        ServerMetricsSnapshot {
+            admitted: self.admitted.get(),
+            rejected: self.rejected.get(),
+            completed,
+            by_kind: RequestKind::ALL.map(|k| (k.as_str(), self.kind(k).get())),
+            max_queue_depth: self.max_queue_depth.get(),
+            requests_per_sec: if wall_secs > 0.0 {
+                completed as f64 / wall_secs
+            } else {
+                0.0
+            },
+            queue_latency: self.queue_latency.snapshot(),
+            service_nanos: self.service_nanos.snapshot(),
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+/// Frozen metrics for one run; serialises to JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerMetricsSnapshot {
+    /// Requests accepted into a tenant queue.
+    pub admitted: u64,
+    /// Requests turned away by admission control.
+    pub rejected: u64,
+    /// Responses produced.
+    pub completed: u64,
+    /// Admitted requests by kind, `(kind name, count)`.
+    pub by_kind: [(&'static str, u64); 4],
+    /// High-water mark of any tenant queue depth.
+    pub max_queue_depth: u64,
+    /// Responses per wall-clock second.
+    pub requests_per_sec: f64,
+    /// End-to-end latency distribution (dispatch rounds).
+    pub queue_latency: HistogramSnapshot,
+    /// Per-request service time distribution (nanoseconds).
+    pub service_nanos: HistogramSnapshot,
+}
+
+impl Serialize for ServerMetricsSnapshot {
+    fn to_value(&self) -> serde::json::Value {
+        let kinds = serde::json::Value::Object(
+            self.by_kind
+                .iter()
+                .map(|(name, count)| ((*name).to_string(), count.to_value()))
+                .collect(),
+        );
+        serde::json::object([
+            ("admitted", self.admitted.to_value()),
+            ("rejected", self.rejected.to_value()),
+            ("completed", self.completed.to_value()),
+            ("by_kind", kinds),
+            ("max_queue_depth", self.max_queue_depth.to_value()),
+            ("requests_per_sec", self.requests_per_sec.to_value()),
+            ("queue_latency", self.queue_latency.to_value()),
+            ("service_nanos", self.service_nanos.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serialises_with_kind_breakdown() {
+        let m = ServerMetrics::new();
+        m.admitted.add(3);
+        m.kind(RequestKind::QueryIncident).add(2);
+        m.kind(RequestKind::RunOps).inc();
+        m.queue_latency.record(1);
+        let snap = m.snapshot(2.0);
+        assert_eq!(snap.admitted, 3);
+        let json = serde::json::to_string(&snap);
+        assert!(json.contains("\"query_incident\":2"), "{json}");
+        assert!(json.contains("\"run_ops\":1"));
+        assert!(json.contains("\"queue_latency\""));
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = ServerMetrics::disabled();
+        assert!(!m.is_enabled());
+        m.admitted.add(5);
+        m.service_nanos.record(100);
+        let s = m.snapshot(1.0);
+        assert_eq!(s.admitted, 0);
+        assert_eq!(s.service_nanos.count, 0);
+    }
+
+    #[test]
+    fn registry_export_excludes_wall_clock_instruments() {
+        let registry = vdo_obs::Registry::new();
+        let m = ServerMetrics::in_registry(&registry, "server");
+        m.admitted.add(7);
+        m.kind(RequestKind::PushCommit).inc();
+        m.service_nanos.record(500);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.admitted"), Some(7));
+        assert_eq!(snap.counter("server.requests.push_commit"), Some(1));
+        assert!(
+            !snap.histograms.contains_key("server.service_nanos"),
+            "wall-clock service time must stay run-local"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Bounded per-tenant admission queues.
+//!
+//! Every tenant owns exactly one [`TenantQueue`]: a FIFO with a hard
+//! capacity. Admission control is the `try_push` that either accepts an
+//! [`Envelope`] or hands it straight back — the queue never grows past
+//! its bound, which is what gives the service backpressure instead of
+//! unbounded memory under overload.
+
+use std::collections::VecDeque;
+
+use crate::request::Envelope;
+
+/// One tenant's bounded FIFO of admitted-but-unserved requests.
+#[derive(Debug)]
+pub struct TenantQueue {
+    capacity: usize,
+    items: VecDeque<Envelope>,
+}
+
+impl TenantQueue {
+    /// An empty queue holding at most `capacity` requests (clamped to
+    /// at least 1 — a zero-capacity queue would reject everything).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TenantQueue {
+            capacity: capacity.max(1),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// The hard bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently waiting.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Admits `env` at the tail, or returns it unchanged when the queue
+    /// is at capacity (the caller turns that into a typed rejection).
+    ///
+    /// # Errors
+    /// The envelope itself, when the queue is full.
+    #[allow(clippy::result_large_err)] // the rejected envelope is handed straight back to the caller
+    pub fn try_push(&mut self, env: Envelope) -> Result<(), Envelope> {
+        if self.items.len() >= self.capacity {
+            Err(env)
+        } else {
+            self.items.push_back(env);
+            Ok(())
+        }
+    }
+
+    /// Takes the oldest waiting request.
+    pub fn pop(&mut self) -> Option<Envelope> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn env(seq: u64) -> Envelope {
+        Envelope {
+            tenant: 0,
+            seq,
+            submitted_at: 0,
+            request: Request::QueryIncident { rule: None },
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn overflow_returns_the_envelope() {
+        let mut q = TenantQueue::new(2);
+        assert!(q.try_push(env(0)).is_ok());
+        assert!(q.try_push(env(1)).is_ok());
+        let bounced = q.try_push(env(2)).unwrap_err();
+        assert_eq!(bounced.seq, 2);
+        assert_eq!(q.len(), 2);
+        // FIFO order survives the bounce.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut q = TenantQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(env(0)).is_ok());
+        assert!(q.try_push(env(1)).is_err());
+    }
+}

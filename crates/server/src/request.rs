@@ -1,0 +1,266 @@
+//! The typed request model: what a tenant can ask the service to do,
+//! and what comes back.
+//!
+//! Four request kinds cover the closed loop's service surface:
+//! [`Request::SubmitRequirement`] feeds the requirement catalogue
+//! (gated by NALABS quality analysis), [`Request::PushCommit`] runs the
+//! CI gate pipeline against the tenant's staging clone,
+//! [`Request::QueryIncident`] reads the tenant's incident ledger, and
+//! [`Request::RunOps`] advances the tenant's simulated fleet under
+//! drift with detection and remediation.
+//!
+//! Everything in this module is plain data: requests are synthesised by
+//! the load generator (or constructed by hand), wrapped into an
+//! [`Envelope`] at admission, and answered with a [`Response`] whose
+//! [`Outcome`] renders to the tenant's deterministic verdict log.
+
+use std::fmt;
+
+use vdo_nalabs::RequirementDoc;
+use vdo_pipeline::Commit;
+use vdo_trace::TraceContext;
+
+/// One request a tenant submits to the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Add a natural-language requirement document to the tenant's
+    /// catalogue (subject to the tenant's requirements gate).
+    SubmitRequirement(RequirementDoc),
+    /// Push a commit through the tenant's CI gate pipeline; merged
+    /// commits deploy their configuration changes to the tenant fleet.
+    PushCommit(Commit),
+    /// Count the tenant's incidents, optionally filtered by rule id.
+    QueryIncident {
+        /// Restrict the count to incidents of this rule (`None` = all).
+        rule: Option<String>,
+    },
+    /// Advance the tenant's fleet `ticks` simulated ticks under drift,
+    /// detecting and remediating violations.
+    RunOps {
+        /// Ticks of simulated operations to run (clamped to >= 1).
+        ticks: u64,
+    },
+}
+
+impl Request {
+    /// The request's kind tag.
+    #[must_use]
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::SubmitRequirement(_) => RequestKind::SubmitRequirement,
+            Request::PushCommit(_) => RequestKind::PushCommit,
+            Request::QueryIncident { .. } => RequestKind::QueryIncident,
+            Request::RunOps { .. } => RequestKind::RunOps,
+        }
+    }
+}
+
+/// Discriminant of [`Request`], used for metrics and mix accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestKind {
+    /// A [`Request::SubmitRequirement`].
+    SubmitRequirement,
+    /// A [`Request::PushCommit`].
+    PushCommit,
+    /// A [`Request::QueryIncident`].
+    QueryIncident,
+    /// A [`Request::RunOps`].
+    RunOps,
+}
+
+impl RequestKind {
+    /// All kinds, in a fixed reporting order.
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::SubmitRequirement,
+        RequestKind::PushCommit,
+        RequestKind::QueryIncident,
+        RequestKind::RunOps,
+    ];
+
+    /// Stable lowercase name (metric and log label).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::SubmitRequirement => "submit_requirement",
+            RequestKind::PushCommit => "push_commit",
+            RequestKind::QueryIncident => "query_incident",
+            RequestKind::RunOps => "run_ops",
+        }
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An admitted request waiting in (or drained from) a tenant queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Owning tenant's index in the registry.
+    pub tenant: usize,
+    /// Per-tenant admission sequence number (0, 1, 2, …).
+    pub seq: u64,
+    /// Dispatch round (logical tick) the request was admitted on.
+    pub submitted_at: u64,
+    /// The request itself.
+    pub request: Request,
+    /// The request's trace context (a child of the tenant root), when
+    /// the server runs under tracing.
+    pub trace: Option<TraceContext>,
+}
+
+/// Why admission control turned a request away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's bounded queue was at capacity; the payload is that
+    /// capacity.
+    QueueFull(usize),
+    /// No tenant is registered at the addressed index.
+    UnknownTenant(usize),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull(cap) => {
+                write!(f, "tenant queue full (capacity {cap})")
+            }
+            RejectReason::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+        }
+    }
+}
+
+/// An admission-control rejection: the request never entered a queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// The addressed tenant.
+    pub tenant: usize,
+    /// Dispatch round the rejection happened on.
+    pub at: u64,
+    /// Why the request was turned away.
+    pub reason: RejectReason,
+}
+
+/// What handling a request produced, in renderable form. The rendered
+/// string is what lands in the tenant's deterministic verdict log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A submitted requirement was accepted into the catalogue.
+    RequirementAccepted,
+    /// A submitted requirement was rejected; the payload is the number
+    /// of smells NALABS found.
+    RequirementRejected(usize),
+    /// A commit cleared every enabled gate and deployed `changes`
+    /// configuration changes.
+    CommitMerged(usize),
+    /// A commit was rejected; the payload is the failing gate's name.
+    CommitRejected(&'static str),
+    /// An incident query counted `total` incidents, `open` unresolved.
+    Incidents {
+        /// All matching incidents.
+        total: usize,
+        /// Matching incidents not yet remediated.
+        open: usize,
+    },
+    /// An ops burst ran: `drift` drift events landed, `detected` new
+    /// incidents opened, `remediated` closed.
+    OpsComplete {
+        /// Drift events injected.
+        drift: usize,
+        /// New incidents detected.
+        detected: usize,
+        /// Incidents remediated during the burst.
+        remediated: usize,
+    },
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::RequirementAccepted => f.write_str("requirement accepted"),
+            Outcome::RequirementRejected(smells) => {
+                write!(f, "requirement rejected smells={smells}")
+            }
+            Outcome::CommitMerged(changes) => write!(f, "commit merged changes={changes}"),
+            Outcome::CommitRejected(gate) => write!(f, "commit rejected gate={gate}"),
+            Outcome::Incidents { total, open } => {
+                write!(f, "incidents total={total} open={open}")
+            }
+            Outcome::OpsComplete {
+                drift,
+                detected,
+                remediated,
+            } => write!(
+                f,
+                "ops drift={drift} detected={detected} remediated={remediated}"
+            ),
+        }
+    }
+}
+
+/// The service's answer to one admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The owning tenant.
+    pub tenant: usize,
+    /// The request's per-tenant sequence number.
+    pub seq: u64,
+    /// The request kind answered.
+    pub kind: RequestKind,
+    /// Round the request was admitted on.
+    pub submitted_at: u64,
+    /// Round the response was produced on.
+    pub completed_at: u64,
+    /// What happened.
+    pub outcome: Outcome,
+    /// The response's trace context (child of the request span), when
+    /// the server runs under tracing — this is what resolves a response
+    /// back to its tenant and originating request.
+    pub trace: Option<TraceContext>,
+}
+
+impl Response {
+    /// Queueing + service latency in dispatch rounds.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.completed_at - self.submitted_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_names() {
+        assert_eq!(
+            Request::QueryIncident { rule: None }.kind().as_str(),
+            "query_incident"
+        );
+        assert_eq!(Request::RunOps { ticks: 3 }.kind().to_string(), "run_ops");
+        assert_eq!(RequestKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn outcomes_render_compact_verdict_lines() {
+        assert_eq!(
+            Outcome::CommitRejected("compliance").to_string(),
+            "commit rejected gate=compliance"
+        );
+        assert_eq!(
+            Outcome::OpsComplete {
+                drift: 2,
+                detected: 1,
+                remediated: 1
+            }
+            .to_string(),
+            "ops drift=2 detected=1 remediated=1"
+        );
+        assert_eq!(
+            RejectReason::QueueFull(64).to_string(),
+            "tenant queue full (capacity 64)"
+        );
+    }
+}

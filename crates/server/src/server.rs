@@ -1,0 +1,648 @@
+//! The service itself: admission, fair dispatch, and the worker pool.
+//!
+//! One [`Server::run_load`] call drives the open-loop schedule to
+//! completion. Each dispatch round advances through fixed phases,
+//! coordinated by two barriers (the same shape as the vdo-soc engine):
+//!
+//! 1. **admit** (main thread): the round's arrivals either enter their
+//!    tenant's bounded queue or bounce with a typed [`Rejection`];
+//! 2. **plan** (main thread): the weighted deficit-round-robin
+//!    scheduler drains up to `capacity_per_round` requests into
+//!    per-tenant batches;
+//! 3. **serve** (worker pool): each batch becomes one work-stealing
+//!    task; because a tenant appears in at most one batch per round and
+//!    a batch is processed by exactly one worker, per-tenant request
+//!    order — and therefore the tenant's verdict log — is independent
+//!    of worker count and steal timing;
+//! 4. **respond** (main thread): responses merge in tenant-index
+//!    order, latency histograms and journal events are recorded.
+//!
+//! Determinism contract: with equal seeds, per-tenant verdict logs and
+//! the journal fingerprint are byte-identical at any worker count.
+//! Wall-clock instruments (`service_nanos`) are the only
+//! machine-dependent output and never feed a deterministic surface.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use crossbeam::deque::Worker;
+use parking_lot::Mutex;
+
+use vdo_soc::{Batch, TaskQueues};
+use vdo_trace::{Event, Journal, TraceContext};
+
+use crate::load::LoadGen;
+use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::queue::TenantQueue;
+use crate::request::{Envelope, RejectReason, Rejection, Request, Response};
+use crate::sched::DrrScheduler;
+use crate::tenant::{Tenant, TenantConfig};
+
+/// Service parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum requests served per dispatch round, across all tenants
+    /// (clamped to >= 1). With an open-loop rate above this, queues
+    /// fill and admission control starts rejecting.
+    pub capacity_per_round: usize,
+    /// DRR quantum: credit units a tenant of weight 1 earns per visit.
+    pub quantum: u64,
+    /// Worker threads serving batches (clamped to >= 1).
+    pub workers: usize,
+    /// Retain every [`Response`] and [`Rejection`] in the report.
+    /// Off by default — a million-request run only needs the
+    /// aggregates.
+    pub retain_responses: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity_per_round: 64,
+            quantum: 4,
+            workers: 4,
+            retain_responses: false,
+        }
+    }
+}
+
+/// Causal tracing for one server run. A disabled journal (the
+/// [`Default`]) turns the layer off entirely; when enabled, every
+/// tenant gets a root [`TraceContext`] derived from `trace_seed` and
+/// its name, every admitted request a `req` child of that root, and
+/// every response a `response` child of its request — so any response
+/// resolves back to its tenant and originating request by trace
+/// lineage alone.
+#[derive(Debug, Clone, Default)]
+pub struct ServerTracing {
+    /// The event journal; [`Journal::disabled`] makes this inert.
+    pub journal: Journal,
+    /// Seed for tenant-root trace contexts.
+    pub trace_seed: u64,
+}
+
+impl ServerTracing {
+    /// Journal + seed.
+    #[must_use]
+    pub fn new(journal: Journal, trace_seed: u64) -> Self {
+        ServerTracing {
+            journal,
+            trace_seed,
+        }
+    }
+
+    /// The inert layer.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ServerTracing::default()
+    }
+
+    /// `true` when events and trace contexts are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.journal.is_enabled()
+    }
+}
+
+/// Result of one [`Server::run_load`] (or [`Server::drain`]) call.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Dispatch rounds executed.
+    pub rounds: u64,
+    /// Requests admitted, per tenant.
+    pub admitted_by_tenant: Vec<u64>,
+    /// Requests rejected by admission control, per tenant.
+    pub rejected_by_tenant: Vec<u64>,
+    /// Responses produced, per tenant.
+    pub completed_by_tenant: Vec<u64>,
+    /// Every rejection, when `retain_responses` is set (else empty).
+    pub rejections: Vec<Rejection>,
+    /// Every response, when `retain_responses` is set (else empty).
+    pub responses: Vec<Response>,
+    /// Per-tenant verdict logs as of the end of the run.
+    /// Byte-identical across equal-seed runs at any worker count.
+    pub verdict_logs: Vec<String>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+    /// Frozen instruments.
+    pub metrics: ServerMetricsSnapshot,
+}
+
+impl ServiceReport {
+    /// Total requests admitted.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted_by_tenant.iter().sum()
+    }
+
+    /// Total requests rejected at admission.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected_by_tenant.iter().sum()
+    }
+
+    /// Total responses produced.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed_by_tenant.iter().sum()
+    }
+
+    /// Responses per wall-clock second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.completed() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end latency quantile in dispatch rounds (`q` in `[0,1]`),
+    /// from the deterministic queue-latency histogram.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        self.metrics.queue_latency.quantile(q).unwrap_or(0.0)
+    }
+}
+
+/// Per-tenant exchange slot for one dispatch round: the main thread
+/// deposits the planned batch, the serving worker replaces it with
+/// responses.
+#[derive(Default)]
+struct RoundSlot {
+    input: Vec<Envelope>,
+    output: Vec<Response>,
+}
+
+/// The multi-tenant VeriDevOps service front end.
+pub struct Server {
+    config: ServerConfig,
+    tenants: Vec<Mutex<Tenant>>,
+    queues: Vec<TenantQueue>,
+    weights: Vec<u64>,
+    next_seq: Vec<u64>,
+    clock: u64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants.len())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+impl Server {
+    /// An empty server (no tenants yet) with clamped configuration.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            config: ServerConfig {
+                capacity_per_round: config.capacity_per_round.max(1),
+                quantum: config.quantum.max(1),
+                workers: config.workers.max(1),
+                retain_responses: config.retain_responses,
+            },
+            tenants: Vec::new(),
+            queues: Vec::new(),
+            weights: Vec::new(),
+            next_seq: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Provisions a tenant and returns its index (the address requests
+    /// are submitted to).
+    pub fn register_tenant(&mut self, config: &TenantConfig) -> usize {
+        let idx = self.tenants.len();
+        self.tenants.push(Mutex::new(Tenant::new(config)));
+        self.queues.push(TenantQueue::new(config.queue_capacity));
+        self.weights.push(config.weight.max(1));
+        self.next_seq.push(0);
+        idx
+    }
+
+    /// Registered tenant count.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Locks and returns one tenant's state (inspection between runs).
+    ///
+    /// # Panics
+    /// When `idx` is out of range.
+    pub fn tenant(&self, idx: usize) -> parking_lot::MutexGuard<'_, Tenant> {
+        self.tenants[idx].lock()
+    }
+
+    /// The dispatch round the next admission will be stamped with.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Synchronously submits one request through admission control.
+    /// The request waits in its tenant queue until the next
+    /// [`Server::drain`] or [`Server::run_load`] serves it.
+    ///
+    /// # Errors
+    /// A typed [`Rejection`] when the tenant is unknown or its queue is
+    /// at capacity.
+    pub fn submit(&mut self, tenant: usize, request: Request) -> Result<u64, Rejection> {
+        if tenant >= self.tenants.len() {
+            return Err(Rejection {
+                tenant,
+                at: self.clock,
+                reason: RejectReason::UnknownTenant(tenant),
+            });
+        }
+        let seq = self.next_seq[tenant];
+        let env = Envelope {
+            tenant,
+            seq,
+            submitted_at: self.clock,
+            request,
+            trace: None,
+        };
+        match self.queues[tenant].try_push(env) {
+            Ok(()) => {
+                self.next_seq[tenant] += 1;
+                Ok(seq)
+            }
+            Err(_) => Err(Rejection {
+                tenant,
+                at: self.clock,
+                reason: RejectReason::QueueFull(self.queues[tenant].capacity()),
+            }),
+        }
+    }
+
+    /// Serves everything already queued (no new arrivals) and returns
+    /// the report for those rounds.
+    pub fn drain(&mut self, metrics: &ServerMetrics, tracing: &ServerTracing) -> ServiceReport {
+        self.run_load(&mut LoadGen::idle(), metrics, tracing)
+    }
+
+    /// Drives the open-loop schedule to completion: every request the
+    /// generator emits is admitted or rejected, every admitted request
+    /// is served, and the report aggregates the whole run.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_load(
+        &mut self,
+        gen: &mut LoadGen,
+        metrics: &ServerMetrics,
+        tracing: &ServerTracing,
+    ) -> ServiceReport {
+        let n = self.tenants.len();
+        let cfg = self.config.clone();
+        let journal = &tracing.journal;
+        let tracing_on = journal.is_enabled();
+        let wall_start = Instant::now();
+
+        // Disjoint field borrows: workers share `tenants`, the main
+        // thread owns queues/sequence/clock mutably.
+        let tenants = &self.tenants;
+        let tenant_queues = &mut self.queues;
+        let next_seq = &mut self.next_seq;
+        let clock = &mut self.clock;
+
+        // Per-tenant trace roots, journalled once per run.
+        let roots: Vec<Option<TraceContext>> = (0..n)
+            .map(|t| {
+                tracing_on.then(|| {
+                    let root = TraceContext::root(tracing.trace_seed, tenants[t].lock().name());
+                    journal.emit(
+                        Event::info("tenant.registered")
+                            .at(*clock)
+                            .trace(root)
+                            .field("tenant", t),
+                    );
+                    root
+                })
+            })
+            .collect();
+
+        let mut sched = DrrScheduler::new(&self.weights, cfg.quantum);
+        let slots: Vec<Mutex<RoundSlot>> =
+            (0..n).map(|_| Mutex::new(RoundSlot::default())).collect();
+        let locals: Vec<Worker<Batch>> = (0..cfg.workers).map(|_| Worker::new_fifo()).collect();
+        let task_queues = TaskQueues::new(&locals, n.max(1));
+        let outstanding = AtomicUsize::new(0);
+        let current_round = AtomicU64::new(*clock);
+        let shutdown = AtomicBool::new(false);
+        let start_gate = Barrier::new(cfg.workers + 1);
+        let end_gate = Barrier::new(cfg.workers + 1);
+
+        let mut rounds = 0u64;
+        let mut admitted_by_tenant = vec![0u64; n];
+        let mut rejected_by_tenant = vec![0u64; n];
+        let mut completed_by_tenant = vec![0u64; n];
+        let mut rejections: Vec<Rejection> = Vec::new();
+        let mut responses: Vec<Response> = Vec::new();
+
+        std::thread::scope(|scope| {
+            for (me, local) in locals.into_iter().enumerate() {
+                let slots = &slots;
+                let task_queues = &task_queues;
+                let outstanding = &outstanding;
+                let current_round = &current_round;
+                let shutdown = &shutdown;
+                let start_gate = &start_gate;
+                let end_gate = &end_gate;
+                scope.spawn(move || loop {
+                    start_gate.wait();
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let now = current_round.load(Ordering::SeqCst);
+                    loop {
+                        match task_queues.find(me, &local) {
+                            Some((batch, _src)) => {
+                                let mut tenant = tenants[batch.shard].lock();
+                                let mut slot = slots[batch.shard].lock();
+                                let input = std::mem::take(&mut slot.input);
+                                for env in input {
+                                    let t0 = Instant::now();
+                                    let outcome = tenant.handle(&env, now);
+                                    metrics
+                                        .service_nanos
+                                        .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX))
+                                            as u64);
+                                    slot.output.push(Response {
+                                        tenant: env.tenant,
+                                        seq: env.seq,
+                                        kind: env.request.kind(),
+                                        submitted_at: env.submitted_at,
+                                        completed_at: now,
+                                        outcome,
+                                        trace: env.trace.map(|t| t.child("response")),
+                                    });
+                                }
+                                outstanding.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if outstanding.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    end_gate.wait();
+                });
+            }
+
+            let mut run_round = 0u64;
+            loop {
+                let now = *clock;
+                current_round.store(now, Ordering::SeqCst);
+
+                // --- Phase 1 (main): admit this round's arrivals ----
+                for (tenant, request) in gen.arrivals_for(run_round) {
+                    if tenant >= n {
+                        metrics.rejected.inc();
+                        if cfg.retain_responses {
+                            rejections.push(Rejection {
+                                tenant,
+                                at: now,
+                                reason: RejectReason::UnknownTenant(tenant),
+                            });
+                        }
+                        continue;
+                    }
+                    let kind = request.kind();
+                    let seq = next_seq[tenant];
+                    let env = Envelope {
+                        tenant,
+                        seq,
+                        submitted_at: now,
+                        request,
+                        trace: roots[tenant].map(|r| r.child_u64("req", seq)),
+                    };
+                    match tenant_queues[tenant].try_push(env) {
+                        Ok(()) => {
+                            next_seq[tenant] += 1;
+                            admitted_by_tenant[tenant] += 1;
+                            metrics.admitted.inc();
+                            metrics.kind(kind).inc();
+                            metrics
+                                .max_queue_depth
+                                .record_max(tenant_queues[tenant].len() as u64);
+                            if tracing_on {
+                                journal.emit(
+                                    Event::debug("server.admit")
+                                        .at(now)
+                                        .trace(
+                                            roots[tenant]
+                                                .expect("tracing on")
+                                                .child_u64("req", seq),
+                                        )
+                                        .field("tenant", tenant)
+                                        .field("seq", seq)
+                                        .field("kind", kind.as_str()),
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            rejected_by_tenant[tenant] += 1;
+                            metrics.rejected.inc();
+                            let capacity = tenant_queues[tenant].capacity();
+                            if tracing_on {
+                                let mut ev = Event::warn("server.reject")
+                                    .at(now)
+                                    .field("tenant", tenant)
+                                    .field("capacity", capacity);
+                                if let Some(r) = roots[tenant] {
+                                    ev = ev.trace(r.child_u64("reject", now));
+                                }
+                                journal.emit(ev);
+                            }
+                            if cfg.retain_responses {
+                                rejections.push(Rejection {
+                                    tenant,
+                                    at: now,
+                                    reason: RejectReason::QueueFull(capacity),
+                                });
+                            }
+                        }
+                    }
+                }
+
+                // --- Phase 2 (main): plan the round under DRR -------
+                let plan = sched.plan(tenant_queues, cfg.capacity_per_round);
+                let n_batches = plan.len();
+                if n_batches > 0 {
+                    for (t, batch) in plan {
+                        slots[t].lock().input = batch;
+                        task_queues.push(Batch { shard: t });
+                    }
+                    // --- Phase 3 (workers): serve -------------------
+                    outstanding.store(n_batches, Ordering::SeqCst);
+                    start_gate.wait();
+                    end_gate.wait();
+                    // --- Phase 4 (main): merge in tenant order ------
+                    for (t, slot) in slots.iter().enumerate() {
+                        let mut slot = slot.lock();
+                        for resp in slot.output.drain(..) {
+                            completed_by_tenant[t] += 1;
+                            metrics.completed.inc();
+                            metrics.queue_latency.record(resp.latency());
+                            if tracing_on {
+                                let mut ev = Event::debug("server.response")
+                                    .at(now)
+                                    .field("tenant", t)
+                                    .field("seq", resp.seq)
+                                    .field("latency", resp.latency());
+                                if let Some(tr) = resp.trace {
+                                    ev = ev.trace(tr);
+                                }
+                                journal.emit(ev);
+                            }
+                            if cfg.retain_responses {
+                                responses.push(resp);
+                            }
+                        }
+                    }
+                }
+
+                *clock += 1;
+                run_round += 1;
+                rounds += 1;
+                if gen.remaining() == 0 && tenant_queues.iter().all(TenantQueue::is_empty) {
+                    break;
+                }
+            }
+            shutdown.store(true, Ordering::SeqCst);
+            start_gate.wait();
+        });
+
+        let verdict_logs = tenants
+            .iter()
+            .map(|t| t.lock().verdict_log().to_string())
+            .collect();
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+        ServiceReport {
+            rounds,
+            admitted_by_tenant,
+            rejected_by_tenant,
+            completed_by_tenant,
+            rejections,
+            responses,
+            verdict_logs,
+            wall_secs,
+            metrics: metrics.snapshot(wall_secs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadConfig;
+
+    fn server(tenants: usize, capacity: usize, workers: usize) -> Server {
+        let mut s = Server::new(ServerConfig {
+            capacity_per_round: capacity,
+            workers,
+            retain_responses: true,
+            ..ServerConfig::default()
+        });
+        for i in 0..tenants {
+            s.register_tenant(&TenantConfig::new(format!("tenant-{i}")).with_seed(i as u64));
+        }
+        s
+    }
+
+    #[test]
+    fn every_generated_request_is_admitted_or_rejected_and_served() {
+        let mut s = server(4, 32, 2);
+        let mut gen = LoadGen::new(LoadConfig::even(4, 2_000, 40, 5));
+        let metrics = ServerMetrics::new();
+        let report = s.run_load(&mut gen, &metrics, &ServerTracing::disabled());
+        assert_eq!(report.admitted() + report.rejected(), 2_000);
+        assert_eq!(report.completed(), report.admitted(), "queues fully drain");
+        assert_eq!(report.responses.len() as u64, report.completed());
+        assert_eq!(report.metrics.admitted, report.admitted());
+    }
+
+    #[test]
+    fn overload_rejects_with_queue_full() {
+        let mut s = Server::new(ServerConfig {
+            capacity_per_round: 2,
+            workers: 2,
+            retain_responses: true,
+            ..ServerConfig::default()
+        });
+        s.register_tenant(&TenantConfig::new("small").with_queue_capacity(8));
+        // 100 arrivals per round into a depth-8 queue served 2 per
+        // round: overflow must bounce with the typed reason.
+        let mut gen = LoadGen::new(LoadConfig::even(1, 1_000, 100, 9));
+        let metrics = ServerMetrics::new();
+        let report = s.run_load(&mut gen, &metrics, &ServerTracing::disabled());
+        assert!(report.rejected() > 0);
+        assert!(report
+            .rejections
+            .iter()
+            .all(|r| r.reason == RejectReason::QueueFull(8)));
+        assert_eq!(report.admitted() + report.rejected(), 1_000);
+        assert_eq!(report.completed(), report.admitted());
+    }
+
+    #[test]
+    fn sync_submit_and_drain_round_trip() {
+        let mut s = server(2, 16, 1);
+        s.submit(0, Request::RunOps { ticks: 2 }).unwrap();
+        s.submit(1, Request::QueryIncident { rule: None }).unwrap();
+        let err = s
+            .submit(7, Request::QueryIncident { rule: None })
+            .unwrap_err();
+        assert_eq!(err.reason, RejectReason::UnknownTenant(7));
+        let metrics = ServerMetrics::new();
+        let report = s.drain(&metrics, &ServerTracing::disabled());
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.completed_by_tenant, vec![1, 1]);
+    }
+
+    #[test]
+    fn responses_resolve_to_their_tenant_and_request_by_trace() {
+        let mut s = server(3, 16, 2);
+        let mut gen = LoadGen::new(LoadConfig::even(3, 300, 30, 2));
+        let journal = Journal::new();
+        let tracing = ServerTracing::new(journal.clone(), 77);
+        let metrics = ServerMetrics::new();
+        let report = s.run_load(&mut gen, &metrics, &tracing);
+        assert!(report.completed() > 0);
+        for resp in &report.responses {
+            let trace = resp.trace.expect("traced run stamps every response");
+            let root = TraceContext::root(77, s.tenant(resp.tenant).name());
+            assert_eq!(
+                trace,
+                root.child_u64("req", resp.seq).child("response"),
+                "response trace chains tenant root -> request -> response"
+            );
+        }
+        let snap = journal.snapshot();
+        assert_eq!(snap.events_named("tenant.registered").len(), 3);
+        assert!(!snap.events_named("server.response").is_empty());
+    }
+
+    #[test]
+    fn disabled_tracing_changes_no_verdicts() {
+        let run = |traced: bool| {
+            let mut s = server(2, 32, 2);
+            let mut gen = LoadGen::new(LoadConfig::even(2, 400, 20, 6));
+            let tracing = if traced {
+                ServerTracing::new(Journal::new(), 1)
+            } else {
+                ServerTracing::disabled()
+            };
+            s.run_load(&mut gen, &ServerMetrics::new(), &tracing)
+                .verdict_logs
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`pipeline`] — the DevOps pipeline substrate tying it all together;
 //! * [`soc`] — the event-driven security-operations engine (sharded
 //!   event bus, work-stealing monitor runtime, remediation dispatcher);
+//! * [`server`] — the multi-tenant VeriDevOps-as-a-service front end
+//!   (admission control, weighted fair scheduling, open-loop load
+//!   generation);
 //! * [`trace`] — causal tracing across the closed loop (trace contexts,
 //!   the sharded event journal, JSONL/Chrome/Prometheus exporters, and
 //!   SLO burn-rate alerting).
@@ -48,6 +51,7 @@ pub use vdo_host as host;
 pub use vdo_nalabs as nalabs;
 pub use vdo_obs as obs;
 pub use vdo_pipeline as pipeline;
+pub use vdo_server as server;
 pub use vdo_soc as soc;
 pub use vdo_specpat as specpat;
 pub use vdo_stigs as stigs;

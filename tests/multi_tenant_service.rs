@@ -1,0 +1,223 @@
+//! Workspace-level integration of the service front end: tenant
+//! isolation, incident queries against the simulated fleets, causal
+//! trace resolution of responses, and admission-control backpressure —
+//! all through the umbrella crate the way a deployment would use it.
+
+use veridevops::nalabs::RequirementDoc;
+use veridevops::pipeline::{Commit, ConfigChange};
+use veridevops::server::{
+    Outcome, RejectReason, Request, Server, ServerConfig, ServerMetrics, ServerTracing,
+    TenantConfig,
+};
+use veridevops::trace::Journal;
+
+fn service(tenants: &[(&str, u64)]) -> Server {
+    let mut server = Server::new(ServerConfig {
+        capacity_per_round: 64,
+        quantum: 2,
+        workers: 2,
+        retain_responses: true,
+    });
+    for (name, seed) in tenants {
+        server.register_tenant(
+            &TenantConfig::new(*name)
+                .with_seed(*seed)
+                .with_queue_capacity(32)
+                .with_drift_rate(0.3),
+        );
+    }
+    server
+}
+
+/// A tenant's outcomes depend only on its own request stream and seed:
+/// running tenant "acme" alone or next to a noisy neighbour produces
+/// byte-identical verdict logs.
+#[test]
+fn tenant_state_is_isolated_from_neighbours() {
+    let acme_requests = |server: &mut Server, tenant: usize| {
+        server
+            .submit(
+                tenant,
+                Request::SubmitRequirement(RequirementDoc::new(
+                    "R-1",
+                    "The system shall lock the account after three failed logon attempts.",
+                )),
+            )
+            .unwrap();
+        server
+            .submit(
+                tenant,
+                Request::PushCommit(
+                    Commit::new("c1")
+                        .with_change(ConfigChange::InstallPackage("htop".into(), "2.1".into())),
+                ),
+            )
+            .unwrap();
+        for _ in 0..8 {
+            server.submit(tenant, Request::RunOps { ticks: 8 }).unwrap();
+        }
+        server
+            .submit(tenant, Request::QueryIncident { rule: None })
+            .unwrap();
+    };
+
+    let mut alone = service(&[("acme", 5)]);
+    acme_requests(&mut alone, 0);
+    let solo_report = alone.drain(&ServerMetrics::disabled(), &ServerTracing::disabled());
+
+    let mut shared = service(&[("noisy", 77), ("acme", 5)]);
+    // The neighbour interleaves its own traffic first.
+    for _ in 0..10 {
+        shared.submit(0, Request::RunOps { ticks: 16 }).unwrap();
+        shared
+            .submit(
+                0,
+                Request::PushCommit(
+                    Commit::new("evil").with_change(ConfigChange::InstallPackage(
+                        "telnetd".into(),
+                        "0.17".into(),
+                    )),
+                ),
+            )
+            .unwrap();
+    }
+    acme_requests(&mut shared, 1);
+    let shared_report = shared.drain(&ServerMetrics::disabled(), &ServerTracing::disabled());
+
+    assert_eq!(
+        solo_report.verdict_logs[0], shared_report.verdict_logs[1],
+        "a neighbour's traffic must not change acme's verdicts"
+    );
+    assert!(
+        !solo_report.verdict_logs[0].is_empty(),
+        "the isolated log must actually cover the workload"
+    );
+    // The noisy neighbour's hostile commit bounced at its own gate and
+    // never touched acme's fleet.
+    assert!(shared.tenant(0).verdict_log().contains("commit rejected"));
+    assert!(!shared
+        .tenant(1)
+        .production()
+        .is_package_installed("telnetd"));
+}
+
+/// Incident queries report exactly what the tenant's ops history
+/// produced, and rule-filtered queries never exceed the unfiltered
+/// totals.
+#[test]
+fn incident_queries_reflect_the_tenants_ops_history() {
+    let mut server = service(&[("acme", 11)]);
+    for _ in 0..12 {
+        server.submit(0, Request::RunOps { ticks: 8 }).unwrap();
+    }
+    server
+        .submit(0, Request::QueryIncident { rule: None })
+        .unwrap();
+    let report = server.drain(&ServerMetrics::disabled(), &ServerTracing::disabled());
+
+    let query = report
+        .responses
+        .iter()
+        .find(|r| matches!(r.outcome, Outcome::Incidents { .. }))
+        .expect("the query was served");
+    let Outcome::Incidents { total, open } = query.outcome else {
+        unreachable!()
+    };
+    assert_eq!(total, server.tenant(0).incidents().len());
+    assert!(open <= total);
+    assert!(
+        total > 0,
+        "30% drift over 96 ticks must have raised incidents"
+    );
+
+    // A filter on one of the incidents' rules returns a subset.
+    let rule = server.tenant(0).incidents()[0].rule.clone();
+    server
+        .submit(0, Request::QueryIncident { rule: Some(rule) })
+        .unwrap();
+    let report = server.drain(&ServerMetrics::disabled(), &ServerTracing::disabled());
+    let Outcome::Incidents {
+        total: filtered, ..
+    } = report.responses[0].outcome
+    else {
+        panic!("expected an incidents outcome");
+    };
+    assert!(filtered >= 1);
+    assert!(filtered <= total);
+}
+
+/// With tracing on, every retained response carries a span that
+/// resolves through the journal to its tenant's root and its admission
+/// event — tenant and originating request are recoverable from the
+/// trace alone.
+#[test]
+fn responses_resolve_to_tenant_and_request_through_the_journal() {
+    use veridevops::server::{LoadConfig, LoadGen, MixWeights};
+    use veridevops::trace::FieldValue;
+
+    let mut server = service(&[("acme", 3), ("globex", 4)]);
+    let journal = Journal::new();
+    let tracing = ServerTracing::new(journal.clone(), 21);
+    let mut gen = LoadGen::new(LoadConfig {
+        total_requests: 120,
+        base_rate: 10,
+        burst_period: 0,
+        burst_size: 0,
+        tenant_weights: vec![1, 1],
+        mix: MixWeights::default(),
+        seed: 21,
+    });
+    let report = server.run_load(&mut gen, &ServerMetrics::disabled(), &tracing);
+    assert!(report.completed() > 0);
+
+    let snapshot = journal.snapshot();
+    for resp in &report.responses {
+        let trace = resp.trace.expect("tracing was enabled");
+        let root = snapshot
+            .root_event(trace.trace_id)
+            .expect("every span resolves to a root");
+        assert_eq!(root.name, "tenant.registered");
+        // The admission event for this request shares the trace and
+        // its span is the response's parent.
+        let admit = snapshot
+            .events
+            .iter()
+            .find(|e| {
+                e.name == "server.admit"
+                    && e.trace.is_some_and(|t| {
+                        t.trace_id == trace.trace_id && Some(t.span_id) == trace.parent
+                    })
+            })
+            .expect("admission event is the response's parent span");
+        assert!(admit.fields.iter().any(|(k, v)| {
+            *k == "tenant" && matches!(v, FieldValue::U64(n) if *n as usize == resp.tenant)
+        }));
+        assert!(admit
+            .fields
+            .iter()
+            .any(|(k, v)| { *k == "seq" && matches!(v, FieldValue::U64(n) if *n == resp.seq) }));
+    }
+}
+
+/// Queue-full rejections surface the typed reason, and draining the
+/// backlog restores admission.
+#[test]
+fn backpressure_rejects_overflow_with_a_typed_reason() {
+    let mut server = service(&[("acme", 1)]);
+    let mut rejections = Vec::new();
+    for _ in 0..40 {
+        if let Err(r) = server.submit(0, Request::QueryIncident { rule: None }) {
+            rejections.push(r);
+        }
+    }
+    assert_eq!(rejections.len(), 8, "32 fit, 8 bounce");
+    for r in &rejections {
+        assert_eq!(r.reason, RejectReason::QueueFull(32));
+        assert!(r.reason.to_string().contains("queue full"));
+    }
+    let report = server.drain(&ServerMetrics::disabled(), &ServerTracing::disabled());
+    assert_eq!(report.completed(), 32);
+    assert!(server
+        .submit(0, Request::QueryIncident { rule: None })
+        .is_ok());
+}
