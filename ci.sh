@@ -43,4 +43,19 @@ assert smoke['within_budget'], \
 print(f"   p99 {smoke['p99_ticks']:.1f} rounds <= budget {smoke['budget_ticks']}")
 EOF
 
+echo "==> E16 fleet-scale budget (100k-host smoke vs pinned memory + latency budgets)"
+python3 - << 'EOF' 2> /dev/null || echo "   (python3 unavailable — budgets asserted in-binary by exp_report)"
+import json
+smoke = json.load(open('target/exp_report.json'))['e16_fleet_scale']['smoke']
+assert smoke['within_budget'], (
+    f"E16 smoke out of budget: {smoke['bytes_per_host']:.1f} bytes/host "
+    f"(budget {smoke['bytes_budget']}), ratio {smoke['memory_ratio']:.1f}x "
+    f"(floor {smoke['ratio_floor']}), max tick {smoke['max_tick_millis']:.3f} ms "
+    f"(budget {smoke['tick_budget_millis']})")
+print(f"   {smoke['hosts']} hosts: {smoke['bytes_per_host']:.1f} B/host "
+      f"<= {smoke['bytes_budget']:.0f}, ratio {smoke['memory_ratio']:.0f}x "
+      f">= {smoke['ratio_floor']:.0f}x, max tick {smoke['max_tick_millis']:.3f} ms "
+      f"<= {smoke['tick_budget_millis']:.0f} ms")
+EOF
+
 echo "CI green."

@@ -9,6 +9,16 @@ use vdo_core::{PlannerConfig, PlannerOutcome, RemediationPlanner};
 use vdo_host::{Fleet, FleetConfig};
 use vdo_stigs::ubuntu;
 
+fn fleet_config(size: usize, drift_probability: f64, events: usize, seed: u64) -> FleetConfig {
+    FleetConfig::builder()
+        .size(size)
+        .drift_probability(drift_probability)
+        .drift_events_per_host(events)
+        .seed(seed)
+        .build()
+        .expect("valid fleet config")
+}
+
 fn print_convergence_table() {
     println!("\n[E3] fleet compliance: remediations and convergence vs drift rate (20 hosts)");
     println!(
@@ -18,15 +28,11 @@ fn print_convergence_table() {
     let catalog = ubuntu::catalog();
     let planner = RemediationPlanner::new(PlannerConfig::default());
     for drift in [0.0, 0.25, 0.5, 1.0] {
-        let mut fleet = Fleet::unix_fleet(&FleetConfig {
-            size: 20,
-            drift_probability: drift,
-            drift_events_per_host: 4,
-            seed: 3,
-        });
+        let mut fleet = Fleet::generate(&fleet_config(20, drift, 4, 3));
         let mut remediations = 0;
         let mut compliant = 0;
-        for host in fleet.unix_hosts_mut() {
+        for host in fleet.hosts_mut() {
+            let host = host.into_unix_mut().expect("unix fleet");
             let run = planner.run(&catalog, host);
             remediations += run.report.summary().remediated;
             if run.outcome == PlannerOutcome::Compliant {
@@ -51,18 +57,13 @@ fn bench_fleet(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("E3_check_only");
     for size in [10usize, 100, 500] {
-        let fleet = Fleet::unix_fleet(&FleetConfig {
-            size,
-            drift_probability: 0.5,
-            drift_events_per_host: 3,
-            seed: 1,
-        });
+        let fleet = Fleet::generate(&fleet_config(size, 0.5, 3, 1));
         group.throughput(Throughput::Elements(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &fleet, |b, fleet| {
             b.iter(|| {
                 fleet
-                    .unix_hosts()
-                    .iter()
+                    .hosts()
+                    .filter_map(|h| h.as_unix())
                     .map(|h| {
                         catalog
                             .check_all(h)
@@ -78,18 +79,14 @@ fn bench_fleet(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("E3_check_enforce");
     for size in [10usize, 100, 500] {
-        let fleet = Fleet::unix_fleet(&FleetConfig {
-            size,
-            drift_probability: 0.5,
-            drift_events_per_host: 3,
-            seed: 1,
-        });
+        let fleet = Fleet::generate(&fleet_config(size, 0.5, 3, 1));
         group.throughput(Throughput::Elements(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &fleet, |b, fleet| {
             b.iter_batched(
                 || fleet.clone(),
                 |mut fleet| {
-                    for host in fleet.unix_hosts_mut() {
+                    for host in fleet.hosts_mut() {
+                        let host = host.into_unix_mut().expect("unix fleet");
                         planner.run(&catalog, host);
                     }
                 },

@@ -37,9 +37,11 @@ use vdo_temporal::{GlobalUniversality, MonitorOutcome, MonitoringLoop};
 fn main() {
     let mut json_path: Option<String> = None;
     let mut journal_path: Option<String> = None;
+    let mut e16_full = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--e16-full" => e16_full = true,
             "--json" => {
                 json_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--json requires a path argument");
@@ -53,7 +55,10 @@ fn main() {
                 }));
             }
             other => {
-                eprintln!("unknown argument: {other} (supported: --json <path>, --journal <path>)");
+                eprintln!(
+                    "unknown argument: {other} \
+                     (supported: --json <path>, --journal <path>, --e16-full)"
+                );
                 std::process::exit(2);
             }
         }
@@ -75,6 +80,7 @@ fn main() {
         ("e13_analyze", e13_analyze()),
         ("e14_trace", e14_trace()),
         ("e15_server", e15_server()),
+        ("e16_fleet_scale", e16_fleet_scale(e16_full)),
         ("f1_closed_loop", f1_closed_loop()),
         ("a1_dictionary_ablation", a1_dictionary_ablation()),
     ];
@@ -189,16 +195,20 @@ fn e3_fleet_convergence() -> Value {
     let planner = RemediationPlanner::new(PlannerConfig::default());
     let mut rows = Vec::new();
     for drift in [0.0, 0.25, 0.5, 1.0] {
-        let mut fleet = Fleet::unix_fleet(&FleetConfig {
-            size: 20,
-            drift_probability: drift,
-            drift_events_per_host: 4,
-            seed: 3,
-        });
+        let mut fleet = Fleet::generate(
+            &FleetConfig::builder()
+                .size(20)
+                .drift_probability(drift)
+                .drift_events_per_host(4)
+                .seed(3)
+                .build()
+                .expect("valid fleet config"),
+        );
         let t0 = Instant::now();
         let mut remediations = 0;
         let mut compliant = 0;
-        for host in fleet.unix_hosts_mut() {
+        for host in fleet.hosts_mut() {
+            let host = host.into_unix_mut().expect("unix fleet");
             let run = planner.run(&catalog, host);
             remediations += run.report.summary().remediated;
             if run.outcome == PlannerOutcome::Compliant {
@@ -878,6 +888,21 @@ fn e14_trace() -> Value {
 /// configuration CI holds to its latency budget.
 fn e15_server() -> Value {
     vdo_bench::e15::section(&vdo_bench::e15::E15Scale::full())
+}
+
+/// E16: the columnar fleet store at scale — the bytes-per-host memory
+/// curve against the owned-struct baseline, the drift → dirty-set
+/// refresh → enforce closed loop, worker-count determinism on the
+/// verdict logs, and the smoke configuration CI holds to its pinned
+/// memory and round-latency budgets. The default runs the CI shape
+/// (100k-host closed loop); `--e16-full` runs the million-host curve.
+fn e16_fleet_scale(full: bool) -> Value {
+    let scale = if full {
+        vdo_bench::e16::E16Scale::full()
+    } else {
+        vdo_bench::e16::E16Scale::ci()
+    };
+    vdo_bench::e16::section(&scale)
 }
 
 /// E13: the static analyzer against the planted-defect corpus —

@@ -6,4 +6,5 @@
 //! tables without Criterion's statistical machinery.
 
 pub mod e15;
+pub mod e16;
 pub mod workloads;

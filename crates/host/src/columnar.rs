@@ -1,0 +1,145 @@
+//! Key-major columnar overlay tables.
+//!
+//! The copy-on-write fleet store keeps one shared baseline host plus,
+//! per configuration domain (packages, directives, audit policy, …), a
+//! single [`OverlayTable`] holding *only the values that differ from
+//! the baseline*. Entries are keyed `(domain key, host id)` — key-major
+//! — so the two access patterns the closed loop needs are both cheap:
+//!
+//! * **point lookup** for one host's effective value:
+//!   `get(key, host)` — one `BTreeMap` probe;
+//! * **vectorized sweep** for a STIG check: "which hosts override the
+//!   key this check reads?" is a contiguous range scan
+//!   (`hosts_for(key)`), so a fleet-wide check costs one baseline
+//!   evaluation plus work proportional to the *delta*, not the fleet.
+//!
+//! Storage is proportional to total drift, not `hosts × keys`.
+
+use std::collections::BTreeMap;
+
+/// Rough per-entry bookkeeping cost of a `BTreeMap` (node overhead
+/// amortized per entry), used by the memory accounting in
+/// [`store`](crate::store).
+pub const BTREE_ENTRY_OVERHEAD: usize = 16;
+
+/// A sparse `(key, host) → value` table; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayTable<K: Ord + Copy, V> {
+    map: BTreeMap<(K, u32), V>,
+}
+
+impl<K: Ord + Copy, V> OverlayTable<K, V> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        OverlayTable {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The overlay value one host holds for `key`, if any.
+    pub fn get(&self, key: K, host: u32) -> Option<&V> {
+        self.map.get(&(key, host))
+    }
+
+    /// Inserts or replaces one host's overlay for `key`.
+    pub fn set(&mut self, key: K, host: u32, value: V) {
+        self.map.insert((key, host), value);
+    }
+
+    /// Drops one host's overlay for `key` (the host reverts to the
+    /// baseline value). Returns `true` if an overlay existed.
+    pub fn clear(&mut self, key: K, host: u32) -> bool {
+        self.map.remove(&(key, host)).is_some()
+    }
+
+    /// Hosts holding an overlay for `key`, ascending — the vectorized
+    /// sweep primitive.
+    pub fn hosts_for(&self, key: K) -> impl Iterator<Item = u32> + '_ {
+        self.map
+            .range((key, 0)..=(key, u32::MAX))
+            .map(|((_, h), _)| *h)
+    }
+
+    /// All `(key, value)` overlays one host holds. Full-table scan —
+    /// used by per-host materialization and forensics, not hot paths.
+    pub fn entries_for_host(&self, host: u32) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.map
+            .iter()
+            .filter(move |((_, h), _)| *h == host)
+            .map(|((k, _), v)| (*k, v))
+    }
+
+    /// Every distinct host holding any overlay in this table, ascending.
+    pub fn hosts_any(&self) -> Vec<u32> {
+        let mut hosts: Vec<u32> = self.map.keys().map(|(_, h)| *h).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Total overlay entries across all keys and hosts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff the table holds no overlays.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Coarse memory footprint estimate in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.map.len()
+            * (std::mem::size_of::<(K, u32)>() + std::mem::size_of::<V>() + BTREE_ENTRY_OVERHEAD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_lookup_and_clear() {
+        let mut t: OverlayTable<u32, &str> = OverlayTable::new();
+        t.set(5, 100, "a");
+        t.set(5, 7, "b");
+        assert_eq!(t.get(5, 100), Some(&"a"));
+        assert_eq!(t.get(5, 8), None);
+        assert!(t.clear(5, 100));
+        assert!(!t.clear(5, 100));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn hosts_for_is_a_contiguous_range() {
+        let mut t: OverlayTable<u32, u8> = OverlayTable::new();
+        for h in [9u32, 3, 120] {
+            t.set(1, h, 0);
+        }
+        t.set(0, 50, 0);
+        t.set(2, 51, 0);
+        assert_eq!(t.hosts_for(1).collect::<Vec<_>>(), vec![3, 9, 120]);
+        assert_eq!(t.hosts_for(7).count(), 0);
+    }
+
+    #[test]
+    fn per_host_and_any_host_scans() {
+        let mut t: OverlayTable<u8, char> = OverlayTable::new();
+        t.set(1, 10, 'x');
+        t.set(2, 10, 'y');
+        t.set(1, 11, 'z');
+        let mine: Vec<_> = t.entries_for_host(10).map(|(k, v)| (k, *v)).collect();
+        assert_eq!(mine, vec![(1, 'x'), (2, 'y')]);
+        assert_eq!(t.hosts_any(), vec![10, 11]);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_entries() {
+        let mut t: OverlayTable<u32, u64> = OverlayTable::new();
+        assert_eq!(t.approx_bytes(), 0);
+        t.set(0, 0, 0);
+        t.set(0, 1, 0);
+        assert!(t.approx_bytes() >= 2 * (8 + 8));
+    }
+}

@@ -2,13 +2,16 @@
 //!
 //! When operations monitoring flags a violation, the first investigative
 //! question is *what changed since the last known-good state*.
-//! [`diff_unix`] compares two [`UnixHost`] snapshots and enumerates
-//! every difference as a typed [`HostDelta`].
+//! [`diff_hosts`] compares any two [`HostRead`] snapshots — owned
+//! structs, store-backed views, or one of each — and enumerates every
+//! difference as a typed [`HostDelta`]; [`diff_unix`] is the concrete
+//! convenience wrapper.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::unix::UnixHost;
+use crate::view::HostRead;
 
 /// One observed difference between two host snapshots.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,22 +115,34 @@ const WATCHED_KERNEL_PARAMS: [&str; 2] = ["kernel.dmesg_restrict", "fs.suid_dump
 /// ```
 #[must_use]
 pub fn diff_unix(before: &UnixHost, after: &UnixHost) -> Vec<HostDelta> {
+    diff_hosts(before, after)
+}
+
+/// Enumerates the differences between any two host snapshots through the
+/// [`HostRead`] trait — the representation-independent generalization of
+/// [`diff_unix`]. The two sides may be different representations (e.g.
+/// an owned baseline vs. a columnar store view).
+#[must_use]
+pub fn diff_hosts<B: HostRead + ?Sized, A: HostRead + ?Sized>(
+    before: &B,
+    after: &A,
+) -> Vec<HostDelta> {
     let mut deltas = Vec::new();
 
-    let b_pkgs: BTreeSet<&str> = before.installed_packages().collect();
-    let a_pkgs: BTreeSet<&str> = after.installed_packages().collect();
+    let b_pkgs: BTreeSet<String> = before.installed_package_names().into_iter().collect();
+    let a_pkgs: BTreeSet<String> = after.installed_package_names().into_iter().collect();
     for p in a_pkgs.difference(&b_pkgs) {
-        deltas.push(HostDelta::PackageInstalled((*p).to_string()));
+        deltas.push(HostDelta::PackageInstalled(p.clone()));
     }
     for p in b_pkgs.difference(&a_pkgs) {
-        deltas.push(HostDelta::PackageRemoved((*p).to_string()));
+        deltas.push(HostDelta::PackageRemoved(p.clone()));
     }
     for p in b_pkgs.intersection(&a_pkgs) {
         let b = before.package_version(p);
         let a = after.package_version(p);
         if b != a {
             deltas.push(HostDelta::PackageVersionChanged(
-                (*p).to_string(),
+                p.clone(),
                 b.unwrap_or("<unknown>").to_string(),
                 a.unwrap_or("<unknown>").to_string(),
             ));

@@ -6,11 +6,16 @@
 //! seeded with an RNG, it applies random de-hardening events to simulated
 //! hosts and reports exactly what it broke, so experiments can measure how
 //! much of the damage the check/enforce loop detects and repairs.
+//!
+//! The injector is written once against the [`HostWrite`] trait, so the
+//! same event tables drive owned host structs and store-backed views
+//! with the identical RNG draw sequence.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::unix::{FileMode, UnixHost};
+use crate::view::{HostWrite, Platform};
 use crate::windows::{AuditSetting, WindowsHost};
 
 /// The kinds of drift the injector can introduce.
@@ -62,15 +67,15 @@ pub struct DriftEvent {
 /// Seeded random drift source.
 ///
 /// ```
-/// use vdo_host::{DriftInjector, UnixHost};
+/// use vdo_host::{DriftInjector, Platform, UnixHost};
 ///
 /// let mut host = UnixHost::baseline_ubuntu_1804();
 /// let mut drift = DriftInjector::new(42);
-/// let events = drift.drift_unix(&mut host, 3);
+/// let events = drift.drift(&mut host, Platform::Unix, 3);
 /// assert_eq!(events.len(), 3);
 /// // Same seed ⇒ same drift on an identical host.
 /// let mut host2 = UnixHost::baseline_ubuntu_1804();
-/// let events2 = DriftInjector::new(42).drift_unix(&mut host2, 3);
+/// let events2 = DriftInjector::new(42).drift(&mut host2, Platform::Unix, 3);
 /// assert_eq!(events, events2);
 /// ```
 #[derive(Debug, Clone)]
@@ -103,19 +108,36 @@ impl DriftInjector {
         }
     }
 
-    /// Applies `n` random drift events to a Unix host. Returns the events
-    /// in application order.
+    /// Applies `n` random drift events for `platform` to any writable
+    /// host. Returns the events in application order. The RNG draw
+    /// sequence depends only on the seed and `platform`, never on the
+    /// host representation.
+    pub fn drift<H: HostWrite>(
+        &mut self,
+        host: &mut H,
+        platform: Platform,
+        n: usize,
+    ) -> Vec<DriftEvent> {
+        (0..n).map(|_| self.one_event(host, platform)).collect()
+    }
+
+    /// Applies `n` random drift events to a Unix host.
     pub fn drift_unix(&mut self, host: &mut UnixHost, n: usize) -> Vec<DriftEvent> {
-        (0..n).map(|_| self.one_unix_event(host)).collect()
+        self.drift(host, Platform::Unix, n)
     }
 
     /// Applies `n` random drift events to a Windows host.
     pub fn drift_windows(&mut self, host: &mut WindowsHost, n: usize) -> Vec<DriftEvent> {
-        (0..n).map(|_| self.one_windows_event(host)).collect()
+        self.drift(host, Platform::Windows, n)
     }
 
-    fn one_unix_event(&mut self, host: &mut UnixHost) -> DriftEvent {
-        let kind = UNIX_DRIFT_KINDS[self.rng.gen_range(0..UNIX_DRIFT_KINDS.len())];
+    fn one_event<H: HostWrite>(&mut self, host: &mut H, platform: Platform) -> DriftEvent {
+        let kind = match platform {
+            Platform::Unix => UNIX_DRIFT_KINDS[self.rng.gen_range(0..UNIX_DRIFT_KINDS.len())],
+            Platform::Windows => {
+                WINDOWS_DRIFT_KINDS[self.rng.gen_range(0..WINDOWS_DRIFT_KINDS.len())]
+            }
+        };
         let detail = match kind {
             DriftKind::InstallForbiddenPackage => {
                 let pkg = FORBIDDEN_PACKAGES[self.rng.gen_range(0..FORBIDDEN_PACKAGES.len())];
@@ -145,24 +167,15 @@ impl DriftInjector {
                 host.write_directive("/etc/login.defs", "ENCRYPT_METHOD", "MD5");
                 "ENCRYPT_METHOD=MD5".to_string()
             }
-            _ => unreachable!("non-unix drift kind drawn for unix host"),
-        };
-        DriftEvent { kind, detail }
-    }
-
-    fn one_windows_event(&mut self, host: &mut WindowsHost) -> DriftEvent {
-        let kind = WINDOWS_DRIFT_KINDS[self.rng.gen_range(0..WINDOWS_DRIFT_KINDS.len())];
-        let detail = match kind {
             DriftKind::DisableAuditSubcategory => {
                 let (c, s) = AUDIT_TARGETS[self.rng.gen_range(0..AUDIT_TARGETS.len())];
-                host.audit_policy_mut().set(c, s, AuditSetting::NONE);
+                host.set_audit(c, s, AuditSetting::NONE);
                 format!("{c}/{s}")
             }
             DriftKind::ResetLockoutPolicy => {
                 host.set_lockout_threshold(0);
                 "lockout_threshold=0".to_string()
             }
-            _ => unreachable!("non-windows drift kind drawn for windows host"),
         };
         DriftEvent { kind, detail }
     }
@@ -176,9 +189,9 @@ mod tests {
     fn unix_drift_is_deterministic_per_seed() {
         let mut a = UnixHost::baseline_ubuntu_1804();
         let mut b = UnixHost::baseline_ubuntu_1804();
-        let ea = DriftInjector::new(7).drift_unix(&mut a, 10);
+        let ea = DriftInjector::new(7).drift(&mut a, Platform::Unix, 10);
         let eb = DriftInjector::new(7).drift_unix(&mut b, 10);
-        assert_eq!(ea, eb);
+        assert_eq!(ea, eb, "generic and wrapper entry points draw identically");
         assert_eq!(a, b);
     }
 
@@ -186,8 +199,8 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = UnixHost::baseline_ubuntu_1804();
         let mut b = UnixHost::baseline_ubuntu_1804();
-        let ea = DriftInjector::new(1).drift_unix(&mut a, 20);
-        let eb = DriftInjector::new(2).drift_unix(&mut b, 20);
+        let ea = DriftInjector::new(1).drift(&mut a, Platform::Unix, 20);
+        let eb = DriftInjector::new(2).drift(&mut b, Platform::Unix, 20);
         assert_ne!(ea, eb, "20 events from different seeds should not coincide");
     }
 
@@ -196,7 +209,7 @@ mod tests {
         let mut h = UnixHost::new("clean");
         h.add_account("admin", 1000, false, true);
         let before = h.clone();
-        let events = DriftInjector::new(3).drift_unix(&mut h, 8);
+        let events = DriftInjector::new(3).drift(&mut h, Platform::Unix, 8);
         assert_eq!(events.len(), 8);
         assert_ne!(h, before, "eight drift events must leave a trace");
     }
@@ -205,7 +218,7 @@ mod tests {
     fn windows_drift_disables_things() {
         let mut h = WindowsHost::baseline_win10();
         h.set_lockout_threshold(5);
-        let events = DriftInjector::new(11).drift_windows(&mut h, 12);
+        let events = DriftInjector::new(11).drift(&mut h, Platform::Windows, 12);
         assert_eq!(events.len(), 12);
         // With 12 events over 2 kinds, both kinds occur w.h.p. for this seed.
         assert!(events

@@ -1,0 +1,157 @@
+//! Deterministic string interning for columnar fleet storage.
+//!
+//! A million-host fleet repeats the same few hundred strings — package
+//! names, directive keys, config paths, audit subcategories — millions
+//! of times. [`Interner`] maps each distinct string to a dense
+//! [`Sym`] (a `u32`), so the columnar tables in
+//! [`store`](crate::store) hold 4-byte ids instead of owned `String`s.
+//!
+//! Symbols are assigned in first-intern order, which makes the interner
+//! fully deterministic for equal operation sequences — a property the
+//! fleet equivalence tests rely on.
+
+use std::collections::HashMap;
+
+/// An interned string id. Cheap to copy, order is first-seen order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Smallest possible symbol (range-scan bound).
+    pub(crate) const MIN: Sym = Sym(0);
+    /// Largest possible symbol (range-scan bound).
+    pub(crate) const MAX: Sym = Sym(u32::MAX);
+
+    /// The raw index into the interner's table.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Append-only, deterministic string interner.
+///
+/// ```
+/// use vdo_host::intern::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("openssh-server");
+/// let b = i.intern("openssh-server");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "openssh-server");
+/// assert_eq!(i.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a string, returning its symbol (existing or fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct strings are interned —
+    /// the simulated config vocabulary is a few hundred strings.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    #[must_use]
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner (out of range).
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Coarse memory footprint estimate in bytes: string payloads (held
+    /// twice — table and lookup key) plus per-entry bookkeeping.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        // Box<str> header (16) twice, HashMap entry (~48), Vec slot (16).
+        payload * 2 + self.strings.len() * 80
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_dense_and_first_seen_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        let a2 = i.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        assert!(i.is_empty());
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn equal_sequences_produce_equal_symbols() {
+        let seq = ["p", "q", "p", "r", "q"];
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        let sa: Vec<_> = seq.iter().map(|s| a.intern(s)).collect();
+        let sb: Vec<_> = seq.iter().map(|s| b.intern(s)).collect();
+        assert_eq!(sa, sb, "interning is deterministic");
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut i = Interner::new();
+        let empty = i.approx_bytes();
+        i.intern("a-reasonably-long-package-name");
+        assert!(i.approx_bytes() > empty);
+    }
+}

@@ -20,6 +20,19 @@
 //! of the VeriDevOps loop), and [`fleet`] stamps out host populations for
 //! the compliance-at-scale experiments (E3).
 //!
+//! Three layers make the surface scale past per-host structs:
+//!
+//! * [`view`] — the platform-generic [`HostRead`] / [`HostWrite`] traits
+//!   (plus the [`Platform`] enum) that checks, drift, and diffing are
+//!   written against once, instead of per concrete host type;
+//! * [`intern`] + [`columnar`] — string interning and key-major overlay
+//!   tables, the storage primitives;
+//! * [`store`] — [`FleetStore`], the copy-on-write columnar fleet:
+//!   one shared baseline host plus per-host deltas, point lookups
+//!   through [`store::HostView`], vectorized per-key sweeps, and an
+//!   incremental dirty set for drift detection. A million-host fleet
+//!   costs roughly one host plus total drift.
+//!
 //! ```
 //! use vdo_host::UnixHost;
 //!
@@ -31,14 +44,21 @@
 //! assert!(!host.is_package_installed("nis"));
 //! ```
 
+pub mod columnar;
 pub mod diff;
 pub mod drift;
 pub mod fleet;
+pub mod intern;
+pub mod store;
 pub mod unix;
+pub mod view;
 pub mod windows;
 
-pub use diff::{diff_unix, HostDelta};
+pub use diff::{diff_hosts, diff_unix, HostDelta};
 pub use drift::{DriftEvent, DriftInjector, DriftKind};
-pub use fleet::{Fleet, FleetConfig};
+pub use fleet::{Fleet, FleetConfig, FleetConfigBuilder, FleetConfigError, HostMut, HostRef};
+pub use intern::{Interner, Sym};
+pub use store::{FleetStore, HostView, HostViewMut, MemoryProfile};
 pub use unix::{FileMode, PackageState, ServiceState, UnixHost};
+pub use view::{HostRead, HostWrite, Platform};
 pub use windows::{AuditPolicy, AuditSetting, RegistryValue, WindowsHost};

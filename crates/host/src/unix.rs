@@ -396,6 +396,56 @@ impl UnixHost {
     pub fn kernel_param(&self, key: &str) -> Option<&str> {
         self.kernel_params.get(key).map(String::as_str)
     }
+
+    // ---- columnar-store support -------------------------------------------------
+
+    /// The full package record — version and installed flag — including
+    /// removed-but-recorded packages (the copy-on-write store reconciles
+    /// writes against this).
+    pub(crate) fn package_state(&self, name: &str) -> Option<(&str, bool)> {
+        self.packages
+            .get(name)
+            .map(|p| (p.version.as_str(), p.installed))
+    }
+
+    /// One account record, if present.
+    pub(crate) fn account(&self, name: &str) -> Option<&Account> {
+        self.accounts.get(name)
+    }
+
+    /// All account records, name-ordered.
+    pub(crate) fn accounts(&self) -> impl Iterator<Item = &Account> {
+        self.accounts.values()
+    }
+
+    /// Coarse estimate of this host's heap footprint in bytes — string
+    /// payloads plus per-entry map bookkeeping. Used to compare the
+    /// owned-struct layout against the columnar fleet store.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY: usize = 48; // BTreeMap entry + String headers, amortized
+        let mut bytes = std::mem::size_of::<UnixHost>() + self.hostname.len();
+        for (name, p) in &self.packages {
+            bytes += name.len() + p.version.len() + ENTRY;
+        }
+        for name in self.services.keys() {
+            bytes += name.len() + ENTRY;
+        }
+        for (path, file) in &self.files {
+            bytes += path.len() + ENTRY;
+            for (k, v) in &file.directives {
+                bytes += k.len() + v.len() + ENTRY;
+            }
+            bytes += file.owner.as_ref().map_or(0, String::len);
+        }
+        for (name, a) in &self.accounts {
+            bytes += name.len() + a.name.len() + ENTRY;
+        }
+        for (k, v) in &self.kernel_params {
+            bytes += k.len() + v.len() + ENTRY;
+        }
+        bytes
+    }
 }
 
 #[cfg(test)]

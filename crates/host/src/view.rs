@@ -1,0 +1,425 @@
+//! Platform-generic host views: the [`HostRead`] / [`HostWrite`] traits.
+//!
+//! STIG checks, drift injection, and diffing used to be written twice —
+//! once against [`UnixHost`] and once against [`WindowsHost`] — and a
+//! third copy would have been needed for the columnar
+//! [`FleetStore`](crate::store::FleetStore). These traits collapse the
+//! three surfaces into one: a *read view* covering every query the
+//! requirement patterns make, and a *write view* covering every mutation
+//! enforcement and drift perform.
+//!
+//! The traits are deliberately **cross-platform**: a Unix query on a
+//! Windows host answers with absence (`None`, `false`, an empty list)
+//! and a Windows query on a Unix host likewise, mirroring how a real
+//! scanner probing `dpkg` on Windows simply finds nothing. Off-platform
+//! *writes* are ignored. Each concrete host overrides only its own
+//! domain and inherits the absent defaults for the other, so a generic
+//! check such as `Checkable<H: HostRead>` runs unmodified against any
+//! host representation.
+
+use crate::unix::{FileMode, ServiceState, UnixHost};
+use crate::windows::{AuditSetting, RegistryValue, WindowsHost};
+
+/// The operating-system family a host or fleet simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Platform {
+    /// Debian-family Unix (the Ubuntu 18.04 STIG target).
+    #[default]
+    Unix,
+    /// Windows 10 workstation.
+    Windows,
+}
+
+impl core::fmt::Display for Platform {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Platform::Unix => "unix",
+            Platform::Windows => "windows",
+        })
+    }
+}
+
+/// Read-only view of a simulated host, covering every query the STIG
+/// requirement patterns, the drift injector, and the differ make.
+///
+/// Off-platform queries return absence rather than panicking; see the
+/// module docs.
+pub trait HostRead {
+    /// Which platform this host simulates.
+    fn platform(&self) -> Platform;
+
+    // ---- Unix: package database -------------------------------------
+
+    /// `true` iff the package is currently installed.
+    fn is_package_installed(&self, _name: &str) -> bool {
+        false
+    }
+
+    /// Installed version, if the package is installed.
+    fn package_version(&self, _name: &str) -> Option<&str> {
+        None
+    }
+
+    /// Names of all installed packages, in sorted order.
+    fn installed_package_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    // ---- Unix: services, config files, accounts, sysctl -------------
+
+    /// Current state of a service; `None` if the unit does not exist.
+    fn service(&self, _name: &str) -> Option<ServiceState> {
+        None
+    }
+
+    /// Effective value of a config directive (case-insensitive key).
+    fn directive(&self, _path: &str, _key: &str) -> Option<&str> {
+        None
+    }
+
+    /// Permission bits of a path, if recorded.
+    fn file_mode(&self, _path: &str) -> Option<FileMode> {
+        None
+    }
+
+    /// `true` iff the account exists.
+    fn has_account(&self, _name: &str) -> bool {
+        false
+    }
+
+    /// `true` iff every account stores its password encrypted
+    /// (vacuously true with no accounts — including on Windows hosts).
+    fn all_passwords_encrypted(&self) -> bool {
+        true
+    }
+
+    /// Reads a sysctl-style kernel parameter.
+    fn kernel_param(&self, _key: &str) -> Option<&str> {
+        None
+    }
+
+    // ---- Windows: audit policy, registry, lockout --------------------
+
+    /// Effective audit setting of a subcategory (missing = no auditing).
+    fn audit_setting(&self, _category: &str, _subcategory: &str) -> AuditSetting {
+        AuditSetting::NONE
+    }
+
+    /// Reads a registry value (owned — columnar stores reassemble it
+    /// from interned parts).
+    fn registry_value(&self, _key: &str, _name: &str) -> Option<RegistryValue> {
+        None
+    }
+
+    /// Account lockout threshold (0 = never lock).
+    fn lockout_threshold(&self) -> u32 {
+        0
+    }
+
+    /// Lockout duration in minutes.
+    fn lockout_duration_minutes(&self) -> u32 {
+        0
+    }
+}
+
+/// Mutable view of a simulated host, covering every mutation STIG
+/// enforcement and the drift injector perform.
+///
+/// Off-platform writes are ignored (default no-op bodies), so a generic
+/// `Enforceable<H: HostWrite>` can be applied to any host without a
+/// platform dispatch at the call site.
+pub trait HostWrite: HostRead {
+    // ---- Unix -------------------------------------------------------
+
+    /// Installs (or upgrades) a package.
+    fn install_package(&mut self, _name: &str, _version: &str) {}
+
+    /// Removes a package; returns `true` if it was installed.
+    fn remove_package(&mut self, _name: &str) -> bool {
+        false
+    }
+
+    /// Sets the full state of a service (creating it if unknown).
+    fn set_service(&mut self, _name: &str, _state: ServiceState) {}
+
+    /// Enables and starts a service, creating the unit if missing.
+    fn enable_service(&mut self, name: &str) {
+        self.set_service(
+            name,
+            ServiceState {
+                enabled: true,
+                active: true,
+            },
+        );
+    }
+
+    /// Disables and stops a service. Returns `true` if the unit existed.
+    fn disable_service(&mut self, name: &str) -> bool {
+        if self.service(name).is_some() {
+            self.set_service(
+                name,
+                ServiceState {
+                    enabled: false,
+                    active: false,
+                },
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Appends or replaces a `key value` directive (case-insensitive).
+    fn write_directive(&mut self, _path: &str, _key: &str, _value: &str) {}
+
+    /// Removes a directive; returns `true` if it existed.
+    fn remove_directive(&mut self, _path: &str, _key: &str) -> bool {
+        false
+    }
+
+    /// Sets the permission bits of a path.
+    fn set_file_mode(&mut self, _path: &str, _mode: FileMode) {}
+
+    /// Adds (or replaces) a local account.
+    fn add_account(&mut self, _name: &str, _uid: u32, _locked: bool, _password_encrypted: bool) {}
+
+    /// Marks one account's password as stored in clear text; returns
+    /// `true` if the account exists.
+    fn corrupt_password_storage(&mut self, _name: &str) -> bool {
+        false
+    }
+
+    /// Re-encrypts every stored password.
+    fn encrypt_all_passwords(&mut self) {}
+
+    /// Sets a sysctl-style kernel parameter.
+    fn set_kernel_param(&mut self, _key: &str, _value: &str) {}
+
+    // ---- Windows ----------------------------------------------------
+
+    /// Sets an audit subcategory's setting.
+    fn set_audit(&mut self, _category: &str, _subcategory: &str, _setting: AuditSetting) {}
+
+    /// Writes a registry value under the given key path.
+    fn set_registry_value(&mut self, _key: &str, _name: &str, _value: RegistryValue) {}
+
+    /// Sets the account lockout threshold.
+    fn set_lockout_threshold(&mut self, _attempts: u32) {}
+
+    /// Sets the lockout duration in minutes.
+    fn set_lockout_duration_minutes(&mut self, _minutes: u32) {}
+}
+
+// ---- Concrete host impls: delegate to the inherent methods ----------
+
+impl HostRead for UnixHost {
+    fn platform(&self) -> Platform {
+        Platform::Unix
+    }
+
+    fn is_package_installed(&self, name: &str) -> bool {
+        UnixHost::is_package_installed(self, name)
+    }
+
+    fn package_version(&self, name: &str) -> Option<&str> {
+        UnixHost::package_version(self, name)
+    }
+
+    fn installed_package_names(&self) -> Vec<String> {
+        UnixHost::installed_packages(self)
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn service(&self, name: &str) -> Option<ServiceState> {
+        UnixHost::service(self, name)
+    }
+
+    fn directive(&self, path: &str, key: &str) -> Option<&str> {
+        UnixHost::directive(self, path, key)
+    }
+
+    fn file_mode(&self, path: &str) -> Option<FileMode> {
+        UnixHost::file_mode(self, path)
+    }
+
+    fn has_account(&self, name: &str) -> bool {
+        UnixHost::has_account(self, name)
+    }
+
+    fn all_passwords_encrypted(&self) -> bool {
+        UnixHost::all_passwords_encrypted(self)
+    }
+
+    fn kernel_param(&self, key: &str) -> Option<&str> {
+        UnixHost::kernel_param(self, key)
+    }
+}
+
+impl HostWrite for UnixHost {
+    fn install_package(&mut self, name: &str, version: &str) {
+        UnixHost::install_package(self, name, version);
+    }
+
+    fn remove_package(&mut self, name: &str) -> bool {
+        UnixHost::remove_package(self, name)
+    }
+
+    fn set_service(&mut self, name: &str, state: ServiceState) {
+        UnixHost::set_service(self, name, state);
+    }
+
+    fn enable_service(&mut self, name: &str) {
+        UnixHost::enable_service(self, name);
+    }
+
+    fn disable_service(&mut self, name: &str) -> bool {
+        UnixHost::disable_service(self, name)
+    }
+
+    fn write_directive(&mut self, path: &str, key: &str, value: &str) {
+        UnixHost::write_directive(self, path, key, value);
+    }
+
+    fn remove_directive(&mut self, path: &str, key: &str) -> bool {
+        UnixHost::remove_directive(self, path, key)
+    }
+
+    fn set_file_mode(&mut self, path: &str, mode: FileMode) {
+        UnixHost::set_file_mode(self, path, mode);
+    }
+
+    fn add_account(&mut self, name: &str, uid: u32, locked: bool, password_encrypted: bool) {
+        UnixHost::add_account(self, name, uid, locked, password_encrypted);
+    }
+
+    fn corrupt_password_storage(&mut self, name: &str) -> bool {
+        UnixHost::corrupt_password_storage(self, name)
+    }
+
+    fn encrypt_all_passwords(&mut self) {
+        UnixHost::encrypt_all_passwords(self);
+    }
+
+    fn set_kernel_param(&mut self, key: &str, value: &str) {
+        UnixHost::set_kernel_param(self, key, value);
+    }
+}
+
+impl HostRead for WindowsHost {
+    fn platform(&self) -> Platform {
+        Platform::Windows
+    }
+
+    fn audit_setting(&self, category: &str, subcategory: &str) -> AuditSetting {
+        self.audit_policy().get(category, subcategory)
+    }
+
+    fn registry_value(&self, key: &str, name: &str) -> Option<RegistryValue> {
+        WindowsHost::registry_value(self, key, name).cloned()
+    }
+
+    fn lockout_threshold(&self) -> u32 {
+        WindowsHost::lockout_threshold(self)
+    }
+
+    fn lockout_duration_minutes(&self) -> u32 {
+        WindowsHost::lockout_duration_minutes(self)
+    }
+}
+
+impl HostWrite for WindowsHost {
+    fn set_audit(&mut self, category: &str, subcategory: &str, setting: AuditSetting) {
+        self.audit_policy_mut().set(category, subcategory, setting);
+    }
+
+    fn set_registry_value(&mut self, key: &str, name: &str, value: RegistryValue) {
+        WindowsHost::set_registry_value(self, key, name, value);
+    }
+
+    fn set_lockout_threshold(&mut self, attempts: u32) {
+        WindowsHost::set_lockout_threshold(self, attempts);
+    }
+
+    fn set_lockout_duration_minutes(&mut self, minutes: u32) {
+        WindowsHost::set_lockout_duration_minutes(self, minutes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_probe<H: HostRead>(h: &H) -> (bool, bool, u32) {
+        (
+            h.is_package_installed("openssh-server"),
+            h.all_passwords_encrypted(),
+            h.lockout_threshold(),
+        )
+    }
+
+    #[test]
+    fn unix_host_answers_unix_queries_and_defaults_windows_ones() {
+        let h = UnixHost::baseline_ubuntu_1804();
+        let (ssh, encrypted, lockout) = read_probe(&h);
+        assert!(ssh);
+        assert!(encrypted);
+        assert_eq!(lockout, 0, "windows query on unix host defaults to 0");
+        assert_eq!(h.platform(), Platform::Unix);
+        assert_eq!(
+            HostRead::audit_setting(&h, "Logon/Logoff", "Logon"),
+            AuditSetting::NONE
+        );
+    }
+
+    #[test]
+    fn windows_host_answers_windows_queries_and_defaults_unix_ones() {
+        let h = WindowsHost::baseline_win10();
+        let (ssh, encrypted, _) = read_probe(&h);
+        assert!(!ssh, "unix query on windows host defaults to absent");
+        assert!(encrypted, "vacuously true without accounts");
+        assert_eq!(h.platform(), Platform::Windows);
+        assert_eq!(
+            HostRead::audit_setting(&h, "Logon/Logoff", "Logon"),
+            AuditSetting::SUCCESS
+        );
+        assert!(HostRead::registry_value(
+            &h,
+            r"HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Policies\System",
+            "EnableLUA"
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn off_platform_writes_are_ignored() {
+        let mut h = WindowsHost::baseline_win10();
+        let before = h.clone();
+        HostWrite::install_package(&mut h, "nis", "3.17");
+        HostWrite::write_directive(&mut h, "/etc/ssh/sshd_config", "Protocol", "1");
+        assert!(!HostWrite::remove_package(&mut h, "sudo"));
+        assert_eq!(h, before, "unix writes must not disturb a windows host");
+
+        let mut u = UnixHost::baseline_ubuntu_1804();
+        let before = u.clone();
+        HostWrite::set_lockout_threshold(&mut u, 3);
+        HostWrite::set_audit(&mut u, "Logon/Logoff", "Logon", AuditSetting::BOTH);
+        assert_eq!(u, before, "windows writes must not disturb a unix host");
+    }
+
+    #[test]
+    fn default_enable_disable_route_through_set_service() {
+        let mut h = UnixHost::new("t");
+        HostWrite::enable_service(&mut h, "sshd");
+        assert!(HostRead::service(&h, "sshd").unwrap().enabled);
+        assert!(HostWrite::disable_service(&mut h, "sshd"));
+        assert!(!HostRead::service(&h, "sshd").unwrap().enabled);
+        assert!(!HostWrite::disable_service(&mut h, "ghost"));
+    }
+
+    #[test]
+    fn platform_displays() {
+        assert_eq!(Platform::Unix.to_string(), "unix");
+        assert_eq!(Platform::Windows.to_string(), "windows");
+    }
+}

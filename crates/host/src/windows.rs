@@ -295,6 +295,27 @@ impl WindowsHost {
     pub fn set_lockout_duration_minutes(&mut self, minutes: u32) {
         self.lockout_duration_minutes = minutes;
     }
+
+    /// Coarse estimate of this host's heap footprint in bytes; see
+    /// [`UnixHost::approx_bytes`](crate::UnixHost::approx_bytes).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY: usize = 48;
+        let mut bytes = std::mem::size_of::<WindowsHost>() + self.hostname.len();
+        for (category, subcategory, _) in self.audit.iter() {
+            bytes += category.len() + subcategory.len() + ENTRY;
+        }
+        for (key, values) in &self.registry {
+            bytes += key.len() + ENTRY;
+            for (name, value) in values {
+                bytes += name.len() + ENTRY;
+                if let RegistryValue::Sz(s) = value {
+                    bytes += s.len();
+                }
+            }
+        }
+        bytes
+    }
 }
 
 #[cfg(test)]

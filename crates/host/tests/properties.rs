@@ -1,0 +1,122 @@
+//! Observational-equivalence properties: the columnar [`FleetStore`]
+//! must be indistinguishable from the legacy per-host-struct [`Fleet`]
+//! at equal seeds — same drift counts, same diff reports, same
+//! materialized hosts — across the whole configuration space.
+
+use proptest::prelude::*;
+use vdo_host::{
+    diff_hosts, diff_unix, DriftInjector, Fleet, FleetConfig, FleetStore, HostRead, Platform,
+    UnixHost,
+};
+
+fn cfg(size: usize, seed: u64, p: f64, platform: Platform) -> FleetConfig {
+    FleetConfig::builder()
+        .size(size)
+        .seed(seed)
+        .drift_probability(p)
+        .drift_events_per_host(4)
+        .platform(platform)
+        .build()
+        .expect("valid config")
+}
+
+proptest! {
+    /// Equal seeds ⇒ the columnar store and the legacy fleet drift the
+    /// same hosts and show identical per-host diffs vs. the baseline.
+    #[test]
+    fn store_and_fleet_agree_observably(
+        seed in 0u64..300,
+        size in 1usize..30,
+        p in 0.0f64..1.0,
+    ) {
+        let config = cfg(size, seed, p, Platform::Unix);
+        let fleet = Fleet::generate(&config);
+        let store = FleetStore::generate(&config);
+        prop_assert_eq!(fleet.drifted_count(), store.drifted_count());
+
+        let base = UnixHost::baseline_ubuntu_1804();
+        for (i, host) in fleet.hosts().enumerate() {
+            let legacy = host.as_unix().expect("unix fleet");
+            let legacy_diff = diff_unix(&base, legacy);
+            let store_diff = diff_hosts(&base, &store.host(i));
+            prop_assert_eq!(&legacy_diff, &store_diff, "host {} diff diverged", i);
+        }
+    }
+
+    /// Materializing a store host yields a struct that diffs empty
+    /// against the store view it came from.
+    #[test]
+    fn materialized_hosts_match_their_views(
+        seed in 0u64..300,
+        size in 1usize..20,
+    ) {
+        let config = cfg(size, seed, 0.8, Platform::Unix);
+        let store = FleetStore::generate(&config);
+        for i in 0..store.len() {
+            let owned = store.materialize_unix(i);
+            prop_assert!(diff_hosts(&owned, &store.host(i)).is_empty());
+            prop_assert!(diff_hosts(&store.host(i), &owned).is_empty());
+        }
+    }
+
+    /// Windows fleets agree on the trait-visible surface at equal seeds.
+    #[test]
+    fn windows_store_and_fleet_agree(
+        seed in 0u64..200,
+        size in 1usize..20,
+        p in 0.0f64..1.0,
+    ) {
+        let config = cfg(size, seed, p, Platform::Windows);
+        let fleet = Fleet::generate(&config);
+        let store = FleetStore::generate(&config);
+        prop_assert_eq!(fleet.drifted_count(), store.drifted_count());
+        for (i, host) in fleet.hosts().enumerate() {
+            let view = store.host(i);
+            for (c, s) in [
+                ("Account Management", "User Account Management"),
+                ("Logon/Logoff", "Logon"),
+                ("Privilege Use", "Sensitive Privilege Use"),
+                ("Account Logon", "Credential Validation"),
+            ] {
+                prop_assert_eq!(host.audit_setting(c, s), view.audit_setting(c, s));
+            }
+            prop_assert_eq!(host.lockout_threshold(), view.lockout_threshold());
+            prop_assert_eq!(
+                host.lockout_duration_minutes(),
+                view.lockout_duration_minutes()
+            );
+            prop_assert_eq!(
+                host.registry_value(
+                    r"HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Policies\System",
+                    "EnableLUA"
+                ),
+                view.registry_value(
+                    r"HKLM\SOFTWARE\Microsoft\Windows\CurrentVersion\Policies\System",
+                    "EnableLUA"
+                )
+            );
+        }
+    }
+
+    /// Writing the same drift stream through a store view and an owned
+    /// struct leaves the two representations observationally equal, and
+    /// the dirty set names exactly the touched host.
+    #[test]
+    fn drift_through_views_matches_owned_structs(
+        seed in 0u64..300,
+        events in 1usize..10,
+    ) {
+        let config = cfg(5, 1, 0.0, Platform::Unix);
+        let mut store = FleetStore::generate(&config);
+        let mut owned = UnixHost::baseline_ubuntu_1804();
+
+        let ev_a = DriftInjector::new(seed).drift(&mut store.host_mut(2), Platform::Unix, events);
+        let ev_b = DriftInjector::new(seed).drift(&mut owned, Platform::Unix, events);
+        prop_assert_eq!(ev_a, ev_b, "identical RNG draws on both representations");
+        prop_assert!(diff_hosts(&owned, &store.host(2)).is_empty());
+
+        let dirty = store.take_dirty();
+        prop_assert!(dirty.iter().all(|&h| h == 2));
+        prop_assert!(store.take_dirty().is_empty(), "take_dirty drains");
+    }
+}

@@ -14,28 +14,24 @@ use rand::{Rng, SeedableRng};
 
 use serde::Serialize;
 use vdo_core::{Catalog, RemediationPlanner};
-use vdo_host::{DriftInjector, UnixHost, WindowsHost};
+use vdo_host::{DriftInjector, HostWrite};
 use vdo_soc::{DetectionKind, SocConfig, SocEngine, SocHost, SocMetrics, SocTracing};
 use vdo_temporal::Trace;
 use vdo_trace::{Event, Journal, TraceContext};
 
-/// A host class the drift injector knows how to degrade. Implemented for
-/// both simulated host types so one [`OperationsPhase`] serves Ubuntu and
-/// Windows deployments alike.
+/// A host class the drift injector knows how to degrade.
+/// Blanket-implemented for every [`HostWrite`] type, so one
+/// [`OperationsPhase`] serves Ubuntu and Windows deployments alike —
+/// owned structs and store-backed views included.
 pub trait DriftTarget {
     /// Applies `n` random drift events from `injector`.
     fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize);
 }
 
-impl DriftTarget for UnixHost {
+impl<H: HostWrite> DriftTarget for H {
     fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) {
-        injector.drift_unix(self, n);
-    }
-}
-
-impl DriftTarget for WindowsHost {
-    fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) {
-        injector.drift_windows(self, n);
+        let platform = self.platform();
+        injector.drift(self, platform, n);
     }
 }
 
@@ -445,6 +441,7 @@ impl<'a, E: DriftTarget + SocHost> OperationsPhase<'a, E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vdo_host::UnixHost;
     use vdo_stigs::ubuntu;
 
     fn compliant_host(catalog: &Catalog<UnixHost>) -> UnixHost {

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vdo_core::{Catalog, RemediationPlanner, Severity};
-use vdo_host::{DriftInjector, UnixHost};
+use vdo_host::{DriftInjector, Platform, UnixHost};
 use vdo_nalabs::{Analyzer, RequirementDoc};
 use vdo_pipeline::{AnalysisGate, ComplianceGate, Gate, GateContext, RequirementsGate, TestGate};
 use vdo_trace::Journal;
@@ -285,7 +285,10 @@ impl Tenant {
         let mut drift = 0usize;
         for _ in 0..ticks {
             if self.rng.gen_bool(self.drift_rate) {
-                drift += self.drifter.drift_unix(&mut self.production, 1).len();
+                drift += self
+                    .drifter
+                    .drift(&mut self.production, Platform::Unix, 1)
+                    .len();
             }
         }
         let mut detected = 0usize;

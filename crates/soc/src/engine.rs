@@ -34,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use vdo_core::{Catalog, CheckStatus, RemediationPlanner};
-use vdo_host::{DriftInjector, UnixHost, WindowsHost};
+use vdo_host::{DriftInjector, HostWrite};
 use vdo_obs::Registry;
 use vdo_tears::GuardedAssertion;
 use vdo_temporal::{PatternMonitor, Trace};
@@ -49,20 +49,18 @@ use crate::runtime::{Batch, TaskQueues, TaskSource};
 
 /// A host class the engine can operate: drift must be injectable and
 /// the state must be shareable with the worker pool.
+///
+/// Blanket-implemented for every [`HostWrite`] type, so owned host
+/// structs and store-backed views all qualify with one definition.
 pub trait SocHost: Send + Sync {
     /// Applies `n` random drift events, reporting what changed.
     fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) -> Vec<vdo_host::DriftEvent>;
 }
 
-impl SocHost for UnixHost {
+impl<H: HostWrite + Send + Sync> SocHost for H {
     fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) -> Vec<vdo_host::DriftEvent> {
-        injector.drift_unix(self, n)
-    }
-}
-
-impl SocHost for WindowsHost {
-    fn apply_drift(&mut self, injector: &mut DriftInjector, n: usize) -> Vec<vdo_host::DriftEvent> {
-        injector.drift_windows(self, n)
+        let platform = self.platform();
+        injector.drift(self, platform, n)
     }
 }
 
@@ -931,6 +929,7 @@ fn handle_check_result(shard: usize, seq: u64, now: u64, event: SecEvent, state:
 mod tests {
     use super::*;
     use vdo_core::RemediationPlanner;
+    use vdo_host::{UnixHost, WindowsHost};
     use vdo_stigs::ubuntu;
 
     fn compliant_fleet(n: usize) -> Vec<UnixHost> {

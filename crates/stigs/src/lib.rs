@@ -28,5 +28,6 @@
 //! assert!(!host.is_package_installed("telnetd"));
 //! ```
 
+pub mod sweep;
 pub mod ubuntu;
 pub mod win10;

@@ -10,7 +10,7 @@
 use vdo_core::{
     Catalog, CheckStatus, Checkable, Enforceable, EnforcementStatus, RequirementSpec, Severity,
 };
-use vdo_host::{FileMode, UnixHost};
+use vdo_host::{FileMode, HostRead, HostWrite, UnixHost};
 
 /// Package presence/absence pattern — the literal counterpart of
 /// `rqcode.stigs.ubuntu.UbuntuPackagePattern(name, mustBeInstalled)`.
@@ -49,16 +49,22 @@ impl UbuntuPackagePattern {
     pub fn package_name(&self) -> &str {
         &self.name
     }
+
+    /// `true` if the package must be present, `false` if prohibited.
+    #[must_use]
+    pub fn must_be_installed(&self) -> bool {
+        self.must_be_installed
+    }
 }
 
-impl Checkable<UnixHost> for UbuntuPackagePattern {
-    fn check(&self, host: &UnixHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for UbuntuPackagePattern {
+    fn check(&self, host: &H) -> CheckStatus {
         CheckStatus::from(host.is_package_installed(&self.name) == self.must_be_installed)
     }
 }
 
-impl Enforceable<UnixHost> for UbuntuPackagePattern {
-    fn enforce(&self, host: &mut UnixHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for UbuntuPackagePattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         if self.must_be_installed {
             if !host.is_package_installed(&self.name) {
                 host.install_package(&self.name, "stig-enforced");
@@ -93,10 +99,28 @@ impl DirectivePattern {
             expected: expected.into(),
         }
     }
+
+    /// The config file this pattern inspects.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The directive key.
+    #[must_use]
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The required value.
+    #[must_use]
+    pub fn expected(&self) -> &str {
+        &self.expected
+    }
 }
 
-impl Checkable<UnixHost> for DirectivePattern {
-    fn check(&self, host: &UnixHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for DirectivePattern {
+    fn check(&self, host: &H) -> CheckStatus {
         match host.directive(&self.path, &self.key) {
             Some(v) => CheckStatus::from(v.eq_ignore_ascii_case(&self.expected)),
             None => CheckStatus::Fail,
@@ -104,8 +128,8 @@ impl Checkable<UnixHost> for DirectivePattern {
     }
 }
 
-impl Enforceable<UnixHost> for DirectivePattern {
-    fn enforce(&self, host: &mut UnixHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for DirectivePattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         host.write_directive(&self.path, &self.key, &self.expected);
         EnforcementStatus::Success
     }
@@ -129,10 +153,22 @@ impl FileModePattern {
             max,
         }
     }
+
+    /// The path this pattern inspects.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The most permissive acceptable mode.
+    #[must_use]
+    pub fn max_mode(&self) -> FileMode {
+        self.max
+    }
 }
 
-impl Checkable<UnixHost> for FileModePattern {
-    fn check(&self, host: &UnixHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for FileModePattern {
+    fn check(&self, host: &H) -> CheckStatus {
         match host.file_mode(&self.path) {
             Some(mode) => CheckStatus::from(mode.at_most(self.max)),
             None => CheckStatus::Incomplete,
@@ -140,8 +176,8 @@ impl Checkable<UnixHost> for FileModePattern {
     }
 }
 
-impl Enforceable<UnixHost> for FileModePattern {
-    fn enforce(&self, host: &mut UnixHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for FileModePattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         host.set_file_mode(&self.path, self.max);
         EnforcementStatus::Success
     }
@@ -152,8 +188,8 @@ impl Enforceable<UnixHost> for FileModePattern {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EncryptedPasswordsPattern;
 
-impl Checkable<UnixHost> for EncryptedPasswordsPattern {
-    fn check(&self, host: &UnixHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for EncryptedPasswordsPattern {
+    fn check(&self, host: &H) -> CheckStatus {
         let hashing_ok = host
             .directive("/etc/login.defs", "ENCRYPT_METHOD")
             .is_some_and(|v| v.eq_ignore_ascii_case("SHA512"));
@@ -161,8 +197,8 @@ impl Checkable<UnixHost> for EncryptedPasswordsPattern {
     }
 }
 
-impl Enforceable<UnixHost> for EncryptedPasswordsPattern {
-    fn enforce(&self, host: &mut UnixHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for EncryptedPasswordsPattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         host.encrypt_all_passwords();
         host.write_directive("/etc/login.defs", "ENCRYPT_METHOD", "SHA512");
         EnforcementStatus::Success
@@ -185,17 +221,29 @@ impl ServicePattern {
             must_be_enabled,
         }
     }
+
+    /// The service this pattern governs.
+    #[must_use]
+    pub fn service_name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` if the service must be enabled, `false` if prohibited.
+    #[must_use]
+    pub fn must_be_enabled(&self) -> bool {
+        self.must_be_enabled
+    }
 }
 
-impl Checkable<UnixHost> for ServicePattern {
-    fn check(&self, host: &UnixHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for ServicePattern {
+    fn check(&self, host: &H) -> CheckStatus {
         let enabled = host.service(&self.name).is_some_and(|s| s.enabled);
         CheckStatus::from(enabled == self.must_be_enabled)
     }
 }
 
-impl Enforceable<UnixHost> for ServicePattern {
-    fn enforce(&self, host: &mut UnixHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for ServicePattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         if self.must_be_enabled {
             host.enable_service(&self.name);
         } else {
@@ -521,10 +569,22 @@ impl KernelParamPattern {
             expected: expected.into(),
         }
     }
+
+    /// The sysctl key this pattern inspects.
+    #[must_use]
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The required value.
+    #[must_use]
+    pub fn expected(&self) -> &str {
+        &self.expected
+    }
 }
 
-impl Checkable<UnixHost> for KernelParamPattern {
-    fn check(&self, host: &UnixHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for KernelParamPattern {
+    fn check(&self, host: &H) -> CheckStatus {
         match host.kernel_param(&self.key) {
             Some(v) => CheckStatus::from(v == self.expected),
             None => CheckStatus::Fail,
@@ -532,8 +592,8 @@ impl Checkable<UnixHost> for KernelParamPattern {
     }
 }
 
-impl Enforceable<UnixHost> for KernelParamPattern {
-    fn enforce(&self, host: &mut UnixHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for KernelParamPattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         host.set_kernel_param(&self.key, &self.expected);
         EnforcementStatus::Success
     }

@@ -13,7 +13,7 @@
 use vdo_core::{
     Catalog, CheckStatus, Checkable, Enforceable, EnforcementStatus, RequirementSpec, Severity,
 };
-use vdo_host::{AuditSetting, RegistryValue, WindowsHost};
+use vdo_host::{AuditSetting, HostRead, HostWrite, RegistryValue, WindowsHost};
 
 /// Audit-policy requirement: the subcategory must audit at least the
 /// required success/failure events.
@@ -90,21 +90,21 @@ impl AuditPolicyPattern {
     }
 }
 
-impl Checkable<WindowsHost> for AuditPolicyPattern {
-    fn check(&self, host: &WindowsHost) -> CheckStatus {
-        let current = host.audit_policy().get(&self.category, &self.subcategory);
+impl<H: HostRead> Checkable<H> for AuditPolicyPattern {
+    fn check(&self, host: &H) -> CheckStatus {
+        let current = host.audit_setting(&self.category, &self.subcategory);
         CheckStatus::from(current.covers(self.required))
     }
 }
 
-impl Enforceable<WindowsHost> for AuditPolicyPattern {
-    fn enforce(&self, host: &mut WindowsHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for AuditPolicyPattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         // Union with the current setting: enforcing "audit failures" must
         // not disable success auditing someone else required.
-        let current = host.audit_policy().get(&self.category, &self.subcategory);
-        host.audit_policy_mut().set(
-            self.category.clone(),
-            self.subcategory.clone(),
+        let current = host.audit_setting(&self.category, &self.subcategory);
+        host.set_audit(
+            &self.category,
+            &self.subcategory,
             current.union(self.required),
         );
         EnforcementStatus::Success
@@ -130,10 +130,28 @@ impl RegistryDwordPattern {
             expected,
         }
     }
+
+    /// Registry key path (e.g. `HKLM\...\Policies\System`).
+    #[must_use]
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Value name under the key.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected DWORD payload.
+    #[must_use]
+    pub fn expected(&self) -> u32 {
+        self.expected
+    }
 }
 
-impl Checkable<WindowsHost> for RegistryDwordPattern {
-    fn check(&self, host: &WindowsHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for RegistryDwordPattern {
+    fn check(&self, host: &H) -> CheckStatus {
         match host.registry_value(&self.key, &self.name) {
             Some(v) => CheckStatus::from(v.as_dword() == Some(self.expected)),
             None => CheckStatus::Fail,
@@ -141,8 +159,8 @@ impl Checkable<WindowsHost> for RegistryDwordPattern {
     }
 }
 
-impl Enforceable<WindowsHost> for RegistryDwordPattern {
-    fn enforce(&self, host: &mut WindowsHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for RegistryDwordPattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         host.set_registry_value(&self.key, &self.name, RegistryValue::Dword(self.expected));
         EnforcementStatus::Success
     }
@@ -165,10 +183,22 @@ impl LockoutPolicyPattern {
             min_duration_minutes,
         }
     }
+
+    /// Maximum tolerated failed-attempt threshold.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Minimum required lockout duration in minutes.
+    #[must_use]
+    pub fn min_duration_minutes(&self) -> u32 {
+        self.min_duration_minutes
+    }
 }
 
-impl Checkable<WindowsHost> for LockoutPolicyPattern {
-    fn check(&self, host: &WindowsHost) -> CheckStatus {
+impl<H: HostRead> Checkable<H> for LockoutPolicyPattern {
+    fn check(&self, host: &H) -> CheckStatus {
         let t = host.lockout_threshold();
         let ok = t != 0
             && t <= self.max_attempts
@@ -177,8 +207,8 @@ impl Checkable<WindowsHost> for LockoutPolicyPattern {
     }
 }
 
-impl Enforceable<WindowsHost> for LockoutPolicyPattern {
-    fn enforce(&self, host: &mut WindowsHost) -> EnforcementStatus {
+impl<H: HostWrite> Enforceable<H> for LockoutPolicyPattern {
+    fn enforce(&self, host: &mut H) -> EnforcementStatus {
         host.set_lockout_threshold(self.max_attempts);
         if host.lockout_duration_minutes() < self.min_duration_minutes {
             host.set_lockout_duration_minutes(self.min_duration_minutes);

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example stig_fleet_compliance`
 
 use veridevops::core::{PlannerConfig, RemediationPlanner, WaiverSet};
-use veridevops::host::{Fleet, FleetConfig};
+use veridevops::host::{Fleet, FleetConfig, Platform};
 use veridevops::stigs::{ubuntu, win10};
 
 fn main() {
@@ -15,13 +15,15 @@ fn main() {
 
     // ---- Ubuntu fleet ----
     let catalog = ubuntu::catalog();
-    let config = FleetConfig {
-        size: 12,
-        drift_probability: 0.7,
-        drift_events_per_host: 4,
-        seed: 7,
-    };
-    let mut fleet = Fleet::unix_fleet(&config);
+    let config = FleetConfig::builder()
+        .size(12)
+        .drift_probability(0.7)
+        .drift_events_per_host(4)
+        .seed(7)
+        .platform(Platform::Unix)
+        .build()
+        .expect("valid fleet config");
+    let mut fleet = Fleet::generate(&config);
     println!(
         "== Ubuntu fleet: {} hosts, {} drifted ==\n",
         fleet.len(),
@@ -32,7 +34,8 @@ fn main() {
         "HOST", "FINDINGS", "FAILING", "REMEDIATED", "OUTCOME"
     );
     let mut total_remediated = 0;
-    for (i, host) in fleet.unix_hosts_mut().iter_mut().enumerate() {
+    for (i, host) in fleet.hosts_mut().enumerate() {
+        let host = host.into_unix_mut().expect("unix fleet");
         let failing_before = catalog
             .check_all(host)
             .iter()
@@ -72,14 +75,19 @@ fn main() {
 
     // ---- Windows fleet ----
     let wcat = win10::catalog();
-    let mut wfleet = Fleet::windows_fleet(&FleetConfig {
-        size: 6,
-        drift_probability: 1.0,
-        drift_events_per_host: 3,
-        seed: 9,
-    });
+    let mut wfleet = Fleet::generate(
+        &FleetConfig::builder()
+            .size(6)
+            .drift_probability(1.0)
+            .drift_events_per_host(3)
+            .seed(9)
+            .platform(Platform::Windows)
+            .build()
+            .expect("valid fleet config"),
+    );
     println!("== Windows 10 fleet: {} hosts ==\n", wfleet.len());
-    for (i, host) in wfleet.windows_hosts_mut().iter_mut().enumerate() {
+    for (i, host) in wfleet.hosts_mut().enumerate() {
+        let host = host.into_windows_mut().expect("windows fleet");
         let run = planner.run(&wcat, host);
         println!(
             "win-{i:02}: {:?} after {} enforcement(s); sensitive privilege use now '{}'",

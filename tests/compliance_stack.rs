@@ -65,14 +65,18 @@ fn fleet_compliance_scales_with_drift_rate() {
     let planner = RemediationPlanner::new(PlannerConfig::default());
     let mut failing_counts = Vec::new();
     for drift_probability in [0.0, 0.5, 1.0] {
-        let mut fleet = Fleet::unix_fleet(&FleetConfig {
-            size: 10,
-            drift_probability,
-            drift_events_per_host: 5,
-            seed: 42,
-        });
+        let mut fleet = Fleet::generate(
+            &FleetConfig::builder()
+                .size(10)
+                .drift_probability(drift_probability)
+                .drift_events_per_host(5)
+                .seed(42)
+                .build()
+                .expect("valid fleet config"),
+        );
         let mut failing = 0usize;
-        for host in fleet.unix_hosts() {
+        for host in fleet.hosts() {
+            let host = host.as_unix().expect("unix fleet");
             failing += cat
                 .check_all(host)
                 .iter()
@@ -81,7 +85,8 @@ fn fleet_compliance_scales_with_drift_rate() {
         }
         failing_counts.push(failing);
         // Remediate the whole fleet.
-        for host in fleet.unix_hosts_mut() {
+        for host in fleet.hosts_mut() {
+            let host = host.into_unix_mut().expect("unix fleet");
             let run = planner.run(&cat, host);
             assert_eq!(run.outcome, PlannerOutcome::Compliant);
         }
