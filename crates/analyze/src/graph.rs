@@ -1,0 +1,254 @@
+//! The artifact dependency graph.
+//!
+//! Nodes are the individually fingerprintable artifacts of one
+//! [`ArtifactSet`] revision — catalogue entries, waivers, monitor
+//! formulas, behavioural models, guarded assertions, and the dev/ops
+//! trace links. Edges record *what the lints read across artifact
+//! boundaries*: a waiver is judged against the entry it targets
+//! (VDA004), and the traceability verdict of an entry depends on its
+//! trace links and any waiver covering it (VDA011). Formulas, models,
+//! and assertions are lint-wise free-standing, so they appear as
+//! isolated nodes.
+//!
+//! The graph serves two masters: the incremental engine walks the
+//! reverse edges to propagate dirtiness (change an entry → re-judge the
+//! waiver and trace links that point at it), and the VDA012 lint
+//! reports *dangling* trace-link edges — coverage claims for finding
+//! ids no catalogue entry carries. Dangling waiver edges are already
+//! VDA004's finding and are not double-reported here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::artifact::ArtifactSet;
+use crate::fingerprint::{
+    fingerprint_assertion, fingerprint_entry, fingerprint_model, fingerprint_named_formula,
+    fingerprint_waiver, Fingerprint, Hasher,
+};
+
+/// Which kind of artifact a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArtifactKind {
+    /// A catalogue entry, keyed by finding id.
+    Entry,
+    /// A waiver, keyed by the finding id it covers.
+    Waiver,
+    /// A named monitor formula.
+    Formula,
+    /// A behavioural graph model, keyed by name.
+    Model,
+    /// A guarded assertion, keyed by name.
+    Assertion,
+    /// A dev-time trace link (gate coverage claim), keyed by finding id.
+    TraceDev,
+    /// An ops-time trace link (monitor coverage claim), keyed by
+    /// finding id.
+    TraceOps,
+}
+
+impl ArtifactKind {
+    /// Short label used in diagnostics and stats.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::Entry => "entry",
+            ArtifactKind::Waiver => "waiver",
+            ArtifactKind::Formula => "formula",
+            ArtifactKind::Model => "model",
+            ArtifactKind::Assertion => "assertion",
+            ArtifactKind::TraceDev => "trace-dev",
+            ArtifactKind::TraceOps => "trace-ops",
+        }
+    }
+}
+
+/// Graph-wide identity of one artifact: kind plus its name within the
+/// kind (finding id, formula name, model name, assertion name).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArtifactId {
+    /// The kind namespace.
+    pub kind: ArtifactKind,
+    /// The name within the namespace.
+    pub name: String,
+}
+
+impl ArtifactId {
+    /// Creates an id.
+    #[must_use]
+    pub fn new(kind: ArtifactKind, name: impl Into<String>) -> Self {
+        ArtifactId {
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.kind.label(), self.name)
+    }
+}
+
+/// The dependency graph of one artifact-set revision.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyGraph {
+    /// Every node with its content fingerprint.
+    nodes: BTreeMap<ArtifactId, Fingerprint>,
+    /// Forward edges: `from` reads `to`.
+    edges: BTreeMap<ArtifactId, BTreeSet<ArtifactId>>,
+    /// Reverse edges: who reads `to`.
+    reverse: BTreeMap<ArtifactId, BTreeSet<ArtifactId>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph for one revision. Trace-link and waiver edges
+    /// point at their target entry whether or not the entry exists —
+    /// missing targets are exactly what [`DependencyGraph::dangling`]
+    /// reports.
+    #[must_use]
+    pub fn build(set: &ArtifactSet) -> Self {
+        let mut g = DependencyGraph::default();
+        for e in &set.entries {
+            g.add_node(
+                ArtifactId::new(ArtifactKind::Entry, &e.finding_id),
+                fingerprint_entry(e),
+            );
+        }
+        for w in set.waivers.iter() {
+            let id = ArtifactId::new(ArtifactKind::Waiver, &w.finding_id);
+            g.add_node(id.clone(), fingerprint_waiver(w));
+            g.add_edge(id, ArtifactId::new(ArtifactKind::Entry, &w.finding_id));
+        }
+        for f in &set.formulas {
+            g.add_node(
+                ArtifactId::new(ArtifactKind::Formula, &f.name),
+                fingerprint_named_formula(f),
+            );
+        }
+        for m in &set.models {
+            g.add_node(
+                ArtifactId::new(ArtifactKind::Model, m.name()),
+                fingerprint_model(m),
+            );
+        }
+        for a in &set.assertions {
+            g.add_node(
+                ArtifactId::new(ArtifactKind::Assertion, a.name()),
+                fingerprint_assertion(a),
+            );
+        }
+        for (kind, ids) in [
+            (ArtifactKind::TraceDev, &set.dev_covered),
+            (ArtifactKind::TraceOps, &set.ops_covered),
+        ] {
+            for target in ids {
+                let id = ArtifactId::new(kind, target);
+                let mut h = Hasher::new();
+                h.write_tag(b'T');
+                h.write_str(kind.label());
+                h.write_str(target);
+                g.add_node(id.clone(), h.finish());
+                g.add_edge(id, ArtifactId::new(ArtifactKind::Entry, target));
+            }
+        }
+        g
+    }
+
+    fn add_node(&mut self, id: ArtifactId, fp: Fingerprint) {
+        self.nodes.insert(id, fp);
+    }
+
+    fn add_edge(&mut self, from: ArtifactId, to: ArtifactId) {
+        self.edges
+            .entry(from.clone())
+            .or_default()
+            .insert(to.clone());
+        self.reverse.entry(to).or_default().insert(from);
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of forward edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// The fingerprint recorded for a node.
+    #[must_use]
+    pub fn fingerprint(&self, id: &ArtifactId) -> Option<Fingerprint> {
+        self.nodes.get(id).copied()
+    }
+
+    /// Nodes that read `id` (reverse dependencies), in sorted order.
+    pub fn dependants(&self, id: &ArtifactId) -> impl Iterator<Item = &ArtifactId> {
+        self.reverse.get(id).into_iter().flatten()
+    }
+
+    /// Nodes `id` reads (forward dependencies), in sorted order.
+    pub fn dependencies(&self, id: &ArtifactId) -> impl Iterator<Item = &ArtifactId> {
+        self.edges.get(id).into_iter().flatten()
+    }
+
+    /// Dangling *trace-link* edges: dev/ops coverage claims whose
+    /// target entry does not exist. Waiver edges with missing targets
+    /// are deliberately excluded (VDA004 already reports those).
+    /// Sorted by (kind, name) for deterministic output.
+    #[must_use]
+    pub fn dangling(&self) -> Vec<&ArtifactId> {
+        self.edges
+            .iter()
+            .filter(|(from, _)| {
+                matches!(from.kind, ArtifactKind::TraceDev | ArtifactKind::TraceOps)
+            })
+            .filter(|(_, tos)| tos.iter().any(|to| !self.nodes.contains_key(to)))
+            .map(|(from, _)| from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::EntryArtifact;
+
+    fn sample() -> ArtifactSet {
+        ArtifactSet::new()
+            .with_entry(EntryArtifact::new("V-1"))
+            .with_waiver(vdo_core::Waiver {
+                finding_id: "V-1".into(),
+                reason: "accepted".into(),
+                expires_at: None,
+            })
+            .covered_dev("V-1")
+            .covered_ops("V-9")
+    }
+
+    #[test]
+    fn builds_nodes_and_edges() {
+        let g = DependencyGraph::build(&sample());
+        // entry + waiver + dev link + ops link
+        assert_eq!(g.node_count(), 4);
+        // waiver→entry, dev→entry, ops→missing entry
+        assert_eq!(g.edge_count(), 3);
+        let entry = ArtifactId::new(ArtifactKind::Entry, "V-1");
+        let readers: Vec<String> = g.dependants(&entry).map(ToString::to_string).collect();
+        assert_eq!(readers, ["waiver:V-1", "trace-dev:V-1"]);
+    }
+
+    #[test]
+    fn dangling_reports_only_trace_links() {
+        let set = sample().with_waiver(vdo_core::Waiver {
+            finding_id: "GHOST".into(),
+            reason: "no target".into(),
+            expires_at: None,
+        });
+        let g = DependencyGraph::build(&set);
+        let dangling: Vec<String> = g.dangling().iter().map(ToString::to_string).collect();
+        // The ghost waiver is VDA004's finding, not a dangling edge here.
+        assert_eq!(dangling, ["trace-ops:V-9"]);
+    }
+}

@@ -11,15 +11,20 @@
 //!
 //! This crate is that missing pass — a requirements lint engine:
 //!
-//! * [`Diagnostic`]s carry stable [`LintCode`]s (`VDA001`–`VDA011`)
+//! * [`Diagnostic`]s carry stable [`LintCode`]s (`VDA001`–`VDA012`)
 //!   with a configurable [`LintLevel`] per code.
-//! * The [`Lint`] trait and [`LintRegistry`] hold the passes; eight
+//! * The [`Lint`] trait and [`LintRegistry`] hold the passes; nine
 //!   built-in lints span every artifact kind, including bounded
 //!   tautology/contradiction search with the finite-trace evaluator
 //!   and vacuity detection via the CTL model checker.
 //! * [`Analyzer`] runs the registry over an [`ArtifactSet`] and yields
 //!   a deterministic [`AnalysisReport`]; parallel analysis is
 //!   bit-identical to sequential at any thread count.
+//! * [`IncrementalAnalyzer`] keeps a live artifact state with content
+//!   [`Fingerprint`]s, a [`DependencyGraph`], and a memo table keyed by
+//!   `(lint, fingerprint closure)`, so applying an [`ArtifactDelta`]
+//!   re-runs only the dirty slice — with verdicts bit-identical to a
+//!   full run (property-tested).
 //!
 //! `vdo-pipeline` wires the analyzer in as an `AnalysisGate` next to
 //! the requirements/compliance/test gates, closing the loop the paper
@@ -40,9 +45,13 @@
 //! ```
 
 pub mod artifact;
+pub mod codec;
 pub mod config;
 pub mod diag;
 pub mod engine;
+pub mod fingerprint;
+pub mod graph;
+pub mod incremental;
 pub mod lints;
 
 pub use artifact::{ArtifactSet, EntryArtifact, NamedFormula, ReqExpr};
@@ -51,4 +60,7 @@ pub use config::{
 };
 pub use diag::{Diagnostic, LintCode, LintLevel, Severity};
 pub use engine::{AnalysisReport, Analyzer};
-pub use lints::{Lint, LintRegistry};
+pub use fingerprint::{fingerprint_set, Fingerprint};
+pub use graph::{ArtifactId, ArtifactKind, DependencyGraph};
+pub use incremental::{ArtifactDelta, IncrementalAnalyzer, IncrementalStats};
+pub use lints::{Granularity, Lint, LintRegistry};

@@ -17,9 +17,52 @@ use vdo_tears::expr::CmpOp;
 use vdo_tears::Expr;
 use vdo_temporal::{Formula, Interpretation, Semantics, Trace};
 
-use crate::artifact::{ArtifactSet, ReqExpr};
+use crate::artifact::{ArtifactSet, EntryArtifact, ReqExpr};
 use crate::config::AnalysisConfig;
 use crate::diag::{Diagnostic, LintCode};
+use crate::graph::DependencyGraph;
+
+/// How the incremental engine may slice a lint's work.
+///
+/// Each variant names the unit of independence: a lint declaring
+/// `PerEntry` promises that its diagnostics for one entry depend only
+/// on that entry's closure (as defined in `crate::incremental`) and
+/// that the union over all units equals a whole-set run. [`Whole`] is
+/// the conservative default for custom lints: the incremental engine
+/// re-runs the lint on the full set whenever anything changes.
+///
+/// [`Whole`]: Granularity::Whole
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// No declared independence; re-run on the whole set when dirty.
+    Whole,
+    /// Depends on the full ordered entry list (identity/duplicate
+    /// analysis), but on no other artifact kind.
+    EntryList,
+    /// Depends on *groups* of entries that share a join key (an
+    /// identical normalised expression, a common literal). The lint
+    /// declares each entry's keys via [`Lint::entry_buckets`] and
+    /// answers per-bucket queries via [`Lint::run_bucket`]; the
+    /// incremental engine re-runs only the buckets a changed entry
+    /// enters or leaves, so cross-entry analysis stays O(changed)
+    /// instead of O(catalogue).
+    EntryBucket,
+    /// Independent per catalogue entry (plus that entry's waiver,
+    /// coverage bits, and the clock where relevant).
+    PerEntry,
+    /// Independent per waiver (plus its target's existence and the
+    /// clock).
+    PerWaiver,
+    /// Independent per named formula.
+    PerFormula,
+    /// Independent per behavioural model.
+    PerModel,
+    /// Independent per guarded assertion.
+    PerAssertion,
+    /// Independent per dev/ops trace link (plus its target's
+    /// existence).
+    PerTraceLink,
+}
 
 /// One static check over an [`ArtifactSet`].
 ///
@@ -42,6 +85,43 @@ pub trait Lint: Send + Sync {
     /// Runs the lint. Diagnostics carry a placeholder severity; the
     /// engine substitutes the configured level afterwards.
     fn run(&self, artifacts: &ArtifactSet, config: &AnalysisConfig) -> Vec<Diagnostic>;
+
+    /// The finest unit the incremental engine may slice this lint
+    /// into. The default ([`Granularity::Whole`]) is always sound:
+    /// the lint re-runs on the full set whenever any artifact changes.
+    /// Overriding is a *promise* that per-unit runs over the unit
+    /// closures union to exactly the whole-set result.
+    fn granularity(&self) -> Granularity {
+        Granularity::Whole
+    }
+
+    /// For [`Granularity::EntryBucket`] lints: the join keys `entry`
+    /// participates in. Two entries can influence each other's
+    /// diagnostics only if they share a key, and the bucket that
+    /// *owns* a diagnostic must be derivable from the flagged entry
+    /// alone — that is what lets the engine re-check only the buckets
+    /// a changed entry enters or leaves. Lints of other granularities
+    /// ignore this.
+    fn entry_buckets(&self, entry: &EntryArtifact) -> Vec<String> {
+        let _ = entry;
+        Vec::new()
+    }
+
+    /// For [`Granularity::EntryBucket`] lints: runs the lint on one
+    /// bucket. `artifacts` holds exactly the bucket's member entries in
+    /// canonical (sorted finding-id) order; the implementation must
+    /// emit only the diagnostics this bucket owns, so the union over
+    /// all buckets equals [`run`](Lint::run) on a unique-id set. The
+    /// default falls back to a whole-slice run.
+    fn run_bucket(
+        &self,
+        bucket: &str,
+        artifacts: &ArtifactSet,
+        config: &AnalysisConfig,
+    ) -> Vec<Diagnostic> {
+        let _ = bucket;
+        self.run(artifacts, config)
+    }
 }
 
 /// An ordered collection of lints. Registration order is the engine's
@@ -70,6 +150,7 @@ impl LintRegistry {
         r.register(Box::new(ModelLint));
         r.register(Box::new(GuardLint));
         r.register(Box::new(TraceabilityLint));
+        r.register(Box::new(DanglingEdgeLint));
         r
     }
 
@@ -121,6 +202,10 @@ impl Lint for CompositeLint {
 
     fn description(&self) -> &'static str {
         "an all_of composite requires both a check and its negation; the entry can never pass"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::PerEntry
     }
 
     fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
@@ -179,7 +264,119 @@ fn first_conflicting_atom(expr: &ReqExpr) -> Option<String> {
 
 /// Flags entries that duplicate another (same finding id or identical
 /// normalised expression) or are subsumed by a strictly stronger entry.
+///
+/// Incrementally this lint runs at [`Granularity::EntryBucket`]: two
+/// entries interact only if they share a normalised expression (the
+/// duplicate check) or a conjunctive literal (the subsumption check),
+/// so each entry joins one `x:` bucket keyed by its normalised
+/// expression's fingerprint plus one `s:` bucket per literal. The
+/// duplicate diagnostics are owned by the `x:` bucket; a subsumption
+/// diagnostic is owned by the `s:` bucket of the flagged entry's
+/// *first* (smallest) literal — the same candidate index the batch
+/// pass probes — so buckets partition the whole-set result exactly.
 pub struct CatalogueIdentityLint;
+
+/// Diagnostics for finding ids declared more than once. Only the batch
+/// pass can see these: the incremental engine's keyed store holds one
+/// entry per id by construction.
+fn duplicate_id_diags(entries: &[EntryArtifact]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut by_id: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in entries {
+        *by_id.entry(e.finding_id.as_str()).or_default() += 1;
+    }
+    for (id, n) in &by_id {
+        if *n > 1 {
+            out.push(Diagnostic::new(
+                LintCode::DuplicateEntry,
+                *id,
+                format!("finding id declared {n} times in the catalogue"),
+            ));
+        }
+    }
+    out
+}
+
+/// Diagnostics for identical normalised expressions under different
+/// ids: every group member after the first is flagged against it.
+fn duplicate_expr_diags(entries: &[EntryArtifact]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut by_expr: BTreeMap<ReqExpr, Vec<usize>> = BTreeMap::new();
+    for (i, e) in entries.iter().enumerate() {
+        if let Some(expr) = &e.expr {
+            by_expr.entry(expr.normalize()).or_default().push(i);
+        }
+    }
+    for group in by_expr.values() {
+        let first = &entries[group[0]].finding_id;
+        for &i in &group[1..] {
+            if &entries[i].finding_id != first {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::DuplicateEntry,
+                        &entries[i].finding_id,
+                        format!("identical check expression to entry '{first}'"),
+                    )
+                    .with_related(first.clone()),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Subsumption: an entry whose conjunctive literal set is a strict
+/// subset of another's is implied by it. Candidates are indexed by
+/// literal so clean catalogues (disjoint atoms) stay linear; each
+/// entry probes the index under its first (smallest) literal. With
+/// `owner` set, only entries whose first literal equals it are
+/// checked — the bucket that literal keys owns their diagnostics.
+fn subsumption_diags(entries: &[EntryArtifact], owner: Option<&(String, bool)>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let literal_sets: Vec<Option<BTreeSet<(String, bool)>>> = entries
+        .iter()
+        .map(|e| e.expr.as_ref().and_then(ReqExpr::conjunctive_literals))
+        .collect();
+    let mut by_literal: BTreeMap<&(String, bool), Vec<usize>> = BTreeMap::new();
+    for (i, lits) in literal_sets.iter().enumerate() {
+        if let Some(lits) = lits {
+            for lit in lits {
+                by_literal.entry(lit).or_default().push(i);
+            }
+        }
+    }
+    for (a, lits_a) in literal_sets.iter().enumerate() {
+        let Some(lits_a) = lits_a else { continue };
+        let Some(first_lit) = lits_a.iter().next() else {
+            continue;
+        };
+        if owner.is_some_and(|lit| lit != first_lit) {
+            continue;
+        }
+        let candidates = by_literal.get(first_lit).map_or(&[][..], Vec::as_slice);
+        let stronger = candidates.iter().copied().find(|&b| {
+            b != a
+                && entries[b].finding_id != entries[a].finding_id
+                && literal_sets[b]
+                    .as_ref()
+                    .is_some_and(|lits_b| lits_a.len() < lits_b.len() && lits_a.is_subset(lits_b))
+        });
+        if let Some(b) = stronger {
+            out.push(
+                Diagnostic::new(
+                    LintCode::SubsumedEntry,
+                    &entries[a].finding_id,
+                    format!(
+                        "implied by stronger entry '{}'; it adds no checking power",
+                        entries[b].finding_id
+                    ),
+                )
+                .with_related(entries[b].finding_id.clone()),
+            );
+        }
+    }
+    out
+}
 
 impl Lint for CatalogueIdentityLint {
     fn codes(&self) -> &'static [LintCode] {
@@ -190,90 +387,51 @@ impl Lint for CatalogueIdentityLint {
         "duplicate finding ids / identical check expressions, and entries implied by stronger ones"
     }
 
+    fn granularity(&self) -> Granularity {
+        Granularity::EntryBucket
+    }
+
+    fn entry_buckets(&self, entry: &EntryArtifact) -> Vec<String> {
+        let Some(expr) = &entry.expr else {
+            return Vec::new();
+        };
+        let mut keys = vec![format!(
+            "x:{:016x}",
+            crate::fingerprint::fingerprint_expr(&expr.normalize()).0
+        )];
+        if let Some(lits) = expr.conjunctive_literals() {
+            for (atom, positive) in &lits {
+                keys.push(format!("s:{}{atom}", if *positive { '+' } else { '-' }));
+            }
+        }
+        keys
+    }
+
+    fn run_bucket(
+        &self,
+        bucket: &str,
+        artifacts: &ArtifactSet,
+        _config: &AnalysisConfig,
+    ) -> Vec<Diagnostic> {
+        if bucket.starts_with("x:") {
+            // Grouping by the actual normalised expression (not the
+            // bucket's fingerprint) keeps a hash collision from fusing
+            // two distinct groups.
+            duplicate_expr_diags(&artifacts.entries)
+        } else if let Some(lit) = bucket.strip_prefix("s:") {
+            let positive = lit.starts_with('+');
+            let owner = (lit[1..].to_string(), positive);
+            subsumption_diags(&artifacts.entries, Some(&owner))
+        } else {
+            Vec::new()
+        }
+    }
+
     fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
         let entries = &artifacts.entries;
-        let mut out = Vec::new();
-
-        // Duplicate finding ids.
-        let mut by_id: BTreeMap<&str, usize> = BTreeMap::new();
-        for e in entries {
-            *by_id.entry(e.finding_id.as_str()).or_default() += 1;
-        }
-        for (id, n) in &by_id {
-            if *n > 1 {
-                out.push(Diagnostic::new(
-                    LintCode::DuplicateEntry,
-                    *id,
-                    format!("finding id declared {n} times in the catalogue"),
-                ));
-            }
-        }
-
-        // Identical normalised expressions under different ids.
-        let mut by_expr: BTreeMap<ReqExpr, Vec<usize>> = BTreeMap::new();
-        for (i, e) in entries.iter().enumerate() {
-            if let Some(expr) = &e.expr {
-                by_expr.entry(expr.normalize()).or_default().push(i);
-            }
-        }
-        for group in by_expr.values() {
-            let first = &entries[group[0]].finding_id;
-            for &i in &group[1..] {
-                if &entries[i].finding_id != first {
-                    out.push(
-                        Diagnostic::new(
-                            LintCode::DuplicateEntry,
-                            &entries[i].finding_id,
-                            format!("identical check expression to entry '{first}'"),
-                        )
-                        .with_related(first.clone()),
-                    );
-                }
-            }
-        }
-
-        // Subsumption: an entry whose conjunctive literal set is a
-        // strict subset of another's is implied by it. Index by literal
-        // so clean catalogues (disjoint atoms) stay linear.
-        let literal_sets: Vec<Option<BTreeSet<(String, bool)>>> = entries
-            .iter()
-            .map(|e| e.expr.as_ref().and_then(ReqExpr::conjunctive_literals))
-            .collect();
-        let mut by_literal: BTreeMap<&(String, bool), Vec<usize>> = BTreeMap::new();
-        for (i, lits) in literal_sets.iter().enumerate() {
-            if let Some(lits) = lits {
-                for lit in lits {
-                    by_literal.entry(lit).or_default().push(i);
-                }
-            }
-        }
-        for (a, lits_a) in literal_sets.iter().enumerate() {
-            let Some(lits_a) = lits_a else { continue };
-            let Some(first_lit) = lits_a.iter().next() else {
-                continue;
-            };
-            let candidates = by_literal.get(first_lit).map_or(&[][..], Vec::as_slice);
-            let stronger = candidates.iter().copied().find(|&b| {
-                b != a
-                    && entries[b].finding_id != entries[a].finding_id
-                    && literal_sets[b].as_ref().is_some_and(|lits_b| {
-                        lits_a.len() < lits_b.len() && lits_a.is_subset(lits_b)
-                    })
-            });
-            if let Some(b) = stronger {
-                out.push(
-                    Diagnostic::new(
-                        LintCode::SubsumedEntry,
-                        &entries[a].finding_id,
-                        format!(
-                            "implied by stronger entry '{}'; it adds no checking power",
-                            entries[b].finding_id
-                        ),
-                    )
-                    .with_related(entries[b].finding_id.clone()),
-                );
-            }
-        }
+        let mut out = duplicate_id_diags(entries);
+        out.extend(duplicate_expr_diags(entries));
+        out.extend(subsumption_diags(entries, None));
         out
     }
 }
@@ -292,6 +450,10 @@ impl Lint for WaiverLint {
 
     fn description(&self) -> &'static str {
         "waivers referencing unknown finding ids, and waivers past their expiry tick"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::PerWaiver
     }
 
     fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
@@ -350,6 +512,10 @@ impl Lint for FormulaLint {
 
     fn description(&self) -> &'static str {
         "LTL formulas unsatisfiable or valid over all bounded complete traces"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::PerFormula
     }
 
     fn run(&self, artifacts: &ArtifactSet, config: &AnalysisConfig) -> Vec<Diagnostic> {
@@ -534,6 +700,10 @@ impl Lint for VacuityLint {
         "G(a -> b) patterns whose antecedent can never hold or whose consequent always holds"
     }
 
+    fn granularity(&self) -> Granularity {
+        Granularity::PerFormula
+    }
+
     fn run(&self, artifacts: &ArtifactSet, config: &AnalysisConfig) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for nf in &artifacts.formulas {
@@ -643,6 +813,10 @@ impl Lint for ModelLint {
         "graph models with a missing start vertex or unreachable vertices/dead edges"
     }
 
+    fn granularity(&self) -> Granularity {
+        Granularity::PerModel
+    }
+
     fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for model in &artifacts.models {
@@ -724,6 +898,10 @@ impl Lint for GuardLint {
 
     fn description(&self) -> &'static str {
         "TEARS assertions whose guard condition is unsatisfiable"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::PerAssertion
     }
 
     fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
@@ -890,6 +1068,10 @@ impl Lint for TraceabilityLint {
         "catalogue requirements with neither dev-gate nor ops-monitor coverage"
     }
 
+    fn granularity(&self) -> Granularity {
+        Granularity::PerEntry
+    }
+
     fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         let mut seen = BTreeSet::new();
@@ -909,6 +1091,54 @@ impl Lint for TraceabilityLint {
             ));
         }
         out
+    }
+}
+
+// ---------------------------------------------------------------------
+// VDA012 — dangling dependency edges
+// ---------------------------------------------------------------------
+
+/// Flags trace links (dev/ops coverage claims) whose target finding id
+/// no catalogue entry carries: a dangling edge in the artifact
+/// dependency graph. A coverage record for a retired requirement means
+/// the traceability matrix has drifted from the catalogue — the claim
+/// is vacuous, and renaming an entry silently orphans its coverage.
+///
+/// Waivers with unknown targets are the same graph defect but remain
+/// VDA004's finding to avoid double-reporting.
+pub struct DanglingEdgeLint;
+
+impl Lint for DanglingEdgeLint {
+    fn codes(&self) -> &'static [LintCode] {
+        &[LintCode::DanglingEdge]
+    }
+
+    fn description(&self) -> &'static str {
+        "dev/ops trace links claiming coverage of finding ids absent from the catalogue"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::PerTraceLink
+    }
+
+    fn run(&self, artifacts: &ArtifactSet, _config: &AnalysisConfig) -> Vec<Diagnostic> {
+        let graph = DependencyGraph::build(artifacts);
+        graph
+            .dangling()
+            .into_iter()
+            .map(|link| {
+                Diagnostic::new(
+                    LintCode::DanglingEdge,
+                    &link.name,
+                    format!(
+                        "{} trace link claims coverage of a finding id no \
+                         catalogue entry carries; the coverage record has \
+                         drifted from the catalogue",
+                        link.kind.label()
+                    ),
+                )
+            })
+            .collect()
     }
 }
 
@@ -1261,7 +1491,7 @@ mod tests {
     #[test]
     fn default_registry_covers_every_code() {
         let r = LintRegistry::with_default_lints();
-        assert_eq!(r.len(), 8);
+        assert_eq!(r.len(), 9);
         let covered: BTreeSet<LintCode> =
             r.iter().flat_map(|l| l.codes().iter().copied()).collect();
         assert_eq!(

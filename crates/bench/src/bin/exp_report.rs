@@ -38,10 +38,12 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut journal_path: Option<String> = None;
     let mut e16_full = false;
+    let mut e17_full = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--e16-full" => e16_full = true,
+            "--e17-full" => e17_full = true,
             "--json" => {
                 json_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--json requires a path argument");
@@ -57,7 +59,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other} \
-                     (supported: --json <path>, --journal <path>, --e16-full)"
+                     (supported: --json <path>, --journal <path>, --e16-full, --e17-full)"
                 );
                 std::process::exit(2);
             }
@@ -81,6 +83,10 @@ fn main() {
         ("e14_trace", e14_trace()),
         ("e15_server", e15_server()),
         ("e16_fleet_scale", e16_fleet_scale(e16_full)),
+        (
+            "e17_incremental_analysis",
+            e17_incremental_analysis(e17_full),
+        ),
         ("f1_closed_loop", f1_closed_loop()),
         ("a1_dictionary_ablation", a1_dictionary_ablation()),
     ];
@@ -903,6 +909,22 @@ fn e16_fleet_scale(full: bool) -> Value {
         vdo_bench::e16::E16Scale::ci()
     };
     vdo_bench::e16::section(&scale)
+}
+
+/// E17: incremental cross-artifact analysis at catalogue scale — the
+/// full-batch vs incremental gate-latency curve, the bit-identity
+/// check against batch reports after every commit, and the smoke
+/// configuration CI holds to its latency-fraction budget (a 1%-touch
+/// commit against ten thousand requirements must re-gate in at most
+/// 10% of the full-run latency). The default runs the CI shape;
+/// `--e17-full` runs the four-point curve to 10k entries.
+fn e17_incremental_analysis(full: bool) -> Value {
+    let scale = if full {
+        vdo_bench::e17::E17Scale::full()
+    } else {
+        vdo_bench::e17::E17Scale::ci()
+    };
+    vdo_bench::e17::section(&scale)
 }
 
 /// E13: the static analyzer against the planted-defect corpus —

@@ -7,4 +7,5 @@
 
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod workloads;

@@ -5,7 +5,7 @@
 //! `vdo-analyze`. [`generate`] builds an [`ArtifactSet`] containing a
 //! configurable number of *clean* requirements-as-code artifacts plus
 //! `defects_per_class` planted defects for **every** lint class
-//! `VDA001`–`VDA011`, and records the exact `(artifact, code)` pairs
+//! `VDA001`–`VDA012`, and records the exact `(artifact, code)` pairs
 //! the analyzer is expected to report. [`DefectCorpus::score`] then
 //! turns an [`vdo_analyze::AnalysisReport`] into
 //! per-class and overall precision/recall against that ground truth.
@@ -197,6 +197,8 @@ pub fn generate(config: &DefectConfig) -> DefectCorpus {
     let mut models: Vec<GraphModel> = Vec::new();
     let mut assertions: Vec<GuardedAssertion> = Vec::new();
     let mut waivers: Vec<Waiver> = Vec::new();
+    let mut dangling_dev: Vec<String> = Vec::new();
+    let mut dangling_ops: Vec<String> = Vec::new();
     let mut expected: BTreeSet<(String, LintCode)> = BTreeSet::new();
     // Identical-expression pairs: which side gets flagged depends on
     // insertion order, so they are resolved after the shuffle.
@@ -392,6 +394,18 @@ pub fn generate(config: &DefectConfig) -> DefectCorpus {
             false,
         ));
         expected.insert((id, LintCode::UntracedRequirement));
+
+        // VDA012 — a coverage claim for a finding id no entry carries
+        // (the entry was deleted, the trace link stayed behind).
+        // Alternate the link kind so both dev- and ops-side dangling
+        // edges appear in the corpus.
+        let ghost = format!("DEF-VDA012-GHOST-{i}");
+        if i % 2 == 0 {
+            dangling_dev.push(ghost.clone());
+        } else {
+            dangling_ops.push(ghost.clone());
+        }
+        expected.insert((ghost, LintCode::DanglingEdge));
     }
 
     // Entry insertion order must not affect the analyzer's findings;
@@ -422,6 +436,12 @@ pub fn generate(config: &DefectConfig) -> DefectCorpus {
     }
     for w in waivers {
         artifacts = artifacts.with_waiver(w);
+    }
+    for id in dangling_dev {
+        artifacts = artifacts.covered_dev(id);
+    }
+    for id in dangling_ops {
+        artifacts = artifacts.covered_ops(id);
     }
     for (name, f) in formulas {
         artifacts = artifacts.with_formula(name, f);
@@ -493,13 +513,13 @@ mod tests {
 
     #[test]
     fn expected_pairs_scale_with_defect_count() {
-        // 11 classes, with VDA002 planted in two flavours.
+        // 12 classes, with VDA002 planted in two flavours.
         let corpus = generate(&DefectConfig {
             clean_entries: 0,
             defects_per_class: 4,
             seed: 7,
         });
-        assert_eq!(corpus.planted_total(), 12 * 4);
+        assert_eq!(corpus.planted_total(), 13 * 4);
     }
 
     #[test]

@@ -114,6 +114,13 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Toggles incremental (memoised, O(changed)) analysis gating.
+    #[must_use]
+    pub fn incremental_analysis(mut self, on: bool) -> Self {
+        self.config.incremental_analysis = on;
+        self
+    }
+
     /// Continuous-monitoring period (`None` = audits only; `Some(0)` is
     /// rejected by [`build`](Self::build)).
     #[must_use]

@@ -6,8 +6,11 @@
 //! inherent `evaluate` methods for direct use.
 
 use std::fmt;
+use std::sync::Mutex;
 
-use vdo_analyze::{AnalysisConfig, Analyzer as StaticAnalyzer, ArtifactSet};
+use vdo_analyze::{
+    AnalysisConfig, Analyzer as StaticAnalyzer, ArtifactDelta, ArtifactSet, IncrementalAnalyzer,
+};
 use vdo_core::{Catalog, Severity};
 use vdo_host::UnixHost;
 use vdo_nalabs::{Analyzer, CorpusReport};
@@ -33,6 +36,11 @@ pub struct GateContext<'a> {
     /// Logical time of the evaluation (the commit index in the
     /// scenario), stamped on emitted events.
     pub at: u64,
+    /// The commit's artifact delta — what it changes in the accumulated
+    /// monitor-artifact state. An incremental [`AnalysisGate`] consumes
+    /// this to re-lint only the changed slice; `None` (or a batch gate)
+    /// falls back to whole-commit analysis.
+    pub changed: Option<&'a ArtifactDelta>,
 }
 
 impl<'a> GateContext<'a> {
@@ -47,7 +55,15 @@ impl<'a> GateContext<'a> {
             journal,
             trace: None,
             at: 0,
+            changed: None,
         }
+    }
+
+    /// Attaches the commit's artifact delta (builder style).
+    #[must_use]
+    pub fn with_delta(mut self, delta: &'a ArtifactDelta) -> Self {
+        self.changed = Some(delta);
+        self
     }
 }
 
@@ -314,17 +330,104 @@ impl Gate for TestGate {
 /// It deliberately covers the artifact kinds no other gate looks at:
 /// requirement *text* belongs to [`RequirementsGate`], configuration
 /// changes to [`ComplianceGate`], behavioural models to [`TestGate`].
+///
+/// Two modes share one verdict rule (reject on any error-severity
+/// finding):
+///
+/// * **Batch** ([`AnalysisGate::new`]) lints each commit's shipped
+///   artifacts in isolation.
+/// * **Incremental** ([`AnalysisGate::incremental`]) maintains the
+///   accumulated artifact state across the commit sequence and applies
+///   each commit's [`ArtifactDelta`] (from [`GateContext::changed`]) to
+///   it, re-linting only the changed slice; a rejected commit's delta
+///   is rolled back so the accumulated state only ever contains merged
+///   artifacts. With unique artifact names per commit the verdicts are
+///   identical to batch mode — and cross-commit interactions (say, a
+///   later commit redefining an earlier monitor) are caught rather than
+///   invisible.
 pub struct AnalysisGate {
     analyzer: StaticAnalyzer,
+    incremental: Option<Mutex<IncrementalAnalyzer>>,
+    obs: vdo_obs::Registry,
 }
 
 impl AnalysisGate {
-    /// Creates the gate with every built-in lint at the given config.
+    /// Creates the batch gate with every built-in lint at the given
+    /// config.
     #[must_use]
     pub fn new(config: AnalysisConfig) -> Self {
         AnalysisGate {
             analyzer: StaticAnalyzer::new(config),
+            incremental: None,
+            obs: vdo_obs::Registry::disabled(),
         }
+    }
+
+    /// Creates the incremental gate: accumulated artifact state, memoised
+    /// lint units, O(changed) re-analysis per commit.
+    #[must_use]
+    pub fn incremental(config: AnalysisConfig) -> Self {
+        AnalysisGate {
+            analyzer: StaticAnalyzer::new(config.clone()),
+            incremental: Some(Mutex::new(IncrementalAnalyzer::new(config))),
+            obs: vdo_obs::Registry::disabled(),
+        }
+    }
+
+    /// Records `pipeline.analysis.incr.*` cache counters in `obs`
+    /// (builder style; a disabled registry is silent).
+    #[must_use]
+    pub fn observed(mut self, obs: vdo_obs::Registry) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// `true` iff the gate keeps accumulated incremental state.
+    #[must_use]
+    pub fn is_incremental(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    /// Judges `delta` against the accumulated incremental state:
+    /// applies it, rejects (and rolls back) on any error-severity
+    /// finding. Only meaningful on a gate built with
+    /// [`AnalysisGate::incremental`]; a batch gate returns a pass.
+    #[must_use]
+    pub fn evaluate_delta(&self, delta: &ArtifactDelta) -> GateDecision {
+        let Some(engine) = &self.incremental else {
+            return GateDecision::pass("analysis");
+        };
+        let mut engine = engine.lock().expect("analysis engine lock");
+        let before = engine.stats();
+        let (report, undo) = engine.apply_with_undo(delta, 1);
+        let decision = if report.has_errors() {
+            let reasons = report.diagnostics.iter().map(ToString::to_string).collect();
+            // Rejected commits never merge: roll the artifact state
+            // back (cheap — every restored unit closure is memoised).
+            engine.apply(&undo, 1);
+            self.obs.counter("pipeline.analysis.incr.reverts").inc();
+            GateDecision::fail("analysis", reasons)
+        } else {
+            GateDecision::pass("analysis")
+        };
+        let after = engine.stats();
+        self.obs.counter("pipeline.analysis.incr.applies").inc();
+        self.obs
+            .counter("pipeline.analysis.incr.changed_artifacts")
+            .add(after.changed_artifacts - before.changed_artifacts);
+        self.obs
+            .counter("pipeline.analysis.incr.dirty_units")
+            .add(after.dirty_units - before.dirty_units);
+        self.obs
+            .counter("pipeline.analysis.incr.hits")
+            .add(after.hits - before.hits);
+        self.obs
+            .counter("pipeline.analysis.incr.misses")
+            .add(after.misses - before.misses);
+        self.obs
+            .counter("pipeline.analysis.incr.invalidations")
+            .add(after.invalidations - before.invalidations);
+        decision
     }
 
     /// Evaluates the gate on a commit's shipped artifacts.
@@ -361,7 +464,11 @@ impl Gate for AnalysisGate {
     }
 
     fn evaluate(&self, cx: &GateContext<'_>) -> GateDecision {
-        record(self.evaluate(cx.commit), cx)
+        let decision = match (&self.incremental, cx.changed) {
+            (Some(_), Some(delta)) => self.evaluate_delta(delta),
+            _ => self.evaluate(cx.commit),
+        };
+        record(decision, cx)
     }
 }
 
@@ -509,6 +616,91 @@ mod tests {
     }
 
     #[test]
+    fn incremental_gate_accumulates_and_rolls_back() {
+        use vdo_temporal::Formula;
+        let prod = vdo_host::UnixHost::baseline_ubuntu_1804();
+        let journal = Journal::default();
+        let gate = AnalysisGate::incremental(AnalysisConfig::default());
+        assert!(gate.is_incremental());
+        assert!(!AnalysisGate::default().is_incremental());
+
+        // A clean commit merges; its monitor stays in the state.
+        let clean = Commit::new("ok").with_formula(
+            "response-monitor",
+            Formula::globally(Formula::implies(
+                Formula::atom("request"),
+                Formula::finally(Formula::atom("response")),
+            )),
+        );
+        let d1 = clean.artifact_delta();
+        let cx = GateContext::untraced(&clean, &prod, &journal).with_delta(&d1);
+        assert!(Gate::evaluate(&gate, &cx).passed);
+
+        // A defective commit bounces and its delta is rolled back...
+        let bad = Commit::new("bad").with_formula(
+            "lock-monitor",
+            Formula::and(
+                Formula::globally(Formula::atom("locked")),
+                Formula::finally(Formula::not(Formula::atom("locked"))),
+            ),
+        );
+        let d2 = bad.artifact_delta();
+        let cx = GateContext::untraced(&bad, &prod, &journal).with_delta(&d2);
+        let d = Gate::evaluate(&gate, &cx);
+        assert!(!d.passed);
+        assert!(d.reasons[0].contains("VDA006"), "{d}");
+
+        // ...so a later clean commit still passes against clean state.
+        let clean2 = Commit::new("ok2").with_formula(
+            "audit-monitor",
+            Formula::globally(Formula::implies(
+                Formula::atom("login_failed"),
+                Formula::finally(Formula::atom("audit_record")),
+            )),
+        );
+        let d3 = clean2.artifact_delta();
+        let cx = GateContext::untraced(&clean2, &prod, &journal).with_delta(&d3);
+        assert!(Gate::evaluate(&gate, &cx).passed);
+
+        // Cross-commit interaction batch mode cannot see: redefining a
+        // previously merged monitor with a contradiction is caught even
+        // though the commit alone would also fail — and redefining it
+        // with a tautology of the *other* monitor's name is caught
+        // purely through the accumulated state.
+        let redefine = Commit::new("redefine").with_formula(
+            "response-monitor",
+            Formula::or(Formula::atom("p"), Formula::not(Formula::atom("p"))),
+        );
+        let d4 = redefine.artifact_delta();
+        let cx = GateContext::untraced(&redefine, &prod, &journal).with_delta(&d4);
+        let d = Gate::evaluate(&gate, &cx);
+        assert!(!d.passed);
+        assert!(d.reasons[0].contains("VDA007"), "{d}");
+
+        // A context without a delta falls back to batch per-commit
+        // analysis and leaves the accumulated state untouched.
+        let cx = GateContext::untraced(&clean, &prod, &journal);
+        assert!(Gate::evaluate(&gate, &cx).passed);
+    }
+
+    #[test]
+    fn incremental_gate_counters_accumulate() {
+        use vdo_temporal::Formula;
+        let obs = vdo_obs::Registry::new();
+        let gate = AnalysisGate::incremental(AnalysisConfig::default()).observed(obs.clone());
+        let clean = Commit::new("ok").with_formula("m", Formula::atom("p"));
+        let delta = clean.artifact_delta();
+        assert!(gate.evaluate_delta(&delta).passed);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("pipeline.analysis.incr.applies"), Some(1));
+        assert_eq!(
+            snap.counter("pipeline.analysis.incr.changed_artifacts"),
+            Some(1)
+        );
+        assert!(snap.counter("pipeline.analysis.incr.misses").unwrap_or(0) > 0);
+    }
+
+    #[test]
     fn every_gate_speaks_the_common_trait() {
         let catalog = vdo_stigs::ubuntu::catalog();
         let mut prod = vdo_host::UnixHost::baseline_ubuntu_1804();
@@ -553,6 +745,7 @@ mod tests {
             journal: &journal,
             trace: Some(root),
             at: 7,
+            changed: None,
         };
         for g in &gates {
             let d = g.evaluate(&cx);

@@ -133,6 +133,21 @@ impl Commit {
         self.assertions.push(assertion);
         self
     }
+
+    /// The commit's monitor artifacts as an analyzer delta — what this
+    /// commit adds to the accumulated artifact state the incremental
+    /// analysis gate maintains across a commit sequence.
+    #[must_use]
+    pub fn artifact_delta(&self) -> vdo_analyze::ArtifactDelta {
+        let mut delta = vdo_analyze::ArtifactDelta::new();
+        for (name, formula) in &self.formulas {
+            delta = delta.with_formula(name.clone(), formula.clone());
+        }
+        for ga in &self.assertions {
+            delta = delta.with_assertion(ga.clone());
+        }
+        delta
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +187,20 @@ mod tests {
         assert_eq!(c.id, "c1");
         assert_eq!(c.requirements.len(), 1);
         assert_eq!(c.changes.len(), 1);
+    }
+
+    #[test]
+    fn artifact_delta_carries_the_monitor_artifacts() {
+        let c = Commit::new("c1")
+            .with_formula("m", vdo_temporal::Formula::atom("p"))
+            .with_assertion(
+                vdo_tears::GuardedAssertion::parse("ga \"a\": when load > 1 then ok == 1").unwrap(),
+            );
+        let delta = c.artifact_delta();
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta.upsert_formulas.len(), 1);
+        assert_eq!(delta.upsert_assertions.len(), 1);
+        assert!(Commit::new("empty").artifact_delta().is_empty());
     }
 
     #[test]

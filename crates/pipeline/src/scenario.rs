@@ -48,6 +48,11 @@ pub struct PipelineConfig {
     pub test_gate: bool,
     /// Whether the vdo-analyze static-analysis gate runs.
     pub analysis_gate: bool,
+    /// Whether the analysis gate runs incrementally: accumulated
+    /// artifact state with fingerprint memoisation, each commit
+    /// re-linting only its own delta (`false` = batch per-commit
+    /// analysis; verdicts are identical either way).
+    pub incremental_analysis: bool,
     /// Continuous-monitoring period at operations (`None` = audits only).
     pub monitor_period: Option<u64>,
     /// Operations duration in ticks.
@@ -72,6 +77,7 @@ impl Default for PipelineConfig {
             compliance_gate: true,
             test_gate: true,
             analysis_gate: true,
+            incremental_analysis: true,
             monitor_period: Some(10),
             ops_duration: 2_000,
             drift_rate: 0.02,
@@ -229,7 +235,11 @@ pub fn run_traced(
     let req_gate = RequirementsGate::new();
     let compliance_gate = ComplianceGate::new(&catalog, Severity::Medium);
     let test_gate = TestGate::new(1.0);
-    let analysis_gate = AnalysisGate::default();
+    let analysis_gate = if config.incremental_analysis {
+        AnalysisGate::incremental(Default::default()).observed(obs.clone())
+    } else {
+        AnalysisGate::default()
+    };
     // Gate order matters for attribution: the analysis gate runs last
     // so every defect class is charged to the gate that owns it.
     let gates: [(&dyn Gate, bool); 4] = [
@@ -278,12 +288,14 @@ pub fn run_traced(
         } else {
             None
         };
+        let delta = commit.artifact_delta();
         let cx = GateContext {
             commit: &commit,
             production: &production,
             journal,
             trace: commit_trace,
             at: i as u64,
+            changed: Some(&delta),
         };
         for (gate, enabled) in gates {
             if !enabled {
@@ -527,6 +539,55 @@ mod tests {
             manual.ops.exposure()
         );
         assert!(automated.ops.mean_detection_latency() <= manual.ops.mean_detection_latency());
+    }
+
+    #[test]
+    fn incremental_and_batch_analysis_gates_agree() {
+        for seed in [5, 13, 21] {
+            let base = PipelineConfig {
+                commits: 60,
+                bad_artifact_rate: 0.3,
+                seed,
+                ..PipelineConfig::default()
+            };
+            let incremental = run(&PipelineConfig {
+                incremental_analysis: true,
+                ..base
+            });
+            let batch = run(&PipelineConfig {
+                incremental_analysis: false,
+                ..base
+            });
+            assert_eq!(
+                incremental, batch,
+                "seed {seed}: incremental gating must not change any verdict"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_runs_export_cache_counters() {
+        let registry = vdo_obs::Registry::new();
+        let report = run_observed(
+            &PipelineConfig {
+                commits: 40,
+                bad_artifact_rate: 0.3,
+                seed: 5,
+                ..PipelineConfig::default()
+            },
+            &registry,
+        );
+        let snap = registry.snapshot();
+        let applies = snap
+            .counter("pipeline.analysis.incr.applies")
+            .expect("incremental gate records applies");
+        assert!(applies > 0, "analysis gate ran incrementally");
+        assert!(snap.counter("pipeline.analysis.incr.misses").unwrap_or(0) > 0);
+        assert_eq!(
+            snap.counter("pipeline.analysis.incr.reverts").unwrap_or(0),
+            report.rejected_analysis as u64,
+            "every analysis rejection rolls its delta back"
+        );
     }
 
     #[test]

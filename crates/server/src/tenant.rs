@@ -159,7 +159,9 @@ impl Tenant {
             analyzer: Analyzer::with_default_metrics(),
             req_gate: RequirementsGate::new().with_tolerance(config.requirement_tolerance),
             test_gate: TestGate::new(config.min_coverage),
-            analysis_gate: AnalysisGate::default(),
+            // Incremental: the tenant's monitor artifacts accumulate
+            // across merged commits, each push re-lints only its delta.
+            analysis_gate: AnalysisGate::incremental(Default::default()),
             block_at: config.block_at,
             drift_rate: config.drift_rate,
             rng: StdRng::seed_from_u64(config.seed ^ 0x7E4A_11C0_FFEE_D00D),
@@ -234,12 +236,14 @@ impl Tenant {
     fn push_commit(&mut self, env: &Envelope, commit: &vdo_pipeline::Commit) -> Outcome {
         let failed = {
             let compliance = ComplianceGate::new(&self.stig, self.block_at);
+            let delta = commit.artifact_delta();
             let cx = GateContext {
                 commit,
                 production: &self.production,
                 journal: &self.silent,
                 trace: env.trace,
                 at: env.submitted_at,
+                changed: Some(&delta),
             };
             let gates: [&dyn Gate; 4] = [
                 &self.req_gate,
@@ -408,6 +412,46 @@ mod tests {
         assert!(
             !t.production().is_package_installed("telnetd"),
             "rejected commits never deploy"
+        );
+    }
+
+    #[test]
+    fn defective_monitor_artifacts_bounce_and_state_rolls_back() {
+        use vdo_temporal::Formula;
+        let mut t = Tenant::new(&TenantConfig::new("acme"));
+        let bad = Commit::new("bad").with_formula(
+            "lock-monitor",
+            Formula::and(
+                Formula::globally(Formula::atom("locked")),
+                Formula::finally(Formula::not(Formula::atom("locked"))),
+            ),
+        );
+        assert_eq!(
+            t.handle(&env(0, Request::PushCommit(bad)), 0),
+            Outcome::CommitRejected("analysis")
+        );
+        // The rejected monitor was rolled back from the accumulated
+        // state: a clean redefinition under the same name merges.
+        let fixed = Commit::new("fixed").with_formula(
+            "lock-monitor",
+            Formula::globally(Formula::implies(
+                Formula::atom("idle_15m"),
+                Formula::finally(Formula::atom("locked")),
+            )),
+        );
+        assert_eq!(
+            t.handle(&env(1, Request::PushCommit(fixed)), 1),
+            Outcome::CommitMerged(0)
+        );
+        // And a later commit contradicting the *accumulated* state by
+        // redefining the merged monitor as a tautology is rejected.
+        let regress = Commit::new("regress").with_formula(
+            "lock-monitor",
+            Formula::or(Formula::atom("p"), Formula::not(Formula::atom("p"))),
+        );
+        assert_eq!(
+            t.handle(&env(2, Request::PushCommit(regress)), 2),
+            Outcome::CommitRejected("analysis")
         );
     }
 
