@@ -73,4 +73,22 @@ print(f"   {smoke['entries']} entries, {smoke['commits']} commits touching "
       f"(budget {smoke['fraction_budget']:.0%}), reports identical")
 EOF
 
+echo "==> E18 journal/replay budget (size ratio vs JSONL + replay latency)"
+python3 - << 'EOF' 2> /dev/null || echo "   (python3 unavailable — budgets asserted in-binary by exp_report)"
+import json
+e18 = json.load(open('target/exp_report.json'))['e18_journal_replay']
+smoke = e18['smoke']
+assert smoke['within_budget'], (
+    f"E18 smoke out of budget: {smoke['jsonl_ratio']:.2f}x vs JSONL "
+    f"(floor {smoke['ratio_floor']:.0f}x), root resolution "
+    f"{smoke['root_resolution_pct']:.0f}%, max replay {smoke['max_replay_millis']:.1f} ms "
+    f"(budget {smoke['replay_budget_millis']:.0f} ms)")
+print(f"   columnar {e18['size']['bytes_per_event']:.1f} B/event = "
+      f"{smoke['jsonl_ratio']:.2f}x smaller than JSONL (floor {smoke['ratio_floor']:.0f}x), "
+      f"root resolution {smoke['root_resolution_pct']:.0f}%, max replay "
+      f"{smoke['max_replay_millis']:.1f} ms <= {smoke['replay_budget_millis']:.0f} ms")
+EOF
+test -n "$(ls target/e18_compact/seg-*.vdoj 2> /dev/null)" \
+  || { echo "E18 compacted journal segments missing from target/e18_compact"; exit 1; }
+
 echo "CI green."

@@ -39,11 +39,13 @@ fn main() {
     let mut journal_path: Option<String> = None;
     let mut e16_full = false;
     let mut e17_full = false;
+    let mut e18_full = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--e16-full" => e16_full = true,
             "--e17-full" => e17_full = true,
+            "--e18-full" => e18_full = true,
             "--json" => {
                 json_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--json requires a path argument");
@@ -59,7 +61,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument: {other} \
-                     (supported: --json <path>, --journal <path>, --e16-full, --e17-full)"
+                     (supported: --json <path>, --journal <path>, --e16-full, --e17-full, \
+                     --e18-full)"
                 );
                 std::process::exit(2);
             }
@@ -87,6 +90,7 @@ fn main() {
             "e17_incremental_analysis",
             e17_incremental_analysis(e17_full),
         ),
+        ("e18_journal_replay", e18_journal_replay(e18_full)),
         ("f1_closed_loop", f1_closed_loop()),
         ("a1_dictionary_ablation", a1_dictionary_ablation()),
     ];
@@ -104,9 +108,22 @@ fn main() {
     }
 
     if let Some(path) = journal_path {
-        let jsonl = vdo_trace::export::jsonl(&traced_fleet_journal(4).snapshot());
-        std::fs::write(&path, jsonl).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("wrote JSONL journal to {path}");
+        let snapshot = traced_fleet_journal(4).snapshot();
+        let dropped = snapshot.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "WARNING: the in-memory journal ring dropped {dropped} events (lossy tail) — \
+                 the exported JSONL is incomplete; raise capacity_per_shard or attach a \
+                 durable columnar sink (SocTracing::persistent)"
+            );
+        }
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+        vdo_trace::export::write_jsonl(file, &snapshot)
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "wrote JSONL journal to {path} ({} events, {dropped} dropped)",
+            snapshot.events.len()
+        );
     }
 }
 
@@ -925,6 +942,22 @@ fn e17_incremental_analysis(full: bool) -> Value {
         vdo_bench::e17::E17Scale::ci()
     };
     vdo_bench::e17::section(&scale)
+}
+
+/// E18: the columnar journal + deterministic replay — write-path
+/// throughput and the size advantage over JSONL, `Warn`-floor
+/// compaction with incident chains kept whole, and replay-to-checkpoint
+/// / replay-to-seq latency with digest-identity verified on every
+/// worker count. The compacted segments land in `target/e18_compact`
+/// (the CI artifact). The default runs the CI shape (64 hosts, 200
+/// ticks); `--e18-full` records the 128-host, 500-tick run.
+fn e18_journal_replay(full: bool) -> Value {
+    let scale = if full {
+        vdo_bench::e18::E18Scale::full()
+    } else {
+        vdo_bench::e18::E18Scale::ci()
+    };
+    vdo_bench::e18::section(&scale)
 }
 
 /// E13: the static analyzer against the planted-defect corpus —

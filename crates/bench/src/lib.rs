@@ -8,4 +8,5 @@
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod workloads;

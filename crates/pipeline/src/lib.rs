@@ -46,4 +46,4 @@ pub use gates::{
 };
 pub use ops::{DriftTarget, Incident, MonitorEngine, OperationsPhase, OpsConfig, OpsReport};
 pub use repo::{Commit, ConfigChange};
-pub use scenario::{run, run_observed, run_traced, PipelineConfig, PipelineReport};
+pub use scenario::{run, run_journaled, run_observed, run_traced, PipelineConfig, PipelineReport};

@@ -200,6 +200,26 @@ pub fn run_observed(config: &PipelineConfig, obs: &vdo_obs::Registry) -> Pipelin
     run_traced(config, obs, &Journal::default())
 }
 
+/// Like [`run_traced`], but with a durable columnar sink: every
+/// accepted journal event streams into segment files under `dir` (the
+/// [`vdo_trace::colfmt`] format) before entering the in-memory ring,
+/// so the whole closed loop — commit roots, gate verdicts, deploys,
+/// and the operations phase — leaves a compact on-disk record with no
+/// lossy tail. The returned journal is already synced (segments
+/// sealed); reopen the directory with
+/// [`vdo_trace::JournalDir`] for forensics.
+pub fn run_journaled(
+    config: &PipelineConfig,
+    obs: &vdo_obs::Registry,
+    dir: &std::path::Path,
+) -> std::io::Result<(PipelineReport, Journal)> {
+    let sink = vdo_trace::DirWriter::create(dir, "vdo-journal v1\nsource=pipeline\n")?;
+    let journal = Journal::with_sink(vdo_trace::JournalConfig::default(), Box::new(sink));
+    let report = run_traced(config, obs, &journal);
+    journal.sync();
+    Ok((report, journal))
+}
+
 /// Like [`run_observed`], but threads a [`vdo_trace::Journal`] through
 /// the whole closed loop: every commit gets a root [`TraceContext`]
 /// derived from `(seed, commit id)` at ingestion, each requirement
@@ -698,6 +718,41 @@ mod tests {
         assert!(!snap.events_named("pipeline.deploy").is_empty());
         assert!(!snap.events_named("core.enforce").is_empty());
         assert_eq!(snap.dropped(), 0, "default capacity holds the run");
+    }
+
+    #[test]
+    fn journaled_run_streams_the_closed_loop_to_disk() {
+        let dir = std::env::temp_dir().join(format!("vdo-pipeline-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = PipelineConfig {
+            commits: 15,
+            ops_duration: 500,
+            seed: 5,
+            ..PipelineConfig::default()
+        };
+        let (report, journal) = run_journaled(&cfg, &vdo_obs::Registry::disabled(), &dir).unwrap();
+        let disk = vdo_trace::JournalDir::open(&dir).unwrap();
+        assert_eq!(disk.header().unwrap(), "vdo-journal v1\nsource=pipeline\n");
+        assert_eq!(
+            disk.event_count().unwrap(),
+            journal.accepted(),
+            "the durable stream holds every accepted event"
+        );
+        let names: Vec<String> = disk
+            .events()
+            .unwrap()
+            .into_iter()
+            .map(|(_, e)| e.name.to_string())
+            .collect();
+        assert_eq!(
+            names.iter().filter(|n| *n == "commit.ingested").count(),
+            cfg.commits
+        );
+        assert!(names.iter().any(|n| n == "gate.verdict"));
+        assert!(names.iter().any(|n| n == "pipeline.deploy"));
+        // Behaviour is untouched by the sink.
+        assert_eq!(report.to_summary(), run(&cfg).to_summary());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Recording, checkpointing, and deterministic re-execution.
+//!
+//! # Why truncation-replay is exact
+//!
+//! Every source of randomness in the SOC engine (drift timing and
+//! content, telemetry, fault rolls) is drawn on the main thread in
+//! tick order from seeded generators, and every journal event is
+//! emitted on the main thread. Events produced during tick `t`
+//! therefore depend only on the simulation history up to `t` — so a
+//! re-run of the same [`RunSpec`] truncated to `T` ticks emits *the
+//! exact prefix* of the full run's accepted event stream (same events,
+//! same order, same seqs). "Checkpoint + roll-forward" then needs no
+//! serialized engine state at all: the genesis state is the
+//! checkpoint (derivable from the spec alone), and rolling forward is
+//! re-executing `T` ticks. A [`Checkpoint`] stores only the *digests*
+//! of the causal cut at its tick, so verification is cheap.
+//!
+//! Worker counts are orthogonal: the engine's documented contract
+//! (property-tested here and in `vdo-soc`) is that incident logs and
+//! journal multisets are byte-identical at any worker count, so a run
+//! recorded with 4 workers replays bit-exactly with 1 or 2.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use vdo_core::RemediationPlanner;
+use vdo_host::UnixHost;
+use vdo_soc::{SocEngine, SocMetrics, SocReport, SocTracing};
+use vdo_stigs::ubuntu;
+use vdo_trace::colfmt::{DirWriter, JournalDir};
+use vdo_trace::{Event, Journal, JournalConfig, MemorySink, Severity};
+
+use crate::spec::RunSpec;
+
+/// Version line leading `checkpoints.txt`.
+pub const CHECKPOINTS_VERSION: &str = "vdo-replay-checkpoints v1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_fold(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+fn digest_sorted_lines(mut lines: Vec<String>) -> u64 {
+    lines.sort_unstable();
+    let mut h = FNV_OFFSET;
+    for line in &lines {
+        h = fnv_fold(h, line.as_bytes());
+        h = fnv_fold(h, b"\n");
+    }
+    h
+}
+
+/// Order-independent digest of the causal cut at `upto_tick`: the
+/// sorted canonical lines of every event with `at < upto_tick`.
+#[must_use]
+pub fn journal_digest_of(events: &[(u64, Event)], upto_tick: u64) -> u64 {
+    digest_sorted_lines(
+        events
+            .iter()
+            .filter(|(_, e)| e.at < upto_tick)
+            .map(|(_, e)| e.canonical_line())
+            .collect(),
+    )
+}
+
+/// The verdict log of the cut at `upto_tick`: every `Warn`-and-above
+/// event (detections, TEARS violations, retries, dead letters, SLO
+/// alerts) as sorted canonical lines joined by `\n`. Two runs whose
+/// verdict logs are equal as strings behaved identically on every
+/// security-relevant outcome.
+#[must_use]
+pub fn verdict_log_of(events: &[(u64, Event)], upto_tick: u64) -> String {
+    let mut lines: Vec<String> = events
+        .iter()
+        .filter(|(_, e)| e.at < upto_tick && e.severity >= Severity::Warn)
+        .map(|(_, e)| e.canonical_line())
+        .collect();
+    lines.sort_unstable();
+    lines.join("\n")
+}
+
+/// FNV digest of [`verdict_log_of`]'s bytes — equal digests ⇔
+/// byte-identical verdict logs.
+#[must_use]
+pub fn verdict_digest_of(events: &[(u64, Event)], upto_tick: u64) -> u64 {
+    fnv_fold(FNV_OFFSET, verdict_log_of(events, upto_tick).as_bytes())
+}
+
+/// Ring sizing for recording/replay journals: the sink (disk or
+/// memory) is the durable copy, so the ring is kept minimal.
+fn capture_config(spec: &RunSpec) -> JournalConfig {
+    let _ = spec;
+    JournalConfig {
+        shards: 1,
+        capacity_per_shard: 1,
+        min_severity: Severity::Debug,
+    }
+}
+
+/// Builds the spec's fleet and runs the SOC engine against `journal`,
+/// optionally with a worker override and/or truncated duration.
+fn run_soc(
+    spec: &RunSpec,
+    workers: Option<usize>,
+    duration: Option<u64>,
+    journal: &Journal,
+) -> (SocReport, Vec<UnixHost>) {
+    let catalog = ubuntu::catalog();
+    let planner = RemediationPlanner::default();
+    let mut fleet: Vec<UnixHost> = (0..spec.hosts)
+        .map(|_| {
+            let mut h = UnixHost::baseline_ubuntu_1804();
+            planner.run(&catalog, &mut h);
+            h
+        })
+        .collect();
+    let engine = SocEngine::new(&catalog, spec.soc_config(workers, duration))
+        .expect("replay spec maps to a valid SOC config");
+    let tracing = SocTracing::new(journal.clone(), spec.trace_seed);
+    let report = engine.run_traced(&mut fleet, &SocMetrics::new(), &tracing);
+    (report, fleet)
+}
+
+/// One verified cut of the recorded run: the causal cut at `tick` is
+/// the multiset of journal events with `at < tick`, summarized by two
+/// digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The cut's tick boundary.
+    pub tick: u64,
+    /// Events in the cut.
+    pub events: u64,
+    /// [`journal_digest_of`] the cut.
+    pub journal_digest: u64,
+    /// [`verdict_digest_of`] the cut.
+    pub verdict_digest: u64,
+}
+
+/// What [`record`] produced: the live report plus the journal
+/// directory and its checkpoint schedule.
+#[derive(Debug)]
+pub struct Recording {
+    /// The spec that was run.
+    pub spec: RunSpec,
+    /// The live run's report.
+    pub report: SocReport,
+    /// Checkpoints cut every `spec.checkpoint_period` ticks.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Where the journal was written.
+    pub dir: PathBuf,
+}
+
+/// Runs `spec` live with a columnar [`DirWriter`] sink under `dir`,
+/// then derives and stores the checkpoint schedule
+/// (`checkpoints.txt`). The spec itself rides in every segment header,
+/// so the directory is self-describing: [`Replayer::open`] needs
+/// nothing else.
+pub fn record(spec: &RunSpec, dir: &Path) -> io::Result<Recording> {
+    let sink = DirWriter::create(dir, &spec.to_header())?;
+    let journal = Journal::with_sink(capture_config(spec), Box::new(sink));
+    let (report, _fleet) = run_soc(spec, None, None, &journal);
+    journal.sync();
+    let events = JournalDir::open(dir)?.events()?;
+    let checkpoints: Vec<Checkpoint> = spec
+        .checkpoint_ticks()
+        .into_iter()
+        .map(|tick| Checkpoint {
+            tick,
+            events: events.iter().filter(|(_, e)| e.at < tick).count() as u64,
+            journal_digest: journal_digest_of(&events, tick),
+            verdict_digest: verdict_digest_of(&events, tick),
+        })
+        .collect();
+    let mut text = format!("{CHECKPOINTS_VERSION}\n");
+    for cp in &checkpoints {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            text,
+            "tick={} events={} journal={:016x} verdict={:016x}",
+            cp.tick, cp.events, cp.journal_digest, cp.verdict_digest
+        );
+    }
+    fs::write(dir.join("checkpoints.txt"), text)?;
+    Ok(Recording {
+        spec: *spec,
+        report,
+        checkpoints,
+        dir: dir.to_path_buf(),
+    })
+}
+
+fn parse_checkpoints(text: &str) -> io::Result<Vec<Checkpoint>> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = text.lines();
+    let version = lines.next().unwrap_or("");
+    if version != CHECKPOINTS_VERSION {
+        return Err(bad(format!("unsupported checkpoints version {version:?}")));
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cp = Checkpoint {
+            tick: 0,
+            events: 0,
+            journal_digest: 0,
+            verdict_digest: 0,
+        };
+        for token in line.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| bad(format!("malformed checkpoint token {token:?}")))?;
+            let err = |_| bad(format!("malformed checkpoint value {token:?}"));
+            match key {
+                "tick" => cp.tick = value.parse().map_err(err)?,
+                "events" => cp.events = value.parse().map_err(err)?,
+                "journal" => cp.journal_digest = u64::from_str_radix(value, 16).map_err(err)?,
+                "verdict" => cp.verdict_digest = u64::from_str_radix(value, 16).map_err(err)?,
+                _ => continue,
+            }
+        }
+        out.push(cp);
+    }
+    Ok(out)
+}
+
+/// The reconstructed state a replay produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The tick boundary replayed to (state *after* ticks
+    /// `0..tick` executed).
+    pub tick: u64,
+    /// The truncated run's report (incidents, dead letters, metrics).
+    pub report: SocReport,
+    /// Fleet state at the boundary: every host's full configuration.
+    pub fleet: Vec<UnixHost>,
+    /// The replayed journal cut: every accepted event with
+    /// `at < tick`, with its seq.
+    pub events: Vec<(u64, Event)>,
+}
+
+impl ReplayOutcome {
+    /// [`journal_digest_of`] the replayed cut.
+    #[must_use]
+    pub fn journal_digest(&self) -> u64 {
+        journal_digest_of(&self.events, self.tick)
+    }
+
+    /// [`verdict_log_of`] the replayed cut.
+    #[must_use]
+    pub fn verdict_log(&self) -> String {
+        verdict_log_of(&self.events, self.tick)
+    }
+
+    /// [`verdict_digest_of`] the replayed cut.
+    #[must_use]
+    pub fn verdict_digest(&self) -> u64 {
+        verdict_digest_of(&self.events, self.tick)
+    }
+
+    /// Order-sensitive digest over every host's full debug rendering —
+    /// two replays with equal fingerprints reconstructed bit-identical
+    /// fleet state.
+    #[must_use]
+    pub fn fleet_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for host in &self.fleet {
+            h = fnv_fold(h, format!("{host:?}").as_bytes());
+            h = fnv_fold(h, b"\n");
+        }
+        h
+    }
+}
+
+/// A checkpoint replay plus its verification verdicts.
+#[derive(Debug)]
+pub struct CheckpointReplay {
+    /// The checkpoint that was targeted.
+    pub checkpoint: Checkpoint,
+    /// The reconstructed state.
+    pub outcome: ReplayOutcome,
+    /// `true` when the replayed journal cut digests identically.
+    pub journal_match: bool,
+    /// `true` when the replayed verdict log digests identically.
+    pub verdict_match: bool,
+}
+
+/// A counterfactual re-run of the recorded scenario under a modified
+/// spec.
+#[derive(Debug)]
+pub struct WhatIf {
+    /// The modified spec the variant ran under.
+    pub variant_spec: RunSpec,
+    /// The recorded scenario replayed as-is.
+    pub baseline: SocReport,
+    /// The scenario under the modified spec.
+    pub variant: SocReport,
+}
+
+/// Incidents detected in the window `[start, end)` of a report.
+#[must_use]
+pub fn incidents_in_window(report: &SocReport, start: u64, end: u64) -> usize {
+    report
+        .incidents
+        .iter()
+        .filter(|i| i.detected_at >= start && i.detected_at < end)
+        .count()
+}
+
+/// Re-executes a recorded run from its journal directory.
+///
+/// Open is cheap: only the segment header (the [`RunSpec`]) and the
+/// checkpoint schedule are read. Each `replay_*` call then re-runs the
+/// deterministic simulation up to the requested boundary — see the
+/// module docs for why that reconstructs the live run bit-exactly.
+#[derive(Debug)]
+pub struct Replayer {
+    spec: RunSpec,
+    dir: PathBuf,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl Replayer {
+    /// Opens a journal directory written by [`record`] (or a
+    /// [`vdo_trace::colfmt::compact`]ed copy of one — compaction
+    /// preserves the header; the checkpoint file is optional).
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let disk = JournalDir::open(dir)?;
+        let spec = RunSpec::from_header(&disk.header()?)?;
+        let checkpoints = match fs::read_to_string(dir.join("checkpoints.txt")) {
+            Ok(text) => parse_checkpoints(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(Replayer {
+            spec,
+            dir: dir.to_path_buf(),
+            checkpoints,
+        })
+    }
+
+    /// The recorded run's spec.
+    #[must_use]
+    pub fn spec(&self) -> &RunSpec {
+        &self.spec
+    }
+
+    /// The recorded checkpoint schedule (empty when the directory
+    /// carries no `checkpoints.txt`).
+    #[must_use]
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Reconstructs fleet + SOC state at the causal cut `tick`
+    /// (state after ticks `0..tick`), optionally on a different
+    /// worker count than the live run.
+    #[must_use]
+    pub fn replay_to_tick(&self, tick: u64, workers: Option<usize>) -> ReplayOutcome {
+        let sink = MemorySink::new();
+        let entries = sink.entries();
+        let journal = Journal::with_sink(capture_config(&self.spec), Box::new(sink));
+        let (report, fleet) = run_soc(&self.spec, workers, Some(tick), &journal);
+        let mut events = std::mem::take(&mut *entries.lock().expect("capture sink poisoned"));
+        events.retain(|(_, e)| e.at < tick);
+        ReplayOutcome {
+            tick,
+            report,
+            fleet,
+            events,
+        }
+    }
+
+    /// Replays to checkpoint `index` and verifies the replayed cut
+    /// against the recorded digests.
+    ///
+    /// # Panics
+    /// When `index` is outside [`checkpoints`](Replayer::checkpoints).
+    #[must_use]
+    pub fn replay_to_checkpoint(&self, index: usize, workers: Option<usize>) -> CheckpointReplay {
+        let checkpoint = self.checkpoints[index];
+        let outcome = self.replay_to_tick(checkpoint.tick, workers);
+        CheckpointReplay {
+            checkpoint,
+            journal_match: outcome.journal_digest() == checkpoint.journal_digest,
+            verdict_match: outcome.verdict_digest() == checkpoint.verdict_digest,
+            outcome,
+        }
+    }
+
+    /// Reconstructs state at journal sequence number `seq`: the
+    /// block index locates the event's tick `t` without scanning, and
+    /// the replay rolls forward to the cut *after* tick `t` (the
+    /// earliest boundary at which the event has happened).
+    pub fn replay_to_seq(&self, seq: u64, workers: Option<usize>) -> io::Result<ReplayOutcome> {
+        let tick = JournalDir::open(&self.dir)?
+            .tick_for_seq(seq)?
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("seq {seq} is not in the journal"),
+                )
+            })?;
+        Ok(self.replay_to_tick(tick + 1, workers))
+    }
+
+    /// Counterfactual: replays the recorded scenario once as-is and
+    /// once under `mutate`-d spec (e.g. halved drift, injected
+    /// remediation faults, another fleet size), returning both reports
+    /// for comparison.
+    #[must_use]
+    pub fn what_if(&self, mutate: impl FnOnce(&mut RunSpec)) -> WhatIf {
+        let mut variant_spec = self.spec;
+        mutate(&mut variant_spec);
+        let baseline = self.replay_to_tick(self.spec.duration, None).report;
+        let (variant, _fleet) = run_soc(&variant_spec, None, None, &Journal::disabled());
+        WhatIf {
+            variant_spec,
+            baseline,
+            variant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vdo-replay-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec() -> RunSpec {
+        RunSpec {
+            seed: 23,
+            trace_seed: 5,
+            hosts: 6,
+            duration: 80,
+            drift_rate: 0.05,
+            workers: 2,
+            shards: 8,
+            fault_rate: 0.3,
+            checkpoint_period: 20,
+        }
+    }
+
+    #[test]
+    fn record_then_open_recovers_the_spec_and_checkpoints() {
+        let dir = tmp("open");
+        let spec = small_spec();
+        let rec = record(&spec, &dir).unwrap();
+        assert_eq!(rec.checkpoints.len(), 4);
+        assert_eq!(rec.checkpoints.last().unwrap().tick, 80);
+        let rp = Replayer::open(&dir).unwrap();
+        assert_eq!(rp.spec(), &spec);
+        assert_eq!(rp.checkpoints(), rec.checkpoints.as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_replay_reproduces_the_live_run_byte_identically() {
+        let dir = tmp("full");
+        let spec = small_spec();
+        let rec = record(&spec, &dir).unwrap();
+        assert!(
+            !rec.report.incidents.is_empty(),
+            "workload must raise incidents for the test to mean anything"
+        );
+        let rp = Replayer::open(&dir).unwrap();
+        let outcome = rp.replay_to_tick(spec.duration, None);
+        assert_eq!(
+            outcome.report.incident_log(),
+            rec.report.incident_log(),
+            "replayed incident log must be byte-identical"
+        );
+        let disk = JournalDir::open(&dir).unwrap().events().unwrap();
+        assert_eq!(
+            outcome.verdict_log(),
+            verdict_log_of(&disk, spec.duration),
+            "replayed verdict log must be byte-identical to the persisted one"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_to_seq_lands_just_after_the_events_tick() {
+        let dir = tmp("seq");
+        let spec = small_spec();
+        record(&spec, &dir).unwrap();
+        let disk = JournalDir::open(&dir).unwrap().events().unwrap();
+        let (seq, event) = disk[disk.len() / 2].clone();
+        let rp = Replayer::open(&dir).unwrap();
+        let outcome = rp.replay_to_seq(seq, None).unwrap();
+        assert_eq!(outcome.tick, event.at + 1);
+        assert!(
+            outcome.events.iter().any(|(s, e)| *s == seq && e == &event),
+            "the target event is inside the reconstructed cut"
+        );
+        assert!(rp.replay_to_seq(u64::MAX, None).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn what_if_reruns_the_window_under_modified_config() {
+        let dir = tmp("whatif");
+        let spec = small_spec();
+        record(&spec, &dir).unwrap();
+        let rp = Replayer::open(&dir).unwrap();
+        let wi = rp.what_if(|s| s.drift_rate = 0.0);
+        assert!(wi.baseline.drift_events > 0, "baseline scenario drifts");
+        assert_eq!(wi.variant.drift_events, 0, "counterfactual removed drift");
+        assert!(incidents_in_window(&wi.variant, 0, spec.duration) == 0);
+        assert!(incidents_in_window(&wi.baseline, 0, spec.duration) >= wi.baseline.incidents.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacted_journals_still_replay() {
+        let dir = tmp("compact");
+        let out = tmp("compact-out");
+        let spec = small_spec();
+        let rec = record(&spec, &dir).unwrap();
+        let stats = vdo_trace::colfmt::compact(&dir, &out, Severity::Warn, 100_000).unwrap();
+        assert!(stats.events_out < stats.events_in);
+        let rp = Replayer::open(&out).unwrap();
+        assert_eq!(rp.spec(), &spec, "spec survives compaction in the header");
+        assert!(rp.checkpoints().is_empty(), "checkpoint file is not copied");
+        let outcome = rp.replay_to_tick(spec.duration, None);
+        assert_eq!(
+            outcome.verdict_digest(),
+            rec.checkpoints.last().unwrap().verdict_digest,
+            "replay from a compacted dir still reproduces the live verdicts"
+        );
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&out);
+    }
+}

@@ -92,6 +92,24 @@ impl ServerTracing {
         }
     }
 
+    /// Journal + seed with a durable columnar sink: every accepted
+    /// event streams into segment files under `dir` (the
+    /// [`vdo_trace::colfmt`] format) before it enters the in-memory
+    /// ring, so a tenant's full request lineage survives ring wrap.
+    /// Call [`Journal::sync`] (or drop the journal) after the run to
+    /// seal the open segment.
+    pub fn persistent(
+        dir: &std::path::Path,
+        trace_seed: u64,
+        config: vdo_trace::JournalConfig,
+    ) -> std::io::Result<Self> {
+        let sink = vdo_trace::DirWriter::create(dir, "vdo-journal v1\nsource=server\n")?;
+        Ok(ServerTracing::new(
+            Journal::with_sink(config, Box::new(sink)),
+            trace_seed,
+        ))
+    }
+
     /// The inert layer.
     #[must_use]
     pub fn disabled() -> Self {
@@ -628,6 +646,35 @@ mod tests {
         let snap = journal.snapshot();
         assert_eq!(snap.events_named("tenant.registered").len(), 3);
         assert!(!snap.events_named("server.response").is_empty());
+    }
+
+    #[test]
+    fn persistent_tracing_streams_the_tenant_path_to_disk() {
+        let dir = std::env::temp_dir().join(format!("vdo-server-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = server(3, 16, 2);
+        let mut gen = LoadGen::new(LoadConfig::even(3, 300, 30, 2));
+        let tracing =
+            ServerTracing::persistent(&dir, 77, vdo_trace::JournalConfig::default()).unwrap();
+        let report = s.run_load(&mut gen, &ServerMetrics::new(), &tracing);
+        assert!(report.completed() > 0);
+        tracing.journal.sync();
+        let disk = vdo_trace::JournalDir::open(&dir).unwrap();
+        assert_eq!(disk.header().unwrap(), "vdo-journal v1\nsource=server\n");
+        assert_eq!(
+            disk.event_count().unwrap(),
+            tracing.journal.accepted(),
+            "the durable stream holds every accepted event"
+        );
+        let names: Vec<String> = disk
+            .events()
+            .unwrap()
+            .into_iter()
+            .map(|(_, e)| e.name.to_string())
+            .collect();
+        assert!(names.iter().any(|n| n == "tenant.registered"));
+        assert!(names.iter().any(|n| n == "server.response"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -140,6 +140,24 @@ impl SocTracing {
         }
     }
 
+    /// Journal + seed with a durable columnar sink: every accepted
+    /// event streams into segment files under `dir` (the
+    /// [`vdo_trace::colfmt`] format) *before* it enters the in-memory
+    /// ring, so the on-disk record has no lossy tail even when the
+    /// ring wraps. Call [`Journal::sync`] (or drop the journal) after
+    /// the run to seal the open segment.
+    pub fn persistent(
+        dir: &std::path::Path,
+        trace_seed: u64,
+        config: vdo_trace::JournalConfig,
+    ) -> std::io::Result<Self> {
+        let sink = vdo_trace::DirWriter::create(dir, "vdo-journal v1\nsource=soc\n")?;
+        Ok(SocTracing::new(
+            Journal::with_sink(config, Box::new(sink)),
+            trace_seed,
+        ))
+    }
+
     /// The inert layer: disabled journal, no tracing, no SLO.
     #[must_use]
     pub fn disabled() -> Self {
@@ -1146,6 +1164,28 @@ mod tests {
         }
         assert!(!snap.events_named("soc.detection").is_empty());
         assert!(!snap.events_named("soc.remediation.resolved").is_empty());
+    }
+
+    #[test]
+    fn persistent_tracing_leaves_a_readable_columnar_record() {
+        let dir = std::env::temp_dir().join(format!("vdo-soc-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = ubuntu::catalog();
+        let engine = SocEngine::new(&catalog, base_config()).unwrap();
+        let mut fleet = compliant_fleet(6);
+        let tracing =
+            SocTracing::persistent(&dir, 11, vdo_trace::JournalConfig::default()).unwrap();
+        let report = engine.run_traced(&mut fleet, &SocMetrics::new(), &tracing);
+        assert!(!report.incidents.is_empty());
+        tracing.journal.sync();
+        let disk = vdo_trace::JournalDir::open(&dir).unwrap();
+        assert_eq!(disk.header().unwrap(), "vdo-journal v1\nsource=soc\n");
+        assert_eq!(
+            disk.event_count().unwrap(),
+            tracing.journal.accepted(),
+            "the durable stream holds every accepted event"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   cumulative `le` buckets, and span aggregates.
 
 use std::fmt::Write as _;
+use std::io;
+use std::io::Write as _;
 
 use serde::Serialize;
 use vdo_obs::Snapshot;
@@ -28,6 +30,19 @@ pub fn jsonl(snapshot: &JournalSnapshot) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Streams the JSONL rendering into `out` through an internal buffer,
+/// issuing one `write` per buffer fill instead of one per event — the
+/// right shape for large journals going to a file or pipe. The bytes
+/// written are identical to [`jsonl`].
+pub fn write_jsonl<W: io::Write>(out: W, snapshot: &JournalSnapshot) -> io::Result<()> {
+    let mut buf = io::BufWriter::with_capacity(64 * 1024, out);
+    for event in &snapshot.events {
+        buf.write_all(serde::json::to_string(event).as_bytes())?;
+        buf.write_all(b"\n")?;
+    }
+    buf.flush()
 }
 
 /// Renders span aggregates as Chrome `trace_event` JSON (one complete
@@ -183,6 +198,23 @@ mod tests {
         }
         assert!(text.contains("\"name\":\"a\""));
         assert!(text.contains("\"severity\":\"warn\""));
+    }
+
+    #[test]
+    fn write_jsonl_matches_the_string_renderer() {
+        let j = Journal::new();
+        for i in 0..50u64 {
+            j.emit(
+                Event::info("e")
+                    .at(i)
+                    .trace(TraceContext::root(1, "x"))
+                    .field("i", i),
+            );
+        }
+        let snap = j.snapshot();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &snap).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), jsonl(&snap));
     }
 
     #[test]

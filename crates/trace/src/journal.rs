@@ -22,6 +22,20 @@
 //! together). When a shard ring is full the **incoming** event is
 //! dropped — a lossy tail — and the shard's drop counter records
 //! exactly how many were lost.
+//!
+//! # Sequence numbers and sinks
+//!
+//! Every accepted event (enabled journal, severity at or above the
+//! floor) is stamped with a globally unique, monotonically increasing
+//! **sequence number** before any capacity check. A [`JournalSink`]
+//! attached via [`Journal::with_sink`] observes that full accepted
+//! stream in strictly increasing seq order — so a durable sink (e.g.
+//! the columnar [`crate::colfmt::DirWriter`]) keeps every event even
+//! when the in-memory ring sheds its lossy tail. Ring entries carry
+//! their seq, and [`Journal::snapshot`] takes a *consistent cut*: all
+//! shard locks are held at once, so for every emitter thread the
+//! snapshot contains a causal prefix of its emissions, listed in
+//! global seq order.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -299,6 +313,61 @@ impl Serialize for Event {
     }
 }
 
+/// A durable destination for the journal's accepted event stream.
+///
+/// The journal calls [`record`](JournalSink::record) exactly once per
+/// accepted event (enabled journal, severity at or above the floor),
+/// **before** the in-memory ring's capacity check and in strictly
+/// increasing `seq` order — the sink sees the complete stream even
+/// when the bounded ring sheds its lossy tail. Calls are serialized by
+/// the journal's sink lock, so implementations need no internal
+/// locking; `Send` is required because journals are shared across
+/// worker threads.
+pub trait JournalSink: Send {
+    /// Observes one accepted event and its global sequence number.
+    fn record(&mut self, seq: u64, event: &Event);
+
+    /// Flushes buffered state to durable storage (called by
+    /// [`Journal::sync`] and when the journal is dropped). Default:
+    /// no-op.
+    fn flush(&mut self) {}
+}
+
+/// Shared buffer type collected by a [`MemorySink`].
+pub type MemoryEntries = Arc<Mutex<Vec<(u64, Event)>>>;
+
+/// A [`JournalSink`] that clones every accepted `(seq, event)` pair
+/// into a shared in-memory buffer — the replay engine's capture sink,
+/// and a convenient test double for durable sinks.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    entries: MemoryEntries,
+}
+
+impl MemorySink {
+    /// A sink with an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A handle onto the shared buffer, valid after the sink has been
+    /// boxed into a journal.
+    #[must_use]
+    pub fn entries(&self) -> MemoryEntries {
+        Arc::clone(&self.entries)
+    }
+}
+
+impl JournalSink for MemorySink {
+    fn record(&mut self, seq: u64, event: &Event) {
+        self.entries
+            .lock()
+            .expect("memory sink poisoned")
+            .push((seq, event.clone()));
+    }
+}
+
 /// Journal sizing and filtering policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalConfig {
@@ -321,11 +390,35 @@ impl Default for JournalConfig {
     }
 }
 
-#[derive(Debug)]
 struct JournalInner {
     config: JournalConfig,
-    shards: Vec<Mutex<Vec<Event>>>,
+    /// Ring entries carry their global seq so snapshots can interleave
+    /// shards back into emission order.
+    shards: Vec<Mutex<Vec<(u64, Event)>>>,
     dropped: Vec<AtomicU64>,
+    /// Next global sequence number; `load` = accepted events so far.
+    next_seq: AtomicU64,
+    sink: Option<Mutex<Box<dyn JournalSink>>>,
+}
+
+impl std::fmt::Debug for JournalInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalInner")
+            .field("config", &self.config)
+            .field("next_seq", &self.next_seq)
+            .field("has_sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for JournalInner {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.sink {
+            if let Ok(mut sink) = sink.lock() {
+                sink.flush();
+            }
+        }
+    }
 }
 
 /// The journal handle. Cheap to clone (clones share state); the
@@ -348,6 +441,22 @@ impl Journal {
     /// When `shards` or `capacity_per_shard` is zero.
     #[must_use]
     pub fn with_config(config: JournalConfig) -> Self {
+        Journal::build(config, None)
+    }
+
+    /// An enabled journal whose accepted event stream is additionally
+    /// delivered to `sink` (see [`JournalSink`] for the exact
+    /// contract). The ring still serves in-process queries; the sink
+    /// is the durable copy.
+    ///
+    /// # Panics
+    /// When `shards` or `capacity_per_shard` is zero.
+    #[must_use]
+    pub fn with_sink(config: JournalConfig, sink: Box<dyn JournalSink>) -> Self {
+        Journal::build(config, Some(sink))
+    }
+
+    fn build(config: JournalConfig, sink: Option<Box<dyn JournalSink>>) -> Self {
         assert!(config.shards > 0, "journal needs at least one shard");
         assert!(
             config.capacity_per_shard > 0,
@@ -363,6 +472,8 @@ impl Journal {
                     .map(|_| Mutex::new(Vec::with_capacity(reserve)))
                     .collect(),
                 dropped: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+                next_seq: AtomicU64::new(0),
+                sink: sink.map(Mutex::new),
                 config,
             })),
         }
@@ -404,20 +515,59 @@ impl Journal {
 
     /// Records `event`, unless the journal is disabled, the event is
     /// below the severity floor, or its shard is full (a lossy-tail
-    /// drop, which the shard's drop counter records exactly).
+    /// drop, which the shard's drop counter records exactly). Accepted
+    /// events are stamped with a global sequence number and — when a
+    /// sink is attached — delivered to it *before* the capacity check,
+    /// so the durable stream has no lossy tail.
     pub fn emit(&self, event: Event) {
         let Some(inner) = &self.inner else { return };
         if event.severity < inner.config.min_severity {
             return;
         }
+        let seq = match &inner.sink {
+            // Seq is minted while the sink lock is held so the sink
+            // observes strictly increasing seqs even under concurrent
+            // emitters.
+            Some(sink) => {
+                let mut sink = sink.lock().expect("journal sink poisoned");
+                let seq = inner.next_seq.fetch_add(1, Ordering::Relaxed);
+                sink.record(seq, &event);
+                seq
+            }
+            None => inner.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
         let shard = Self::shard_for(inner, &event);
         let mut ring = inner.shards[shard].lock().expect("journal shard poisoned");
         if ring.len() < inner.config.capacity_per_shard {
-            ring.push(event);
+            ring.push((seq, event));
         } else {
-            drop(ring);
+            // Count the drop while the ring lock is held so a
+            // consistent-cut snapshot sees ring contents and drop
+            // counts at the same point.
             inner.dropped[shard].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Flushes the attached sink's buffered state to durable storage
+    /// (no-op without a sink). For the columnar
+    /// [`crate::colfmt::DirWriter`] this seals the open segment, making
+    /// everything recorded so far readable.
+    pub fn sync(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.lock().expect("journal sink poisoned").flush();
+            }
+        }
+    }
+
+    /// Number of events accepted so far (the next seq to be assigned);
+    /// 0 when disabled. Counts ring drops — it is the length of the
+    /// stream a sink observed, not the ring occupancy.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.next_seq.load(Ordering::Relaxed))
     }
 
     /// Events currently held (0 when disabled).
@@ -451,26 +601,41 @@ impl Journal {
     }
 
     /// Freezes the journal into an immutable [`JournalSnapshot`]
-    /// (empty when disabled). Events are listed shard by shard in
-    /// emission order; when all emitters share one thread — as in the
-    /// engine main loops — that order is deterministic, and the
-    /// fingerprint is deterministic regardless.
+    /// (empty when disabled).
+    ///
+    /// The snapshot is a **consistent cut**: every shard lock is held
+    /// simultaneously while the rings and drop counters are copied, so
+    /// for each emitter thread the snapshot contains a causal prefix
+    /// of that thread's emissions — an event can never appear without
+    /// the events the same thread emitted before it. Events are listed
+    /// in global seq order (aligned with
+    /// [`seqs`](JournalSnapshot::seqs)).
     #[must_use]
     pub fn snapshot(&self) -> JournalSnapshot {
         let Some(inner) = &self.inner else {
             return JournalSnapshot::default();
         };
+        let guards: Vec<_> = inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("journal shard poisoned"))
+            .collect();
+        let dropped_per_shard: Vec<u64> = inner
+            .dropped
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect();
+        let mut entries: Vec<(u64, Event)> = guards
+            .iter()
+            .flat_map(|g| g.iter().cloned())
+            .collect::<Vec<_>>();
+        drop(guards);
+        entries.sort_unstable_by_key(|(seq, _)| *seq);
+        let (seqs, events) = entries.into_iter().unzip();
         JournalSnapshot {
-            events: inner
-                .shards
-                .iter()
-                .flat_map(|s| s.lock().expect("journal shard poisoned").clone())
-                .collect(),
-            dropped_per_shard: inner
-                .dropped
-                .iter()
-                .map(|d| d.load(Ordering::Relaxed))
-                .collect(),
+            events,
+            seqs,
+            dropped_per_shard,
         }
     }
 }
@@ -478,8 +643,12 @@ impl Journal {
 /// Frozen journal state.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct JournalSnapshot {
-    /// All held events, shard by shard in emission order.
+    /// All held events, in global seq order.
     pub events: Vec<Event>,
+    /// Each event's global sequence number, aligned with
+    /// [`events`](JournalSnapshot::events). Gaps mark accepted events
+    /// the bounded ring dropped (a sink, if attached, still saw them).
+    pub seqs: Vec<u64>,
     /// Exact lossy-tail drop count per shard.
     pub dropped_per_shard: Vec<u64>,
 }
@@ -489,6 +658,12 @@ impl JournalSnapshot {
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped_per_shard.iter().sum()
+    }
+
+    /// The highest sequence number held, `None` when empty.
+    #[must_use]
+    pub fn last_seq(&self) -> Option<u64> {
+        self.seqs.last().copied()
     }
 
     /// Events with the given name, in snapshot order.
@@ -535,6 +710,7 @@ impl Serialize for JournalSnapshot {
     fn to_value(&self) -> serde::json::Value {
         serde::json::object([
             ("events", self.events.to_value()),
+            ("seqs", self.seqs.to_value()),
             ("dropped_per_shard", self.dropped_per_shard.to_value()),
             ("dropped", self.dropped().to_value()),
         ])
@@ -552,6 +728,7 @@ mod tests {
         j.emit(Event::info("x"));
         assert!(j.is_empty());
         assert_eq!(j.dropped(), 0);
+        assert_eq!(j.accepted(), 0);
         assert_eq!(j.snapshot(), JournalSnapshot::default());
         assert!(!Journal::default().is_enabled());
     }
@@ -569,6 +746,7 @@ mod tests {
         );
         j.emit(Event::info("deploy").at(3));
         assert_eq!(j.len(), 2);
+        assert_eq!(j.accepted(), 2);
         let snap = j.snapshot();
         assert_eq!(snap.events_named("soc.detection").len(), 1);
         assert_eq!(snap.events_for_trace(ctx.trace_id).len(), 1);
@@ -591,6 +769,7 @@ mod tests {
         j.emit(Event::error("failure"));
         assert_eq!(j.len(), 2);
         assert_eq!(j.dropped(), 0, "filtered events are not drops");
+        assert_eq!(j.accepted(), 2, "filtered events take no seq");
     }
 
     #[test]
@@ -605,12 +784,14 @@ mod tests {
         }
         assert_eq!(j.len(), 3);
         assert_eq!(j.dropped(), 7);
+        assert_eq!(j.accepted(), 10, "drops still consume seqs");
         let snap = j.snapshot();
         // Lossy tail: the *oldest* events survive.
         assert_eq!(
             snap.events.iter().map(|e| e.at).collect::<Vec<_>>(),
             [0, 1, 2]
         );
+        assert_eq!(snap.seqs, [0, 1, 2]);
         assert_eq!(snap.dropped_per_shard, [7]);
     }
 
@@ -675,6 +856,7 @@ mod tests {
         j.emit(Event::info("x").field("k", "v"));
         let json = serde::json::to_string(&j.snapshot());
         assert!(json.contains("\"events\""));
+        assert!(json.contains("\"seqs\""));
         assert!(json.contains("\"dropped_per_shard\""));
     }
 
@@ -693,5 +875,98 @@ mod tests {
         });
         assert_eq!(j.len(), 2_000);
         assert_eq!(j.dropped(), 0);
+        assert_eq!(j.accepted(), 2_000);
+        let snap = j.snapshot();
+        assert!(
+            snap.seqs.windows(2).all(|w| w[0] < w[1]),
+            "snapshot is in strictly increasing seq order"
+        );
+    }
+
+    #[test]
+    fn sink_sees_every_accepted_event_even_when_the_ring_drops() {
+        let sink = MemorySink::new();
+        let entries = sink.entries();
+        let j = Journal::with_sink(
+            JournalConfig {
+                shards: 1,
+                capacity_per_shard: 2,
+                min_severity: Severity::Info,
+            },
+            Box::new(sink),
+        );
+        j.emit(Event::debug("filtered"));
+        for i in 0..10u64 {
+            j.emit(Event::info("e").at(i));
+        }
+        assert_eq!(j.len(), 2, "ring keeps only its capacity");
+        assert_eq!(j.dropped(), 8);
+        let got = entries.lock().unwrap();
+        assert_eq!(got.len(), 10, "sink saw the full accepted stream");
+        assert_eq!(
+            got.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>(),
+            "seqs are contiguous and in order"
+        );
+        assert!(
+            got.iter().all(|(_, e)| e.name != "filtered"),
+            "below-floor events never reach the sink"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_a_consistent_causal_cut() {
+        // Emitter threads write causally ordered events that scatter
+        // across shards (distinct trace roots). A consistent cut must
+        // contain, for every thread, a prefix of its emissions — the
+        // old shard-by-shard copy could capture event i without i-1
+        // when they landed in different shards.
+        let j = Journal::new();
+        let done = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let j = j.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let ctx = TraceContext::root(t, &format!("artifact-{i}"));
+                        j.emit(Event::info("causal").trace(ctx).field("t", t).field("i", i));
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            while done.load(Ordering::SeqCst) < 4 {
+                let snap = j.snapshot();
+                let mut max_i = [None::<u64>; 4];
+                let mut counts = [0u64; 4];
+                for e in &snap.events {
+                    let mut t = None;
+                    let mut i = None;
+                    for (k, v) in &e.fields {
+                        if let FieldValue::U64(n) = v {
+                            match *k {
+                                "t" => t = Some(*n),
+                                "i" => i = Some(*n),
+                                _ => {}
+                            }
+                        }
+                    }
+                    let (t, i) = (t.unwrap() as usize, i.unwrap());
+                    max_i[t] = Some(max_i[t].map_or(i, |m: u64| m.max(i)));
+                    counts[t] += 1;
+                }
+                for t in 0..4 {
+                    if let Some(m) = max_i[t] {
+                        assert_eq!(
+                            counts[t],
+                            m + 1,
+                            "thread {t}: event i={m} present but an earlier one missing"
+                        );
+                    }
+                }
+            }
+        });
+        assert_eq!(j.len(), 8_000);
+        assert_eq!(j.dropped(), 0, "default capacity must hold this workload");
     }
 }

@@ -9,9 +9,15 @@
 //!   pure hashes of `(seed, artifact id)`, so equal-seed runs emit
 //!   bit-identical causal trees at any worker count;
 //! * [`Journal`] — a sharded, bounded, lossy-tail event journal with
-//!   severity levels, typed fields, exact drop accounting, and a
-//!   no-op disabled mode that costs one branch per call site (the
-//!   same discipline as [`vdo_obs::Registry::disabled`]);
+//!   severity levels, typed fields, exact drop accounting, global
+//!   sequence numbers, a no-op disabled mode that costs one branch
+//!   per call site (the same discipline as
+//!   [`vdo_obs::Registry::disabled`]), and pluggable [`JournalSink`]s
+//!   that observe the complete accepted stream;
+//! * [`colfmt`] — the compact columnar on-disk segment format
+//!   ([`DirWriter`] sink / [`JournalDir`] reader) with delta-encoded
+//!   seqs and ticks, interned strings, per-block seq/severity indexes,
+//!   and a streaming compactor that preserves incident causal chains;
 //! * [`export`] — JSONL, Chrome `trace_event`, and Prometheus text
 //!   exposition renderers;
 //! * [`SloEngine`] — multi-window burn-rate evaluation of SLO rules
@@ -19,11 +25,15 @@
 //!   successive metric snapshots, feeding alerts back into the
 //!   journal and — via the caller — the SOC event bus.
 
+pub mod colfmt;
 pub mod context;
 pub mod export;
 pub mod journal;
 pub mod slo;
 
+pub use colfmt::{compact, CompactionStats, DirWriter, JournalDir, SegmentReader, SegmentWriter};
 pub use context::{SpanId, TraceContext, TraceId};
-pub use journal::{Event, FieldValue, Journal, JournalConfig, JournalSnapshot, Severity};
+pub use journal::{
+    Event, FieldValue, Journal, JournalConfig, JournalSink, JournalSnapshot, MemorySink, Severity,
+};
 pub use slo::{BurnRateRule, SloAlert, SloEngine, SloSignal};

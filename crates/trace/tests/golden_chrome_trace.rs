@@ -1,0 +1,57 @@
+//! Golden-file test for the Chrome `trace_event` exporter: the
+//! rendering of a fixed, fully deterministic snapshot (simulated
+//! clock, fixed span timings) must match
+//! `tests/golden/chrome_trace.json` byte for byte. Regenerate after an
+//! intentional format change with
+//! `BLESS_GOLDEN=1 cargo test -p vdo-trace --test golden_chrome_trace`.
+
+use vdo_obs::{Clock, Registry};
+
+/// The fixture: nested spans with repeated children (aggregation),
+/// two independent top-level spans (cursor layout), and enough timing
+/// variety to exercise the µs arithmetic.
+fn fixture() -> Registry {
+    let clock = Clock::simulated();
+    let obs = Registry::with_clock(clock.clone());
+    {
+        let run = obs.span("pipeline");
+        clock.advance(10_000);
+        {
+            let dev = run.child("dev");
+            clock.advance(6_000);
+            let _gate = dev.child("gate");
+            clock.advance(1_500);
+        }
+        {
+            let ops = run.child("ops");
+            clock.advance(4_000);
+            drop(ops);
+            let ops = run.child("ops");
+            clock.advance(2_500);
+            drop(ops);
+        }
+    }
+    {
+        let _soc = obs.span("soc");
+        clock.advance(3_000);
+    }
+    obs
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let actual = vdo_trace::export::chrome_trace(&fixture().snapshot());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(path, &actual).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        actual, expected,
+        "Chrome trace export drifted from tests/golden/chrome_trace.json; \
+         re-bless with BLESS_GOLDEN=1 if the change is intentional"
+    );
+}

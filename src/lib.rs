@@ -24,8 +24,13 @@
 //!   (admission control, weighted fair scheduling, open-loop load
 //!   generation);
 //! * [`trace`] — causal tracing across the closed loop (trace contexts,
-//!   the sharded event journal, JSONL/Chrome/Prometheus exporters, and
-//!   SLO burn-rate alerting).
+//!   the sharded event journal, the compact columnar on-disk journal
+//!   format, JSONL/Chrome/Prometheus exporters, and SLO burn-rate
+//!   alerting);
+//! * [`replay`] — deterministic replay over the columnar journal:
+//!   recording with digest checkpoints, replay-to-tick/-checkpoint/-seq
+//!   reconstruction of fleet + SOC state, and what-if re-runs under
+//!   modified configuration.
 //!
 //! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
 //! evaluation suite. The quickest start:
@@ -51,6 +56,7 @@ pub use vdo_host as host;
 pub use vdo_nalabs as nalabs;
 pub use vdo_obs as obs;
 pub use vdo_pipeline as pipeline;
+pub use vdo_replay as replay;
 pub use vdo_server as server;
 pub use vdo_soc as soc;
 pub use vdo_specpat as specpat;
