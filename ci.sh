@@ -91,4 +91,29 @@ EOF
 test -n "$(ls target/e18_compact/seg-*.vdoj 2> /dev/null)" \
   || { echo "E18 compacted journal segments missing from target/e18_compact"; exit 1; }
 
+echo "==> E19 telemetry-plane budget (overhead + sampling ratio + alert latency)"
+python3 - << 'EOF' 2> /dev/null || echo "   (python3 unavailable — budgets asserted in-binary by exp_report)"
+import json
+e19 = json.load(open('target/exp_report.json'))['e19_telemetry_plane']
+smoke = e19['smoke']
+assert smoke['within_budget'], (
+    f"E19 smoke out of budget: plane overhead "
+    f"{e19['overhead']['plane_overhead_pct']:.2f}% "
+    f"(budget {e19['overhead']['budget_pct']:.0f}%), sampled journal "
+    f"{e19['sampling']['size_ratio']:.1f}x smaller "
+    f"(floor {e19['sampling']['size_ratio_floor']:.0f}x), root resolution "
+    f"{e19['sampling']['root_resolution_pct']:.0f}%, alert latency "
+    f"{e19['alerting']['alert_latency_ticks']} ticks "
+    f"(budget {e19['alerting']['latency_budget_ticks']})")
+print(f"   plane overhead {e19['overhead']['plane_overhead_pct']:.2f}% "
+      f"<= {e19['overhead']['budget_pct']:.0f}%, sampled journal "
+      f"{e19['sampling']['size_ratio']:.1f}x smaller "
+      f"(floor {e19['sampling']['size_ratio_floor']:.0f}x) at "
+      f"{e19['sampling']['root_resolution_pct']:.0f}% root resolution, "
+      f"alert latency {e19['alerting']['alert_latency_ticks']} ticks "
+      f"<= {e19['alerting']['latency_budget_ticks']}")
+EOF
+test -s target/e19_alerts.log \
+  || { echo "E19 alert log missing or empty at target/e19_alerts.log"; exit 1; }
+
 echo "CI green."

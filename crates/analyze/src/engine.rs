@@ -108,18 +108,6 @@ impl Analyzer {
         drop(span);
         report
     }
-
-    /// Like [`analyze`](Analyzer::analyze), recording a span and
-    /// counters in `obs`. The report is identical to the unobserved
-    /// run.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use analyze_all_observed, which also takes a thread count"
-    )]
-    #[must_use]
-    pub fn analyze_observed(&self, artifacts: &ArtifactSet, obs: &Registry) -> AnalysisReport {
-        self.analyze_all_observed(artifacts, 1, obs)
-    }
 }
 
 /// Runs `count` independent jobs across `threads` workers with
@@ -400,11 +388,6 @@ mod tests {
             Some(observed.diagnostics.len() as u64)
         );
         assert_eq!(snap.span_count("analyze"), Some(1));
-        // The deprecated single-thread entry delegates to the same path.
-        #[allow(deprecated)]
-        let legacy = analyzer.analyze_observed(&set, &obs);
-        assert_eq!(plain, legacy);
-        assert_eq!(obs.snapshot().counter("analyze.runs"), Some(2));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::time::Instant;
 use serde::json::Value;
 use serde::Serialize;
 use vdo_analyze::{AnalysisConfig, Analyzer as StaticAnalyzer};
+use vdo_bench::say;
 use vdo_bench::workloads;
 use vdo_core::{CheckStatus, PlannerConfig, PlannerOutcome, RemediationPlanner};
 use vdo_corpus::defects::{self, DefectConfig};
@@ -37,18 +38,21 @@ use vdo_temporal::{GlobalUniversality, MonitorOutcome, MonitoringLoop};
 fn main() {
     let mut json_path: Option<String> = None;
     let mut journal_path: Option<String> = None;
+    let mut only: Option<String> = None;
     let mut e16_full = false;
     let mut e17_full = false;
     let mut e18_full = false;
+    let mut e19_full = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--e16-full" => e16_full = true,
             "--e17-full" => e17_full = true,
             "--e18-full" => e18_full = true,
+            "--e19-full" => e19_full = true,
             "--json" => {
                 json_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--json requires a path argument");
+                    eprintln!("--json requires a path argument (or `-` for stdout)");
                     std::process::exit(2);
                 }));
             }
@@ -58,42 +62,79 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--only" => {
+                only = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--only requires a section name argument");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown argument: {other} \
-                     (supported: --json <path>, --journal <path>, --e16-full, --e17-full, \
-                     --e18-full)"
+                     (supported: --json <path|->, --journal <path>, --only <section>, \
+                     --e16-full, --e17-full, --e18-full, --e19-full)"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let sections = [
-        ("e1_nalabs_quality", e1_nalabs_quality()),
-        ("e2_nalabs_throughput", e2_nalabs_throughput()),
-        ("e3_fleet_convergence", e3_fleet_convergence()),
-        ("e4_monitor_latency", e4_monitor_latency()),
-        ("e5_matrix_coverage", e5_matrix_coverage()),
-        ("e6_observer_throughput", e6_observer_throughput()),
-        ("e7_ctl_scaling", e7_ctl_scaling()),
-        ("e8_gwt_coverage", e8_gwt_coverage()),
-        ("e9_tears_throughput", e9_tears_throughput()),
-        ("e10_pipeline_comparison", e10_pipeline_comparison()),
-        ("e11_soc_engine", e11_soc_engine()),
-        ("e12_obs_overhead", e12_obs_overhead()),
-        ("e13_analyze", e13_analyze()),
-        ("e14_trace", e14_trace()),
-        ("e15_server", e15_server()),
-        ("e16_fleet_scale", e16_fleet_scale(e16_full)),
+    // `--json -` puts the JSON document on stdout, so the human tables
+    // move to stderr and stdout stays machine-parseable.
+    let json_to_stdout = json_path.as_deref() == Some("-");
+    vdo_bench::out::route_to_stderr(json_to_stdout);
+
+    type Section = (&'static str, Box<dyn FnOnce() -> Value>);
+    let all: Vec<Section> = vec![
+        ("e1_nalabs_quality", Box::new(e1_nalabs_quality)),
+        ("e2_nalabs_throughput", Box::new(e2_nalabs_throughput)),
+        ("e3_fleet_convergence", Box::new(e3_fleet_convergence)),
+        ("e4_monitor_latency", Box::new(e4_monitor_latency)),
+        ("e5_matrix_coverage", Box::new(e5_matrix_coverage)),
+        ("e6_observer_throughput", Box::new(e6_observer_throughput)),
+        ("e7_ctl_scaling", Box::new(e7_ctl_scaling)),
+        ("e8_gwt_coverage", Box::new(e8_gwt_coverage)),
+        ("e9_tears_throughput", Box::new(e9_tears_throughput)),
+        ("e10_pipeline_comparison", Box::new(e10_pipeline_comparison)),
+        ("e11_soc_engine", Box::new(e11_soc_engine)),
+        ("e12_obs_overhead", Box::new(e12_obs_overhead)),
+        ("e13_analyze", Box::new(e13_analyze)),
+        ("e14_trace", Box::new(e14_trace)),
+        ("e15_server", Box::new(e15_server)),
+        (
+            "e16_fleet_scale",
+            Box::new(move || e16_fleet_scale(e16_full)),
+        ),
         (
             "e17_incremental_analysis",
-            e17_incremental_analysis(e17_full),
+            Box::new(move || e17_incremental_analysis(e17_full)),
         ),
-        ("e18_journal_replay", e18_journal_replay(e18_full)),
-        ("f1_closed_loop", f1_closed_loop()),
-        ("a1_dictionary_ablation", a1_dictionary_ablation()),
+        (
+            "e18_journal_replay",
+            Box::new(move || e18_journal_replay(e18_full)),
+        ),
+        (
+            "e19_telemetry_plane",
+            Box::new(move || e19_telemetry_plane(e19_full)),
+        ),
+        ("f1_closed_loop", Box::new(f1_closed_loop)),
+        ("a1_dictionary_ablation", Box::new(a1_dictionary_ablation)),
     ];
+    if let Some(name) = &only {
+        if !all.iter().any(|(k, _)| k == name) {
+            let known: Vec<&str> = all.iter().map(|(k, _)| *k).collect();
+            eprintln!(
+                "--only {name}: no such section (known: {})",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let sections: Vec<(&'static str, Value)> = all
+        .into_iter()
+        .filter(|(k, _)| only.as_deref().is_none_or(|o| *k == o))
+        .map(|(k, f)| (k, f()))
+        .collect();
 
     if let Some(path) = json_path {
         let doc = Value::Object(
@@ -102,9 +143,13 @@ fn main() {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         );
-        std::fs::write(&path, serde::json::to_string_pretty(&doc))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("\nwrote JSON report to {path}");
+        let rendered = serde::json::to_string_pretty(&doc);
+        if json_to_stdout {
+            println!("{rendered}");
+        } else {
+            std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            say!("\nwrote JSON report to {path}");
+        }
     }
 
     if let Some(path) = journal_path {
@@ -120,7 +165,7 @@ fn main() {
         let file = std::fs::File::create(&path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
         vdo_trace::export::write_jsonl(file, &snapshot)
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!(
+        say!(
             "wrote JSONL journal to {path} ({} events, {dropped} dropped)",
             snapshot.events.len()
         );
@@ -156,10 +201,13 @@ fn traced_fleet_journal(workers: usize) -> vdo_trace::Journal {
 }
 
 fn e1_nalabs_quality() -> Value {
-    println!("\n== E1: NALABS detection quality vs planted smell rate (n = 1000) ==");
-    println!(
+    say!("\n== E1: NALABS detection quality vs planted smell rate (n = 1000) ==");
+    say!(
         "{:>8} {:>10} {:>8} {:>6}",
-        "RATE", "PRECISION", "RECALL", "F1"
+        "RATE",
+        "PRECISION",
+        "RECALL",
+        "F1"
     );
     let mut rows = Vec::new();
     for rate in [0.05, 0.1, 0.2, 0.3] {
@@ -170,7 +218,7 @@ fn e1_nalabs_quality() -> Value {
         });
         let report = Analyzer::with_default_metrics().analyze_corpus(&corpus.documents);
         let pr = report.score_against(&|id| corpus.is_smelly(id));
-        println!(
+        say!(
             "{rate:>8.2} {:>10.3} {:>8.3} {:>6.3}",
             pr.precision(),
             pr.recall(),
@@ -187,8 +235,8 @@ fn e1_nalabs_quality() -> Value {
 }
 
 fn e2_nalabs_throughput() -> Value {
-    println!("\n== E2: NALABS throughput vs corpus size ==");
-    println!("{:>8} {:>12} {:>14}", "SIZE", "ELAPSED", "DOCS/SEC");
+    say!("\n== E2: NALABS throughput vs corpus size ==");
+    say!("{:>8} {:>12} {:>14}", "SIZE", "ELAPSED", "DOCS/SEC");
     let analyzer = Analyzer::with_default_metrics();
     let mut rows = Vec::new();
     for size in [100usize, 1_000, 10_000] {
@@ -198,7 +246,7 @@ fn e2_nalabs_throughput() -> Value {
         let dt = t0.elapsed();
         assert_eq!(report.len(), size);
         let docs_per_sec = size as f64 / dt.as_secs_f64();
-        println!("{size:>8} {:>12.2?} {docs_per_sec:>14.0}", dt);
+        say!("{size:>8} {:>12.2?} {docs_per_sec:>14.0}", dt);
         rows.push(serde::json::object([
             ("size", Value::UInt(size as u64)),
             ("elapsed_secs", Value::Float(dt.as_secs_f64())),
@@ -209,10 +257,14 @@ fn e2_nalabs_throughput() -> Value {
 }
 
 fn e3_fleet_convergence() -> Value {
-    println!("\n== E3: STIG check/enforce over fleets (drift sweep, 20 hosts) ==");
-    println!(
+    say!("\n== E3: STIG check/enforce over fleets (drift sweep, 20 hosts) ==");
+    say!(
         "{:>8} {:>9} {:>13} {:>10} {:>12}",
-        "DRIFT", "DRIFTED", "REMEDIATIONS", "COMPLIANT", "ELAPSED"
+        "DRIFT",
+        "DRIFTED",
+        "REMEDIATIONS",
+        "COMPLIANT",
+        "ELAPSED"
     );
     let catalog = ubuntu::catalog();
     let planner = RemediationPlanner::new(PlannerConfig::default());
@@ -239,7 +291,7 @@ fn e3_fleet_convergence() -> Value {
             }
         }
         let dt = t0.elapsed();
-        println!(
+        say!(
             "{drift:>8.2} {:>9} {remediations:>13} {compliant:>9}/20 {:>12.2?}",
             fleet.drifted_count(),
             dt
@@ -256,10 +308,13 @@ fn e3_fleet_convergence() -> Value {
 }
 
 fn e4_monitor_latency() -> Value {
-    println!("\n== E4/A2: monitor detection latency vs polling period (10k-tick traces) ==");
-    println!(
+    say!("\n== E4/A2: monitor detection latency vs polling period (10k-tick traces) ==");
+    say!(
         "{:>8} {:>13} {:>12} {:>9}",
-        "PERIOD", "MEAN LATENCY", "MAX LATENCY", "POLLS"
+        "PERIOD",
+        "MEAN LATENCY",
+        "MAX LATENCY",
+        "POLLS"
     );
     let pattern = GlobalUniversality::new(|up: &bool| CheckStatus::from(*up));
     let mut rows = Vec::new();
@@ -278,7 +333,7 @@ fn e4_monitor_latency() -> Value {
         }
         let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
         let max = latencies.iter().cloned().fold(0.0f64, f64::max);
-        println!("{period:>8} {mean:>13.1} {max:>12.0} {:>9}", polls / 32);
+        say!("{period:>8} {mean:>13.1} {max:>12.0} {:>9}", polls / 32);
         rows.push(serde::json::object([
             ("period", Value::UInt(period)),
             ("mean_latency", Value::Float(mean)),
@@ -290,7 +345,7 @@ fn e4_monitor_latency() -> Value {
 }
 
 fn e5_matrix_coverage() -> Value {
-    println!("\n== E5: scope x pattern matrix coverage ==");
+    say!("\n== E5: scope x pattern matrix coverage ==");
     let matrix = full_matrix();
     let t0 = Instant::now();
     let total_nodes: usize = matrix.iter().map(|p| p.to_ltl().size()).sum();
@@ -301,15 +356,15 @@ fn e5_matrix_coverage() -> Value {
         .iter()
         .filter(|p| ObserverAutomaton::for_pattern(p).is_some())
         .count();
-    println!("  combinations:      {}", matrix.len());
-    println!(
+    say!("  combinations:      {}", matrix.len());
+    say!(
         "  LTL mappings:      {} ({} AST nodes in {dt:.2?})",
         matrix.len(),
         total_nodes
     );
-    println!("  CTL mappings:      {ctl}");
-    println!("  UPPAAL queries:    {uppaal}");
-    println!("  observer automata: {observers}");
+    say!("  CTL mappings:      {ctl}");
+    say!("  UPPAAL queries:    {uppaal}");
+    say!("  observer automata: {observers}");
     serde::json::object([
         ("combinations", Value::UInt(matrix.len() as u64)),
         ("ltl_mappings", Value::UInt(matrix.len() as u64)),
@@ -321,8 +376,8 @@ fn e5_matrix_coverage() -> Value {
 }
 
 fn e6_observer_throughput() -> Value {
-    println!("\n== E6: observer trace checking vs trace length ==");
-    println!("{:>10} {:>12} {:>14}", "TICKS", "ELAPSED", "TICKS/SEC");
+    say!("\n== E6: observer trace checking vs trace length ==");
+    say!("{:>10} {:>12} {:>14}", "TICKS", "ELAPSED", "TICKS/SEC");
     let pattern = vdo_specpat::SpecPattern::new(
         vdo_specpat::Scope::Globally,
         vdo_specpat::PatternKind::bounded_response("p", "s", 10),
@@ -340,7 +395,7 @@ fn e6_observer_throughput() -> Value {
             "workload satisfies the property"
         );
         let ticks_per_sec = len as f64 / dt.as_secs_f64();
-        println!("{len:>10} {:>12.2?} {ticks_per_sec:>14.0}", dt);
+        say!("{len:>10} {:>12.2?} {ticks_per_sec:>14.0}", dt);
         rows.push(serde::json::object([
             ("ticks", Value::UInt(len as u64)),
             ("elapsed_secs", Value::Float(dt.as_secs_f64())),
@@ -351,10 +406,13 @@ fn e6_observer_throughput() -> Value {
 }
 
 fn e7_ctl_scaling() -> Value {
-    println!("\n== E7: CTL model checking vs Kripke size ==");
-    println!(
+    say!("\n== E7: CTL model checking vs Kripke size ==");
+    say!(
         "{:>8} {:>12} {:>12} {:>12}",
-        "STATES", "AG p", "EF q", "AG(q->AF p)"
+        "STATES",
+        "AG p",
+        "EF q",
+        "AG(q->AF p)"
     );
     let mut rows = Vec::new();
     for n in [100usize, 1_000, 10_000] {
@@ -376,7 +434,7 @@ fn e7_ctl_scaling() -> Value {
             cells.push(format!("{dt:.2?}"));
             secs.push(dt.as_secs_f64());
         }
-        println!("{n:>8} {:>12} {:>12} {:>12}", cells[0], cells[1], cells[2]);
+        say!("{n:>8} {:>12} {:>12} {:>12}", cells[0], cells[1], cells[2]);
         rows.push(serde::json::object([
             ("states", Value::UInt(n as u64)),
             ("ag_p_secs", Value::Float(secs[0])),
@@ -388,10 +446,14 @@ fn e7_ctl_scaling() -> Value {
 }
 
 fn e8_gwt_coverage() -> Value {
-    println!("\n== E8: test generation — coverage at equal step budgets ==");
-    println!(
+    say!("\n== E8: test generation — coverage at equal step budgets ==");
+    say!(
         "{:>8} {:>7} {:>8} {:>11} {:>13}",
-        "MODEL n", "EDGES", "BUDGET", "ALL-EDGES", "RANDOM WALK"
+        "MODEL n",
+        "EDGES",
+        "BUDGET",
+        "ALL-EDGES",
+        "RANDOM WALK"
     );
     let mut rows = Vec::new();
     for n in [10usize, 50, 200, 500] {
@@ -405,7 +467,7 @@ fn e8_gwt_coverage() -> Value {
         };
         let all_cov = model.edge_coverage(&all);
         let random_cov = model.edge_coverage(&rw.generate(&model, 5));
-        println!(
+        say!(
             "{n:>8} {:>7} {budget:>8} {:>10.0}% {:>12.0}%",
             model.edge_count(),
             100.0 * all_cov,
@@ -423,10 +485,13 @@ fn e8_gwt_coverage() -> Value {
 }
 
 fn e9_tears_throughput() -> Value {
-    println!("\n== E9: TEARS G/A evaluation throughput ==");
-    println!(
+    say!("\n== E9: TEARS G/A evaluation throughput ==");
+    say!(
         "{:>10} {:>12} {:>12} {:>14}",
-        "TICKS", "ASSERTIONS", "ELAPSED", "TICKS/SEC"
+        "TICKS",
+        "ASSERTIONS",
+        "ELAPSED",
+        "TICKS/SEC"
     );
     let mut rows = Vec::new();
     for (len, n) in [
@@ -448,7 +513,7 @@ fn e9_tears_throughput() -> Value {
         let _ = session.evaluate(&trace);
         let dt = t0.elapsed();
         let ticks_per_sec = len as f64 / dt.as_secs_f64();
-        println!("{len:>10} {n:>12} {:>12.2?} {ticks_per_sec:>14.0}", dt);
+        say!("{len:>10} {n:>12} {:>12.2?} {ticks_per_sec:>14.0}", dt);
         rows.push(serde::json::object([
             ("ticks", Value::UInt(len)),
             ("assertions", Value::UInt(n as u64)),
@@ -460,10 +525,15 @@ fn e9_tears_throughput() -> Value {
 }
 
 fn e10_pipeline_comparison() -> Value {
-    println!("\n== E10: automated vs manual pipeline (mean of seeds 1-5) ==");
-    println!(
+    say!("\n== E10: automated vs manual pipeline (mean of seeds 1-5) ==");
+    say!(
         "{:<28} {:>9} {:>9} {:>10} {:>13} {:>10}",
-        "CONFIGURATION", "REJECTED", "SHIPPED", "INCIDENTS", "MEAN LATENCY", "EXPOSURE"
+        "CONFIGURATION",
+        "REJECTED",
+        "SHIPPED",
+        "INCIDENTS",
+        "MEAN LATENCY",
+        "EXPOSURE"
     );
     let base = PipelineConfig {
         commits: 60,
@@ -522,7 +592,7 @@ fn e10_pipeline_comparison() -> Value {
             exposure += r.ops.exposure();
         }
         let n = seeds.len() as f64;
-        println!(
+        say!(
             "{name:<28} {:>9.1} {:>9.1} {:>10.1} {:>13.1} {:>9.2}%",
             rejected / n,
             shipped / n,
@@ -543,10 +613,15 @@ fn e10_pipeline_comparison() -> Value {
 }
 
 fn e11_soc_engine() -> Value {
-    println!("\n== E11: event-driven SOC vs polling monitor (drift 2%/tick) ==");
-    println!(
+    say!("\n== E11: event-driven SOC vs polling monitor (drift 2%/tick) ==");
+    say!(
         "{:>6} {:>14} {:>10} {:>13} {:>10} {:>10}",
-        "HOSTS", "ENGINE", "INCIDENTS", "MEAN LATENCY", "EXPOSURE", "CHECKS"
+        "HOSTS",
+        "ENGINE",
+        "INCIDENTS",
+        "MEAN LATENCY",
+        "EXPOSURE",
+        "CHECKS"
     );
     let catalog = ubuntu::catalog();
     let planner = RemediationPlanner::default();
@@ -576,7 +651,7 @@ fn e11_soc_engine() -> Value {
         )
         .expect("valid config");
         let report = engine.run(&mut fleet);
-        println!(
+        say!(
             "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10}",
             hosts,
             "event-driven",
@@ -618,7 +693,7 @@ fn e11_soc_engine() -> Value {
         }
         let polling_latency = weighted_latency / incidents.max(1) as f64;
         let polling_exposure = noncompliant as f64 / (duration as f64 * hosts as f64);
-        println!(
+        say!(
             "{:>6} {:>14} {:>10} {:>13.1} {:>9.2}% {:>10}",
             hosts,
             "polling-10",
@@ -637,10 +712,14 @@ fn e11_soc_engine() -> Value {
         ]));
     }
 
-    println!("\n   determinism + remediation faults (64 hosts, 200 ticks, 25% fault rate):");
-    println!(
+    say!("\n   determinism + remediation faults (64 hosts, 200 ticks, 25% fault rate):");
+    say!(
         "{:>8} {:>10} {:>8} {:>13} {:>10}",
-        "WORKERS", "INCIDENTS", "RETRIES", "DEAD LETTERS", "IDENTICAL"
+        "WORKERS",
+        "INCIDENTS",
+        "RETRIES",
+        "DEAD LETTERS",
+        "IDENTICAL"
     );
     let mut reference: Option<String> = None;
     let mut determinism_rows = Vec::new();
@@ -675,7 +754,7 @@ fn e11_soc_engine() -> Value {
             Some(expected) if *expected == log => "yes",
             Some(_) => "NO",
         };
-        println!(
+        say!(
             "{:>8} {:>10} {:>8} {:>13} {:>10}",
             workers,
             report.incidents.len(),
@@ -702,9 +781,7 @@ fn e11_soc_engine() -> Value {
 /// ([`SocMetrics::disabled`]). Best-of-N wall clock on each side keeps
 /// scheduler noise out of the comparison.
 fn e12_obs_overhead() -> Value {
-    println!(
-        "\n== E12: observability overhead (64-host SOC fleet, enabled vs disabled recorder) =="
-    );
+    say!("\n== E12: observability overhead (64-host SOC fleet, enabled vs disabled recorder) ==");
     let catalog = ubuntu::catalog();
     let planner = RemediationPlanner::default();
     let fleet_of = || -> Vec<vdo_host::UnixHost> {
@@ -747,10 +824,10 @@ fn e12_obs_overhead() -> Value {
         }
     }
     let overhead_pct = 100.0 * (best[0] - best[1]) / best[1];
-    println!("{:>10} {:>14}", "RECORDER", "BEST WALL");
-    println!("{:>10} {:>13.2}ms", "enabled", best[0] * 1e3);
-    println!("{:>10} {:>13.2}ms", "disabled", best[1] * 1e3);
-    println!("   recorder overhead: {overhead_pct:+.2}% (best of {rounds} rounds each)");
+    say!("{:>10} {:>14}", "RECORDER", "BEST WALL");
+    say!("{:>10} {:>13.2}ms", "enabled", best[0] * 1e3);
+    say!("{:>10} {:>13.2}ms", "disabled", best[1] * 1e3);
+    say!("   recorder overhead: {overhead_pct:+.2}% (best of {rounds} rounds each)");
     serde::json::object([
         ("enabled_best_secs", Value::Float(best[0])),
         ("disabled_best_secs", Value::Float(best[1])),
@@ -765,7 +842,7 @@ fn e12_obs_overhead() -> Value {
 /// guarantees: every incident resolves to a requirement root, and the
 /// journal fingerprint is invariant under the worker count.
 fn e14_trace() -> Value {
-    println!("\n== E14: trace-journal overhead + completeness (64-host SOC fleet) ==");
+    say!("\n== E14: trace-journal overhead + completeness (64-host SOC fleet) ==");
     let catalog = ubuntu::catalog();
     let planner = RemediationPlanner::default();
     let fleet_of = || -> Vec<vdo_host::UnixHost> {
@@ -825,9 +902,9 @@ fn e14_trace() -> Value {
         }
     }
     let overhead = |secs: f64| 100.0 * (secs - best[2]) / best[2];
-    println!("{:>10} {:>14} {:>10}", "JOURNAL", "BEST WALL", "OVERHEAD");
+    say!("{:>10} {:>14} {:>10}", "JOURNAL", "BEST WALL", "OVERHEAD");
     for (slot, mode) in modes.iter().enumerate() {
-        println!(
+        say!(
             "{:>10} {:>13.2}ms {:>9.2}%",
             mode,
             best[slot] * 1e3,
@@ -877,7 +954,7 @@ fn e14_trace() -> Value {
             ("journal_events", Value::UInt(snapshot.events.len() as u64)),
             ("journal_dropped", Value::UInt(snapshot.dropped())),
         ]));
-        println!(
+        say!(
             "   workers {workers}: {resolved}/{} incidents resolve to requirement roots \
              ({} journal events, {} dropped)",
             report.incidents.len(),
@@ -887,7 +964,7 @@ fn e14_trace() -> Value {
     }
     let invariant = fingerprints.windows(2).all(|w| w[0] == w[1]);
     assert!(invariant, "journal fingerprint must not depend on workers");
-    println!(
+    say!(
         "   journal overhead: {:+.2}% traced / {:+.2}% disabled (best of {rounds}); \
          fingerprint worker-invariant: {invariant}",
         overhead(best[0]),
@@ -951,6 +1028,15 @@ fn e17_incremental_analysis(full: bool) -> Value {
 /// worker count. The compacted segments land in `target/e18_compact`
 /// (the CI artifact). The default runs the CI shape (64 hosts, 200
 /// ticks); `--e18-full` records the 128-host, 500-tick run.
+fn e19_telemetry_plane(full: bool) -> Value {
+    let scale = if full {
+        vdo_bench::e19::E19Scale::full()
+    } else {
+        vdo_bench::e19::E19Scale::ci()
+    };
+    vdo_bench::e19::section(&scale)
+}
+
 fn e18_journal_replay(full: bool) -> Value {
     let scale = if full {
         vdo_bench::e18::E18Scale::full()
@@ -964,10 +1050,16 @@ fn e18_journal_replay(full: bool) -> Value {
 /// per-class precision/recall, a byte-identical-listing determinism
 /// check across thread counts, and throughput vs catalogue size.
 fn e13_analyze() -> Value {
-    println!("\n== E13: static-analyzer detection on planted defects (60 clean + 3/class) ==");
-    println!(
+    say!("\n== E13: static-analyzer detection on planted defects (60 clean + 3/class) ==");
+    say!(
         "{:<8} {:>8} {:>6} {:>4} {:>4} {:>10} {:>7}",
-        "CODE", "PLANTED", "FOUND", "FP", "FN", "PRECISION", "RECALL"
+        "CODE",
+        "PLANTED",
+        "FOUND",
+        "FP",
+        "FN",
+        "PRECISION",
+        "RECALL"
     );
     let corpus = defects::generate(&DefectConfig::default());
     let analyzer = StaticAnalyzer::new(AnalysisConfig::default());
@@ -975,7 +1067,7 @@ fn e13_analyze() -> Value {
     let score = corpus.score(&report);
     let mut detection = Vec::new();
     for (code, class) in &score.per_class {
-        println!(
+        say!(
             "{:<8} {:>8} {:>6} {:>4} {:>4} {:>10.3} {:>7.3}",
             code.as_str(),
             class.planted,
@@ -995,7 +1087,7 @@ fn e13_analyze() -> Value {
             ("recall", Value::Float(class.recall())),
         ]));
     }
-    println!(
+    say!(
         "{:<8} {:>8} {:>6} {:>4} {:>4} {:>10.3} {:>7.3}",
         "TOTAL",
         corpus.planted_total(),
@@ -1018,16 +1110,20 @@ fn e13_analyze() -> Value {
         .collect();
     let identical = listings.iter().all(|l| *l == listings[0]);
     assert!(identical, "E13 regression: listings differ across threads");
-    println!(
+    say!(
         "   determinism: {} diagnostics, listings byte-identical at 1/2/4 threads",
         report.diagnostics.len()
     );
 
     // Throughput vs catalogue size (clean corpora, so the analyzer
     // walks everything and reports nothing).
-    println!(
+    say!(
         "{:>8} {:>10} {:>12} {:>12} {:>12}",
-        "ENTRIES", "ARTIFACTS", "1-THREAD", "4-THREAD", "ENTRIES/S"
+        "ENTRIES",
+        "ARTIFACTS",
+        "1-THREAD",
+        "4-THREAD",
+        "ENTRIES/S"
     );
     let mut throughput = Vec::new();
     for clean_entries in [100usize, 1_000, 10_000] {
@@ -1047,7 +1143,7 @@ fn e13_analyze() -> Value {
             "clean corpus must stay clean"
         );
         let eps = clean_entries as f64 / dt1;
-        println!(
+        say!(
             "{clean_entries:>8} {:>10} {:>10.2}ms {:>10.2}ms {:>12.0}",
             corpus.artifacts.len(),
             dt1 * 1e3,
@@ -1077,7 +1173,7 @@ fn e13_analyze() -> Value {
 /// timings, and equal-seed runs (including an event-driven worker
 /// sweep) must produce identical deterministic fingerprints.
 fn f1_closed_loop() -> Value {
-    println!("\n== F1: closed-loop observability (one pipeline run, unified registry) ==");
+    say!("\n== F1: closed-loop observability (one pipeline run, unified registry) ==");
     let cfg = PipelineConfig {
         commits: 60,
         ops_duration: 2_000,
@@ -1088,21 +1184,24 @@ fn f1_closed_loop() -> Value {
     let report = run_observed(&cfg, &registry);
     let snapshot = registry.snapshot();
 
-    println!(
+    say!(
         "{:<16} {:>6} {:>12} {:>12}",
-        "SPAN", "COUNT", "TOTAL", "MEAN"
+        "SPAN",
+        "COUNT",
+        "TOTAL",
+        "MEAN"
     );
     for (path, span) in &snapshot.spans {
-        println!(
+        say!(
             "{path:<16} {:>6} {:>10.2}ms {:>10.2}ms",
             span.count,
             span.total_nanos as f64 / 1e6,
             span.mean_nanos() / 1e6
         );
     }
-    println!("{:<32} {:>10}", "COUNTER", "VALUE");
+    say!("{:<32} {:>10}", "COUNTER", "VALUE");
     for (name, value) in &snapshot.counters {
-        println!("{name:<32} {value:>10}");
+        say!("{name:<32} {value:>10}");
     }
 
     // Equal-seed determinism: a second full run must fingerprint
@@ -1139,8 +1238,8 @@ fn f1_closed_loop() -> Value {
         worker_sweep,
         "event-driven counters must be schedule-independent"
     );
-    println!("   equal-seed fingerprints identical:     {equal_seed}");
-    println!("   worker-sweep fingerprints identical:   {worker_sweep} (1/2/4 workers)");
+    say!("   equal-seed fingerprints identical:     {equal_seed}");
+    say!("   worker-sweep fingerprints identical:   {worker_sweep} (1/2/4 workers)");
 
     serde::json::object([
         ("report", report.to_value()),
@@ -1151,9 +1250,9 @@ fn f1_closed_loop() -> Value {
 }
 
 fn a1_dictionary_ablation() -> Value {
-    println!("\n== A1: ablation — NALABS recall vs dictionary fraction (n = 1000) ==");
-    println!("   (imperatives metric excluded: the ablation isolates dictionary smells)");
-    println!("{:>10} {:>8} {:>10}", "FRACTION", "RECALL", "PRECISION");
+    say!("\n== A1: ablation — NALABS recall vs dictionary fraction (n = 1000) ==");
+    say!("   (imperatives metric excluded: the ablation isolates dictionary smells)");
+    say!("{:>10} {:>8} {:>10}", "FRACTION", "RECALL", "PRECISION");
     use vdo_nalabs::dictionaries;
     use vdo_nalabs::metrics::{DictionaryMetric, Readability, Size};
     use vdo_nalabs::{Metric, SmellThresholds};
@@ -1199,7 +1298,7 @@ fn a1_dictionary_ablation() -> Value {
         let analyzer = Analyzer::new(metrics, SmellThresholds::default());
         let report = analyzer.analyze_corpus(&corpus.documents);
         let pr = report.score_against(&|id| corpus.is_smelly(id));
-        println!(
+        say!(
             "{fraction:>10.2} {:>8.3} {:>10.3}",
             pr.recall(),
             pr.precision()

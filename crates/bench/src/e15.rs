@@ -173,7 +173,7 @@ fn quantile_ticks(m: &Measured, q: f64) -> f64 {
 #[allow(clippy::too_many_lines)]
 pub fn section(scale: &E15Scale) -> Value {
     // -- Headline run: 8 tenants, open-loop with bursts, traced. --------
-    println!(
+    crate::say!(
         "\n== E15: multi-tenant service front end ({} requests, 8 tenants) ==",
         scale.main_total
     );
@@ -190,23 +190,27 @@ pub fn section(scale: &E15Scale) -> Value {
     );
     let snap = main.metrics.snapshot(main.wall_secs);
     let svc = &snap.service_nanos;
-    println!(
+    crate::say!(
         "   admitted {} / rejected {} / completed {} in {:.2}s ({:.0} req/s)",
-        snap.admitted, snap.rejected, snap.completed, main.wall_secs, snap.requests_per_sec
+        snap.admitted,
+        snap.rejected,
+        snap.completed,
+        main.wall_secs,
+        snap.requests_per_sec
     );
-    println!(
+    crate::say!(
         "   latency (rounds): p50 {:.1}  p99 {:.1}  p999 {:.1}  max {}",
         quantile_ticks(&main, 0.50),
         quantile_ticks(&main, 0.99),
         quantile_ticks(&main, 0.999),
         snap.queue_latency.max
     );
-    println!(
+    crate::say!(
         "   service time:     p50 {:.1}us p99 {:.1}us (wall-clock, run-local)",
         svc.quantile(0.50).unwrap_or(0.0) / 1e3,
         svc.quantile(0.99).unwrap_or(0.0) / 1e3
     );
-    println!(
+    crate::say!(
         "   journal: {} events (admit/response spans resolve each response to its request)",
         main.journal_events
     );
@@ -231,10 +235,14 @@ pub fn section(scale: &E15Scale) -> Value {
     ]);
 
     // -- Tenant sweep: same aggregate load spread over more tenants. ----
-    println!("\n   tenant sweep ({} requests each):", scale.sweep_total);
-    println!(
+    crate::say!("\n   tenant sweep ({} requests each):", scale.sweep_total);
+    crate::say!(
         "{:>10} {:>10} {:>12} {:>10} {:>10}",
-        "TENANTS", "COMPLETED", "THROUGHPUT", "P99", "REJECTED"
+        "TENANTS",
+        "COMPLETED",
+        "THROUGHPUT",
+        "P99",
+        "REJECTED"
     );
     let mut tenant_rows = Vec::new();
     for tenants in [2usize, 4, 8, 16] {
@@ -253,7 +261,7 @@ pub fn section(scale: &E15Scale) -> Value {
             false,
         );
         let s = m.metrics.snapshot(m.wall_secs);
-        println!(
+        crate::say!(
             "{tenants:>10} {:>10} {:>10.0}/s {:>10.1} {:>10}",
             s.completed,
             s.requests_per_sec,
@@ -272,13 +280,17 @@ pub fn section(scale: &E15Scale) -> Value {
     // -- Queue-depth sweep: deliberately overloaded (arrival rate 2× ----
     // round capacity), so shallow queues shed load and deep queues
     // trade rejections for latency.
-    println!(
+    crate::say!(
         "\n   queue-depth sweep under 2x overload ({} requests each):",
         scale.overload_total
     );
-    println!(
+    crate::say!(
         "{:>10} {:>10} {:>10} {:>10} {:>12}",
-        "CAPACITY", "ADMITTED", "REJECTED", "P99", "MAX DEPTH"
+        "CAPACITY",
+        "ADMITTED",
+        "REJECTED",
+        "P99",
+        "MAX DEPTH"
     );
     let mut depth_rows = Vec::new();
     for queue_capacity in [64usize, 256, 1_024] {
@@ -294,7 +306,7 @@ pub fn section(scale: &E15Scale) -> Value {
             false,
         );
         let s = m.metrics.snapshot(m.wall_secs);
-        println!(
+        crate::say!(
             "{queue_capacity:>10} {:>10} {:>10} {:>10.1} {:>12}",
             s.admitted,
             s.rejected,
@@ -315,13 +327,15 @@ pub fn section(scale: &E15Scale) -> Value {
     }
 
     // -- Determinism: verdict logs byte-identical across workers. -------
-    println!(
+    crate::say!(
         "\n   determinism ({} requests, 8 tenants, equal seeds):",
         scale.determinism_total
     );
-    println!(
+    crate::say!(
         "{:>10} {:>14} {:>10}",
-        "WORKERS", "VERDICT BYTES", "IDENTICAL"
+        "WORKERS",
+        "VERDICT BYTES",
+        "IDENTICAL"
     );
     let mut reference: Option<Vec<String>> = None;
     let mut determinism_rows = Vec::new();
@@ -350,7 +364,7 @@ pub fn section(scale: &E15Scale) -> Value {
             identical, "NO",
             "E15 regression: verdict logs diverged at {workers} workers"
         );
-        println!("{workers:>10} {bytes:>14} {identical:>10}");
+        crate::say!("{workers:>10} {bytes:>14} {identical:>10}");
         determinism_rows.push(serde::json::object([
             ("workers", Value::UInt(workers as u64)),
             ("verdict_bytes", Value::UInt(bytes as u64)),
@@ -372,7 +386,7 @@ pub fn section(scale: &E15Scale) -> Value {
     );
     let p99 = quantile_ticks(&smoke, 0.99);
     let within = p99 <= SMOKE_BUDGET_TICKS as f64;
-    println!(
+    crate::say!(
         "\n   smoke: p99 {:.1} rounds vs budget {} -> {}",
         p99,
         SMOKE_BUDGET_TICKS,

@@ -250,17 +250,23 @@ fn max(xs: &[f64]) -> f64 {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn section(scale: &E16Scale) -> Value {
-    println!("== E16: million-host fleets on the columnar store ==\n");
+    crate::say!("== E16: million-host fleets on the columnar store ==\n");
 
     // ---- Memory curve ----
-    println!(
+    crate::say!(
         "{:>10} {:>9} {:>9} {:>12} {:>12} {:>8} {:>9}",
-        "HOSTS", "DRIFTED", "OVERLAYS", "BYTES/HOST", "LEGACY B/H", "RATIO", "GEN(s)"
+        "HOSTS",
+        "DRIFTED",
+        "OVERLAYS",
+        "BYTES/HOST",
+        "LEGACY B/H",
+        "RATIO",
+        "GEN(s)"
     );
     let mut curve = Vec::new();
     for &size in &scale.curve_sizes {
         let p = measure_curve_point(size);
-        println!(
+        crate::say!(
             "{:>10} {:>9} {:>9} {:>12.1} {:>12.1} {:>7.0}x {:>9.3}",
             p.hosts,
             p.drifted,
@@ -289,21 +295,26 @@ pub fn section(scale: &E16Scale) -> Value {
     auditor.rescan_full(&store);
     let full_rescan_secs = t.elapsed().as_secs_f64();
     drop(store);
-    println!(
+    crate::say!(
         "\nclosed loop: {} hosts, {} ticks x {} drift events",
-        scale.main_hosts, scale.ticks, scale.drift_per_tick
+        scale.main_hosts,
+        scale.ticks,
+        scale.drift_per_tick
     );
-    println!("  initial sweep   {:>9.3} s", run.initial_sweep_secs);
-    println!("  full rescan     {full_rescan_secs:>9.3} s (brute force, for contrast)");
-    println!(
+    crate::say!("  initial sweep   {:>9.3} s", run.initial_sweep_secs);
+    crate::say!("  full rescan     {full_rescan_secs:>9.3} s (brute force, for contrast)");
+    crate::say!(
         "  tick latency    {:>9.3} ms mean, {:.3} ms max",
         mean(&run.tick_millis),
         max(&run.tick_millis)
     );
-    println!(
+    crate::say!(
         "  enforcements    {:>9}   touched hosts {} (all compliant: {})   \
          open baseline violations {}",
-        run.enforcements, run.touched_hosts, run.touched_compliant, run.open_violations
+        run.enforcements,
+        run.touched_hosts,
+        run.touched_compliant,
+        run.open_violations
     );
     assert!(
         run.touched_compliant,
@@ -324,7 +335,7 @@ pub fn section(scale: &E16Scale) -> Value {
         })
         .collect();
     let identical = runs.iter().all(|r| r.verdict_log == runs[0].verdict_log);
-    println!(
+    crate::say!(
         "\ndeterminism: {} hosts, workers {:?}: verdict logs {} ({} bytes)",
         scale.determinism_hosts,
         workers,
@@ -361,7 +372,7 @@ pub fn section(scale: &E16Scale) -> Value {
     let within_budget = smoke_bph <= SMOKE_BYTES_PER_HOST_BUDGET
         && smoke_ratio >= SMOKE_MEMORY_RATIO_FLOOR
         && smoke_max_tick <= SMOKE_TICK_MILLIS_BUDGET;
-    println!(
+    crate::say!(
         "\nsmoke: {} hosts | {:.1} bytes/host (budget {}) | ratio {:.0}x (floor {}) | \
          max tick {:.3} ms (budget {}) -> within_budget={}",
         scale.smoke_hosts,
@@ -380,7 +391,7 @@ pub fn section(scale: &E16Scale) -> Value {
          (>= {SMOKE_MEMORY_RATIO_FLOOR}), max tick {smoke_max_tick:.3} ms \
          (<= {SMOKE_TICK_MILLIS_BUDGET})"
     );
-    println!();
+    crate::say!();
 
     #[allow(clippy::cast_precision_loss)]
     serde::json::object([

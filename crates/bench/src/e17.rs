@@ -239,8 +239,8 @@ fn measure(entries: usize, commits: usize) -> SizeRun {
 /// batch latency.
 #[must_use]
 pub fn section(scale: &E17Scale) -> Value {
-    println!("== E17: incremental cross-artifact analysis at catalogue scale ==\n");
-    println!(
+    crate::say!("== E17: incremental cross-artifact analysis at catalogue scale ==\n");
+    crate::say!(
         "{:>8} {:>10} {:>6} {:>10} {:>11} {:>10} {:>8} {:>12} {:>7} {:>7}",
         "ENTRIES",
         "ARTIFACTS",
@@ -256,7 +256,7 @@ pub fn section(scale: &E17Scale) -> Value {
     let mut curve = Vec::new();
     for &entries in &scale.curve_entries {
         let run = measure(entries, scale.commits);
-        println!(
+        crate::say!(
             "{:>8} {:>10} {:>6} {:>10.3} {:>11.3} {:>10.3} {:>7.0}x {:>12.1} {:>7} {:>7}",
             run.entries,
             run.artifacts,
@@ -280,7 +280,7 @@ pub fn section(scale: &E17Scale) -> Value {
     let smoke = measure(scale.smoke_entries, scale.smoke_commits);
     let fraction = smoke.incr_mean_millis / smoke.full_millis.max(f64::EPSILON);
     let within_budget = fraction <= SMOKE_LATENCY_FRACTION_BUDGET && smoke.reports_identical;
-    println!(
+    crate::say!(
         "\nsmoke: {} entries, {} commits touching {} each | full {:.3} ms, incremental \
          {:.3} ms mean ({:.1}% of full, budget {:.0}%) | reports identical: {} -> \
          within_budget={}",
@@ -304,7 +304,7 @@ pub fn section(scale: &E17Scale) -> Value {
         100.0 * SMOKE_LATENCY_FRACTION_BUDGET,
         smoke.reports_identical
     );
-    println!();
+    crate::say!();
 
     let row_value = |r: &SizeRun| {
         #[allow(clippy::cast_precision_loss)]

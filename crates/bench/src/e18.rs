@@ -126,7 +126,7 @@ impl E18Scale {
 /// digest-identical to the live run within the latency budget.
 #[must_use]
 pub fn section(scale: &E18Scale) -> Value {
-    println!("\n== E18: columnar journal + deterministic replay ==");
+    crate::say!("\n== E18: columnar journal + deterministic replay ==");
     let spec = scale.spec;
     let tmp = std::env::temp_dir().join(format!("vdo-e18-{}", std::process::id()));
     let journal_dir = tmp.join("journal");
@@ -175,14 +175,14 @@ pub fn section(scale: &E18Scale) -> Value {
     let bytes_per_event = columnar_bytes as f64 / event_count.max(1) as f64;
     #[allow(clippy::cast_precision_loss)]
     let jsonl_bytes_per_event = jsonl_bytes as f64 / event_count.max(1) as f64;
-    println!(
+    crate::say!(
         "   write: {event_count} events in {:.1} ms ({:.0} events/s pure encode+IO; \
          record incl. simulation {:.1} ms)",
         write_secs * 1e3,
         write_events_per_sec,
         record_secs * 1e3
     );
-    println!(
+    crate::say!(
         "   size: columnar {columnar_bytes} B ({bytes_per_event:.1} B/event) vs JSONL \
          {jsonl_bytes} B ({jsonl_bytes_per_event:.1} B/event) -> {jsonl_ratio:.2}x smaller \
          (floor {JSONL_RATIO_FLOOR:.0}x)"
@@ -229,7 +229,7 @@ pub fn section(scale: &E18Scale) -> Value {
         .count();
     #[allow(clippy::cast_precision_loss)]
     let root_resolution_pct = 100.0 * resolved as f64 / traced_incidents.max(1) as f64;
-    println!(
+    crate::say!(
         "   compaction: {} -> {} events, {} -> {} B ({:.2}x), {} protected traces; \
          incident root resolution {resolved}/{traced_incidents} ({root_resolution_pct:.0}%)",
         stats.events_in,
@@ -255,10 +255,12 @@ pub fn section(scale: &E18Scale) -> Value {
         let cp = replayer.replay_to_checkpoint(last, Some(workers));
         let millis = t0.elapsed().as_secs_f64() * 1e3;
         max_replay_millis = max_replay_millis.max(millis);
-        println!(
+        crate::say!(
             "   replay: checkpoint @{} on {workers} worker(s) in {millis:.1} ms \
              (journal match: {}, verdict match: {})",
-            cp.checkpoint.tick, cp.journal_match, cp.verdict_match
+            cp.checkpoint.tick,
+            cp.journal_match,
+            cp.verdict_match
         );
         assert!(
             cp.journal_match && cp.verdict_match,
@@ -281,7 +283,7 @@ pub fn section(scale: &E18Scale) -> Value {
         .replay_to_seq(mid_seq, Some(1))
         .expect("mid-run seq replays");
     let seq_millis = t0.elapsed().as_secs_f64() * 1e3;
-    println!(
+    crate::say!(
         "   replay-to-seq: seq {mid_seq} -> state after tick {} in {seq_millis:.1} ms",
         outcome.tick.saturating_sub(1)
     );
@@ -293,14 +295,14 @@ pub fn section(scale: &E18Scale) -> Value {
         && replay_identical
         && max_replay_millis <= REPLAY_LATENCY_BUDGET_MILLIS
         && seq_millis <= REPLAY_LATENCY_BUDGET_MILLIS;
-    println!(
+    crate::say!(
         "   smoke: ratio {jsonl_ratio:.2}x (floor {JSONL_RATIO_FLOOR:.0}x), root resolution \
          {root_resolution_pct:.0}%, max replay {max_replay_millis:.1} ms (budget \
          {REPLAY_LATENCY_BUDGET_MILLIS:.0} ms) -> within_budget={within_budget}"
     );
     assert!(within_budget, "E18 smoke gate failed");
     if let Some(dir) = &scale.export_dir {
-        println!("   exported compacted segments to {}", dir.display());
+        crate::say!("   exported compacted segments to {}", dir.display());
     }
 
     let _ = std::fs::remove_dir_all(&tmp);

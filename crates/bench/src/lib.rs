@@ -9,4 +9,6 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
+pub mod out;
 pub mod workloads;

@@ -1,0 +1,38 @@
+//! Output routing for the experiment harness.
+//!
+//! Every experiment section narrates itself with human-readable tables
+//! via [`say!`](crate::say). By default those land on stdout, like any
+//! CLI. When `exp_report` runs in machine mode (`--json -`), the JSON
+//! document owns stdout, so [`route_to_stderr`] flips the tables over
+//! to stderr and keeps the stdout byte stream pure JSON.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TO_STDERR: AtomicBool = AtomicBool::new(false);
+
+/// Routes all subsequent [`say!`](crate::say) output to stderr (`true`)
+/// or stdout (`false`, the default).
+pub fn route_to_stderr(on: bool) {
+    TO_STDERR.store(on, Ordering::Relaxed);
+}
+
+/// `true` when [`say!`](crate::say) currently writes to stderr.
+#[must_use]
+pub fn stderr_routing() -> bool {
+    TO_STDERR.load(Ordering::Relaxed)
+}
+
+/// Prints one experiment-table line on the routed stream: stdout by
+/// default, stderr after [`out::route_to_stderr(true)`].
+///
+/// [`out::route_to_stderr(true)`]: route_to_stderr
+#[macro_export]
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if $crate::out::stderr_routing() {
+            eprintln!($($arg)*);
+        } else {
+            println!($($arg)*);
+        }
+    };
+}

@@ -48,11 +48,13 @@ pub mod clock;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod window;
 
 pub use clock::Clock;
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, FINE_MICROS_BOUNDS, MICROS_BOUNDS, NANOS_BOUNDS,
-    TICK_BOUNDS,
+    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, FINE_MICROS_BOUNDS, MICROS_BOUNDS,
+    NANOS_BOUNDS, TICK_BOUNDS,
 };
 pub use registry::{Registry, Snapshot};
 pub use span::{SpanGuard, SpanSnapshot};
+pub use window::{Ewma, WindowCounter, WindowHistogram};

@@ -9,7 +9,7 @@
 //! here) or registered by name in a [`Registry`](crate::Registry).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
@@ -134,6 +134,17 @@ impl Gauge {
     }
 }
 
+/// A representative observation attached to a histogram bucket: the
+/// value plus the trace id of the causal chain that produced it, so a
+/// tail-latency spike links directly to a replayable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: u64,
+    /// Trace id of the observation's causal chain.
+    pub trace_id: u64,
+}
+
 /// Shared histogram state behind enabled handles.
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
@@ -142,6 +153,11 @@ pub(crate) struct HistogramCore {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// One optional exemplar slot per bucket, kept as the
+    /// lexicographic maximum of `(value, trace_id)` so the retained
+    /// representative is order-independent — equal observation
+    /// multisets yield equal exemplars at any thread interleaving.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 impl HistogramCore {
@@ -152,19 +168,37 @@ impl HistogramCore {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new(vec![None; bounds.len() + 1]),
         }
     }
 
-    fn record(&self, value: u64) {
-        let idx = self
-            .bounds
+    fn bucket_of(&self, value: u64) -> usize {
+        self.bounds
             .iter()
             .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
+            .unwrap_or(self.bounds.len())
+    }
+
+    fn record(&self, value: u64) {
+        let idx = self.bucket_of(value);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn record_traced(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        let idx = self.bucket_of(value);
+        let mut slots = self.exemplars.lock().expect("exemplar slots poisoned");
+        let candidate = Exemplar { value, trace_id };
+        let keep = match slots[idx] {
+            Some(cur) => (candidate.value, candidate.trace_id) > (cur.value, cur.trace_id),
+            None => true,
+        };
+        if keep {
+            slots[idx] = Some(candidate);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
@@ -178,6 +212,11 @@ impl HistogramCore {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplars: self
+                .exemplars
+                .lock()
+                .expect("exemplar slots poisoned")
+                .clone(),
         }
     }
 }
@@ -241,6 +280,16 @@ impl Histogram {
         }
     }
 
+    /// Records one observation carrying the trace id of its causal
+    /// chain; the bucket's exemplar slot retains the largest
+    /// `(value, trace_id)` seen, so dashboards can jump from a
+    /// latency spike straight to the trace that caused it.
+    pub fn record_traced(&self, value: u64, trace_id: u64) {
+        if let Some(core) = &self.core {
+            core.record_traced(value, trace_id);
+        }
+    }
+
     /// Immutable copy of the current state (all-empty when disabled).
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -252,6 +301,7 @@ impl Histogram {
                 count: 0,
                 sum: 0,
                 max: 0,
+                exemplars: Vec::new(),
             },
         }
     }
@@ -277,6 +327,10 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Optional representative observation per bucket (empty when the
+    /// histogram never saw a traced observation; see
+    /// [`Histogram::record_traced`]).
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -345,12 +399,29 @@ impl HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
             max: self.max,
+            // Like `max`, exemplars are lifetime representatives — a
+            // window cannot un-see the best-linked observation.
+            exemplars: self.exemplars.clone(),
         }
     }
 }
 
 impl Serialize for HistogramSnapshot {
     fn to_value(&self) -> serde::json::Value {
+        let exemplars: Vec<serde::json::Value> = self
+            .exemplars
+            .iter()
+            .enumerate()
+            .filter_map(|(bucket, slot)| {
+                slot.map(|e| {
+                    serde::json::object([
+                        ("bucket", (bucket as u64).to_value()),
+                        ("value", e.value.to_value()),
+                        ("trace_id", e.trace_id.to_value()),
+                    ])
+                })
+            })
+            .collect();
         serde::json::object([
             ("bounds", self.bounds.to_value()),
             ("counts", self.counts.to_value()),
@@ -358,6 +429,7 @@ impl Serialize for HistogramSnapshot {
             ("sum", self.sum.to_value()),
             ("max", self.max.to_value()),
             ("mean", self.mean().to_value()),
+            ("exemplars", exemplars.to_value()),
         ])
     }
 }
@@ -512,6 +584,46 @@ mod tests {
         );
         assert_eq!(d.max, 300, "max stays the lifetime high-water mark");
         assert_eq!(d.bounds, earlier.bounds);
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_traces_deterministically() {
+        let h = Histogram::ticks();
+        h.record(3); // untraced: no exemplar
+        h.record_traced(4, 0xAAAA);
+        h.record_traced(3, 0xBBBB); // same bucket (<=4), smaller value loses
+        h.record_traced(500, 0x1111); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        let in_bucket = s.exemplars[3].unwrap();
+        assert_eq!(
+            in_bucket,
+            Exemplar {
+                value: 4,
+                trace_id: 0xAAAA
+            },
+            "bucket keeps the lexicographically largest (value, trace)"
+        );
+        assert_eq!(s.exemplars.last().unwrap().unwrap().trace_id, 0x1111);
+        assert_eq!(s.exemplars[0], None, "untouched buckets stay empty");
+
+        // Order independence: reversed feed retains the same exemplar.
+        let h2 = Histogram::ticks();
+        h2.record_traced(3, 0xBBBB);
+        h2.record_traced(4, 0xAAAA);
+        assert_eq!(h2.snapshot().exemplars[3], s.exemplars[3]);
+
+        // Ties on value resolve by trace id.
+        let h3 = Histogram::ticks();
+        h3.record_traced(4, 1);
+        h3.record_traced(4, 9);
+        h3.record_traced(4, 5);
+        assert_eq!(h3.snapshot().exemplars[3].unwrap().trace_id, 9);
+
+        // Disabled histograms stay inert.
+        let d = Histogram::disabled();
+        d.record_traced(4, 7);
+        assert!(d.snapshot().exemplars.is_empty());
     }
 
     #[test]

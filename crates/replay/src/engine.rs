@@ -29,7 +29,10 @@ use vdo_host::UnixHost;
 use vdo_soc::{SocEngine, SocMetrics, SocReport, SocTracing};
 use vdo_stigs::ubuntu;
 use vdo_trace::colfmt::{DirWriter, JournalDir};
-use vdo_trace::{Event, Journal, JournalConfig, MemorySink, Severity};
+use vdo_trace::{
+    Event, Journal, JournalConfig, MemorySink, SamplingPolicy, SamplingSink, SamplingStats,
+    Severity,
+};
 
 use crate::spec::RunSpec;
 
@@ -167,6 +170,18 @@ pub fn record(spec: &RunSpec, dir: &Path) -> io::Result<Recording> {
     let journal = Journal::with_sink(capture_config(spec), Box::new(sink));
     let (report, _fleet) = run_soc(spec, None, None, &journal);
     journal.sync();
+    let checkpoints = derive_and_store_checkpoints(spec, dir)?;
+    Ok(Recording {
+        spec: *spec,
+        report,
+        checkpoints,
+        dir: dir.to_path_buf(),
+    })
+}
+
+/// Digests the on-disk event stream at every checkpoint tick and
+/// writes `checkpoints.txt` beside the segments.
+fn derive_and_store_checkpoints(spec: &RunSpec, dir: &Path) -> io::Result<Vec<Checkpoint>> {
     let events = JournalDir::open(dir)?.events()?;
     let checkpoints: Vec<Checkpoint> = spec
         .checkpoint_ticks()
@@ -188,12 +203,37 @@ pub fn record(spec: &RunSpec, dir: &Path) -> io::Result<Recording> {
         );
     }
     fs::write(dir.join("checkpoints.txt"), text)?;
-    Ok(Recording {
-        spec: *spec,
-        report,
-        checkpoints,
-        dir: dir.to_path_buf(),
-    })
+    Ok(checkpoints)
+}
+
+/// Like [`record`], but the columnar sink rides behind an adaptive
+/// tail-based [`SamplingSink`]: quiet traces are head-sampled at
+/// `policy.keep_1_in`, anomalous causal chains (Warn-and-above,
+/// slow spans, trace roots) are kept whole. Because the sampler always
+/// keeps every `Warn`-and-above event, the sampled directory's verdict
+/// digests — and therefore [`Replayer`] checkpoint verification, which
+/// replays the *spec*, not the events — are identical to an unsampled
+/// recording's; only the all-severity `journal_digest` differs.
+pub fn record_sampled(
+    spec: &RunSpec,
+    dir: &Path,
+    policy: SamplingPolicy,
+) -> io::Result<(Recording, SamplingStats)> {
+    let sink = SamplingSink::new(DirWriter::create(dir, &spec.to_header())?, policy);
+    let stats = sink.stats();
+    let journal = Journal::with_sink(capture_config(spec), Box::new(sink));
+    let (report, _fleet) = run_soc(spec, None, None, &journal);
+    journal.sync();
+    let checkpoints = derive_and_store_checkpoints(spec, dir)?;
+    Ok((
+        Recording {
+            spec: *spec,
+            report,
+            checkpoints,
+            dir: dir.to_path_buf(),
+        },
+        stats,
+    ))
 }
 
 fn parse_checkpoints(text: &str) -> io::Result<Vec<Checkpoint>> {

@@ -67,5 +67,5 @@ pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
 pub use queue::TenantQueue;
 pub use request::{Envelope, Outcome, RejectReason, Rejection, Request, RequestKind, Response};
 pub use sched::DrrScheduler;
-pub use server::{Server, ServerConfig, ServerTracing, ServiceReport};
+pub use server::{Server, ServerConfig, ServerSloPolicy, ServerTracing, ServiceReport};
 pub use tenant::{Incident, Tenant, TenantConfig};

@@ -29,8 +29,8 @@ use std::time::Instant;
 use crossbeam::deque::Worker;
 use parking_lot::Mutex;
 
-use vdo_soc::{Batch, TaskQueues};
-use vdo_trace::{Event, Journal, TraceContext};
+use vdo_soc::{Batch, SecEvent, ShardedBus, TaskQueues};
+use vdo_trace::{BurnRateRule, Event, Journal, LiveSloEngine, SloAlert, TraceContext};
 
 use crate::load::LoadGen;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
@@ -80,6 +80,10 @@ pub struct ServerTracing {
     pub journal: Journal,
     /// Seed for tenant-root trace contexts.
     pub trace_seed: u64,
+    /// Streaming per-tenant SLO alerting; `None` (the default) turns
+    /// the evaluator off. Only active while the journal is enabled,
+    /// like every other tracing surface.
+    pub slo: Option<ServerSloPolicy>,
 }
 
 impl ServerTracing {
@@ -89,7 +93,17 @@ impl ServerTracing {
         ServerTracing {
             journal,
             trace_seed,
+            slo: None,
         }
+    }
+
+    /// Attaches a streaming SLO policy: one resident
+    /// [`LiveSloEngine`] per tenant over `policy.rules`, evaluated
+    /// every `policy.period` rounds.
+    #[must_use]
+    pub fn with_slo(mut self, policy: ServerSloPolicy) -> Self {
+        self.slo = Some(policy);
+        self
     }
 
     /// Journal + seed with a durable columnar sink: every accepted
@@ -123,6 +137,56 @@ impl ServerTracing {
     }
 }
 
+/// Streaming per-tenant SLO alerting for one server run.
+///
+/// Every tenant gets its own resident [`LiveSloEngine`] over the same
+/// rule set, fed from the admission and merge phases and evaluated at
+/// the end of each dispatch round (on the `period` cadence). The
+/// signals a rule may reference:
+///
+/// * `server.admitted` / `server.rejected` / `server.completed` —
+///   per-tenant counters;
+/// * `server.queue_latency` — per-tenant end-to-end latency histogram
+///   in dispatch rounds.
+///
+/// Fired alerts are journalled by the engine (`slo.alert`), echoed as
+/// tenant-tagged `server.slo_alert` events, collected into
+/// [`ServiceReport::slo_alerts`], and — when `bus` is set — published
+/// onto the SOC bus as [`SecEvent::SloAlert`] with the tenant index
+/// as the routed host, closing the loop from the service plane back
+/// into security operations.
+#[derive(Clone)]
+pub struct ServerSloPolicy {
+    /// Burn-rate rules, evaluated independently per tenant.
+    pub rules: Vec<BurnRateRule>,
+    /// Evaluate every `period` rounds (clamped to >= 1).
+    pub period: u64,
+    /// Optional SOC bus fired alerts are published onto. Backpressure
+    /// is tolerated: the alert is already journalled and lands in the
+    /// report regardless.
+    pub bus: Option<std::sync::Arc<ShardedBus>>,
+}
+
+impl std::fmt::Debug for ServerSloPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerSloPolicy")
+            .field("rules", &self.rules)
+            .field("period", &self.period)
+            .field("bus", &self.bus.is_some())
+            .finish()
+    }
+}
+
+impl Default for ServerSloPolicy {
+    fn default() -> Self {
+        ServerSloPolicy {
+            rules: Vec::new(),
+            period: 1,
+            bus: None,
+        }
+    }
+}
+
 /// Result of one [`Server::run_load`] (or [`Server::drain`]) call.
 #[derive(Debug, Clone)]
 pub struct ServiceReport {
@@ -141,6 +205,9 @@ pub struct ServiceReport {
     /// Per-tenant verdict logs as of the end of the run.
     /// Byte-identical across equal-seed runs at any worker count.
     pub verdict_logs: Vec<String>,
+    /// SLO alerts fired during the run as `(tenant, alert)` pairs, in
+    /// firing order. Empty unless [`ServerTracing::slo`] is set.
+    pub slo_alerts: Vec<(usize, SloAlert)>,
     /// Wall-clock duration of the run in seconds.
     pub wall_secs: f64,
     /// Frozen instruments.
@@ -344,6 +411,20 @@ impl Server {
             })
             .collect();
 
+        // One resident SLO evaluator per tenant, each with a distinct
+        // deterministic seed so per-tenant alert traces never collide.
+        let mut live_slo: Vec<LiveSloEngine> = match tracing.slo.as_ref().filter(|_| tracing_on) {
+            Some(policy) => (0..n)
+                .map(|t| {
+                    let seed =
+                        tracing.trace_seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    LiveSloEngine::new(seed, policy.rules.clone())
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut slo_alerts: Vec<(usize, SloAlert)> = Vec::new();
+
         let mut sched = DrrScheduler::new(&self.weights, cfg.quantum);
         let slots: Vec<Mutex<RoundSlot>> =
             (0..n).map(|_| Mutex::new(RoundSlot::default())).collect();
@@ -450,6 +531,9 @@ impl Server {
                             metrics
                                 .max_queue_depth
                                 .record_max(tenant_queues[tenant].len() as u64);
+                            if let Some(live) = live_slo.get_mut(tenant) {
+                                live.incr("server.admitted", now, 1);
+                            }
                             if tracing_on {
                                 journal.emit(
                                     Event::debug("server.admit")
@@ -468,6 +552,9 @@ impl Server {
                         Err(_) => {
                             rejected_by_tenant[tenant] += 1;
                             metrics.rejected.inc();
+                            if let Some(live) = live_slo.get_mut(tenant) {
+                                live.incr("server.rejected", now, 1);
+                            }
                             let capacity = tenant_queues[tenant].capacity();
                             if tracing_on {
                                 let mut ev = Event::warn("server.reject")
@@ -508,7 +595,18 @@ impl Server {
                         for resp in slot.output.drain(..) {
                             completed_by_tenant[t] += 1;
                             metrics.completed.inc();
-                            metrics.queue_latency.record(resp.latency());
+                            // A traced response exemplar-links its
+                            // latency bucket to the request lineage.
+                            match resp.trace {
+                                Some(tr) => metrics
+                                    .queue_latency
+                                    .record_traced(resp.latency(), tr.trace_id.0),
+                                None => metrics.queue_latency.record(resp.latency()),
+                            }
+                            if let Some(live) = live_slo.get_mut(t) {
+                                live.incr("server.completed", now, 1);
+                                live.observe_value("server.queue_latency", now, resp.latency());
+                            }
                             if tracing_on {
                                 let mut ev = Event::debug("server.response")
                                     .at(now)
@@ -522,6 +620,37 @@ impl Server {
                             }
                             if cfg.retain_responses {
                                 responses.push(resp);
+                            }
+                        }
+                    }
+                }
+
+                // --- SLO evaluation (main): end of round ------------
+                if let Some(policy) = tracing.slo.as_ref().filter(|_| !live_slo.is_empty()) {
+                    if (run_round + 1).is_multiple_of(policy.period.max(1)) {
+                        for (t, live) in live_slo.iter_mut().enumerate() {
+                            for alert in live.end_tick(now, journal) {
+                                journal.emit(
+                                    Event::warn("server.slo_alert")
+                                        .at(now)
+                                        .trace(alert.trace.child_u64("tenant", t as u64))
+                                        .field("tenant", t)
+                                        .field("rule", alert.rule.clone()),
+                                );
+                                if let Some(bus) = &policy.bus {
+                                    // Backpressure only costs the bus
+                                    // copy: the alert is journalled and
+                                    // lands in the report regardless.
+                                    let _ = bus.publish_traced(
+                                        SecEvent::SloAlert {
+                                            host: t,
+                                            tick: now,
+                                            rule: alert.rule.clone(),
+                                        },
+                                        Some(alert.trace),
+                                    );
+                                }
+                                slo_alerts.push((t, alert));
                             }
                         }
                     }
@@ -551,6 +680,7 @@ impl Server {
             rejections,
             responses,
             verdict_logs,
+            slo_alerts,
             wall_secs,
             metrics: metrics.snapshot(wall_secs),
         }
@@ -675,6 +805,137 @@ mod tests {
         assert!(names.iter().any(|n| n == "tenant.registered"));
         assert!(names.iter().any(|n| n == "server.response"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn admission_rule() -> BurnRateRule {
+        BurnRateRule {
+            name: "admission".into(),
+            signal: vdo_trace::SloSignal::CounterRatio {
+                bad: "server.rejected".into(),
+                total: "server.admitted".into(),
+            },
+            objective: 0.1,
+            long_window: 10,
+            short_window: 3,
+            factor: 2.0,
+        }
+    }
+
+    #[test]
+    fn overloaded_tenant_fires_its_own_alert_onto_the_bus() {
+        let mut s = Server::new(ServerConfig {
+            capacity_per_round: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        s.register_tenant(&TenantConfig::new("burning").with_queue_capacity(2));
+        s.register_tenant(&TenantConfig::new("healthy").with_queue_capacity(4096));
+        let mut gen = LoadGen::new(LoadConfig::even(2, 2_000, 40, 3));
+        let bus = std::sync::Arc::new(ShardedBus::new(4, 4_096));
+        let journal = Journal::new();
+        let tracing = ServerTracing::new(journal.clone(), 77).with_slo(ServerSloPolicy {
+            rules: vec![admission_rule()],
+            period: 1,
+            bus: Some(bus.clone()),
+        });
+        let report = s.run_load(&mut gen, &ServerMetrics::new(), &tracing);
+        assert!(report.rejected_by_tenant[0] > 0, "tenant 0 overloads");
+        assert_eq!(report.rejected_by_tenant[1], 0, "tenant 1 stays healthy");
+        assert!(!report.slo_alerts.is_empty(), "the burn must alert");
+        assert!(
+            report.slo_alerts.iter().all(|(t, _)| *t == 0),
+            "only the overloaded tenant fires: {:?}",
+            report.slo_alerts
+        );
+        // The alert trace chains from the tenant's own engine seed, so
+        // per-tenant alerts never collide.
+        let (_, first) = &report.slo_alerts[0];
+        let seed = 77u64 ^ 1u64.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        assert_eq!(
+            first.trace,
+            TraceContext::root(seed, "slo:admission").child_u64("alert", first.at)
+        );
+        // Every fired alert reaches the SOC bus as a typed event.
+        let mut on_bus = 0;
+        for shard in 0..bus.shard_count() {
+            while let Some(env) = bus.pop(shard) {
+                match env.event {
+                    vdo_soc::SecEvent::SloAlert { host, rule, .. } => {
+                        assert_eq!(host, 0);
+                        assert_eq!(rule, "admission");
+                        on_bus += 1;
+                    }
+                    other => panic!("unexpected bus event: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(on_bus, report.slo_alerts.len());
+        // And the journal carries both the engine event and the
+        // tenant-tagged echo.
+        let snap = journal.snapshot();
+        assert_eq!(
+            snap.events_named("slo.alert").len() + snap.events_named("server.slo_alert").len(),
+            2 * report.slo_alerts.len()
+        );
+    }
+
+    #[test]
+    fn slo_policy_without_bus_still_reports_and_journals() {
+        let mut s = Server::new(ServerConfig {
+            capacity_per_round: 2,
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        s.register_tenant(&TenantConfig::new("only").with_queue_capacity(2));
+        let mut gen = LoadGen::new(LoadConfig::even(1, 1_000, 50, 1));
+        let journal = Journal::new();
+        let tracing = ServerTracing::new(journal.clone(), 5).with_slo(ServerSloPolicy {
+            rules: vec![admission_rule()],
+            ..ServerSloPolicy::default()
+        });
+        let report = s.run_load(&mut gen, &ServerMetrics::new(), &tracing);
+        assert!(!report.slo_alerts.is_empty());
+        assert!(!journal
+            .snapshot()
+            .events_named("server.slo_alert")
+            .is_empty());
+        // Disabled tracing keeps the whole layer inert even with a
+        // policy attached.
+        let mut s2 = Server::new(ServerConfig::default());
+        s2.register_tenant(&TenantConfig::new("only"));
+        let mut gen2 = LoadGen::new(LoadConfig::even(1, 100, 10, 1));
+        let silent = ServerTracing {
+            slo: Some(ServerSloPolicy {
+                rules: vec![admission_rule()],
+                ..ServerSloPolicy::default()
+            }),
+            ..ServerTracing::default()
+        };
+        let r2 = s2.run_load(&mut gen2, &ServerMetrics::new(), &silent);
+        assert!(r2.slo_alerts.is_empty(), "disabled journal, no evaluator");
+    }
+
+    #[test]
+    fn traced_responses_leave_latency_exemplars() {
+        let mut s = server(2, 32, 2);
+        let mut gen = LoadGen::new(LoadConfig::even(2, 400, 20, 4));
+        let journal = Journal::new();
+        let metrics = ServerMetrics::new();
+        let report = s.run_load(&mut gen, &metrics, &ServerTracing::new(journal, 9));
+        assert!(report.completed() > 0);
+        let snap = metrics.queue_latency.snapshot();
+        let exemplars: Vec<_> = snap.exemplars.iter().flatten().collect();
+        assert!(
+            !exemplars.is_empty(),
+            "traced responses stamp bucket exemplars"
+        );
+        // Exemplar trace ids resolve to real tenant roots.
+        let roots: Vec<u64> = (0..2)
+            .map(|t| TraceContext::root(9, s.tenant(t).name()).trace_id.0)
+            .collect();
+        for ex in exemplars {
+            assert!(roots.contains(&ex.trace_id), "exemplar {ex:?} resolves");
+        }
     }
 
     #[test]

@@ -35,10 +35,9 @@ use rand::{Rng, SeedableRng};
 
 use vdo_core::{Catalog, CheckStatus, RemediationPlanner};
 use vdo_host::{DriftInjector, HostWrite};
-use vdo_obs::Registry;
 use vdo_tears::GuardedAssertion;
 use vdo_temporal::{PatternMonitor, Trace};
-use vdo_trace::{BurnRateRule, Event, Journal, SloAlert, SloEngine, TraceContext};
+use vdo_trace::{BurnRateRule, Event, Journal, LiveSloEngine, Severity, SloAlert, TraceContext};
 
 use crate::bus::{PublishError, ShardedBus};
 use crate::event::{HostId, SecEvent};
@@ -171,20 +170,34 @@ impl SocTracing {
     }
 }
 
-/// In-run SLO evaluation: every `period` ticks the engine snapshots
-/// `registry`, feeds it to an [`SloEngine`] over `rules`, journals any
-/// burn-rate alerts, and publishes each as a [`SecEvent::SloAlert`] on
-/// the bus (triggering a re-audit — observability closing back into
-/// reaction).
+/// In-run SLO evaluation, streaming: the engine feeds a resident
+/// [`LiveSloEngine`] per event from the main thread (published /
+/// deferred volumes, detection latencies, retries, dead letters,
+/// remediations) and evaluates every `period` ticks — no registry
+/// snapshots anywhere in the loop. Alerts are journalled and published
+/// as [`SecEvent::SloAlert`] on the bus (triggering a re-audit —
+/// observability closing back into reaction).
+///
+/// Rules reference the engine's live signal names: the counters
+/// `soc.events_published`, `soc.events_deferred`, `soc.retries`,
+/// `soc.dead_letters`, `soc.remediations`, `soc.checks_run`, and the
+/// histogram `soc.detection_latency` (tick-bucketed).
 #[derive(Debug, Clone)]
 pub struct SloPolicy {
-    /// Snapshot source — pass the same registry the run's
-    /// [`SocMetrics::in_registry`] instruments write into.
-    pub registry: Registry,
     /// Burn-rate rules to evaluate.
     pub rules: Vec<BurnRateRule>,
-    /// Evaluation cadence in ticks (zero disables evaluation).
+    /// Evaluation cadence in ticks (zero disables evaluation; 1 — the
+    /// [`Default`] — evaluates every tick).
     pub period: u64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            rules: Vec::new(),
+            period: 1,
+        }
+    }
 }
 
 /// Rejected [`SocConfig`] values.
@@ -428,12 +441,18 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
         let mut drift_events = 0u64;
         let mut noncompliant_host_ticks = 0u64;
         let mut fleet_trace = Trace::new();
-        let mut slo_engine = tracing
+        let mut live_slo = tracing
             .slo
             .as_ref()
             .filter(|_| tracing_on)
-            .map(|p| SloEngine::new(tracing.trace_seed, p.rules.clone()));
+            .map(|p| LiveSloEngine::new(tracing.trace_seed, p.rules.clone()));
         let mut slo_alerts: Vec<SloAlert> = Vec::new();
+        // Per-tick publish volumes for the streaming SLO feed: counted
+        // in `Cell`s because the publish closure already borrows
+        // `metrics` and `deferred`, then drained into the live engine
+        // at phase 4.
+        let published_now = std::cell::Cell::new(0u64);
+        let deferred_now = std::cell::Cell::new(0u64);
 
         std::thread::scope(|scope| {
             for (me, local) in locals.into_iter().enumerate() {
@@ -499,6 +518,18 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
             // child of this fixed root, so only the cheap child
             // derivation runs per drift event.
             let drift_root = trace_seed.map(|s| TraceContext::root(s, "drift"));
+            // Telemetry roots (one per host, minted once): the signal
+            // firehose journals as children of these, so tail-sampling
+            // can drop a quiet host's whole stream by one decision.
+            // Only minted when the journal's severity floor admits
+            // `Debug` — at operational floors the firehose would be
+            // rejected per event, so skip building it entirely.
+            let telemetry_roots: Vec<TraceContext> = match (trace_seed, &self.assertion) {
+                (Some(s), Some(_)) if journal.accepts(Severity::Debug) => (0..n_hosts)
+                    .map(|h| TraceContext::root(s, &format!("telemetry:{h}")))
+                    .collect(),
+                _ => Vec::new(),
+            };
             let mut deferred: VecDeque<(SecEvent, Option<TraceContext>)> = VecDeque::new();
             // Tick a brute-force burst started on, per host (telemetry).
             let mut attack_since: Vec<Option<u64>> = vec![None; n_hosts];
@@ -513,16 +544,19 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                     let shard = bus.shard_for(event.host());
                     if blocked[shard] {
                         metrics.events_deferred.inc();
+                        deferred_now.set(deferred_now.get() + 1);
                         deferred.push_back((event, trace));
                         return;
                     }
                     match bus.publish_traced(event, trace) {
                         Ok(_) => {
                             metrics.events_published.inc();
+                            published_now.set(published_now.get() + 1);
                         }
                         Err(PublishError::Backpressure(event)) => {
                             blocked[shard] = true;
                             metrics.events_deferred.inc();
+                            deferred_now.set(deferred_now.get() + 1);
                             deferred.push_back((event, trace));
                         }
                     }
@@ -601,6 +635,20 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                                 attack_since[host] = None;
                             }
                         }
+                        if let Some(root) = telemetry_roots.get(host) {
+                            // The per-host telemetry stream is Debug
+                            // noise until an incident makes it evidence
+                            // — exactly what adaptive tail-sampling is
+                            // for.
+                            journal.emit(
+                                Event::debug("soc.signal")
+                                    .at(tick)
+                                    .trace(root.child_u64("sig", tick))
+                                    .field("host", host)
+                                    .field("failed_logins", failed_logins)
+                                    .field("lockout", lockout),
+                            );
+                        }
                         publish(
                             SecEvent::SignalTick {
                                 host,
@@ -665,9 +713,18 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                             if open[det.host].contains_key(&det.rule) {
                                 continue; // already being remediated
                             }
-                            metrics
-                                .detection_latency
-                                .record(det.detected_at - det.introduced_at);
+                            let latency = det.detected_at - det.introduced_at;
+                            // The exemplar links the latency bucket to
+                            // the incident's causal chain.
+                            match det.trace {
+                                Some(t) => metrics
+                                    .detection_latency
+                                    .record_traced(latency, t.trace_id.0),
+                                None => metrics.detection_latency.record(latency),
+                            }
+                            if let Some(live) = live_slo.as_mut() {
+                                live.observe_value("soc.detection_latency", tick, latency);
+                            }
                             if tracing_on {
                                 let mut ev = Event::warn("soc.detection")
                                     .at(tick)
@@ -727,6 +784,9 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                         let fields = tracing_on.then(|| (task.host, task.rule.clone()));
                         if dispatcher.on_failure(task, tick) {
                             metrics.retries.inc();
+                            if let Some(live) = live_slo.as_mut() {
+                                live.incr("soc.retries", tick, 1);
+                            }
                             if let Some((host, rule)) = fields {
                                 let mut ev = Event::warn("soc.remediation.retry")
                                     .at(tick)
@@ -739,6 +799,9 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                             }
                         } else {
                             metrics.dead_letters.inc();
+                            if let Some(live) = live_slo.as_mut() {
+                                live.incr("soc.dead_letters", tick, 1);
+                            }
                             if let Some((host, rule)) = fields {
                                 let mut ev = Event::error("soc.remediation.dead_letter")
                                     .at(tick)
@@ -758,6 +821,10 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                     let results = self.catalog.check_all(&guard[task.host]);
                     metrics.checks_run.add(self.catalog.len() as u64);
                     drop(guard);
+                    if let Some(live) = live_slo.as_mut() {
+                        live.incr("soc.remediations", tick, 1);
+                        live.incr("soc.checks_run", tick, self.catalog.len() as u64);
+                    }
                     let host_open = &mut open[task.host];
                     for (entry, status) in results {
                         if status.is_pass() {
@@ -782,10 +849,13 @@ impl<'a, E: SocHost> SocEngine<'a, E> {
                 let broken = open.iter().filter(|rules| !rules.is_empty()).count() as u64;
                 noncompliant_host_ticks += broken;
                 fleet_trace.push(broken == 0);
-                if let (Some(policy), Some(slo)) = (&tracing.slo, slo_engine.as_mut()) {
+                if let (Some(policy), Some(live)) = (&tracing.slo, live_slo.as_mut()) {
+                    // Drain this tick's publish volumes into the
+                    // streaming windows, then evaluate on cadence.
+                    live.incr("soc.events_published", tick, published_now.take());
+                    live.incr("soc.events_deferred", tick, deferred_now.take());
                     if n_hosts > 0 && policy.period > 0 && (tick + 1) % policy.period == 0 {
-                        let snap = policy.registry.snapshot();
-                        for alert in slo.observe(tick, &snap, journal) {
+                        for alert in live.end_tick(tick, journal) {
                             // Alerts close the loop: each one triggers a
                             // re-audit of a representative host on the
                             // next tick.
@@ -1234,14 +1304,12 @@ mod tests {
         };
         let engine = SocEngine::new(&catalog, cfg).unwrap();
         let mut fleet = compliant_fleet(6);
-        let registry = Registry::new();
-        let metrics = SocMetrics::in_registry(&registry, "soc");
+        let metrics = SocMetrics::new();
         let journal = Journal::new();
         let tracing = SocTracing {
             journal: journal.clone(),
             trace_seed: 11,
             slo: Some(SloPolicy {
-                registry: registry.clone(),
                 rules: vec![BurnRateRule {
                     name: "event-volume".into(),
                     signal: vdo_trace::SloSignal::CounterRatio {

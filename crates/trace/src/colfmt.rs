@@ -806,9 +806,16 @@ impl JournalSink for DirWriter {
 
 impl Drop for DirWriter {
     fn drop(&mut self) {
-        // Best effort on the drop path; explicit `Journal::sync` is
-        // the loud variant.
-        let _ = self.seal_current();
+        // Drop-safety guarantee (unit-tested below): a writer that is
+        // dropped without an explicit `Journal::sync` still finalizes
+        // the open segment — trailing block, dictionary, and footer —
+        // so the directory is fully readable. Panicking in drop would
+        // abort during unwinding, so a drop-path failure is reported
+        // on stderr instead of being swallowed; `Journal::sync` stays
+        // the loud (panicking) variant.
+        if let Err(e) = self.seal_current() {
+            eprintln!("vdo-trace: failed to seal journal segment on drop: {e}");
+        }
     }
 }
 
@@ -1276,6 +1283,52 @@ mod tests {
         assert_eq!(rd.event_count().unwrap(), 0);
         assert!(rd.events().unwrap().is_empty());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_an_unsynced_writer_finalizes_the_open_segment() {
+        let dir = tmp("drop-safety");
+        let events = sample_events(37, 5);
+        {
+            // Small blocks so the tail of the stream lives in a
+            // not-yet-flushed block when the writer goes away.
+            let mut w = DirWriter::with_limits(&dir, "drop hdr", 1_000, 8).unwrap();
+            for (i, e) in events.iter().enumerate() {
+                w.record(i as u64, e);
+            }
+            // No flush, no sync — just drop.
+        }
+        let rd = JournalDir::open(&dir).unwrap();
+        assert_eq!(rd.header().unwrap(), "drop hdr");
+        let got = rd.events().unwrap();
+        assert_eq!(got.len(), 37, "trailing partial block survived the drop");
+        assert_eq!(got[36].1, events[36], "last event intact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_a_journal_owned_writer_is_equivalent_to_sync() {
+        let dir = tmp("drop-journal");
+        let synced = tmp("drop-journal-synced");
+        let write = |dir: &Path, sync: bool| {
+            let sink = DirWriter::with_limits(dir, "hdr", 1_000, 8).unwrap();
+            let j = Journal::with_sink(JournalConfig::default(), Box::new(sink));
+            for e in sample_events(21, 9) {
+                j.emit(e);
+            }
+            if sync {
+                j.sync();
+            }
+            // Journal drop flushes the sink; sink drop seals.
+        };
+        write(&dir, false);
+        write(&synced, true);
+        let a = JournalDir::open(&dir).unwrap().events().unwrap();
+        let b = JournalDir::open(&synced).unwrap().events().unwrap();
+        assert_eq!(a.len(), 21);
+        assert_eq!(a, b, "drop-only and synced runs read back identically");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&synced);
     }
 
     #[test]

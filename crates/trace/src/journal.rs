@@ -491,6 +491,18 @@ impl Journal {
         self.inner.is_some()
     }
 
+    /// `true` when an event at `severity` would clear this journal's
+    /// severity floor. High-volume emitters (the SOC signal firehose)
+    /// check this once and skip *constructing* telemetry events the
+    /// floor would reject anyway — [`Journal::emit`] still enforces
+    /// the floor per event either way.
+    #[must_use]
+    pub fn accepts(&self, severity: Severity) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| severity >= inner.config.min_severity)
+    }
+
     /// The shard `event` routes to: by trace id when present (so one
     /// trace's events stay together), by name otherwise. A pure
     /// function, like the SOC bus's host→shard hash.

@@ -84,7 +84,7 @@ pub struct SloAlert {
 /// Bad-event fraction in `h` above `threshold`, with linear
 /// interpolation inside the boundary bucket (the CDF complement of
 /// [`HistogramSnapshot::quantile`]).
-fn fraction_above(h: &HistogramSnapshot, threshold: u64) -> f64 {
+pub(crate) fn fraction_above(h: &HistogramSnapshot, threshold: u64) -> f64 {
     if h.count == 0 {
         return 0.0;
     }
@@ -327,6 +327,7 @@ mod tests {
             count: 100,
             sum: 300,
             max: 20,
+            exemplars: Vec::new(),
         };
         // 10% of observations are above 4 ticks.
         assert!((fraction_above(&h, 4) - 0.10).abs() < 1e-9);
